@@ -1,0 +1,106 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **cost of priorities** — the deterministic table's only extra
+//!   work over first-fit probing is the priority comparison + swap
+//!   chain; measured head-to-head at rising duplicate rates (the paper
+//!   attributes its D-vs-ND gap to exactly this);
+//! * **cost of determinism in elements()** — deterministic pack vs a
+//!   thread-racy collect of the same cells;
+//! * **hash quality** — the table with the production mixer vs a
+//!   deliberately weak multiplicative hash (cluster blowup).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phc_core::entry::HashEntry;
+use phc_core::{DetHashTable, NdHashTable, U64Key};
+use rayon::prelude::*;
+use std::cmp::Ordering;
+
+const N: usize = 50_000;
+const LOG2: u32 = 17;
+
+/// `U64Key` with a deliberately weak hash (identity on the low bits):
+/// adjacent keys collide into runs, inflating cluster lengths.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct WeakHashKey(u64);
+
+impl HashEntry for WeakHashKey {
+    const EMPTY: u64 = 0;
+    fn to_repr(self) -> u64 {
+        self.0
+    }
+    fn from_repr(repr: u64) -> Self {
+        WeakHashKey(repr)
+    }
+    fn hash(repr: u64) -> u64 {
+        repr.wrapping_mul(11) // nearly-sequential buckets
+    }
+    fn cmp_priority(a: u64, b: u64) -> Ordering {
+        a.cmp(&b)
+    }
+    fn same_key(a: u64, b: u64) -> bool {
+        a == b && a != 0
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // --- priorities vs first-fit at increasing duplicate rates.
+    for (label, dup_mod) in [("unique", u64::MAX), ("dup10", 10 * N as u64 / 100), ("dup1", N as u64 / 100)] {
+        let keys: Vec<u64> = (0..N as u64)
+            .map(|i| (phc_parutil::hash64(i) % dup_mod.max(1)).max(1))
+            .collect();
+        c.bench_function(&format!("ablation/priority-insert/{label}/det"), |b| {
+            b.iter(|| {
+                let t: DetHashTable<U64Key> = DetHashTable::new_pow2(LOG2);
+                keys.par_iter().for_each(|&k| t.insert(U64Key::new(k)));
+            })
+        });
+        c.bench_function(&format!("ablation/priority-insert/{label}/nd"), |b| {
+            b.iter(|| {
+                let t: NdHashTable<U64Key> = NdHashTable::new_pow2(LOG2);
+                keys.par_iter().for_each(|&k| t.insert(U64Key::new(k)));
+            })
+        });
+    }
+
+    // --- deterministic pack vs racy collect for elements().
+    let t: DetHashTable<U64Key> = DetHashTable::new_pow2(LOG2);
+    (1..=N as u64).for_each(|k| t.insert(U64Key::new(phc_parutil::hash64(k) | 1)));
+    c.bench_function("ablation/elements/deterministic-pack", |b| {
+        b.iter(|| std::hint::black_box(t.elements().len()))
+    });
+    c.bench_function("ablation/elements/racy-collect", |b| {
+        b.iter(|| {
+            let v: Vec<u64> = t
+                .raw_cells()
+                .par_iter()
+                .filter_map(|c| {
+                    let x = c.load(std::sync::atomic::Ordering::Relaxed);
+                    (x != 0).then_some(x)
+                })
+                .collect();
+            std::hint::black_box(v.len())
+        })
+    });
+
+    // --- hash quality: strong mixer vs weak multiplicative hash.
+    let seq: Vec<u64> = (1..=N as u64).collect();
+    c.bench_function("ablation/hash/strong", |b| {
+        b.iter(|| {
+            let t: DetHashTable<U64Key> = DetHashTable::new_pow2(LOG2);
+            seq.par_iter().for_each(|&k| t.insert(U64Key::new(k)));
+        })
+    });
+    c.bench_function("ablation/hash/weak", |b| {
+        b.iter(|| {
+            let t: DetHashTable<WeakHashKey> = DetHashTable::new_pow2(LOG2);
+            seq.par_iter().for_each(|&k| t.insert(WeakHashKey(k)));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

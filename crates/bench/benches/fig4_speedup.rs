@@ -1,0 +1,48 @@
+//! Criterion bench for **Figure 4**: linearHash-D insert phase at a
+//! sweep of thread counts (speedup = serial time / these times).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phc_core::phase::{ConcurrentInsert, PhaseHashTable};
+use phc_core::{DetHashTable, SerialHashHI, U64Key};
+use rayon::prelude::*;
+
+const N: usize = 100_000;
+const LOG2: u32 = 18;
+
+fn bench(c: &mut Criterion) {
+    let keys: Vec<U64Key> =
+        phc_workloads::random_seq_int(N, 1).into_iter().map(U64Key::new).collect();
+    c.bench_function("fig4/serialHash-HI", |b| {
+        b.iter(|| {
+            let mut t: SerialHashHI<U64Key> = SerialHashHI::new_pow2(LOG2);
+            for &k in &keys {
+                t.insert(k);
+            }
+        })
+    });
+    let max_t = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut threads = vec![1usize];
+    while *threads.last().unwrap() * 2 <= max_t {
+        threads.push(threads.last().unwrap() * 2);
+    }
+    for t in threads {
+        c.bench_function(&format!("fig4/linearHash-D/threads={t}"), |b| {
+            phc_parutil::with_pool(t, |pool| {
+                pool.install(|| {
+                    b.iter(|| {
+                        let mut table: DetHashTable<U64Key> = DetHashTable::new_pow2(LOG2);
+                        let ins = table.begin_insert();
+                        keys.par_iter().for_each(|&k| ins.insert(k));
+                    })
+                })
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

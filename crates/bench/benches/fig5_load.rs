@@ -1,0 +1,50 @@
+//! Criterion bench for **Figure 5**: per-op cost on linearHash-D at
+//! increasing load factors (expect a steep climb towards load 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phc_core::phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
+use phc_core::{DetHashTable, U64Key};
+use rayon::prelude::*;
+
+const LOG2: u32 = 16;
+const OPS: usize = 5_000;
+
+fn bench(c: &mut Criterion) {
+    let size = 1usize << LOG2;
+    for load in [0.25, 0.5, 0.75, 0.9] {
+        let fill_n = (size as f64 * load) as usize;
+        let fill: Vec<u64> = (1..=fill_n as u64).collect();
+        let mut table: DetHashTable<U64Key> = DetHashTable::new_pow2(LOG2);
+        {
+            let ins = table.begin_insert();
+            fill.par_iter().for_each(|&k| ins.insert(U64Key::new(k)));
+        }
+        let fresh: Vec<u64> = ((fill_n as u64 + 1)..=(fill_n + OPS) as u64).collect();
+        let probes: Vec<u64> = (0..OPS as u64).map(|i| phc_parutil::hash64(i) | 1).collect();
+        c.bench_function(&format!("fig5/insert+delete/load={load}"), |b| {
+            b.iter(|| {
+                {
+                    let ins = table.begin_insert();
+                    fresh.par_iter().for_each(|&k| ins.insert(U64Key::new(k)));
+                }
+                let del = table.begin_delete();
+                fresh.par_iter().for_each(|&k| del.delete(U64Key::new(k)));
+            })
+        });
+        c.bench_function(&format!("fig5/find_random/load={load}"), |b| {
+            b.iter(|| {
+                let r = table.begin_read();
+                probes.par_iter().for_each(|&k| {
+                    std::hint::black_box(r.find(U64Key::new(k)));
+                });
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion bench for **Table 1 / Figure 3(a)**: the six operations
+//! on `randomSeq-int` across all nine tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phc_bench::datasets;
+use phc_core::phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
+use phc_core::{
+    ChainedHashTable, CuckooHashTable, DetHashTable, HopscotchHashTable, NdHashTable,
+    SerialHashHD, SerialHashHI, U64Key,
+};
+use rayon::prelude::*;
+
+const N: usize = 50_000;
+const LOG2: u32 = 17;
+
+fn ops_for<T: PhaseHashTable<U64Key>>(
+    c: &mut Criterion,
+    name: &str,
+    make: impl Fn(u32) -> T + Copy,
+) {
+    let data = datasets::random_int(N, 1);
+    c.bench_function(&format!("table1/insert/{name}"), |b| {
+        b.iter(|| {
+            let mut t = make(LOG2);
+            let ins = t.begin_insert();
+            data.inserted.par_iter().for_each(|&e| ins.insert(e));
+        })
+    });
+    let mut t = make(LOG2);
+    {
+        let ins = t.begin_insert();
+        data.inserted.par_iter().for_each(|&e| ins.insert(e));
+    }
+    c.bench_function(&format!("table1/find_random/{name}"), |b| {
+        b.iter(|| {
+            let r = t.begin_read();
+            data.random.par_iter().for_each(|&e| {
+                std::hint::black_box(r.find(e));
+            });
+        })
+    });
+    c.bench_function(&format!("table1/elements/{name}"), |b| {
+        b.iter(|| std::hint::black_box(t.elements().len()))
+    });
+    c.bench_function(&format!("table1/delete_inserted/{name}"), |b| {
+        b.iter_batched(
+            || {
+                let mut t = make(LOG2);
+                {
+                    let ins = t.begin_insert();
+                    data.inserted.par_iter().for_each(|&e| ins.insert(e));
+                }
+                t
+            },
+            |mut t| {
+                let del = t.begin_delete();
+                data.inserted.par_iter().for_each(|&e| del.delete(e));
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    ops_for(c, "linearHash-D", DetHashTable::new_pow2);
+    ops_for(c, "linearHash-ND", NdHashTable::new_pow2);
+    ops_for(c, "cuckooHash", |l| CuckooHashTable::new_pow2(l + 1));
+    ops_for(c, "chainedHash-CR", ChainedHashTable::new_pow2_cr);
+    ops_for(c, "hopscotchHash-PC", HopscotchHashTable::new_pow2_pc);
+
+    // Serial baselines.
+    let data = datasets::random_int(N, 1);
+    c.bench_function("table1/insert/serialHash-HI", |b| {
+        b.iter(|| {
+            let mut t: SerialHashHI<U64Key> = SerialHashHI::new_pow2(LOG2);
+            for &e in &data.inserted {
+                t.insert(e);
+            }
+        })
+    });
+    c.bench_function("table1/insert/serialHash-HD", |b| {
+        b.iter(|| {
+            let mut t: SerialHashHD<U64Key> = SerialHashHD::new_pow2(LOG2);
+            for &e in &data.inserted {
+                t.insert(e);
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench for **Figure 3(b)**: operations on
+//! `trigramSeq-pairInt` (pointer entries with string comparisons,
+//! heavy duplicates) across the main tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phc_bench::datasets::StrDataset;
+use phc_core::phase::{ConcurrentInsert, ConcurrentRead, PhaseHashTable};
+use phc_core::{ChainedHashTable, CuckooHashTable, DetHashTable, NdHashTable, StrRef};
+use rayon::prelude::*;
+
+const N: usize = 30_000;
+const LOG2: u32 = 16;
+
+fn ops_for<T: PhaseHashTable<StrRef<'static>>>(
+    c: &mut Criterion,
+    name: &str,
+    data: &phc_bench::Dataset<StrRef<'static>>,
+    make: impl Fn(u32) -> T + Copy,
+) {
+    c.bench_function(&format!("fig3b/insert/{name}"), |b| {
+        b.iter(|| {
+            let mut t = make(LOG2);
+            let ins = t.begin_insert();
+            data.inserted.par_iter().for_each(|&e| ins.insert(e));
+        })
+    });
+    let mut t = make(LOG2);
+    {
+        let ins = t.begin_insert();
+        data.inserted.par_iter().for_each(|&e| ins.insert(e));
+    }
+    c.bench_function(&format!("fig3b/find_random/{name}"), |b| {
+        b.iter(|| {
+            let r = t.begin_read();
+            data.random.par_iter().for_each(|&e| {
+                std::hint::black_box(r.find(e));
+            });
+        })
+    });
+    c.bench_function(&format!("fig3b/elements/{name}"), |b| {
+        b.iter(|| std::hint::black_box(t.elements().len()))
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let (_owner, data) = StrDataset::trigram(N, 4, true);
+    ops_for(c, "linearHash-D", &data, DetHashTable::new_pow2);
+    ops_for(c, "linearHash-ND", &data, NdHashTable::new_pow2);
+    ops_for(c, "cuckooHash", &data, |l| CuckooHashTable::new_pow2(l + 1));
+    ops_for(c, "chainedHash-CR", &data, ChainedHashTable::new_pow2_cr);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

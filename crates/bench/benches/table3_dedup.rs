@@ -1,0 +1,46 @@
+//! Criterion bench for **Table 3**: remove duplicates (insert all +
+//! elements) on random and exponential integer keys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phc_bench::datasets;
+use phc_core::phase::{ConcurrentInsert, PhaseHashTable};
+use phc_core::{ChainedHashTable, CuckooHashTable, DetHashTable, NdHashTable, U64Key};
+use rayon::prelude::*;
+
+const N: usize = 50_000;
+
+fn dedup<T: PhaseHashTable<U64Key>>(make: impl Fn(u32) -> T, input: &[U64Key]) -> usize {
+    let log2 = (input.len() * 4 / 3).next_power_of_two().trailing_zeros();
+    let mut t = make(log2);
+    {
+        let ins = t.begin_insert();
+        input.par_iter().for_each(|&e| ins.insert(e));
+    }
+    t.elements().len()
+}
+
+fn bench(c: &mut Criterion) {
+    let random = datasets::random_int(N, 1).inserted;
+    let expt = datasets::expt_int(N, 2).inserted;
+    for (dist, input) in [("random", &random), ("expt", &expt)] {
+        c.bench_function(&format!("table3/{dist}/linearHash-D"), |b| {
+            b.iter(|| dedup(DetHashTable::new_pow2, input))
+        });
+        c.bench_function(&format!("table3/{dist}/linearHash-ND"), |b| {
+            b.iter(|| dedup(NdHashTable::new_pow2, input))
+        });
+        c.bench_function(&format!("table3/{dist}/cuckooHash"), |b| {
+            b.iter(|| dedup(|l| CuckooHashTable::new_pow2(l + 1), input))
+        });
+        c.bench_function(&format!("table3/{dist}/chainedHash-CR"), |b| {
+            b.iter(|| dedup(ChainedHashTable::new_pow2_cr, input))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for **Table 4**: the Delaunay-refinement hash
+//! kernel (insert the bad-triangle set, read it back with elements)
+//! on the 2DinCube triangulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phc_core::entry::U64Key;
+use phc_core::phase::{ConcurrentInsert, PhaseHashTable};
+use phc_core::{ChainedHashTable, CuckooHashTable, DetHashTable, NdHashTable};
+use phc_geometry::predicates::has_small_angle;
+use phc_geometry::triangulate;
+use rayon::prelude::*;
+
+fn kernel<T: PhaseHashTable<U64Key>>(make: impl Fn(u32) -> T, bad: &[u32]) -> usize {
+    let log2 = (2 * bad.len().max(2)).next_power_of_two().trailing_zeros();
+    let mut t = make(log2);
+    {
+        let ins = t.begin_insert();
+        bad.par_iter().for_each(|&x| ins.insert(U64Key::new(x as u64 + 1)));
+    }
+    t.elements().len()
+}
+
+fn bench(c: &mut Criterion) {
+    let pts = phc_workloads::in_cube_2d(10_000, 11);
+    let mesh = triangulate(&pts);
+    let bad: Vec<u32> = (0..mesh.tris.len() as u32)
+        .filter(|&t| {
+            let tri = &mesh.tris[t as usize];
+            if !tri.alive || mesh.touches_super(t) {
+                return false;
+            }
+            let [a, b, cc] = mesh.corners(t);
+            has_small_angle(a, b, cc, 26.0)
+        })
+        .collect();
+    c.bench_function("table4/linearHash-D", |b| b.iter(|| kernel(DetHashTable::new_pow2, &bad)));
+    c.bench_function("table4/linearHash-ND", |b| b.iter(|| kernel(NdHashTable::new_pow2, &bad)));
+    c.bench_function("table4/cuckooHash", |b| {
+        b.iter(|| kernel(|l| CuckooHashTable::new_pow2(l + 1), &bad))
+    });
+    c.bench_function("table4/chainedHash-CR", |b| {
+        b.iter(|| kernel(ChainedHashTable::new_pow2_cr, &bad))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench for **Table 5**: suffix-tree edge insertion and
+//! pattern search on the english-like corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phc_core::entry::{KeepMin, KvPair};
+use phc_core::phase::PhaseHashTable;
+use phc_core::{ChainedHashTable, CuckooHashTable, DetHashTable, NdHashTable};
+use phc_strings::SuffixTree;
+use rayon::prelude::*;
+
+type Kv = KvPair<KeepMin>;
+
+fn bench(c: &mut Criterion) {
+    let text = phc_workloads::text::english_like(50_000, 1);
+    let st = SuffixTree::build(&text, DetHashTable::<Kv>::new_pow2);
+    let edges = st.edges().to_vec();
+    let log2 = (2 * edges.len()).next_power_of_two().trailing_zeros();
+
+    fn insert_bench<T: PhaseHashTable<Kv>>(make: impl Fn(u32) -> T, log2: u32, edges: &[(u32, u8, u32)]) {
+        let mut t = make(log2);
+        SuffixTree::insert_edges(&mut t, edges);
+        std::hint::black_box(t.capacity());
+    }
+
+    c.bench_function("table5/insert/linearHash-D", |b| {
+        b.iter(|| insert_bench(DetHashTable::<Kv>::new_pow2, log2, &edges))
+    });
+    c.bench_function("table5/insert/linearHash-ND", |b| {
+        b.iter(|| insert_bench(NdHashTable::<Kv>::new_pow2, log2, &edges))
+    });
+    c.bench_function("table5/insert/cuckooHash", |b| {
+        b.iter(|| insert_bench(|l| CuckooHashTable::<Kv>::new_pow2(l + 1), log2, &edges))
+    });
+    c.bench_function("table5/insert/chainedHash-CR", |b| {
+        b.iter(|| insert_bench(ChainedHashTable::<Kv>::new_pow2_cr, log2, &edges))
+    });
+
+    // Search phase on the det tree.
+    let mut t = DetHashTable::<Kv>::new_pow2(log2);
+    SuffixTree::insert_edges(&mut t, &edges);
+    let queries: Vec<&[u8]> =
+        (0..2000).map(|q| &text[(q * 17) % (text.len() - 20)..][..12]).collect();
+    c.bench_function("table5/search/linearHash-D", |b| {
+        b.iter(|| {
+            let reader = t.begin_read();
+            queries
+                .par_iter()
+                .filter(|pat| {
+                    SuffixTree::<DetHashTable<Kv>>::search_with(&text, &st.nodes, &reader, pat)
+                        .is_some()
+                })
+                .count()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

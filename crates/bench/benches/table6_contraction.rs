@@ -1,0 +1,30 @@
+//! Criterion bench for **Table 6**: edge contraction through each
+//! table, including the ND `xadd` fast path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phc_core::{ChainedHashTable, CuckooHashTable, DetHashTable};
+use phc_graphs::edge_contraction::{contract, contract_nd_xadd, matching_labels};
+
+fn bench(c: &mut Criterion) {
+    let el = phc_workloads::random_graph(30_000, 5, 1);
+    let labels = matching_labels(&el);
+    c.bench_function("table6/linearHash-D", |b| {
+        b.iter(|| contract(&el, &labels, DetHashTable::new_pow2).len())
+    });
+    c.bench_function("table6/linearHash-ND-xadd", |b| {
+        b.iter(|| contract_nd_xadd(&el, &labels).len())
+    });
+    c.bench_function("table6/cuckooHash", |b| {
+        b.iter(|| contract(&el, &labels, |l| CuckooHashTable::new_pow2(l + 1)).len())
+    });
+    c.bench_function("table6/chainedHash-CR", |b| {
+        b.iter(|| contract(&el, &labels, ChainedHashTable::new_pow2_cr).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for **Table 7**: BFS — serial vs array-based vs
+//! hash-table frontier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phc_core::{ChainedHashTable, DetHashTable, NdHashTable, U64Key};
+use phc_graphs::bfs::{array_bfs, hash_bfs, serial_bfs};
+use phc_graphs::Graph;
+
+fn bench(c: &mut Criterion) {
+    let g = Graph::from_edges(&phc_workloads::random_graph(50_000, 5, 1));
+    c.bench_function("table7/serial", |b| b.iter(|| serial_bfs(&g, 0)));
+    c.bench_function("table7/array", |b| b.iter(|| array_bfs(&g, 0)));
+    c.bench_function("table7/linearHash-D", |b| {
+        b.iter(|| hash_bfs(&g, 0, DetHashTable::<U64Key>::new_pow2))
+    });
+    c.bench_function("table7/linearHash-ND", |b| {
+        b.iter(|| hash_bfs(&g, 0, NdHashTable::<U64Key>::new_pow2))
+    });
+    c.bench_function("table7/chainedHash-CR", |b| {
+        b.iter(|| hash_bfs(&g, 0, ChainedHashTable::<U64Key>::new_pow2_cr))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

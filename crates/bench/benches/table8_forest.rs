@@ -1,0 +1,33 @@
+//! Criterion bench for **Table 8**: spanning forest — serial vs array
+//! reservations vs hash-table reservations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phc_core::entry::{KeepMin, KvPair};
+use phc_core::{ChainedHashTable, DetHashTable, NdHashTable};
+use phc_graphs::spanning_forest::{
+    array_spanning_forest, hash_spanning_forest, serial_spanning_forest,
+};
+
+type Kv = KvPair<KeepMin>;
+
+fn bench(c: &mut Criterion) {
+    let el = phc_workloads::random_graph(30_000, 5, 1);
+    c.bench_function("table8/serial", |b| b.iter(|| serial_spanning_forest(&el).len()));
+    c.bench_function("table8/array", |b| b.iter(|| array_spanning_forest(&el).len()));
+    c.bench_function("table8/linearHash-D", |b| {
+        b.iter(|| hash_spanning_forest(&el, DetHashTable::<Kv>::new_pow2).len())
+    });
+    c.bench_function("table8/linearHash-ND", |b| {
+        b.iter(|| hash_spanning_forest(&el, NdHashTable::<Kv>::new_pow2).len())
+    });
+    c.bench_function("table8/chainedHash-CR", |b| {
+        b.iter(|| hash_spanning_forest(&el, ChainedHashTable::<Kv>::new_pow2_cr).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

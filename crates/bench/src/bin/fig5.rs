@@ -1,0 +1,78 @@
+//! Regenerates **Figure 5**: nanoseconds per operation on
+//! `linearHash-D` as the load factor grows — insert and delete costs
+//! must climb steeply as the table approaches full, while finds of
+//! random keys stay flat longer (the history-independent layout makes
+//! unsuccessful finds cheap).
+
+use phc_bench::{arg_or_env, default_threads, time_in_pool, Report};
+use phc_core::phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
+use phc_core::{DetHashTable, U64Key};
+use rayon::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let log2 = arg_or_env(&args, "--log2", "PHC_LOG2", 20) as u32;
+    let threads = arg_or_env(&args, "--threads", "PHC_THREADS", default_threads());
+    let ops = arg_or_env(&args, "--ops", "PHC_OPS", 100_000);
+    let size = 1usize << log2;
+    println!(
+        "# Figure 5 reproduction: table = 2^{log2} cells, {ops} timed ops per point, P = {threads}"
+    );
+    println!("# (paper: 2^27 cells; values are ns/op)\n");
+
+    let loads = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98];
+    let cols: Vec<String> = loads.iter().map(|l| format!("{l}")).collect();
+    let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    let mut report = Report::new("Figure 5: ns per op vs load (linearHash-D)", &col_refs);
+
+    let mut insert_ns = Vec::new();
+    let mut find_ns = Vec::new();
+    let mut delete_ns = Vec::new();
+    for &load in &loads {
+        // Distinct keys via a permutation-free trick: hash64 is not a
+        // permutation, so draw extra and dedup to the exact fill count.
+        let fill_n = (size as f64 * load) as usize;
+        let mut fill: Vec<u64> = Vec::with_capacity(fill_n);
+        let mut k = 1u64;
+        while fill.len() < fill_n {
+            fill.push(k);
+            k += 1;
+        }
+        let table: DetHashTable<U64Key> = DetHashTable::new_pow2(log2);
+        fill.par_iter().with_min_len(1024).for_each(|&k| table.insert(U64Key::new(k)));
+        let mut table = table;
+
+        // Timed inserts of fresh keys — capped so the table never
+        // exceeds ~99% full even at the highest measured load.
+        let headroom = (size - fill_n).saturating_sub(size / 100).max(16);
+        let n_fresh = ops.min(headroom);
+        let fresh: Vec<u64> = (0..n_fresh as u64).map(|i| k + i).collect();
+        let ops = n_fresh;
+        let (ti, ()) = time_in_pool(threads, || {
+            let ins = table.begin_insert();
+            fresh.par_iter().with_min_len(512).for_each(|&k| ins.insert(U64Key::new(k)));
+        });
+        insert_ns.push(Some(ti * 1e9 / ops as f64));
+        // Timed finds of random (mostly absent) keys.
+        let probes: Vec<u64> =
+            (0..ops as u64).map(|i| phc_parutil::hash64(i) | 1).collect();
+        let (tf, ()) = time_in_pool(threads, || {
+            let reader = table.begin_read();
+            probes.par_iter().with_min_len(512).for_each(|&k| {
+                std::hint::black_box(reader.find(U64Key::new(k)));
+            });
+        });
+        find_ns.push(Some(tf * 1e9 / ops as f64));
+        // Timed deletes of the fresh keys (restores the fill).
+        let (td, ()) = time_in_pool(threads, || {
+            let del = table.begin_delete();
+            fresh.par_iter().with_min_len(512).for_each(|&k| del.delete(U64Key::new(k)));
+        });
+        delete_ns.push(Some(td * 1e9 / ops as f64));
+        eprintln!("load {load}: done");
+    }
+    report.push("insert", insert_ns);
+    report.push("find-random", find_ns);
+    report.push("delete", delete_ns);
+    report.print();
+}

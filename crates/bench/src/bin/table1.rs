@@ -1,0 +1,103 @@
+//! Regenerates **Table 1(a–f)** (and the data behind **Figure 3**):
+//! times for insert, find (random/inserted), delete (random/inserted)
+//! and elements across all nine hash tables and the six input
+//! distributions, at one thread and at P threads.
+//!
+//! ```text
+//! cargo run --release -p phc-bench --bin table1 -- --n 1000000
+//! cargo run --release -p phc-bench --bin table1 -- --fig3   # the Fig. 3 subset
+//! ```
+
+use phc_bench::ops::{run_table1_rows, TableRow, OP_NAMES};
+use phc_bench::{arg_or_env, datasets, default_threads, has_flag, Report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_or_env(&args, "--n", "PHC_N", 100_000);
+    let threads = arg_or_env(&args, "--threads", "PHC_THREADS", default_threads());
+    let fig3 = has_flag(&args, "--fig3");
+    // Paper: n = 10^8 into 2^28 cells (load ≈ 0.37). Same load here.
+    let log2 = (2 * n).next_power_of_two().trailing_zeros().max(4);
+    println!(
+        "# Table 1 reproduction: n = {n}, table = 2^{log2} cells, P = {threads} threads\n\
+         # (paper: n = 10^8, 2^28 cells, 40 cores / 80 hyperthreads)\n"
+    );
+
+    let dists: Vec<&str> = if fig3 {
+        vec!["randomSeq-int", "trigramSeq-pairInt"]
+    } else {
+        vec![
+            "randomSeq-int",
+            "randomSeq-pairInt",
+            "trigramSeq",
+            "trigramSeq-pairInt",
+            "exptSeq-int",
+            "exptSeq-pairInt",
+        ]
+    };
+    // results[dist] = rows
+    let mut all: Vec<(&str, Vec<TableRow>)> = Vec::new();
+    for &dist in &dists {
+        eprintln!("running {dist} ...");
+        let rows = match dist {
+            "randomSeq-int" => run_table1_rows(&datasets::random_int(n, 1), log2, threads),
+            "randomSeq-pairInt" => {
+                run_table1_rows(&datasets::random_pair_int(n, 2), log2, threads)
+            }
+            "trigramSeq" => {
+                let (_owner, data) = datasets::StrDataset::trigram(n, 3, false);
+                run_table1_rows(&data, log2, threads)
+            }
+            "trigramSeq-pairInt" => {
+                let (_owner, data) = datasets::StrDataset::trigram(n, 4, true);
+                run_table1_rows(&data, log2, threads)
+            }
+            "exptSeq-int" => run_table1_rows(&datasets::expt_int(n, 5), log2, threads),
+            "exptSeq-pairInt" => run_table1_rows(&datasets::expt_pair_int(n, 6), log2, threads),
+            _ => unreachable!(),
+        };
+        all.push((dist, rows));
+    }
+
+    let section = |op: &str| -> &'static str {
+        match op {
+            "insert" => "(a) Insert",
+            "find_random" => "(b) Find Random",
+            "find_inserted" => "(c) Find Inserted",
+            "delete_random" => "(d) Delete Random",
+            "delete_inserted" => "(e) Delete Inserted",
+            "elements" => "(f) Elements",
+            _ => "",
+        }
+    };
+
+    let mut reports = Vec::new();
+    for op in OP_NAMES {
+        let mut columns: Vec<String> = Vec::new();
+        for &(dist, _) in &all {
+            columns.push(format!("{dist}(1)"));
+            columns.push(format!("{dist}(P)"));
+        }
+        let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+        let mut report = Report::new(format!("Table 1{}", section(op)), &col_refs);
+        let n_rows = all[0].1.len();
+        for r in 0..n_rows {
+            let label = all[0].1[r].name;
+            let mut values = Vec::new();
+            for (_, rows) in &all {
+                values.push(Some(rows[r].one.get(op)));
+                values.push(rows[r].par.as_ref().map(|p| p.get(op)));
+            }
+            report.push(label, values);
+        }
+        report.print();
+        reports.push(report);
+    }
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(pos + 1) {
+            phc_bench::report::write_json(path, &reports).expect("write json");
+            eprintln!("wrote {path}");
+        }
+    }
+}

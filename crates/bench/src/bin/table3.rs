@@ -1,0 +1,96 @@
+//! Regenerates **Table 3**: remove duplicates on `randomSeq-int`,
+//! `trigramSeq-pairInt`, and `exptSeq-int`, for the four application
+//! tables (linearHash-D / -ND, cuckooHash, chainedHash-CR).
+
+use phc_bench::{arg_or_env, datasets, default_threads, time_in_pool, time_once, Report};
+use phc_core::entry::HashEntry;
+use phc_core::phase::{ConcurrentInsert, PhaseHashTable};
+use phc_core::{ChainedHashTable, CuckooHashTable, DetHashTable, NdHashTable};
+use rayon::prelude::*;
+
+fn dedup_time<E: HashEntry, T: PhaseHashTable<E>>(
+    make: impl Fn(u32) -> T + Send + Sync,
+    input: &[E],
+    threads: usize,
+) -> f64 {
+    let log2 = (input.len() * 4 / 3).max(4).next_power_of_two().trailing_zeros();
+    let run = || {
+        let mut table = make(log2);
+        {
+            let ins = table.begin_insert();
+            input.par_iter().with_min_len(512).for_each(|&e| ins.insert(e));
+        }
+        std::hint::black_box(table.elements().len());
+    };
+    if threads == 1 {
+        time_once(run).0
+    } else {
+        time_in_pool(threads, run).0
+    }
+}
+
+fn rows<E: HashEntry>(input: &[E], threads: usize) -> Vec<(&'static str, f64, f64)> {
+    vec![
+        (
+            "linearHash-D",
+            dedup_time(DetHashTable::<E>::new_pow2, input, 1),
+            dedup_time(DetHashTable::<E>::new_pow2, input, threads),
+        ),
+        (
+            "linearHash-ND",
+            dedup_time(NdHashTable::<E>::new_pow2, input, 1),
+            dedup_time(NdHashTable::<E>::new_pow2, input, threads),
+        ),
+        (
+            "cuckooHash",
+            dedup_time(|l| CuckooHashTable::<E>::new_pow2(l + 1), input, 1),
+            dedup_time(|l| CuckooHashTable::<E>::new_pow2(l + 1), input, threads),
+        ),
+        (
+            "chainedHash-CR",
+            dedup_time(ChainedHashTable::<E>::new_pow2_cr, input, 1),
+            dedup_time(ChainedHashTable::<E>::new_pow2_cr, input, threads),
+        ),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_or_env(&args, "--n", "PHC_N", 200_000);
+    let threads = arg_or_env(&args, "--threads", "PHC_THREADS", default_threads());
+    println!("# Table 3 reproduction: remove duplicates, n = {n}, P = {threads}\n");
+
+    let ri = datasets::random_int(n, 1).inserted;
+    let (_owner, tg) = datasets::StrDataset::trigram(n, 2, true);
+    let ei = datasets::expt_int(n, 3).inserted;
+
+    let r1 = rows(&ri, threads);
+    let r2 = rows(&tg.inserted, threads);
+    let r3 = rows(&ei, threads);
+
+    let mut report = Report::new(
+        "Table 3: Remove Duplicates",
+        &[
+            "randomSeq-int(1)",
+            "randomSeq-int(P)",
+            "trigram-pairInt(1)",
+            "trigram-pairInt(P)",
+            "exptSeq-int(1)",
+            "exptSeq-int(P)",
+        ],
+    );
+    for i in 0..r1.len() {
+        report.push(
+            r1[i].0,
+            vec![
+                Some(r1[i].1),
+                Some(r1[i].2),
+                Some(r2[i].1),
+                Some(r2[i].2),
+                Some(r3[i].1),
+                Some(r3[i].2),
+            ],
+        );
+    }
+    report.print();
+}

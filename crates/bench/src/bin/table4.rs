@@ -1,0 +1,108 @@
+//! Regenerates **Table 4**: the hash-table portion of one iteration of
+//! Delaunay refinement — a call to `elements()` plus the insertions of
+//! the next round's bad triangles — on the `2DinCube` and `2Dkuzmin`
+//! triangulations.
+//!
+//! Scaled from the paper's 5M points to `--n` (default 30k; the shape
+//! — linear probing beating cuckoo beating chained — is size-stable).
+
+use phc_bench::{arg_or_env, default_threads, time_in_pool, time_once, Report};
+use phc_core::entry::U64Key;
+use phc_core::phase::{ConcurrentInsert, PhaseHashTable};
+use phc_core::{ChainedHashTable, CuckooHashTable, DetHashTable, NdHashTable};
+use phc_geometry::{refine, triangulate, Mesh};
+use rayon::prelude::*;
+
+/// Collects the bad-triangle ids of the current mesh.
+fn bad_triangles(mesh: &Mesh, min_angle: f64) -> Vec<u32> {
+    use phc_geometry::predicates::has_small_angle;
+    (0..mesh.tris.len() as u32)
+        .into_par_iter()
+        .filter(|&t| {
+            let tri = &mesh.tris[t as usize];
+            if !tri.alive || mesh.touches_super(t) {
+                return false;
+            }
+            let [a, b, c] = mesh.corners(t);
+            has_small_angle(a, b, c, min_angle)
+        })
+        .collect()
+}
+
+/// Times the paper's measured kernel: insert all bad triangles into a
+/// fresh table, then read them back with `elements()`.
+fn hash_portion<T: PhaseHashTable<U64Key>>(
+    make: impl Fn(u32) -> T + Send + Sync,
+    bad: &[u32],
+    threads: usize,
+) -> f64 {
+    // Table of twice the number of bad triangles (paper §6).
+    let log2 = (2 * bad.len().max(2)).next_power_of_two().trailing_zeros();
+    let run = || {
+        let mut table = make(log2);
+        {
+            let ins = table.begin_insert();
+            bad.par_iter().with_min_len(256).for_each(|&t| ins.insert(U64Key::new(t as u64 + 1)));
+        }
+        std::hint::black_box(table.elements().len());
+    };
+    if threads == 1 {
+        time_once(run).0
+    } else {
+        time_in_pool(threads, run).0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_or_env(&args, "--n", "PHC_N", 30_000);
+    let threads = arg_or_env(&args, "--threads", "PHC_THREADS", default_threads());
+    let min_angle = 26.0;
+    println!("# Table 4 reproduction: Delaunay refinement hash portion, {n} points, P = {threads}");
+    println!("# (paper: 5M points; also runs one real refinement to report convergence)\n");
+
+    let mut report = Report::new(
+        "Table 4: Delaunay Refinement (hash portion)",
+        &["2DinCube(1)", "2DinCube(P)", "2Dkuzmin(1)", "2Dkuzmin(P)"],
+    );
+    let mut cells: Vec<Vec<Option<f64>>> = vec![vec![]; 4];
+    for (d, pts) in [
+        phc_workloads::in_cube_2d(n, 11),
+        phc_workloads::kuzmin_2d(n, 12),
+    ]
+    .iter()
+    .enumerate()
+    {
+        eprintln!("triangulating input {d} ...");
+        let mesh = triangulate(pts);
+        let bad = bad_triangles(&mesh, min_angle);
+        eprintln!("  {} bad triangles", bad.len());
+        let runs: Vec<(usize, f64, f64)> = vec![
+            (0, hash_portion(DetHashTable::new_pow2, &bad, 1), hash_portion(DetHashTable::new_pow2, &bad, threads)),
+            (1, hash_portion(NdHashTable::new_pow2, &bad, 1), hash_portion(NdHashTable::new_pow2, &bad, threads)),
+            (2, hash_portion(|l| CuckooHashTable::new_pow2(l + 1), &bad, 1), hash_portion(|l| CuckooHashTable::new_pow2(l + 1), &bad, threads)),
+            (3, hash_portion(ChainedHashTable::new_pow2_cr, &bad, 1), hash_portion(ChainedHashTable::new_pow2_cr, &bad, threads)),
+        ];
+        for (row, one, par) in runs {
+            cells[row].push(Some(one));
+            cells[row].push(Some(par));
+        }
+    }
+    for (label, values) in
+        ["linearHash-D", "linearHash-ND", "cuckooHash", "chainedHash-CR"].iter().zip(cells)
+    {
+        report.push(*label, values);
+    }
+    report.print();
+
+    // End-to-end sanity: run the full deterministic refinement once.
+    let pts = phc_workloads::in_cube_2d(n.min(20_000), 11);
+    let mut mesh = triangulate(&pts);
+    let (t, stats) = time_once(|| {
+        refine(&mut mesh, min_angle, 10 * n, DetHashTable::<U64Key>::new_pow2)
+    });
+    println!(
+        "full refinement (linearHash-D): {:.3}s, {} rounds, {} points added, {} bad left",
+        t, stats.rounds, stats.points_added, stats.final_bad
+    );
+}

@@ -1,0 +1,115 @@
+//! Regenerates **Table 5**: suffix tree construction (the hash-table
+//! insert phase) and search, on three synthetic corpora standing in
+//! for `etext99` / `retail96` / `sprot34.dat` (see DESIGN.md §4).
+
+use phc_bench::{arg_or_env, default_threads, time_in_pool, time_once, Report};
+use phc_core::entry::{KeepMin, KvPair};
+use phc_core::phase::PhaseHashTable;
+use phc_core::{ChainedHashTable, CuckooHashTable, DetHashTable, NdHashTable};
+use phc_parutil::IndexRng;
+use phc_strings::suffix_tree::Node;
+use phc_strings::SuffixTree;
+use rayon::prelude::*;
+
+fn edge_table_log2(n_edges: usize) -> u32 {
+    (2 * n_edges.max(2)).next_power_of_two().trailing_zeros()
+}
+
+/// Times (a) the parallel edge-insert phase and (b) `n_queries` random
+/// searches, for one table type.
+fn run<T: PhaseHashTable<KvPair<KeepMin>>>(
+    make: impl Fn(u32) -> T + Send + Sync,
+    text: &[u8],
+    nodes: &[Node],
+    edges: &[(u32, u8, u32)],
+    n_queries: usize,
+    threads: usize,
+) -> (f64, f64) {
+    let log2 = edge_table_log2(edges.len());
+    // (a) Insert phase.
+    let mut table = make(log2);
+    let (t_insert, ()) = time_in_pool(threads, || {
+        SuffixTree::insert_edges(&mut table, edges);
+    });
+    // (b) Searches: half random substrings of the text (hits), half
+    // random strings (mostly misses), lengths 1..=50 (paper setup).
+    let rng = IndexRng::new(77);
+    let queries: Vec<Vec<u8>> = (0..n_queries)
+        .map(|q| {
+            let q = q as u64;
+            let len = 1 + (rng.gen(q * 3) % 50) as usize;
+            if q.is_multiple_of(2) {
+                let len = len.min(text.len() - 1);
+                let start = (rng.gen(q * 3 + 1) % (text.len() - len) as u64) as usize;
+                text[start..start + len].to_vec()
+            } else {
+                (0..len).map(|j| (rng.gen(q * 100 + j as u64) % 26) as u8 + b'a').collect()
+            }
+        })
+        .collect();
+    let (t_search, hits) = time_in_pool(threads, || {
+        let reader = table.begin_read();
+        queries
+            .par_iter()
+            .with_min_len(64)
+            .filter(|pat| SuffixTree::<T>::search_with(text, nodes, &reader, pat).is_some())
+            .count()
+    });
+    assert!(hits >= n_queries / 2, "every even query is a real substring");
+    (t_insert, t_search)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_or_env(&args, "--n", "PHC_N", 200_000); // text bytes
+    let q = arg_or_env(&args, "--queries", "PHC_QUERIES", 20_000);
+    let threads = arg_or_env(&args, "--threads", "PHC_THREADS", default_threads());
+    println!("# Table 5 reproduction: suffix tree, {n}-byte texts, {q} searches, P = {threads}");
+    println!("# texts are synthetic stand-ins: english-like / retail-like / protein-like\n");
+
+    let texts = [
+        ("english", phc_workloads::text::english_like(n, 1)),
+        ("retail", phc_workloads::text::retail_like(n, 2)),
+        ("protein", phc_workloads::text::protein_like(n, 3)),
+    ];
+
+    let mut insert_rows: Vec<(&str, Vec<Option<f64>>)> = vec![
+        ("linearHash-D", vec![]),
+        ("linearHash-ND", vec![]),
+        ("cuckooHash", vec![]),
+        ("chainedHash-CR", vec![]),
+    ];
+    let mut search_rows = insert_rows.clone();
+
+    for (name, text) in &texts {
+        eprintln!("building skeleton for {name} ...");
+        let (t_skel, st) =
+            time_once(|| SuffixTree::build(text, DetHashTable::<KvPair<KeepMin>>::new_pow2));
+        eprintln!("  {} nodes, skeleton {:.2}s", st.num_nodes(), t_skel);
+        macro_rules! row {
+            ($idx:expr, $make:expr) => {{
+                let (i1, s1) = run($make, text, &st.nodes, st.edges(), q, 1);
+                let (ip, sp) = run($make, text, &st.nodes, st.edges(), q, threads);
+                insert_rows[$idx].1.extend([Some(i1), Some(ip)]);
+                search_rows[$idx].1.extend([Some(s1), Some(sp)]);
+            }};
+        }
+        row!(0, DetHashTable::<KvPair<KeepMin>>::new_pow2);
+        row!(1, NdHashTable::<KvPair<KeepMin>>::new_pow2);
+        row!(2, |l| CuckooHashTable::<KvPair<KeepMin>>::new_pow2(l + 1));
+        row!(3, ChainedHashTable::<KvPair<KeepMin>>::new_pow2_cr);
+    }
+
+    let columns =
+        ["english(1)", "english(P)", "retail(1)", "retail(P)", "protein(1)", "protein(P)"];
+    let mut a = Report::new("Table 5(a): Suffix Tree Insert", &columns);
+    for (label, values) in insert_rows {
+        a.push(label, values);
+    }
+    a.print();
+    let mut b = Report::new("Table 5(b): Suffix Tree Search", &columns);
+    for (label, values) in search_rows {
+        b.push(label, values);
+    }
+    b.print();
+}

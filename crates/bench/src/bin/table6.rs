@@ -1,0 +1,78 @@
+//! Regenerates **Table 6**: one round of edge contraction (relabel by
+//! a maximal matching, deduplicate through a hash table with `+`
+//! combining) on `3D-grid`, `random`, and `rMat`.
+//!
+//! The matching (relabeling) is computed once, untimed — exactly the
+//! paper's setup. linearHash-ND additionally gets its `xadd` row.
+
+use phc_bench::{arg_or_env, default_threads, time_in_pool, time_once, Report};
+use phc_core::{ChainedHashTable, CuckooHashTable, DetHashTable, NdHashTable};
+use phc_graphs::edge_contraction::{contract, contract_nd_xadd, matching_labels, EdgeEntry};
+use phc_workloads::graphs::EdgeList;
+
+fn time_contract<T, F>(el: &EdgeList, labels: &[u32], make: F, threads: usize) -> f64
+where
+    T: phc_core::PhaseHashTable<EdgeEntry>,
+    F: Fn(u32) -> T + Copy + Send + Sync,
+{
+    let run = || {
+        std::hint::black_box(contract(el, labels, make).len());
+    };
+    if threads == 1 {
+        time_once(run).0
+    } else {
+        time_in_pool(threads, run).0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg_or_env(&args, "--scale", "PHC_SCALE", 1);
+    let threads = arg_or_env(&args, "--threads", "PHC_THREADS", default_threads());
+    println!("# Table 6 reproduction: edge contraction, scale x{scale}, P = {threads}");
+    println!("# (paper: 10^7-vertex graphs; defaults here are ~100x smaller)\n");
+
+    let inputs: Vec<(&str, EdgeList)> = vec![
+        ("3D-grid", phc_workloads::grid3d(32 * scale.min(8))),
+        ("random", phc_workloads::random_graph(100_000 * scale, 5, 1)),
+        ("rMat", phc_workloads::rmat(17, 500_000 * scale, 2)),
+    ];
+
+    let mut rows: Vec<(&str, Vec<Option<f64>>)> = vec![
+        ("linearHash-D", vec![]),
+        ("linearHash-ND (xadd)", vec![]),
+        ("cuckooHash", vec![]),
+        ("chainedHash-CR", vec![]),
+    ];
+    for (name, el) in &inputs {
+        eprintln!("matching {name} ({} edges) ...", el.edges.len());
+        let labels = matching_labels(el);
+        rows[0].1.extend([
+            Some(time_contract(el, &labels, DetHashTable::new_pow2, 1)),
+            Some(time_contract(el, &labels, DetHashTable::new_pow2, threads)),
+        ]);
+        // ND with the hardware-add fast path (the paper's asymmetry).
+        let nd1 = time_once(|| std::hint::black_box(contract_nd_xadd(el, &labels).len())).0;
+        let ndp =
+            time_in_pool(threads, || std::hint::black_box(contract_nd_xadd(el, &labels).len())).0;
+        rows[1].1.extend([Some(nd1), Some(ndp)]);
+        let _ = NdHashTable::<EdgeEntry>::new_pow2; // (plain ND path covered by xadd variant)
+        rows[2].1.extend([
+            Some(time_contract(el, &labels, |l| CuckooHashTable::new_pow2(l + 1), 1)),
+            Some(time_contract(el, &labels, |l| CuckooHashTable::new_pow2(l + 1), threads)),
+        ]);
+        rows[3].1.extend([
+            Some(time_contract(el, &labels, ChainedHashTable::new_pow2_cr, 1)),
+            Some(time_contract(el, &labels, ChainedHashTable::new_pow2_cr, threads)),
+        ]);
+    }
+
+    let mut report = Report::new(
+        "Table 6: Edge Contraction",
+        &["3D-grid(1)", "3D-grid(P)", "random(1)", "random(P)", "rMat(1)", "rMat(P)"],
+    );
+    for (label, values) in rows {
+        report.push(label, values);
+    }
+    report.print();
+}

@@ -1,0 +1,68 @@
+//! Regenerates **Table 7**: BFS on `3D-grid`, `random`, and `rMat` —
+//! serial, deterministic array-based, and the Figure 2 hash-table BFS
+//! with each of the four application tables.
+
+use phc_bench::{arg_or_env, default_threads, time_in_pool, time_once, Report};
+use phc_core::entry::U64Key;
+use phc_core::{ChainedHashTable, CuckooHashTable, DetHashTable, NdHashTable};
+use phc_graphs::bfs::{array_bfs, hash_bfs, serial_bfs};
+use phc_graphs::Graph;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg_or_env(&args, "--scale", "PHC_SCALE", 1);
+    let threads = arg_or_env(&args, "--threads", "PHC_THREADS", default_threads());
+    println!("# Table 7 reproduction: BFS, scale x{scale}, P = {threads}");
+    println!("# (paper: 10^7-vertex graphs; defaults here are ~100x smaller)\n");
+
+    let inputs: Vec<(&str, Graph)> = vec![
+        ("3D-grid", Graph::from_edges(&phc_workloads::grid3d(40 * scale.min(5)))),
+        ("random", Graph::from_edges(&phc_workloads::random_graph(100_000 * scale, 5, 1))),
+        ("rMat", Graph::from_edges(&phc_workloads::rmat(17, 500_000 * scale, 2))),
+    ];
+
+    let mut rows: Vec<(&str, Vec<Option<f64>>)> = vec![
+        ("serial", vec![]),
+        ("array", vec![]),
+        ("linearHash-D", vec![]),
+        ("linearHash-ND", vec![]),
+        ("cuckooHash", vec![]),
+        ("chainedHash-CR", vec![]),
+    ];
+    for (name, g) in &inputs {
+        eprintln!("bfs on {name} ({} vertices) ...", g.num_vertices());
+        let (ts, reference) = time_once(|| serial_bfs(g, 0));
+        rows[0].1.extend([Some(ts), None]);
+
+        macro_rules! timed {
+            ($f:expr) => {{
+                let one = time_once(|| std::hint::black_box($f())).0;
+                let (par, parents) = time_in_pool(threads, $f);
+                // Cross-check level structure against serial BFS.
+                let la = phc_graphs::bfs::levels_from_parents(&reference, 0);
+                let lb = phc_graphs::bfs::levels_from_parents(&parents, 0);
+                assert_eq!(la, lb, "level structure mismatch on {name}");
+                (one, par)
+            }};
+        }
+        let (a1, ap) = timed!(|| array_bfs(g, 0));
+        rows[1].1.extend([Some(a1), Some(ap)]);
+        let (d1, dp) = timed!(|| hash_bfs(g, 0, DetHashTable::<U64Key>::new_pow2));
+        rows[2].1.extend([Some(d1), Some(dp)]);
+        let (n1, np) = timed!(|| hash_bfs(g, 0, NdHashTable::<U64Key>::new_pow2));
+        rows[3].1.extend([Some(n1), Some(np)]);
+        let (c1, cp) = timed!(|| hash_bfs(g, 0, |l| CuckooHashTable::<U64Key>::new_pow2(l + 1)));
+        rows[4].1.extend([Some(c1), Some(cp)]);
+        let (h1, hp) = timed!(|| hash_bfs(g, 0, ChainedHashTable::<U64Key>::new_pow2_cr));
+        rows[5].1.extend([Some(h1), Some(hp)]);
+    }
+
+    let mut report = Report::new(
+        "Table 7: Breadth-First Search",
+        &["3D-grid(1)", "3D-grid(P)", "random(1)", "random(P)", "rMat(1)", "rMat(P)"],
+    );
+    for (label, values) in rows {
+        report.push(label, values);
+    }
+    report.print();
+}

@@ -1,0 +1,70 @@
+//! Regenerates **Table 8**: spanning forest — serial, array-based
+//! deterministic reservations, and the hash-table-reservation variants.
+
+use phc_bench::{arg_or_env, default_threads, time_in_pool, time_once, Report};
+use phc_core::entry::{KeepMin, KvPair};
+use phc_core::{ChainedHashTable, CuckooHashTable, DetHashTable, NdHashTable};
+use phc_graphs::spanning_forest::{
+    array_spanning_forest, hash_spanning_forest, is_spanning_forest, serial_spanning_forest,
+};
+use phc_workloads::graphs::EdgeList;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg_or_env(&args, "--scale", "PHC_SCALE", 1);
+    let threads = arg_or_env(&args, "--threads", "PHC_THREADS", default_threads());
+    println!("# Table 8 reproduction: spanning forest, scale x{scale}, P = {threads}");
+    println!("# (paper: 10^7-vertex graphs; defaults here are ~100x smaller)\n");
+
+    let inputs: Vec<(&str, EdgeList)> = vec![
+        ("3D-grid", phc_workloads::grid3d(40 * scale.min(5))),
+        ("random", phc_workloads::random_graph(100_000 * scale, 5, 1)),
+        ("rMat", phc_workloads::rmat(17, 500_000 * scale, 2)),
+    ];
+
+    type Kv = KvPair<KeepMin>;
+    let mut rows: Vec<(&str, Vec<Option<f64>>)> = vec![
+        ("serial", vec![]),
+        ("array", vec![]),
+        ("linearHash-D", vec![]),
+        ("linearHash-ND", vec![]),
+        ("cuckooHash", vec![]),
+        ("chainedHash-CR", vec![]),
+    ];
+    for (name, el) in &inputs {
+        eprintln!("spanning forest on {name} ({} edges) ...", el.edges.len());
+        let (ts, fs) = time_once(|| serial_spanning_forest(el));
+        assert!(is_spanning_forest(el, &fs));
+        rows[0].1.extend([Some(ts), None]);
+
+        macro_rules! timed {
+            ($f:expr) => {{
+                let one = time_once(|| std::hint::black_box($f().len())).0;
+                let (par, forest) = time_in_pool(threads, $f);
+                assert!(is_spanning_forest(el, &forest), "invalid forest on {name}");
+                (one, par)
+            }};
+        }
+        let (a1, ap) = timed!(|| array_spanning_forest(el));
+        rows[1].1.extend([Some(a1), Some(ap)]);
+        let (d1, dp) = timed!(|| hash_spanning_forest(el, DetHashTable::<Kv>::new_pow2));
+        rows[2].1.extend([Some(d1), Some(dp)]);
+        let (n1, np) = timed!(|| hash_spanning_forest(el, NdHashTable::<Kv>::new_pow2));
+        rows[3].1.extend([Some(n1), Some(np)]);
+        let (c1, cp) =
+            timed!(|| hash_spanning_forest(el, |l| CuckooHashTable::<Kv>::new_pow2(l + 1)));
+        rows[4].1.extend([Some(c1), Some(cp)]);
+        let (h1, hp) =
+            timed!(|| hash_spanning_forest(el, ChainedHashTable::<Kv>::new_pow2_cr));
+        rows[5].1.extend([Some(h1), Some(hp)]);
+    }
+
+    let mut report = Report::new(
+        "Table 8: Spanning Forest",
+        &["3D-grid(1)", "3D-grid(P)", "random(1)", "random(P)", "rMat(1)", "rMat(P)"],
+    );
+    for (label, values) in rows {
+        report.push(label, values);
+    }
+    report.print();
+}

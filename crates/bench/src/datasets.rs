@@ -1,0 +1,137 @@
+//! Benchmark datasets: typed entry vectors for each of the paper's six
+//! input distributions, each with an "inserted" sample and an
+//! independent "random" sample (for the Find/Delete Random rows).
+
+use phc_core::entry::{KeepMin, KvPair, StrPayload, StrRef, U64Key};
+use phc_parutil::Arena;
+
+/// A pair of samples from one distribution.
+pub struct Dataset<E> {
+    /// Keys inserted into the table before timed find/delete phases.
+    pub inserted: Vec<E>,
+    /// An independent sample from the same distribution.
+    pub random: Vec<E>,
+}
+
+/// `randomSeq-int` as `U64Key` entries.
+pub fn random_int(n: usize, seed: u64) -> Dataset<U64Key> {
+    Dataset {
+        inserted: phc_workloads::random_seq_int(n, seed).into_iter().map(U64Key::new).collect(),
+        random: phc_workloads::random_seq_int(n, seed ^ 0xabcd)
+            .into_iter()
+            .map(U64Key::new)
+            .collect(),
+    }
+}
+
+/// `randomSeq-pairInt` as packed key-value entries.
+pub fn random_pair_int(n: usize, seed: u64) -> Dataset<KvPair<KeepMin>> {
+    let mk = |s| -> Vec<KvPair<KeepMin>> {
+        phc_workloads::random_seq_pair_int(n, s)
+            .into_iter()
+            .map(|(k, v)| KvPair::new(k, v))
+            .collect()
+    };
+    Dataset { inserted: mk(seed), random: mk(seed ^ 0xabcd) }
+}
+
+/// `exptSeq-int`.
+pub fn expt_int(n: usize, seed: u64) -> Dataset<U64Key> {
+    Dataset {
+        inserted: phc_workloads::expt_seq_int(n, seed).into_iter().map(U64Key::new).collect(),
+        random: phc_workloads::expt_seq_int(n, seed ^ 0xabcd)
+            .into_iter()
+            .map(U64Key::new)
+            .collect(),
+    }
+}
+
+/// `exptSeq-pairInt`.
+pub fn expt_pair_int(n: usize, seed: u64) -> Dataset<KvPair<KeepMin>> {
+    let mk = |s| -> Vec<KvPair<KeepMin>> {
+        phc_workloads::expt_seq_pair_int(n, s)
+            .into_iter()
+            .map(|(k, v)| KvPair::new(k, v))
+            .collect()
+    };
+    Dataset { inserted: mk(seed), random: mk(seed ^ 0xabcd) }
+}
+
+/// Owner of the string payloads behind a `StrRef` dataset: the arena
+/// (and payload arena) must outlive every table built from the refs.
+pub struct StrDataset {
+    /// String bytes.
+    pub text_arena: Arena<u8>,
+    /// Payload structs the entries point at.
+    pub payload_arena: Arena<StrPayload<'static>>,
+}
+
+impl StrDataset {
+    /// Builds `trigramSeq` (`with_values = false`) or
+    /// `trigramSeq-pairInt` (`with_values = true`). Returns the owner
+    /// plus the two entry samples (which borrow the owner).
+    ///
+    /// The `'static` in the payload type is a small lie contained to
+    /// this module: payloads reference the `text_arena` of the same
+    /// struct, which outlives every returned `StrRef` because the
+    /// caller keeps the `StrDataset` alive for as long as the entries
+    /// (enforced by the borrow in the return type).
+    pub fn trigram(n: usize, seed: u64, with_values: bool) -> (Self, Dataset<StrRef<'static>>) {
+        let owner =
+            StrDataset { text_arena: Arena::new(), payload_arena: Arena::new() };
+        let mk = |s: u64, owner: &StrDataset| -> Vec<StrRef<'static>> {
+            let words = phc_workloads::trigram::words_with_values(n, s);
+            words
+                .into_iter()
+                .map(|(w, v)| {
+                    let key: &str = owner.text_arena.alloc_str(&w);
+                    // SAFETY: the arenas live as long as the StrDataset,
+                    // which the caller must keep alive alongside the
+                    // entries; we erase the lifetime to 'static to tie
+                    // the two together in one struct.
+                    let key: &'static str = unsafe { std::mem::transmute(key) };
+                    let payload = owner.payload_arena.alloc(StrPayload {
+                        key,
+                        value: if with_values { v } else { 0 },
+                    });
+                    let payload: &'static StrPayload<'static> =
+                        unsafe { std::mem::transmute(payload) };
+                    StrRef(payload)
+                })
+                .collect()
+        };
+        let inserted = mk(seed, &owner);
+        let random = mk(seed ^ 0xabcd, &owner);
+        (owner, Dataset { inserted, random })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phc_core::HashEntry;
+
+    #[test]
+    fn int_datasets_have_two_samples() {
+        let d = random_int(1000, 1);
+        assert_eq!(d.inserted.len(), 1000);
+        assert_eq!(d.random.len(), 1000);
+        assert_ne!(d.inserted, d.random);
+    }
+
+    #[test]
+    fn trigram_dataset_strings_valid() {
+        let (_owner, d) = StrDataset::trigram(500, 2, true);
+        for e in d.inserted.iter().chain(&d.random) {
+            assert!(!e.key().is_empty());
+            assert!(e.key().bytes().all(|b| b.is_ascii_lowercase()));
+            assert_ne!(e.to_repr(), 0);
+        }
+    }
+
+    #[test]
+    fn trigram_plain_has_zero_values() {
+        let (_owner, d) = StrDataset::trigram(100, 3, false);
+        assert!(d.inserted.iter().all(|e| e.value() == 0));
+    }
+}

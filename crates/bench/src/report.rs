@@ -1,0 +1,132 @@
+//! Aligned-text report tables (paper-style rows) with optional JSON
+//! dumps for EXPERIMENTS.md bookkeeping.
+
+use serde::Serialize;
+
+/// One row of a report: a label plus one value per column.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Row label (e.g. `linearHash-D`).
+    pub label: String,
+    /// Values in column order; `None` renders as `-` (like the paper's
+    /// serial-only cells).
+    pub values: Vec<Option<f64>>,
+}
+
+/// A titled table with named columns.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// Table title (e.g. `Table 1(a): Insert, randomSeq-int`).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<Option<f64>>) {
+        assert_eq!(values.len(), self.columns.len());
+        self.rows.push(Row { label: label.into(), values });
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain([5])
+            .max()
+            .unwrap()
+            .max(self.title.len().min(24));
+        let col_w = 12usize;
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&format!("{:<label_w$}", ""));
+        for c in &self.columns {
+            out.push_str(&format!(" {c:>col_w$}"));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("{:<label_w$}", r.label));
+            for v in &r.values {
+                match v {
+                    Some(x) => out.push_str(&format!(" {:>col_w$}", format_time(*x))),
+                    None => out.push_str(&format!(" {:>col_w$}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats seconds with sensible precision across µs–minutes.
+pub fn format_time(secs: f64) -> String {
+    if secs >= 100.0 {
+        format!("{secs:.0}")
+    } else if secs >= 1.0 {
+        format!("{secs:.2}")
+    } else if secs >= 1e-3 {
+        format!("{secs:.4}")
+    } else {
+        format!("{secs:.2e}")
+    }
+}
+
+/// Writes a set of reports as JSON to `path`.
+pub fn write_json(path: &str, reports: &[Report]) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(reports).expect("serialize reports");
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut r = Report::new("Test", &["(1)", "(P)"]);
+        r.push("linearHash-D", vec![Some(1.5), Some(0.25)]);
+        r.push("serialHash-HI", vec![Some(2.0), None]);
+        let text = r.render();
+        assert!(text.contains("linearHash-D"));
+        assert!(text.contains("1.50"));
+        assert!(text.contains('-'));
+        // All data lines have the same width.
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        assert_eq!(lines[0].len(), lines[1].len());
+        assert_eq!(lines[1].len(), lines[2].len());
+    }
+
+    #[test]
+    fn time_formats() {
+        assert_eq!(format_time(123.4), "123");
+        assert_eq!(format_time(1.234), "1.23");
+        assert_eq!(format_time(0.1234), "0.1234");
+        assert!(format_time(1.2e-5).contains('e'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_arity_rejected() {
+        let mut r = Report::new("T", &["a", "b"]);
+        r.push("x", vec![Some(1.0)]);
+    }
+}

@@ -1,0 +1,708 @@
+//! `linearHash-D`: the deterministic phase-concurrent hash table
+//! (paper §4, Figure 1).
+//!
+//! Open addressing with a *prioritized* variant of linear probing,
+//! extending the sequential history-independent table of Blelloch &
+//! Golovin. The table maintains the **ordering invariant** (Definition
+//! 2): if a key `v` hashes to location `i` and is stored at `j`, every
+//! cell in `[i, j)` holds a key of priority ≥ `v`. Together with a
+//! total priority order on keys this makes the array layout a pure
+//! function of the key set — independent of the order, interleaving, or
+//! parallelism of the operations that built it.
+//!
+//! * `insert` swaps itself into the first lower-priority cell on its
+//!   probe path and then carries the displaced entry forward.
+//! * `delete` replaces the victim with the nearest following entry that
+//!   may legally move back (the priority-ordered analogue of backward-
+//!   shift deletion) and then recursively deletes the copy.
+//! * `find` stops early at the first cell of lower priority — absent
+//!   keys are often *cheaper* to look up than in plain linear probing.
+//! * `elements` packs the non-empty cells with a parallel prefix sum,
+//!   yielding a deterministic sequence.
+//!
+//! ## Wraparound
+//!
+//! The paper's pseudocode compares raw indices (`k ≥ i`, `h(v) > i`),
+//! which is only meaningful inside a cluster. We make those comparisons
+//! exact under modulo wraparound by working with **virtual indices**:
+//! unbounded integers reduced mod the table size only at memory access.
+//! A stored entry's virtual hash position is recovered by subtracting
+//! the forward distance from its hash bucket to its current cell —
+//! valid because clusters are shorter than the table (the table must
+//! not become full, a precondition the paper also imposes).
+
+use std::cmp::Ordering as CmpOrdering;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::entry::HashEntry;
+use crate::phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
+
+/// The deterministic phase-concurrent linear-probing hash table.
+///
+/// See the [module docs](self) for the algorithm and guarantees. The
+/// table does not resize; size it so the load factor stays below ~0.9
+/// (the paper's experiments run at loads up to 1/3 by default). For a
+/// growable wrapper see [`crate::resize::ResizableTable`].
+///
+/// ```
+/// use phc_core::{DetHashTable, U64Key};
+/// let a: DetHashTable<U64Key> = DetHashTable::new_pow2(8);
+/// let b: DetHashTable<U64Key> = DetHashTable::new_pow2(8);
+/// for k in 1..=100u64 {
+///     a.insert(U64Key::new(k));            // ascending
+///     b.insert(U64Key::new(101 - k));      // descending
+/// }
+/// // History independence: identical layout from any insertion order.
+/// assert_eq!(a.snapshot(), b.snapshot());
+/// ```
+pub struct DetHashTable<E: HashEntry> {
+    cells: Box<[AtomicU64]>,
+    mask: usize,
+    _entry: PhantomData<E>,
+}
+
+// SAFETY: all shared mutation goes through atomic cells.
+unsafe impl<E: HashEntry> Send for DetHashTable<E> {}
+unsafe impl<E: HashEntry> Sync for DetHashTable<E> {}
+
+impl<E: HashEntry> DetHashTable<E> {
+    /// Creates a table with `2^log2_size` cells, all empty.
+    pub fn new_pow2(log2_size: u32) -> Self {
+        let n = 1usize << log2_size;
+        let cells = (0..n).map(|_| AtomicU64::new(E::EMPTY)).collect();
+        DetHashTable { cells, mask: n - 1, _entry: PhantomData }
+    }
+
+    /// Creates a table with at least `capacity / max_load` cells
+    /// (rounded up to a power of two).
+    pub fn with_capacity_for(n_items: usize, max_load: f64) -> Self {
+        assert!(max_load > 0.0 && max_load < 1.0);
+        let want = ((n_items as f64 / max_load).ceil() as usize).max(4);
+        Self::new_pow2(want.next_power_of_two().trailing_zeros())
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Raw view of the cell array (for invariant checkers and tests).
+    pub fn raw_cells(&self) -> &[AtomicU64] {
+        &self.cells
+    }
+
+    /// Snapshot of the raw cell contents. Two deterministic tables
+    /// built from the same key set have equal snapshots — the strongest
+    /// form of the history-independence guarantee (for entry types
+    /// whose reprs are canonical; pointer entries are deterministic at
+    /// the payload level instead).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.cells.iter().map(|c| c.load(Ordering::Acquire)).collect()
+    }
+
+    #[inline]
+    fn slot(&self, hash: u64) -> usize {
+        (hash as usize) & self.mask
+    }
+
+    #[inline]
+    fn load_at(&self, virtual_idx: usize) -> u64 {
+        self.cells[virtual_idx & self.mask].load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn cas_at(&self, virtual_idx: usize, old: u64, new: u64) -> bool {
+        self.cells[virtual_idx & self.mask]
+            .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Forward distance from bucket `from` to bucket `to` (both already
+    /// reduced), in `[0, capacity)`.
+    #[inline]
+    fn dist(&self, from: usize, to: usize) -> usize {
+        (to.wrapping_sub(from)) & self.mask
+    }
+
+    /// The virtual hash position of the entry `repr` observed at
+    /// virtual index `at`: the largest virtual index ≤ `at` congruent
+    /// to its hash bucket. Exact whenever the entry lies inside its
+    /// cluster (always true while the table is not full).
+    #[inline]
+    fn lift_hash(&self, repr: u64, at: usize) -> usize {
+        at - self.dist(self.slot(E::hash(repr)), at & self.mask)
+    }
+
+    /// Inserts an entry (Figure 1, `INSERT`). Safe to call from any
+    /// number of threads during an insert phase.
+    ///
+    /// Duplicate keys are resolved with [`HashEntry::combine`] — a
+    /// commutative rule, so concurrent duplicate inserts still commute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is full (the probe wrapped all the way
+    /// around), matching the paper's precondition that
+    /// `|contents ∪ inserts| < |M|`.
+    pub fn insert(&self, e: E) {
+        self.insert_repr(e.to_repr());
+    }
+
+    /// Like [`insert`](Self::insert), but returns `true` iff the call
+    /// filled a previously empty cell. Under concurrent displacement
+    /// the credit may be earned while carrying *another* thread's
+    /// entry, so the return value is a **global** net-new-element count
+    /// credit (exactly one `true` per element added across all
+    /// threads), not a statement about this particular key. Used by
+    /// [`crate::resize::ResizableTable`] for exact load accounting.
+    pub fn insert_counted(&self, e: E) -> bool {
+        self.insert_repr(e.to_repr())
+    }
+
+    pub(crate) fn insert_repr(&self, mut v: u64) -> bool {
+        debug_assert_ne!(v, E::EMPTY);
+        let mut i = self.slot(E::hash(v));
+        let mut steps = 0usize;
+        loop {
+            let c = self.cells[i].load(Ordering::Acquire);
+            if E::same_key(c, v) {
+                // Duplicate key: converge on the combined value.
+                let merged = E::combine(c, v);
+                if merged == c {
+                    return false;
+                }
+                if self.cells[i]
+                    .compare_exchange(c, merged, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return false;
+                }
+                continue; // cell changed under us; re-read
+            }
+            if E::cmp_priority(c, v) == CmpOrdering::Greater {
+                i = (i + 1) & self.mask;
+                steps += 1;
+                assert!(
+                    steps <= self.cells.len(),
+                    "DetHashTable::insert: table is full (capacity {})",
+                    self.cells.len()
+                );
+            } else {
+                // `c` has strictly lower priority than `v` (possibly ⊥):
+                // try to take the cell and carry `c` onward.
+                if self.cells[i]
+                    .compare_exchange(c, v, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    if c == E::EMPTY {
+                        return true;
+                    }
+                    v = c;
+                    i = (i + 1) & self.mask;
+                    steps += 1;
+                    assert!(
+                        steps <= self.cells.len(),
+                        "DetHashTable::insert: table is full (capacity {})",
+                        self.cells.len()
+                    );
+                }
+                // On CAS failure, retry the same cell: its priority can
+                // only have increased, so the comparison re-runs.
+            }
+        }
+    }
+
+    /// Looks up the entry with `key`'s key part (Figure 1, `FIND`).
+    /// Safe to call concurrently with other finds and `elements`.
+    pub fn find(&self, key: E) -> Option<E> {
+        self.find_repr(key.to_repr()).map(E::from_repr)
+    }
+
+    pub(crate) fn find_repr(&self, probe: u64) -> Option<u64> {
+        debug_assert_ne!(probe, E::EMPTY);
+        let mut i = self.slot(E::hash(probe));
+        // Guard against a (mis-used) full table of higher-priority keys.
+        for _ in 0..=self.cells.len() {
+            let c = self.cells[i].load(Ordering::Acquire);
+            if c == E::EMPTY {
+                return None;
+            }
+            if E::same_key(c, probe) {
+                return Some(c);
+            }
+            if E::cmp_priority(c, probe) == CmpOrdering::Less {
+                // Keys on the probe path are priority-sorted: a lower
+                // priority cell means `probe` cannot be further on.
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Deletes the entry whose key equals `key`'s key part (Figure 1,
+    /// `DELETE`). A no-op if absent. Safe to call from any number of
+    /// threads during a delete phase.
+    pub fn delete(&self, key: E) {
+        self.delete_repr(key.to_repr());
+    }
+
+    /// Like [`delete`](Self::delete), but returns `true` iff the call
+    /// performed the final store of `⊥` that shrank the table — a
+    /// global net-removed-element credit (one `true` per element
+    /// removed across all threads), mirroring
+    /// [`insert_counted`](Self::insert_counted).
+    pub fn delete_counted(&self, key: E) -> bool {
+        self.delete_repr(key.to_repr())
+    }
+
+    pub(crate) fn delete_repr(&self, probe: u64) -> bool {
+        debug_assert_ne!(probe, E::EMPTY);
+        let m = self.cells.len();
+        // Virtual indices: base the walk at `m + bucket` so `k` can
+        // step below `i` without underflow.
+        let mut i = m + self.slot(E::hash(probe));
+        let mut k = i;
+        // Lines 27-29: walk forward past higher-priority cells to land
+        // at or past the last copy of the key.
+        loop {
+            let c = self.load_at(k);
+            if c == E::EMPTY || E::cmp_priority(probe, c) != CmpOrdering::Less {
+                break;
+            }
+            k += 1;
+        }
+        // `v` is what we are currently responsible for deleting. The
+        // paper carries keys; carrying full reprs is equivalent because
+        // a key occupies at most one distinct cell value, and the CAS
+        // needs the exact loaded repr anyway.
+        let mut v = probe;
+        // Lines 30-41.
+        while k >= i {
+            let c = self.load_at(k);
+            if c == E::EMPTY || !E::same_key(c, v) {
+                k -= 1;
+                continue;
+            }
+            let (j, vprime) = self.find_replacement(k);
+            if self.cas_at(k, c, vprime) {
+                if vprime != E::EMPTY {
+                    // A second copy of `vprime` now exists at `k`; we
+                    // are responsible for deleting the one at `j`.
+                    v = vprime;
+                    k = j;
+                    i = self.lift_hash(vprime, j);
+                } else {
+                    return true;
+                }
+            } else {
+                // Someone else changed the cell: the copy we were
+                // chasing can only have moved to a lower index (deletes
+                // move entries down). Step back and keep looking.
+                k -= 1;
+            }
+        }
+        false
+    }
+
+    /// Figure 1, `FINDREPLACEMENT(i)`: returns `(j, v')` where `v'` is
+    /// the entry that may legally fill the hole at virtual index `i`
+    /// (or ⊥), and `j` is its (virtual) location.
+    fn find_replacement(&self, i: usize) -> (usize, u64) {
+        // Scan up past entries that hash strictly after `i` (those may
+        // not move back to `i`).
+        let mut j = i;
+        let mut v;
+        loop {
+            j += 1;
+            v = self.load_at(j);
+            if v == E::EMPTY || self.lift_hash(v, j) <= i {
+                break;
+            }
+        }
+        // The candidate may have been shifted down by a concurrent
+        // delete while we scanned; walk back down to find its current
+        // position. (The paper notes this second, downward loop is
+        // essential.)
+        let mut k = j - 1;
+        while k > i {
+            let vp = self.load_at(k);
+            if vp == E::EMPTY || self.lift_hash(vp, k) <= i {
+                v = vp;
+                j = k;
+            }
+            k -= 1;
+        }
+        (j, v)
+    }
+
+    /// Packs the non-empty cells into a vector in cell order (paper §4,
+    /// `ELEMENTS`). Runs in parallel via a prefix sum, so the output is
+    /// deterministic. Safe to call concurrently with finds.
+    pub fn elements(&self) -> Vec<E> {
+        phc_parutil::pack_with(&self.cells, |c| {
+            let v = c.load(Ordering::Acquire);
+            if v == E::EMPTY {
+                None
+            } else {
+                Some(E::from_repr(v))
+            }
+        })
+    }
+
+    /// Applies `f` to every stored entry, in parallel, without
+    /// materializing the packed array (paper §6: the applications
+    /// "require either returning the elements of the hash table or
+    /// mapping over the elements"). Iteration order is unspecified;
+    /// use [`elements`](Self::elements) when a deterministic sequence
+    /// matters.
+    pub fn for_each_entry(&self, f: impl Fn(E) + Send + Sync) {
+        use rayon::prelude::*;
+        self.cells.par_iter().with_min_len(4096).for_each(|c| {
+            let v = c.load(Ordering::Acquire);
+            if v != E::EMPTY {
+                f(E::from_repr(v));
+            }
+        });
+    }
+
+    /// Number of occupied cells.
+    pub fn len(&self) -> usize {
+        use rayon::prelude::*;
+        self.cells
+            .par_iter()
+            .with_min_len(4096)
+            .filter(|c| c.load(Ordering::Relaxed) != E::EMPTY)
+            .count()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every entry (parallel).
+    pub fn clear(&mut self) {
+        use rayon::prelude::*;
+        self.cells
+            .par_iter()
+            .with_min_len(4096)
+            .for_each(|c| c.store(E::EMPTY, Ordering::Relaxed));
+    }
+}
+
+/// Insert-phase handle (see [`crate::phase`]).
+pub struct DetInserter<'t, E: HashEntry>(&'t DetHashTable<E>);
+/// Delete-phase handle.
+pub struct DetDeleter<'t, E: HashEntry>(&'t DetHashTable<E>);
+/// Read-phase handle.
+pub struct DetReader<'t, E: HashEntry>(&'t DetHashTable<E>);
+
+impl<E: HashEntry> ConcurrentInsert<E> for DetInserter<'_, E> {
+    #[inline]
+    fn insert(&self, e: E) {
+        self.0.insert(e);
+    }
+}
+impl<E: HashEntry> ConcurrentDelete<E> for DetDeleter<'_, E> {
+    #[inline]
+    fn delete(&self, key: E) {
+        self.0.delete(key);
+    }
+}
+impl<E: HashEntry> ConcurrentRead<E> for DetReader<'_, E> {
+    #[inline]
+    fn find(&self, key: E) -> Option<E> {
+        self.0.find(key)
+    }
+}
+impl<E: HashEntry> DetReader<'_, E> {
+    /// Packs the table contents (allowed in the read phase).
+    pub fn elements(&self) -> Vec<E> {
+        self.0.elements()
+    }
+}
+
+impl<E: HashEntry> PhaseHashTable<E> for DetHashTable<E> {
+    type Inserter<'t>
+        = DetInserter<'t, E>
+    where
+        E: 't;
+    type Deleter<'t>
+        = DetDeleter<'t, E>
+    where
+        E: 't;
+    type Reader<'t>
+        = DetReader<'t, E>
+    where
+        E: 't;
+
+    const NAME: &'static str = "linearHash-D";
+
+    fn new_pow2(log2_size: u32) -> Self {
+        DetHashTable::new_pow2(log2_size)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity()
+    }
+
+    fn begin_insert(&mut self) -> DetInserter<'_, E> {
+        DetInserter(self)
+    }
+
+    fn begin_delete(&mut self) -> DetDeleter<'_, E> {
+        DetDeleter(self)
+    }
+
+    fn begin_read(&mut self) -> DetReader<'_, E> {
+        DetReader(self)
+    }
+
+    fn elements(&mut self) -> Vec<E> {
+        DetHashTable::elements(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{KeepMin, KvPair, U64Key};
+    use std::collections::BTreeSet;
+
+    fn keys(v: &[u64]) -> Vec<U64Key> {
+        v.iter().map(|&k| U64Key::new(k)).collect()
+    }
+
+    #[test]
+    fn insert_then_find() {
+        let t: DetHashTable<U64Key> = DetHashTable::new_pow2(8);
+        for k in keys(&[1, 2, 3, 100, 200]) {
+            t.insert(k);
+        }
+        for k in keys(&[1, 2, 3, 100, 200]) {
+            assert_eq!(t.find(k), Some(k));
+        }
+        assert_eq!(t.find(U64Key::new(4)), None);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let t: DetHashTable<U64Key> = DetHashTable::new_pow2(6);
+        for _ in 0..10 {
+            t.insert(U64Key::new(42));
+        }
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.elements(), vec![U64Key::new(42)]);
+    }
+
+    #[test]
+    fn delete_removes_only_target() {
+        let t: DetHashTable<U64Key> = DetHashTable::new_pow2(8);
+        for k in 1..=50u64 {
+            t.insert(U64Key::new(k));
+        }
+        for k in (1..=50u64).filter(|k| k % 2 == 0) {
+            t.delete(U64Key::new(k));
+        }
+        for k in 1..=50u64 {
+            let expect = (k % 2 == 1).then(|| U64Key::new(k));
+            assert_eq!(t.find(U64Key::new(k)), expect, "key {k}");
+        }
+        assert_eq!(t.len(), 25);
+    }
+
+    #[test]
+    fn delete_absent_is_noop() {
+        let t: DetHashTable<U64Key> = DetHashTable::new_pow2(6);
+        t.insert(U64Key::new(5));
+        t.delete(U64Key::new(6));
+        t.delete(U64Key::new(5));
+        t.delete(U64Key::new(5));
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn history_independence_of_snapshot() {
+        // Insert the same set in three very different orders; the raw
+        // array must be identical (Def. 2 gives unique representation).
+        let set: Vec<u64> = (1..=200).map(|i| i * 17 % 1009 + 1).collect();
+        let mut orders = vec![set.clone()];
+        let mut rev = set.clone();
+        rev.reverse();
+        orders.push(rev);
+        let mut shuffled = set.clone();
+        // Deterministic shuffle.
+        for i in (1..shuffled.len()).rev() {
+            let j = (phc_parutil::hash64(i as u64) as usize) % (i + 1);
+            shuffled.swap(i, j);
+        }
+        orders.push(shuffled);
+
+        let mut snaps = Vec::new();
+        for order in &orders {
+            let t: DetHashTable<U64Key> = DetHashTable::new_pow2(9);
+            for &k in order {
+                t.insert(U64Key::new(k));
+            }
+            snaps.push(t.snapshot());
+        }
+        assert_eq!(snaps[0], snaps[1]);
+        assert_eq!(snaps[0], snaps[2]);
+    }
+
+    #[test]
+    fn history_independence_after_deletes() {
+        // {insert A∪B; delete B} in varying orders must equal {insert A}.
+        let a: Vec<u64> = (1..=100).map(|i| i * 13 + 7).collect();
+        let b: Vec<u64> = (1..=60).map(|i| i * 29 + 11).collect();
+
+        let direct: DetHashTable<U64Key> = DetHashTable::new_pow2(9);
+        let aset: BTreeSet<u64> = a.iter().copied().collect();
+        let bset: BTreeSet<u64> = b.iter().copied().collect();
+        for &k in aset.difference(&bset) {
+            direct.insert(U64Key::new(k));
+        }
+
+        let t: DetHashTable<U64Key> = DetHashTable::new_pow2(9);
+        for &k in a.iter().chain(&b) {
+            t.insert(U64Key::new(k));
+        }
+        for &k in b.iter().rev() {
+            t.delete(U64Key::new(k));
+        }
+        assert_eq!(t.snapshot(), direct.snapshot());
+    }
+
+    #[test]
+    fn elements_sorted_by_cell_order_is_deterministic() {
+        let t1: DetHashTable<U64Key> = DetHashTable::new_pow2(8);
+        let t2: DetHashTable<U64Key> = DetHashTable::new_pow2(8);
+        for k in 1..=100u64 {
+            t1.insert(U64Key::new(k));
+        }
+        for k in (1..=100u64).rev() {
+            t2.insert(U64Key::new(k));
+        }
+        assert_eq!(t1.elements(), t2.elements());
+        let mut sorted: Vec<u64> = t1.elements().iter().map(|k| k.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=100u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kv_combine_min_under_duplicates() {
+        let t: DetHashTable<KvPair<KeepMin>> = DetHashTable::new_pow2(8);
+        t.insert(KvPair::new(7, 30));
+        t.insert(KvPair::new(7, 10));
+        t.insert(KvPair::new(7, 20));
+        let got = t.find(KvPair::new(7, 0)).unwrap();
+        assert_eq!(got.value, 10);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn wraparound_cluster() {
+        // Force keys into the last buckets so clusters wrap. With a
+        // tiny table every key collides near the end.
+        let t: DetHashTable<U64Key> = DetHashTable::new_pow2(3); // 8 cells
+        let mut picked = Vec::new();
+        let mut k = 1u64;
+        while picked.len() < 5 {
+            if (phc_parutil::hash64(k) as usize) & 7 >= 6 {
+                picked.push(k);
+            }
+            k += 1;
+        }
+        for &k in &picked {
+            t.insert(U64Key::new(k));
+        }
+        for &k in &picked {
+            assert_eq!(t.find(U64Key::new(k)), Some(U64Key::new(k)), "key {k}");
+        }
+        // Delete them all through the wrapped cluster.
+        for &k in &picked {
+            t.delete(U64Key::new(k));
+        }
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn insert_into_full_table_panics() {
+        let t: DetHashTable<U64Key> = DetHashTable::new_pow2(2); // 4 cells
+        for k in 1..=5u64 {
+            t.insert(U64Key::new(k));
+        }
+    }
+
+    #[test]
+    fn parallel_insert_matches_sequential_snapshot() {
+        use rayon::prelude::*;
+        let keys: Vec<u64> = (1..=4000u64).map(|i| phc_parutil::hash64(i) | 1).collect();
+        let seq: DetHashTable<U64Key> = DetHashTable::new_pow2(13);
+        for &k in &keys {
+            seq.insert(U64Key::new(k));
+        }
+        for _ in 0..4 {
+            let par: DetHashTable<U64Key> = DetHashTable::new_pow2(13);
+            keys.par_iter().for_each(|&k| par.insert(U64Key::new(k)));
+            assert_eq!(par.snapshot(), seq.snapshot());
+        }
+    }
+
+    #[test]
+    fn parallel_delete_matches_sequential_snapshot() {
+        use rayon::prelude::*;
+        let keys: Vec<u64> = (1..=4000u64).map(|i| phc_parutil::hash64(i) | 1).collect();
+        let (dels, keeps) = keys.split_at(2500);
+        let expect: DetHashTable<U64Key> = DetHashTable::new_pow2(13);
+        for &k in keeps {
+            expect.insert(U64Key::new(k));
+        }
+        for _ in 0..4 {
+            let t: DetHashTable<U64Key> = DetHashTable::new_pow2(13);
+            for &k in &keys {
+                t.insert(U64Key::new(k));
+            }
+            dels.par_iter().for_each(|&k| t.delete(U64Key::new(k)));
+            assert_eq!(t.snapshot(), expect.snapshot());
+        }
+    }
+
+    #[test]
+    fn for_each_entry_visits_exactly_the_contents() {
+        use std::sync::atomic::{AtomicU64, Ordering as AOrd};
+        let t: DetHashTable<U64Key> = DetHashTable::new_pow2(10);
+        for k in 1..=500u64 {
+            t.insert(U64Key::new(k));
+        }
+        let sum = AtomicU64::new(0);
+        let count = AtomicU64::new(0);
+        t.for_each_entry(|e| {
+            sum.fetch_add(e.0, AOrd::Relaxed);
+            count.fetch_add(1, AOrd::Relaxed);
+        });
+        assert_eq!(count.load(AOrd::Relaxed), 500);
+        assert_eq!(sum.load(AOrd::Relaxed), 500 * 501 / 2);
+    }
+
+    #[test]
+    fn phase_api_compiles_and_works() {
+        use crate::phase::*;
+        let mut t: DetHashTable<U64Key> = PhaseHashTable::new_pow2(8);
+        {
+            let ins = t.begin_insert();
+            ins.insert(U64Key::new(9));
+        }
+        {
+            let del = t.begin_delete();
+            del.delete(U64Key::new(9));
+        }
+        let reader = t.begin_read();
+        assert_eq!(reader.find(U64Key::new(9)), None);
+    }
+}

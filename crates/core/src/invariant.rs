@@ -1,0 +1,142 @@
+//! Checkers for the paper's correctness invariants (test support).
+//!
+//! [`check_ordering_invariant`] verifies Definition 2 on a quiescent
+//! cell array: for every stored key `v` hashing to bucket `i` and
+//! stored at cell `j`, every cell in the cyclic range `[i, j)` holds a
+//! key of priority ≥ `v` (in particular, none of them is empty).
+//! Together with a total priority order this implies the layout is the
+//! *unique* representation of the key set — the paper's determinism
+//! guarantee — so the property-based tests run this checker after
+//! every randomized operation batch.
+
+use std::cmp::Ordering;
+
+use crate::entry::HashEntry;
+
+/// Verifies the ordering invariant (Definition 2) over a snapshot of
+/// the cell array. Returns `Err` with a human-readable description of
+/// the first violation.
+pub fn check_ordering_invariant<E: HashEntry>(cells: &[u64]) -> Result<(), String> {
+    let n = cells.len();
+    assert!(n.is_power_of_two(), "table sizes are powers of two");
+    let mask = n - 1;
+    for j in 0..n {
+        let v = cells[j];
+        if v == E::EMPTY {
+            continue;
+        }
+        let i = (E::hash(v) as usize) & mask;
+        // Walk the cyclic range [i, j).
+        let mut k = i;
+        let mut guard = 0usize;
+        while k != j {
+            let c = cells[k];
+            if c == E::EMPTY {
+                return Err(format!(
+                    "cell {j} holds {v:#x} hashing to {i}, but cell {k} on its probe path is empty"
+                ));
+            }
+            if E::cmp_priority(c, v) == Ordering::Less {
+                return Err(format!(
+                    "cell {j} holds {v:#x} hashing to {i}, but cell {k} holds lower-priority {c:#x}"
+                ));
+            }
+            k = (k + 1) & mask;
+            guard += 1;
+            if guard > n {
+                return Err(format!("cell {j}: probe path wrapped the whole table"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verifies that no key occupies two cells (quiescent uniqueness).
+pub fn check_no_duplicate_keys<E: HashEntry>(cells: &[u64]) -> Result<(), String> {
+    let mut live: Vec<u64> = cells.iter().copied().filter(|&c| c != E::EMPTY).collect();
+    live.sort_unstable_by(|&a, &b| E::cmp_priority(a, b).then(a.cmp(&b)));
+    for w in live.windows(2) {
+        if E::same_key(w[0], w[1]) {
+            return Err(format!("duplicate key: reprs {:#x} and {:#x}", w[0], w[1]));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::det::DetHashTable;
+    use crate::entry::U64Key;
+
+    #[test]
+    fn invariant_holds_after_inserts() {
+        let t: DetHashTable<U64Key> = DetHashTable::new_pow2(8);
+        for k in 1..=150u64 {
+            t.insert(U64Key::new(k * 7));
+        }
+        check_ordering_invariant::<U64Key>(&t.snapshot()).unwrap();
+        check_no_duplicate_keys::<U64Key>(&t.snapshot()).unwrap();
+    }
+
+    #[test]
+    fn invariant_holds_after_deletes() {
+        let t: DetHashTable<U64Key> = DetHashTable::new_pow2(8);
+        for k in 1..=150u64 {
+            t.insert(U64Key::new(k * 13));
+        }
+        for k in (1..=150u64).step_by(2) {
+            t.delete(U64Key::new(k * 13));
+        }
+        check_ordering_invariant::<U64Key>(&t.snapshot()).unwrap();
+    }
+
+    #[test]
+    fn detects_violation() {
+        // Hand-craft a broken layout: a key whose probe path crosses an
+        // empty cell.
+        let n = 256usize;
+        let mut cells = vec![0u64; n];
+        // Find a key hashing to bucket 10 and park it at bucket 12,
+        // leaving 10 and 11 empty.
+        let mut k = 1u64;
+        loop {
+            if (phc_parutil::hash64(k) as usize) & (n - 1) == 10 {
+                break;
+            }
+            k += 1;
+        }
+        cells[12] = k;
+        assert!(check_ordering_invariant::<U64Key>(&cells).is_err());
+    }
+
+    #[test]
+    fn detects_priority_violation() {
+        let n = 256usize;
+        let mut cells = vec![0u64; n];
+        // Two keys hashing to the same bucket stored in increasing
+        // (wrong) priority order.
+        let mut ks = Vec::new();
+        let mut k = 1u64;
+        while ks.len() < 2 {
+            if (phc_parutil::hash64(k) as usize) & (n - 1) == 42 {
+                ks.push(k);
+            }
+            k += 1;
+        }
+        let (lo, hi) = (ks[0].min(ks[1]), ks[0].max(ks[1]));
+        cells[42] = lo;
+        cells[43] = hi;
+        assert!(check_ordering_invariant::<U64Key>(&cells).is_err());
+        // The correct order passes.
+        cells[42] = hi;
+        cells[43] = lo;
+        check_ordering_invariant::<U64Key>(&cells).unwrap();
+    }
+
+    #[test]
+    fn detects_duplicate_keys() {
+        let cells = vec![5u64, 5u64, 0, 0];
+        assert!(check_no_duplicate_keys::<U64Key>(&cells).is_err());
+    }
+}

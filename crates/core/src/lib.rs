@@ -1,0 +1,53 @@
+//! Deterministic phase-concurrent hash tables.
+//!
+//! A Rust reproduction of **Shun & Blelloch, "Phase-Concurrent Hash
+//! Tables for Determinism", SPAA 2014**: a linear-probing hash table
+//! whose array layout — and therefore the output of its `elements()`
+//! operation — is a pure function of its contents, independent of the
+//! order or interleaving of the operations that built it, as long as
+//! operations of different types (insert / delete / find+elements) are
+//! separated into *phases*.
+//!
+//! The crate also contains every comparison table from the paper's
+//! evaluation, implemented from scratch:
+//!
+//! | Type | Paper label | Notes |
+//! |---|---|---|
+//! | [`DetHashTable`] | `linearHash-D` | deterministic, history-independent (the contribution) |
+//! | [`NdHashTable`] | `linearHash-ND` | first-fit linear probing, shift-back deletes |
+//! | [`CuckooHashTable`] | `cuckooHash` | phase-concurrent two-choice cuckoo with per-cell locks |
+//! | [`HopscotchHashTable`] | `hopscotchHash(-PC)` | neighborhood hashing with segment locks |
+//! | [`ChainedHashTable`] | `chainedHash(-CR)` | Lea-style striped-lock chaining |
+//! | [`SerialHashHI`] / [`SerialHashHD`] | `serialHash-HI/HD` | sequential baselines |
+//!
+//! Phase discipline is enforced by the type system: see [`phase`].
+
+#![warn(missing_docs)]
+
+pub mod chained;
+pub mod cuckoo;
+pub mod det;
+pub mod entry;
+pub mod hopscotch;
+pub mod invariant;
+pub mod nd;
+pub mod phase;
+pub mod priority_write;
+pub mod resize;
+pub mod rooms;
+pub mod serial;
+pub mod stats;
+
+pub use chained::ChainedHashTable;
+pub use cuckoo::CuckooHashTable;
+pub use det::DetHashTable;
+pub use entry::{AddValues, Combine, HashEntry, KeepMax, KeepMin, KvPair, StrPayload, StrRef, U64Key};
+pub use hopscotch::HopscotchHashTable;
+pub use nd::NdHashTable;
+pub use phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
+pub use priority_write::{
+    write_max, write_max_u32, write_max_usize, write_min, write_min_u32, write_min_usize,
+};
+pub use resize::ResizableTable;
+pub use rooms::{AutoPhaseTable, Room, RoomSync};
+pub use serial::{SerialHashHD, SerialHashHI};

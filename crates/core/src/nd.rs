@@ -1,0 +1,425 @@
+//! `linearHash-ND`: non-deterministic phase-concurrent linear probing
+//! (paper §6).
+//!
+//! Based on the lock-free open-addressing design of Gao, Groote &
+//! Hesselink, with the paper's two changes: deletions **shift elements
+//! back** instead of leaving tombstones, and there is no resizing.
+//! Insertion places an entry in the *first empty cell* of its probe
+//! sequence, so the layout depends on operation order — it is fast but
+//! not history-independent. Because inserted entries never move,
+//! duplicate key-value pairs can be merged in place with a
+//! `fetch_add` (the paper's `xadd` optimization for edge contraction);
+//! see [`NdHashTable::insert_add_value`].
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::entry::HashEntry;
+use crate::phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
+
+/// Non-deterministic phase-concurrent linear probing hash table.
+///
+/// Within a phase, inserts may run concurrently with finds (inserted
+/// entries are never displaced) — the paper notes this but still
+/// separates the phases in its experiments, as do we.
+///
+/// ```
+/// use phc_core::{NdHashTable, U64Key};
+/// let t: NdHashTable<U64Key> = NdHashTable::new_pow2(8);
+/// t.insert(U64Key::new(7));
+/// assert_eq!(t.find(U64Key::new(7)), Some(U64Key::new(7)));
+/// t.delete(U64Key::new(7));
+/// assert_eq!(t.find(U64Key::new(7)), None);
+/// ```
+pub struct NdHashTable<E: HashEntry> {
+    cells: Box<[AtomicU64]>,
+    mask: usize,
+    _entry: PhantomData<E>,
+}
+
+unsafe impl<E: HashEntry> Send for NdHashTable<E> {}
+unsafe impl<E: HashEntry> Sync for NdHashTable<E> {}
+
+impl<E: HashEntry> NdHashTable<E> {
+    /// Creates a table with `2^log2_size` cells.
+    pub fn new_pow2(log2_size: u32) -> Self {
+        let n = 1usize << log2_size;
+        let cells = (0..n).map(|_| AtomicU64::new(E::EMPTY)).collect();
+        NdHashTable { cells, mask: n - 1, _entry: PhantomData }
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Snapshot of the raw cell contents (quiescent use only). Unlike
+    /// the deterministic table's, this layout depends on history.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.cells.iter().map(|c| c.load(Ordering::Acquire)).collect()
+    }
+
+    #[inline]
+    fn slot(&self, hash: u64) -> usize {
+        (hash as usize) & self.mask
+    }
+
+    #[inline]
+    fn dist(&self, from: usize, to: usize) -> usize {
+        (to.wrapping_sub(from)) & self.mask
+    }
+
+    /// Inserts an entry at the first empty cell of its probe sequence;
+    /// duplicate keys resolve via [`HashEntry::combine`].
+    ///
+    /// # Panics
+    /// Panics if the table is full.
+    pub fn insert(&self, e: E) {
+        let v = e.to_repr();
+        debug_assert_ne!(v, E::EMPTY);
+        let mut i = self.slot(E::hash(v));
+        let mut steps = 0usize;
+        loop {
+            let c = self.cells[i].load(Ordering::Acquire);
+            if c == E::EMPTY {
+                if self.cells[i]
+                    .compare_exchange(E::EMPTY, v, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return;
+                }
+                continue; // lost the race; re-read this cell
+            }
+            if E::same_key(c, v) {
+                let merged = E::combine(c, v);
+                if merged == c {
+                    return;
+                }
+                if self.cells[i]
+                    .compare_exchange(c, merged, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return;
+                }
+                continue;
+            }
+            i = (i + 1) & self.mask;
+            steps += 1;
+            assert!(steps <= self.cells.len(), "NdHashTable::insert: table is full");
+        }
+    }
+
+    /// Inserts a key-value entry, accumulating the value field with a
+    /// hardware `fetch_add` when the key is already present — valid in
+    /// this table because entries never move once inserted (the paper's
+    /// `xadd` fast path for edge contraction). The accumulated value
+    /// must never overflow [`HashEntry::VALUE_MASK`]: like the real
+    /// `xadd`, the add cannot saturate, and an overflow would carry
+    /// into the key bits.
+    pub fn insert_add_value(&self, e: E) {
+        assert!(E::VALUE_MASK != 0, "entry type has no value field to accumulate");
+        let v = e.to_repr();
+        debug_assert_ne!(v, E::EMPTY);
+        let mut i = self.slot(E::hash(v));
+        let mut steps = 0usize;
+        loop {
+            let c = self.cells[i].load(Ordering::Acquire);
+            if c == E::EMPTY {
+                if self.cells[i]
+                    .compare_exchange(E::EMPTY, v, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return;
+                }
+                continue;
+            }
+            if E::same_key(c, v) {
+                // Entries never move in this table, so the key stays at
+                // cell i and the add cannot be lost.
+                self.cells[i].fetch_add(v & E::VALUE_MASK, Ordering::AcqRel);
+                return;
+            }
+            i = (i + 1) & self.mask;
+            steps += 1;
+            assert!(steps <= self.cells.len(), "NdHashTable::insert_add_value: table is full");
+        }
+    }
+
+    /// Looks up the entry with `key`'s key part. Probes until an empty
+    /// cell (no priority early-exit: the layout is unordered).
+    pub fn find(&self, key: E) -> Option<E> {
+        let probe = key.to_repr();
+        let mut i = self.slot(E::hash(probe));
+        for _ in 0..=self.cells.len() {
+            let c = self.cells[i].load(Ordering::Acquire);
+            if c == E::EMPTY {
+                return None;
+            }
+            if E::same_key(c, probe) {
+                return Some(E::from_repr(c));
+            }
+            i = (i + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Deletes the entry with `key`'s key part, shifting a following
+    /// cluster member back into the hole (no tombstones).
+    ///
+    /// Concurrent-safe within a delete-only phase: the hole is filled
+    /// by CAS and the duplicated element is then deleted recursively,
+    /// mirroring the deterministic table's copy-chasing argument.
+    pub fn delete(&self, key: E) {
+        let probe = key.to_repr();
+        let m = self.cells.len();
+        // Walk to the end of the cluster (first empty cell) so the
+        // downward scan starts at-or-past the rightmost copy of the key
+        // — the same structure as the deterministic table's delete,
+        // whose copy-counting proof carries over.
+        let mut i = m + self.slot(E::hash(probe));
+        let mut k = i;
+        for _ in 0..m {
+            if self.load_at(k) == E::EMPTY {
+                break;
+            }
+            k += 1;
+        }
+        k = k.saturating_sub(1).max(i);
+        let mut v = probe;
+        while k >= i {
+            let c = self.load_at(k);
+            if c == E::EMPTY || !E::same_key(c, v) {
+                k -= 1;
+                continue;
+            }
+            let (j, replacement) = self.find_replacement(k);
+            if self.cas_at(k, c, replacement) {
+                if replacement == E::EMPTY {
+                    return;
+                }
+                // A second copy of `replacement` now exists at `k`; we
+                // are responsible for deleting the one at `j`.
+                v = replacement;
+                k = j;
+                i = self.lift_hash(replacement, j);
+            } else {
+                // The cell changed; the copy we chase can only be lower.
+                k -= 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn load_at(&self, virtual_idx: usize) -> u64 {
+        self.cells[virtual_idx & self.mask].load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn cas_at(&self, virtual_idx: usize, old: u64, new: u64) -> bool {
+        self.cells[virtual_idx & self.mask]
+            .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    #[inline]
+    fn lift_hash(&self, repr: u64, at: usize) -> usize {
+        at - self.dist(self.slot(E::hash(repr)), at & self.mask)
+    }
+
+    /// First entry after hole `i` (virtual) that may move back to it,
+    /// or ⊥ if the cluster ends first.
+    fn find_replacement(&self, i: usize) -> (usize, u64) {
+        let mut j = i;
+        loop {
+            j += 1;
+            let x = self.load_at(j);
+            if x == E::EMPTY || self.lift_hash(x, j) <= i {
+                return (j, x);
+            }
+        }
+    }
+
+    /// Packs the non-empty cells in cell order (parallel). The order is
+    /// *not* history-independent for this table.
+    pub fn elements(&self) -> Vec<E> {
+        phc_parutil::pack_with(&self.cells, |c| {
+            let v = c.load(Ordering::Acquire);
+            if v == E::EMPTY {
+                None
+            } else {
+                Some(E::from_repr(v))
+            }
+        })
+    }
+
+    /// Applies `f` to every stored entry in parallel without packing
+    /// (see [`DetHashTable::for_each_entry`](crate::DetHashTable::for_each_entry)).
+    pub fn for_each_entry(&self, f: impl Fn(E) + Send + Sync) {
+        use rayon::prelude::*;
+        self.cells.par_iter().with_min_len(4096).for_each(|c| {
+            let v = c.load(Ordering::Acquire);
+            if v != E::EMPTY {
+                f(E::from_repr(v));
+            }
+        });
+    }
+
+    /// Number of occupied cells.
+    pub fn len(&self) -> usize {
+        use rayon::prelude::*;
+        self.cells
+            .par_iter()
+            .with_min_len(4096)
+            .filter(|c| c.load(Ordering::Relaxed) != E::EMPTY)
+            .count()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Insert-phase handle.
+pub struct NdInserter<'t, E: HashEntry>(&'t NdHashTable<E>);
+/// Delete-phase handle.
+pub struct NdDeleter<'t, E: HashEntry>(&'t NdHashTable<E>);
+/// Read-phase handle.
+pub struct NdReader<'t, E: HashEntry>(&'t NdHashTable<E>);
+
+impl<E: HashEntry> ConcurrentInsert<E> for NdInserter<'_, E> {
+    #[inline]
+    fn insert(&self, e: E) {
+        self.0.insert(e);
+    }
+}
+impl<E: HashEntry> ConcurrentDelete<E> for NdDeleter<'_, E> {
+    #[inline]
+    fn delete(&self, key: E) {
+        self.0.delete(key);
+    }
+}
+impl<E: HashEntry> ConcurrentRead<E> for NdReader<'_, E> {
+    #[inline]
+    fn find(&self, key: E) -> Option<E> {
+        self.0.find(key)
+    }
+}
+
+impl<E: HashEntry> PhaseHashTable<E> for NdHashTable<E> {
+    type Inserter<'t>
+        = NdInserter<'t, E>
+    where
+        E: 't;
+    type Deleter<'t>
+        = NdDeleter<'t, E>
+    where
+        E: 't;
+    type Reader<'t>
+        = NdReader<'t, E>
+    where
+        E: 't;
+
+    const NAME: &'static str = "linearHash-ND";
+
+    fn new_pow2(log2_size: u32) -> Self {
+        NdHashTable::new_pow2(log2_size)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity()
+    }
+
+    fn begin_insert(&mut self) -> NdInserter<'_, E> {
+        NdInserter(self)
+    }
+
+    fn begin_delete(&mut self) -> NdDeleter<'_, E> {
+        NdDeleter(self)
+    }
+
+    fn begin_read(&mut self) -> NdReader<'_, E> {
+        NdReader(self)
+    }
+
+    fn elements(&mut self) -> Vec<E> {
+        NdHashTable::elements(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{AddValues, KvPair, U64Key};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_find_delete_roundtrip() {
+        let t: NdHashTable<U64Key> = NdHashTable::new_pow2(8);
+        for k in 1..=100u64 {
+            t.insert(U64Key::new(k));
+        }
+        for k in 1..=100u64 {
+            assert_eq!(t.find(U64Key::new(k)), Some(U64Key::new(k)));
+        }
+        for k in (1..=100u64).filter(|k| k % 3 == 0) {
+            t.delete(U64Key::new(k));
+        }
+        for k in 1..=100u64 {
+            assert_eq!(t.find(U64Key::new(k)).is_some(), k % 3 != 0, "key {k}");
+        }
+    }
+
+    #[test]
+    fn duplicate_inserts_keep_one() {
+        let t: NdHashTable<U64Key> = NdHashTable::new_pow2(6);
+        for _ in 0..5 {
+            t.insert(U64Key::new(11));
+        }
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn xadd_accumulates() {
+        let t: NdHashTable<KvPair<AddValues>> = NdHashTable::new_pow2(6);
+        for v in 1..=10u32 {
+            t.insert_add_value(KvPair::new(4, v));
+        }
+        assert_eq!(t.find(KvPair::new(4, 0)).unwrap().value, 55);
+    }
+
+    #[test]
+    fn parallel_insert_delete_contents_correct() {
+        use rayon::prelude::*;
+        let keys: Vec<u64> = (1..=3000u64).map(|i| phc_parutil::hash64(i) | 1).collect();
+        let t: NdHashTable<U64Key> = NdHashTable::new_pow2(13);
+        keys.par_iter().for_each(|&k| t.insert(U64Key::new(k)));
+        let (dels, keeps) = keys.split_at(1500);
+        dels.par_iter().for_each(|&k| t.delete(U64Key::new(k)));
+        let got: BTreeSet<u64> = t.elements().iter().map(|k| k.0).collect();
+        let expect: BTreeSet<u64> = keeps.iter().copied().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn wraparound_cluster_delete() {
+        let t: NdHashTable<U64Key> = NdHashTable::new_pow2(3);
+        let mut picked = Vec::new();
+        let mut k = 1u64;
+        while picked.len() < 5 {
+            if (phc_parutil::hash64(k) as usize) & 7 >= 6 {
+                picked.push(k);
+            }
+            k += 1;
+        }
+        for &k in &picked {
+            t.insert(U64Key::new(k));
+        }
+        for &k in &picked {
+            t.delete(U64Key::new(k));
+            assert_eq!(t.find(U64Key::new(k)), None);
+        }
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Phase-concurrency expressed in the type system.
+//!
+//! Definition 1 of the paper allows a *subset* of operations to proceed
+//! concurrently; the hash tables here support the subsets
+//! `{insert}`, `{delete}`, `{find, elements}`. The C++ original leaves
+//! phase separation to programmer discipline; in Rust we can make
+//! mixing phases a **compile error**: entering a phase borrows the
+//! table mutably (`&mut self`), and the returned handle is the only way
+//! to operate on the table while the phase is open. Handles are `Sync`,
+//! so any number of threads may share `&Inserter` within the phase —
+//! but no `Deleter` or `Reader` can coexist with it.
+//!
+//! ```
+//! use phc_core::{DetHashTable, U64Key, PhaseHashTable, ConcurrentInsert, ConcurrentRead};
+//! let mut table: DetHashTable<U64Key> = DetHashTable::new_pow2(10);
+//! {
+//!     let ins = table.begin_insert();
+//!     // `&ins` can be shared across rayon tasks here.
+//!     ins.insert(U64Key::new(7));
+//! } // insert phase ends when the handle drops
+//! let reader = table.begin_read();
+//! assert!(reader.find(U64Key::new(7)).is_some());
+//! ```
+
+use crate::entry::HashEntry;
+
+/// Concurrent insertion handle for one phase.
+pub trait ConcurrentInsert<E: HashEntry>: Sync {
+    /// Inserts `e`; concurrent calls from any number of threads are
+    /// allowed within the phase and commute (for deterministic tables).
+    fn insert(&self, e: E);
+}
+
+/// Concurrent deletion handle for one phase.
+pub trait ConcurrentDelete<E: HashEntry>: Sync {
+    /// Deletes the entry whose key equals `key`'s key part (the value
+    /// part of `key` is ignored). Deleting an absent key is a no-op.
+    fn delete(&self, key: E);
+}
+
+/// Concurrent read handle (find + elements phase).
+pub trait ConcurrentRead<E: HashEntry>: Sync {
+    /// Looks up the entry with `key`'s key part.
+    fn find(&self, key: E) -> Option<E>;
+}
+
+/// A phase-concurrent hash table: one operation type at a time, any
+/// number of threads within a phase.
+///
+/// `elements()` (paper §4) packs the table contents into a vector; for
+/// the deterministic table the result is independent of the order in
+/// which the preceding operations ran.
+pub trait PhaseHashTable<E: HashEntry>: Send + Sized {
+    /// Insert-phase handle type.
+    type Inserter<'t>: ConcurrentInsert<E>
+    where
+        Self: 't;
+    /// Delete-phase handle type.
+    type Deleter<'t>: ConcurrentDelete<E>
+    where
+        Self: 't;
+    /// Read-phase handle type.
+    type Reader<'t>: ConcurrentRead<E>
+    where
+        Self: 't;
+
+    /// Short name used by the benchmark harnesses (matches the paper's
+    /// labels, e.g. `"linearHash-D"`).
+    const NAME: &'static str;
+
+    /// Creates a table with `2^log2_size` cells.
+    fn new_pow2(log2_size: u32) -> Self;
+
+    /// Number of cells.
+    fn capacity(&self) -> usize;
+
+    /// Begins an insert phase.
+    fn begin_insert(&mut self) -> Self::Inserter<'_>;
+
+    /// Begins a delete phase.
+    fn begin_delete(&mut self) -> Self::Deleter<'_>;
+
+    /// Begins a read (find/elements) phase.
+    fn begin_read(&mut self) -> Self::Reader<'_>;
+
+    /// Packs the current contents into a vector (parallel; order is the
+    /// table's cell order). Deterministic for history-independent
+    /// tables.
+    fn elements(&mut self) -> Vec<E>;
+
+    /// Number of occupied cells (linear scan; intended for tests and
+    /// load accounting, not hot paths).
+    fn count(&mut self) -> usize {
+        self.elements().len()
+    }
+}

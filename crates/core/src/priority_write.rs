@@ -1,0 +1,134 @@
+//! Priority updates: `WriteMin` / `WriteMax` (Shun et al., SPAA 2013).
+//!
+//! `write_min(loc, val)` stores `val` at `loc` iff `val` is smaller than
+//! the current value, returning whether it won. Concurrent `write_min`s
+//! commute — the final content is the minimum of all written values — so
+//! the primitive is deterministic, which is why the paper's Delaunay
+//! refinement and BFS use it to resolve conflicts.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Atomically `loc = min(loc, val)`. Returns `true` iff this call
+/// lowered the value (i.e. `val` "won" the location).
+#[inline]
+pub fn write_min(loc: &AtomicU64, val: u64) -> bool {
+    let mut cur = loc.load(Ordering::Relaxed);
+    while val < cur {
+        match loc.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return true,
+            Err(actual) => cur = actual,
+        }
+    }
+    false
+}
+
+/// Atomically `loc = max(loc, val)`. Returns `true` iff `val` won.
+#[inline]
+pub fn write_max(loc: &AtomicU64, val: u64) -> bool {
+    let mut cur = loc.load(Ordering::Relaxed);
+    while val > cur {
+        match loc.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return true,
+            Err(actual) => cur = actual,
+        }
+    }
+    false
+}
+
+/// [`write_min`] for `AtomicU32` locations (e.g. reservation arrays).
+#[inline]
+pub fn write_min_u32(loc: &std::sync::atomic::AtomicU32, val: u32) -> bool {
+    let mut cur = loc.load(Ordering::Relaxed);
+    while val < cur {
+        match loc.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return true,
+            Err(actual) => cur = actual,
+        }
+    }
+    false
+}
+
+/// [`write_max`] for `AtomicU32` locations.
+#[inline]
+pub fn write_max_u32(loc: &std::sync::atomic::AtomicU32, val: u32) -> bool {
+    let mut cur = loc.load(Ordering::Relaxed);
+    while val > cur {
+        match loc.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return true,
+            Err(actual) => cur = actual,
+        }
+    }
+    false
+}
+
+/// [`write_min`] for `AtomicUsize` locations (e.g. index arrays).
+#[inline]
+pub fn write_min_usize(loc: &AtomicUsize, val: usize) -> bool {
+    let mut cur = loc.load(Ordering::Relaxed);
+    while val < cur {
+        match loc.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return true,
+            Err(actual) => cur = actual,
+        }
+    }
+    false
+}
+
+/// [`write_max`] for `AtomicUsize` locations.
+#[inline]
+pub fn write_max_usize(loc: &AtomicUsize, val: usize) -> bool {
+    let mut cur = loc.load(Ordering::Relaxed);
+    while val > cur {
+        match loc.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return true,
+            Err(actual) => cur = actual,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_min_takes_minimum() {
+        let loc = AtomicU64::new(100);
+        assert!(write_min(&loc, 50));
+        assert!(!write_min(&loc, 75));
+        assert!(write_min(&loc, 10));
+        assert_eq!(loc.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn write_max_takes_maximum() {
+        let loc = AtomicU64::new(5);
+        assert!(write_max(&loc, 50));
+        assert!(!write_max(&loc, 20));
+        assert_eq!(loc.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn concurrent_write_min_is_deterministic() {
+        use rayon::prelude::*;
+        for _ in 0..5 {
+            let loc = AtomicU64::new(u64::MAX);
+            let winners: usize = (0..1000u64)
+                .into_par_iter()
+                .map(|i| write_min(&loc, phc_parutil::hash64(i)) as usize)
+                .sum();
+            let expect = (0..1000u64).map(phc_parutil::hash64).min().unwrap();
+            assert_eq!(loc.load(Ordering::Relaxed), expect);
+            assert!(winners >= 1);
+        }
+    }
+
+    #[test]
+    fn exactly_one_winner_per_final_value() {
+        // The thread whose value ends up stored must have returned true.
+        let loc = AtomicUsize::new(usize::MAX);
+        let wins: Vec<bool> = (0..100).map(|i| write_min_usize(&loc, 100 - i)).collect();
+        // Sequentially decreasing inputs: every write wins.
+        assert!(wins.iter().all(|&w| w));
+    }
+}

@@ -1,0 +1,232 @@
+//! Growable wrapper over the deterministic table (paper §4,
+//! "Resizing").
+//!
+//! The paper *outlines* a lock-free scheme in which inserts detect an
+//! overfull table, link a new table of twice the size, and cooperatively
+//! migrate elements. This implementation keeps the same trigger and
+//! growth policy but migrates with a brief stop-the-world pause inside
+//! the insert phase: inserts hold a shared (read) lock on the backing
+//! table; the thread that observes the load threshold takes the
+//! exclusive (write) lock, re-checks, and rebuilds into a doubled
+//! table. Determinism is preserved because
+//!
+//! * the element count is exact (see [`DetHashTable::insert_counted`]),
+//!   so the final capacity is a pure function of the final key set, and
+//! * for a fixed capacity the deterministic table's layout is a pure
+//!   function of its contents — no matter when or how often migration
+//!   ran in between.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::RwLock;
+use rayon::prelude::*;
+
+use crate::det::DetHashTable;
+use crate::entry::HashEntry;
+
+/// Grow when `items * DEN > capacity * NUM` (load factor > 3/4).
+const MAX_LOAD_NUM: usize = 3;
+const MAX_LOAD_DEN: usize = 4;
+
+/// A deterministic phase-concurrent hash table that doubles its backing
+/// array when the load factor exceeds 3/4 — including in the middle of
+/// an insert phase.
+pub struct ResizableTable<E: HashEntry> {
+    inner: RwLock<DetHashTable<E>>,
+    items: AtomicUsize,
+}
+
+impl<E: HashEntry> ResizableTable<E> {
+    /// Creates a table with `2^log2_size` initial cells.
+    pub fn new_pow2(log2_size: u32) -> Self {
+        ResizableTable {
+            inner: RwLock::new(DetHashTable::new_pow2(log2_size)),
+            items: AtomicUsize::new(0),
+        }
+    }
+
+    /// Current capacity (cells).
+    pub fn capacity(&self) -> usize {
+        self.inner.read().capacity()
+    }
+
+    /// Number of stored entries (exact).
+    pub fn len(&self) -> usize {
+        self.items.load(Ordering::Acquire)
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs an insert phase and **normalizes** the capacity afterwards.
+    ///
+    /// Mid-phase, concurrent inserts may race past the load threshold
+    /// before one of them grows the table, so the capacity *during* a
+    /// phase can depend on timing. The phase wrapper re-checks the
+    /// threshold once the phase is quiescent, making the final
+    /// capacity — and hence the final layout — a pure function of the
+    /// contents. Use this (rather than bare [`insert`](Self::insert))
+    /// whenever you rely on snapshot determinism.
+    pub fn insert_phase<R>(&mut self, f: impl FnOnce(&Self) -> R) -> R {
+        let r = f(self);
+        while self.len() * MAX_LOAD_DEN >= self.capacity() * MAX_LOAD_NUM {
+            self.grow();
+        }
+        r
+    }
+
+    /// Inserts an entry, growing the table first if it is at the load
+    /// threshold. Callable from any number of threads during an insert
+    /// phase.
+    pub fn insert(&self, e: E) {
+        loop {
+            let guard = self.inner.read();
+            if self.items.load(Ordering::Acquire) * MAX_LOAD_DEN
+                >= guard.capacity() * MAX_LOAD_NUM
+            {
+                drop(guard);
+                self.grow();
+                continue;
+            }
+            if guard.insert_counted(e) {
+                self.items.fetch_add(1, Ordering::AcqRel);
+            }
+            return;
+        }
+    }
+
+    /// Deletes by key. Callable from any number of threads during a
+    /// delete phase. The table never shrinks (as in the paper).
+    pub fn delete(&self, key: E) {
+        let guard = self.inner.read();
+        if guard.delete_counted(key) {
+            self.items.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Looks up a key (find/elements phase).
+    pub fn find(&self, key: E) -> Option<E> {
+        self.inner.read().find(key)
+    }
+
+    /// Packs the contents (deterministic sequence).
+    pub fn elements(&self) -> Vec<E> {
+        self.inner.read().elements()
+    }
+
+    /// Raw snapshot of the current backing array.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.inner.read().snapshot()
+    }
+
+    #[cold]
+    fn grow(&self) {
+        let mut w = self.inner.write();
+        // Another thread may have grown while we waited.
+        if self.items.load(Ordering::Acquire) * MAX_LOAD_DEN < w.capacity() * MAX_LOAD_NUM {
+            return;
+        }
+        let log2 = w.capacity().trailing_zeros() + 1;
+        let bigger: DetHashTable<E> = DetHashTable::new_pow2(log2);
+        // Parallel migration: inserts of a deterministic element
+        // sequence commute, so the new layout is deterministic.
+        let elems = w.elements();
+        elems.par_iter().with_min_len(1024).for_each(|&e| bigger.insert(e));
+        *w = bigger;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::U64Key;
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let t: ResizableTable<U64Key> = ResizableTable::new_pow2(4); // 16 cells
+        for k in 1..=1000u64 {
+            t.insert(U64Key::new(k));
+        }
+        assert!(t.capacity() >= 1024, "capacity {}", t.capacity());
+        assert_eq!(t.len(), 1000);
+        for k in 1..=1000u64 {
+            assert_eq!(t.find(U64Key::new(k)), Some(U64Key::new(k)));
+        }
+    }
+
+    #[test]
+    fn growth_preserves_history_independence() {
+        let build = |order: &[u64]| {
+            let t: ResizableTable<U64Key> = ResizableTable::new_pow2(4);
+            for &k in order {
+                t.insert(U64Key::new(k));
+            }
+            t
+        };
+        let keys: Vec<u64> = (1..=500).collect();
+        let mut rev = keys.clone();
+        rev.reverse();
+        let a = build(&keys);
+        let b = build(&rev);
+        assert_eq!(a.capacity(), b.capacity());
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn delete_updates_count() {
+        let t: ResizableTable<U64Key> = ResizableTable::new_pow2(10);
+        for k in 1..=100u64 {
+            t.insert(U64Key::new(k));
+        }
+        for k in 1..=40u64 {
+            t.delete(U64Key::new(k));
+        }
+        // Deleting absent keys must not corrupt the count.
+        t.delete(U64Key::new(9999));
+        assert_eq!(t.len(), 60);
+        for k in 1..=100u64 {
+            assert_eq!(t.find(U64Key::new(k)).is_some(), k > 40);
+        }
+    }
+
+    #[test]
+    fn duplicate_inserts_do_not_inflate_count() {
+        let t: ResizableTable<U64Key> = ResizableTable::new_pow2(6);
+        for _ in 0..100 {
+            t.insert(U64Key::new(7));
+        }
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.capacity(), 64);
+    }
+
+    #[test]
+    fn parallel_growth_count_is_exact() {
+        use rayon::prelude::*;
+        let t: ResizableTable<U64Key> = ResizableTable::new_pow2(4);
+        (1..=5000u64).into_par_iter().for_each(|k| t.insert(U64Key::new(k)));
+        assert_eq!(t.len(), 5000);
+        // Final capacity is the unique power of two keeping load ≤ 3/4.
+        assert!(t.capacity() * MAX_LOAD_NUM >= 5000 * MAX_LOAD_DEN - t.capacity());
+        for k in (1..=5000u64).step_by(97) {
+            assert_eq!(t.find(U64Key::new(k)), Some(U64Key::new(k)));
+        }
+    }
+
+    #[test]
+    fn parallel_growth_is_deterministic() {
+        use rayon::prelude::*;
+        let build = || {
+            let mut t: ResizableTable<U64Key> = ResizableTable::new_pow2(4);
+            t.insert_phase(|t| {
+                (1..=3000u64).into_par_iter().for_each(|k| t.insert(U64Key::new(k)));
+            });
+            t
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.capacity(), b.capacity());
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+}

@@ -1,0 +1,429 @@
+//! Sequential baselines (paper §3 and §6).
+//!
+//! * [`SerialHashHI`] — the history-independent linear-probing table of
+//!   Blelloch & Golovin that the phase-concurrent table extends. Its
+//!   array layout is a pure function of its contents; the test suite
+//!   uses it as the *oracle* for the concurrent table's determinism
+//!   (equal key sets must produce bit-identical arrays).
+//! * [`SerialHashHD`] — standard (history-dependent) linear probing:
+//!   first-fit insertion and backward-shift deletion (Knuth's
+//!   Algorithm R), no priorities.
+
+use std::cmp::Ordering;
+use std::marker::PhantomData;
+
+use crate::entry::HashEntry;
+
+/// Sequential history-independent linear probing (Blelloch–Golovin).
+pub struct SerialHashHI<E: HashEntry> {
+    cells: Vec<u64>,
+    mask: usize,
+    len: usize,
+    _entry: PhantomData<E>,
+}
+
+impl<E: HashEntry> SerialHashHI<E> {
+    /// Creates a table with `2^log2_size` cells.
+    pub fn new_pow2(log2_size: u32) -> Self {
+        let n = 1usize << log2_size;
+        SerialHashHI { cells: vec![E::EMPTY; n], mask: n - 1, len: 0, _entry: PhantomData }
+    }
+
+    /// Number of cells.
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw cell array (for history-independence comparisons).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.cells.clone()
+    }
+
+    #[inline]
+    fn slot(&self, hash: u64) -> usize {
+        (hash as usize) & self.mask
+    }
+
+    /// Forward cluster distance from `from` to `to`.
+    #[inline]
+    fn dist(&self, from: usize, to: usize) -> usize {
+        (to.wrapping_sub(from)) & self.mask
+    }
+
+    /// Inserts an entry; duplicate keys resolve via [`HashEntry::combine`].
+    ///
+    /// # Panics
+    /// Panics if the table is full.
+    pub fn insert(&mut self, e: E) {
+        let mut v = e.to_repr();
+        debug_assert_ne!(v, E::EMPTY);
+        let mut i = self.slot(E::hash(v));
+        let mut steps = 0usize;
+        loop {
+            let c = self.cells[i];
+            if E::same_key(c, v) {
+                self.cells[i] = E::combine(c, v);
+                return;
+            }
+            if E::cmp_priority(c, v) == Ordering::Greater {
+                i = (i + 1) & self.mask;
+            } else {
+                // Swap v into the cell; carry the displaced entry on.
+                self.cells[i] = v;
+                if c == E::EMPTY {
+                    self.len += 1;
+                    return;
+                }
+                v = c;
+                i = (i + 1) & self.mask;
+            }
+            steps += 1;
+            assert!(steps <= self.cells.len(), "SerialHashHI::insert: table is full");
+        }
+    }
+
+    /// Looks up the entry with `key`'s key part. Stops early at the
+    /// first lower-priority cell (the history-independent layout makes
+    /// unsuccessful finds cheap).
+    pub fn find(&self, key: E) -> Option<E> {
+        let probe = key.to_repr();
+        let mut i = self.slot(E::hash(probe));
+        loop {
+            let c = self.cells[i];
+            if c == E::EMPTY {
+                return None;
+            }
+            if E::same_key(c, probe) {
+                return Some(E::from_repr(c));
+            }
+            if E::cmp_priority(c, probe) == Ordering::Less {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Deletes the entry with `key`'s key part, back-filling holes with
+    /// the recursive replacement rule that preserves history
+    /// independence (paper §3).
+    pub fn delete(&mut self, key: E) {
+        let probe = key.to_repr();
+        let mut i = self.slot(E::hash(probe));
+        // Locate the victim.
+        loop {
+            let c = self.cells[i];
+            if c == E::EMPTY || E::cmp_priority(c, probe) == Ordering::Less {
+                return; // absent
+            }
+            if E::same_key(c, probe) {
+                break;
+            }
+            i = (i + 1) & self.mask;
+        }
+        self.len -= 1;
+        // Back-fill: the replacement for the hole at i is the first
+        // entry in the following probe sequence that hashes at or
+        // before i (cluster order); repeat from its old cell.
+        loop {
+            let mut j = i;
+            let replacement;
+            loop {
+                j = (j + 1) & self.mask;
+                let x = self.cells[j];
+                if x == E::EMPTY {
+                    replacement = E::EMPTY;
+                    break;
+                }
+                // x may move back to i iff its hash bucket is at or
+                // before i: dist(h(x), j) >= dist(i, j).
+                if self.dist(self.slot(E::hash(x)), j) >= self.dist(i, j) {
+                    replacement = x;
+                    break;
+                }
+            }
+            self.cells[i] = replacement;
+            if replacement == E::EMPTY {
+                return;
+            }
+            i = j;
+        }
+    }
+
+    /// Packs the non-empty cells in cell order.
+    pub fn elements(&self) -> Vec<E> {
+        self.cells
+            .iter()
+            .filter(|&&c| c != E::EMPTY)
+            .map(|&c| E::from_repr(c))
+            .collect()
+    }
+}
+
+/// Sequential standard (history-dependent) linear probing.
+pub struct SerialHashHD<E: HashEntry> {
+    cells: Vec<u64>,
+    mask: usize,
+    len: usize,
+    _entry: PhantomData<E>,
+}
+
+impl<E: HashEntry> SerialHashHD<E> {
+    /// Creates a table with `2^log2_size` cells.
+    pub fn new_pow2(log2_size: u32) -> Self {
+        let n = 1usize << log2_size;
+        SerialHashHD { cells: vec![E::EMPTY; n], mask: n - 1, len: 0, _entry: PhantomData }
+    }
+
+    /// Number of cells.
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw cell array.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.cells.clone()
+    }
+
+    #[inline]
+    fn slot(&self, hash: u64) -> usize {
+        (hash as usize) & self.mask
+    }
+
+    #[inline]
+    fn dist(&self, from: usize, to: usize) -> usize {
+        (to.wrapping_sub(from)) & self.mask
+    }
+
+    /// Inserts with first-fit probing; duplicate keys combine.
+    ///
+    /// # Panics
+    /// Panics if the table is full.
+    pub fn insert(&mut self, e: E) {
+        let v = e.to_repr();
+        debug_assert_ne!(v, E::EMPTY);
+        let mut i = self.slot(E::hash(v));
+        let mut steps = 0usize;
+        loop {
+            let c = self.cells[i];
+            if c == E::EMPTY {
+                self.cells[i] = v;
+                self.len += 1;
+                return;
+            }
+            if E::same_key(c, v) {
+                self.cells[i] = E::combine(c, v);
+                return;
+            }
+            i = (i + 1) & self.mask;
+            steps += 1;
+            assert!(steps <= self.cells.len(), "SerialHashHD::insert: table is full");
+        }
+    }
+
+    /// Standard linear-probing lookup (no early exit on priority).
+    pub fn find(&self, key: E) -> Option<E> {
+        let probe = key.to_repr();
+        let mut i = self.slot(E::hash(probe));
+        loop {
+            let c = self.cells[i];
+            if c == E::EMPTY {
+                return None;
+            }
+            if E::same_key(c, probe) {
+                return Some(E::from_repr(c));
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Backward-shift deletion (Knuth Algorithm R): no tombstones.
+    pub fn delete(&mut self, key: E) {
+        let probe = key.to_repr();
+        let mut i = self.slot(E::hash(probe));
+        loop {
+            let c = self.cells[i];
+            if c == E::EMPTY {
+                return;
+            }
+            if E::same_key(c, probe) {
+                break;
+            }
+            i = (i + 1) & self.mask;
+        }
+        self.len -= 1;
+        let mut hole = i;
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            let x = self.cells[j];
+            if x == E::EMPTY {
+                break;
+            }
+            if self.dist(self.slot(E::hash(x)), j) >= self.dist(hole, j) {
+                self.cells[hole] = x;
+                hole = j;
+            }
+        }
+        self.cells[hole] = E::EMPTY;
+    }
+
+    /// Packs the non-empty cells in cell order.
+    pub fn elements(&self) -> Vec<E> {
+        self.cells
+            .iter()
+            .filter(|&&c| c != E::EMPTY)
+            .map(|&c| E::from_repr(c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{KeepMin, KvPair, U64Key};
+
+    #[test]
+    fn hi_insert_find_delete() {
+        let mut t: SerialHashHI<U64Key> = SerialHashHI::new_pow2(8);
+        for k in 1..=100u64 {
+            t.insert(U64Key::new(k));
+        }
+        assert_eq!(t.len(), 100);
+        for k in 1..=100u64 {
+            assert_eq!(t.find(U64Key::new(k)), Some(U64Key::new(k)));
+        }
+        assert_eq!(t.find(U64Key::new(500)), None);
+        for k in 1..=50u64 {
+            t.delete(U64Key::new(k));
+        }
+        assert_eq!(t.len(), 50);
+        for k in 1..=100u64 {
+            assert_eq!(t.find(U64Key::new(k)).is_some(), k > 50);
+        }
+    }
+
+    #[test]
+    fn hd_insert_find_delete() {
+        let mut t: SerialHashHD<U64Key> = SerialHashHD::new_pow2(8);
+        for k in 1..=100u64 {
+            t.insert(U64Key::new(k));
+        }
+        for k in 1..=100u64 {
+            assert_eq!(t.find(U64Key::new(k)), Some(U64Key::new(k)));
+        }
+        for k in (1..=100u64).step_by(3) {
+            t.delete(U64Key::new(k));
+        }
+        for k in 1..=100u64 {
+            assert_eq!(t.find(U64Key::new(k)).is_some(), (k - 1) % 3 != 0, "key {k}");
+        }
+    }
+
+    #[test]
+    fn hi_layout_is_history_independent() {
+        let keys: Vec<u64> = (1..=300).map(|i| i * 37 % 4096 + 1).collect();
+        let mut fwd: SerialHashHI<U64Key> = SerialHashHI::new_pow2(10);
+        let mut rev: SerialHashHI<U64Key> = SerialHashHI::new_pow2(10);
+        for &k in &keys {
+            fwd.insert(U64Key::new(k));
+        }
+        for &k in keys.iter().rev() {
+            rev.insert(U64Key::new(k));
+        }
+        assert_eq!(fwd.snapshot(), rev.snapshot());
+    }
+
+    #[test]
+    fn hi_layout_independent_after_deletes() {
+        // Different delete orders of the same set leave the same array.
+        let keys: Vec<u64> = (1..=200).map(|i| i * 53 % 2048 + 1).collect();
+        let build = || {
+            let mut t: SerialHashHI<U64Key> = SerialHashHI::new_pow2(9);
+            for &k in &keys {
+                t.insert(U64Key::new(k));
+            }
+            t
+        };
+        let dels: Vec<u64> = keys.iter().copied().filter(|k| k % 2 == 0).collect();
+        let mut a = build();
+        for &k in &dels {
+            a.delete(U64Key::new(k));
+        }
+        let mut b = build();
+        for &k in dels.iter().rev() {
+            b.delete(U64Key::new(k));
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        // And equals the table never containing the deleted keys.
+        let mut c: SerialHashHI<U64Key> = SerialHashHI::new_pow2(9);
+        for &k in keys.iter().filter(|k| *k % 2 != 0) {
+            c.insert(U64Key::new(k));
+        }
+        assert_eq!(a.snapshot(), c.snapshot());
+    }
+
+    #[test]
+    fn hd_is_history_dependent_but_correct() {
+        // HD layouts may differ across insertion orders, but contents
+        // agree as sets.
+        let keys: Vec<u64> = (1..=100).map(|i| i * 91 % 512 + 1).collect();
+        let mut fwd: SerialHashHD<U64Key> = SerialHashHD::new_pow2(9);
+        let mut rev: SerialHashHD<U64Key> = SerialHashHD::new_pow2(9);
+        for &k in &keys {
+            fwd.insert(U64Key::new(k));
+        }
+        for &k in keys.iter().rev() {
+            rev.insert(U64Key::new(k));
+        }
+        let mut ea: Vec<u64> = fwd.elements().iter().map(|k| k.0).collect();
+        let mut eb: Vec<u64> = rev.elements().iter().map(|k| k.0).collect();
+        ea.sort_unstable();
+        eb.sort_unstable();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn hi_kv_combining() {
+        let mut t: SerialHashHI<KvPair<KeepMin>> = SerialHashHI::new_pow2(6);
+        t.insert(KvPair::new(3, 50));
+        t.insert(KvPair::new(3, 20));
+        t.insert(KvPair::new(3, 80));
+        assert_eq!(t.find(KvPair::new(3, 0)).unwrap().value, 20);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn wraparound_delete_chain() {
+        // Small table to force wrapping clusters; delete everything.
+        let mut t: SerialHashHI<U64Key> = SerialHashHI::new_pow2(3);
+        let ks: Vec<u64> = (1..=6).collect();
+        for &k in &ks {
+            t.insert(U64Key::new(k));
+        }
+        for &k in &ks {
+            t.delete(U64Key::new(k));
+            assert_eq!(t.find(U64Key::new(k)), None);
+        }
+        assert!(t.snapshot().iter().all(|&c| c == 0));
+    }
+}

@@ -1,0 +1,94 @@
+//! Incremental Delaunay triangulation (the input builder for
+//! refinement, standing in for the PBBS triangulations of `2DinCube`
+//! and `2Dkuzmin`).
+
+use phc_parutil::IndexRng;
+use phc_workloads::points::Point2d;
+
+use crate::mesh::Mesh;
+use crate::predicates::snap;
+
+/// Triangulates `pts` (floating coordinates; snapped to the exact
+/// grid). Inserts in a deterministic pseudo-random order with a
+/// remembering walk — expected near-linear work on the paper's point
+/// distributions. Exact duplicates (after snapping) are skipped.
+pub fn triangulate(pts: &[Point2d]) -> Mesh {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in pts {
+        lo = lo.min(p.x).min(p.y);
+        hi = hi.max(p.x).max(p.y);
+    }
+    if !lo.is_finite() {
+        lo = 0.0;
+        hi = 1.0;
+    }
+    let mut mesh = Mesh::with_super_triangle(lo, hi);
+    // Deterministic shuffle of the insertion order (randomized
+    // incremental construction).
+    let mut order: Vec<usize> = (0..pts.len()).collect();
+    let rng = IndexRng::new(0x5eed);
+    for i in (1..order.len()).rev() {
+        let j = (rng.gen(i as u64) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let mut hint = 0u32;
+    for &i in &order {
+        let p = (snap(pts[i].x), snap(pts[i].y));
+        if let Some(created) = mesh.insert_point(p, hint) {
+            hint = created[0];
+        }
+    }
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangulates_uniform_points() {
+        let pts = phc_workloads::in_cube_2d(300, 1);
+        let mesh = triangulate(&pts);
+        mesh.check_integrity().unwrap();
+        mesh.check_delaunay().unwrap();
+        // All points distinct at this scale: 2n + 1 live triangles.
+        assert_eq!(mesh.live_triangles(), 2 * 300 + 1);
+    }
+
+    #[test]
+    fn triangulates_kuzmin_points() {
+        let pts = phc_workloads::kuzmin_2d(300, 2);
+        let mesh = triangulate(&pts);
+        mesh.check_integrity().unwrap();
+        mesh.check_delaunay().unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts = phc_workloads::in_cube_2d(200, 3);
+        let a = triangulate(&pts);
+        let b = triangulate(&pts);
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.tris.len(), b.tris.len());
+        for (x, y) in a.tris.iter().zip(&b.tris) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let m = triangulate(&[]);
+        assert_eq!(m.live_triangles(), 1);
+        let one = triangulate(&[Point2d { x: 0.5, y: 0.5 }]);
+        assert_eq!(one.live_triangles(), 3);
+        one.check_delaunay().unwrap();
+    }
+
+    #[test]
+    fn duplicate_points_skipped() {
+        let p = Point2d { x: 0.25, y: 0.75 };
+        let m = triangulate(&[p, p, p]);
+        assert_eq!(m.live_triangles(), 3);
+        m.check_integrity().unwrap();
+    }
+}

@@ -1,0 +1,357 @@
+//! Triangle-soup mesh with adjacency and Bowyer–Watson insertion.
+//!
+//! Triangles are stored CCW; `nbr[i]` is the triangle across the edge
+//! opposite vertex `i` (i.e. the edge `(v[i+1], v[i+2])`). Deleted
+//! triangles stay in the arena with `alive = false` so triangle ids
+//! remain stable — the refinement algorithm uses ids as deterministic
+//! priorities.
+
+use crate::predicates::{incircle, orient2d};
+
+/// Sentinel for "no neighbor" (convex-hull edge).
+pub const NONE: u32 = u32::MAX;
+
+/// A grid-snapped point.
+pub type IPoint = (i64, i64);
+
+/// One triangle: CCW vertex ids and the three opposite neighbors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tri {
+    /// Vertex indices (CCW).
+    pub v: [u32; 3],
+    /// `nbr[i]` faces the edge opposite `v[i]`.
+    pub nbr: [u32; 3],
+    /// Dead triangles remain for id stability.
+    pub alive: bool,
+}
+
+/// The mesh: points plus a growing triangle arena.
+pub struct Mesh {
+    /// Point coordinates; the first three are the enclosing
+    /// super-triangle.
+    pub points: Vec<IPoint>,
+    /// Triangle arena (some dead).
+    pub tris: Vec<Tri>,
+}
+
+impl Mesh {
+    /// Creates a mesh containing one huge super-triangle that encloses
+    /// the square `[lo, hi]²` with generous margin.
+    pub fn with_super_triangle(lo: f64, hi: f64) -> Self {
+        use crate::predicates::snap;
+        let span = (hi - lo).max(1.0);
+        let cx = (lo + hi) / 2.0;
+        let a = (snap(cx - 20.0 * span), snap(lo - 10.0 * span));
+        let b = (snap(cx + 20.0 * span), snap(lo - 10.0 * span));
+        let c = (snap(cx), snap(hi + 25.0 * span));
+        let mut m = Mesh { points: vec![a, b, c], tris: Vec::new() };
+        debug_assert!(orient2d(a, b, c) > 0);
+        m.tris.push(Tri { v: [0, 1, 2], nbr: [NONE, NONE, NONE], alive: true });
+        m
+    }
+
+    /// Number of live triangles.
+    pub fn live_triangles(&self) -> usize {
+        self.tris.iter().filter(|t| t.alive).count()
+    }
+
+    /// Whether vertex `v` belongs to the super-triangle.
+    #[inline]
+    pub fn is_super_vertex(&self, v: u32) -> bool {
+        v < 3
+    }
+
+    /// Whether triangle `t` touches the super-triangle.
+    pub fn touches_super(&self, t: u32) -> bool {
+        self.tris[t as usize].v.iter().any(|&v| self.is_super_vertex(v))
+    }
+
+    /// The coordinates of triangle `t`'s vertices.
+    #[inline]
+    pub fn corners(&self, t: u32) -> [IPoint; 3] {
+        let tri = &self.tris[t as usize];
+        [
+            self.points[tri.v[0] as usize],
+            self.points[tri.v[1] as usize],
+            self.points[tri.v[2] as usize],
+        ]
+    }
+
+    /// Whether point `p` lies inside or on triangle `t`.
+    pub fn contains(&self, t: u32, p: IPoint) -> bool {
+        let [a, b, c] = self.corners(t);
+        orient2d(a, b, p) >= 0 && orient2d(b, c, p) >= 0 && orient2d(c, a, p) >= 0
+    }
+
+    /// Walks from `start` towards the triangle containing `p`
+    /// (remembering walk; mesh must be a valid triangulation whose
+    /// union contains `p`). Returns `None` if the walk exits the mesh.
+    pub fn locate(&self, mut cur: u32, p: IPoint) -> Option<u32> {
+        // Tolerate a stale (dead) hint by falling back to the most
+        // recently created live triangle.
+        if !self.tris[cur as usize].alive {
+            cur = (0..self.tris.len() as u32)
+                .rev()
+                .find(|&t| self.tris[t as usize].alive)?;
+        }
+        let mut steps = 0usize;
+        let budget = 4 * self.tris.len() + 16;
+        'walk: loop {
+            steps += 1;
+            if steps > budget {
+                return None; // should not happen on a valid mesh
+            }
+            let tri = &self.tris[cur as usize];
+            debug_assert!(tri.alive);
+            let [a, b, c] = self.corners(cur);
+            let corners = [a, b, c];
+            for i in 0..3 {
+                // Edge opposite vertex i is (v[i+1], v[i+2]).
+                let e1 = corners[(i + 1) % 3];
+                let e2 = corners[(i + 2) % 3];
+                if orient2d(e1, e2, p) < 0 {
+                    let next = tri.nbr[i];
+                    if next == NONE {
+                        return None;
+                    }
+                    cur = next;
+                    continue 'walk;
+                }
+            }
+            return Some(cur);
+        }
+    }
+
+    /// The Bowyer–Watson cavity of `p` seeded at the containing
+    /// triangle `t0`: all triangles whose circumcircle strictly
+    /// contains `p` (BFS over adjacency). Read-only.
+    pub fn cavity(&self, t0: u32, p: IPoint) -> Vec<u32> {
+        let mut cav = vec![t0];
+        let mut seen = std::collections::HashSet::from([t0]);
+        let mut queue = vec![t0];
+        while let Some(t) = queue.pop() {
+            for &nb in &self.tris[t as usize].nbr {
+                if nb != NONE && !seen.contains(&nb) {
+                    let [a, b, c] = self.corners(nb);
+                    if incircle(a, b, c, p) > 0 {
+                        seen.insert(nb);
+                        cav.push(nb);
+                        queue.push(nb);
+                    }
+                }
+            }
+        }
+        cav.sort_unstable(); // canonical order for determinism
+        cav
+    }
+
+    /// The boundary ring of a cavity: directed edges `(a, b)` (CCW
+    /// around the cavity) with the outside triangle (or [`NONE`]).
+    pub fn cavity_boundary(&self, cavity: &[u32]) -> Vec<(u32, u32, u32)> {
+        let inside: std::collections::HashSet<u32> = cavity.iter().copied().collect();
+        let mut ring = Vec::new();
+        for &t in cavity {
+            let tri = &self.tris[t as usize];
+            for i in 0..3 {
+                let nb = tri.nbr[i];
+                if nb == NONE || !inside.contains(&nb) {
+                    ring.push((tri.v[(i + 1) % 3], tri.v[(i + 2) % 3], nb));
+                }
+            }
+        }
+        ring
+    }
+
+    /// Inserts point `p` (already in `self.points` at index `pid`) by
+    /// retriangulating the given cavity. Returns the new triangle ids.
+    /// Sequential building block; the parallel refiner computes patches
+    /// with the same logic.
+    pub fn retriangulate(&mut self, cavity: &[u32], pid: u32) -> Vec<u32> {
+        let ring = self.cavity_boundary(cavity);
+        let base = self.tris.len() as u32;
+        let n_new = ring.len();
+        // Map each boundary edge start-vertex → new triangle index, to
+        // stitch the fan (each (a, b) edge produces triangle (p, a, b);
+        // its (p,a) side neighbors the triangle whose edge ends at a).
+        let mut by_start = std::collections::HashMap::with_capacity(n_new);
+        let mut by_end = std::collections::HashMap::with_capacity(n_new);
+        for (k, &(a, b, _)) in ring.iter().enumerate() {
+            by_start.insert(a, base + k as u32);
+            by_end.insert(b, base + k as u32);
+        }
+        for (k, &(a, b, outer)) in ring.iter().enumerate() {
+            let id = base + k as u32;
+            // Triangle (p, a, b): vertex 0 = p, so nbr[0] = outer
+            // (across edge a-b); nbr[1] faces edge (b, p) → the new
+            // triangle starting at b; nbr[2] faces edge (p, a) → the
+            // new triangle ending at a.
+            let t = Tri {
+                v: [pid, a, b],
+                nbr: [outer, by_start[&b], by_end[&a]],
+                alive: true,
+            };
+            self.tris.push(t);
+            // Fix the outer triangle's back-pointer: its side whose
+            // directed edge is (b, a) now faces the new triangle.
+            if outer != NONE {
+                let o = &mut self.tris[outer as usize];
+                for i in 0..3 {
+                    let (e1, e2) = (o.v[(i + 1) % 3], o.v[(i + 2) % 3]);
+                    if e1 == b && e2 == a {
+                        o.nbr[i] = id;
+                    }
+                }
+            }
+        }
+        for &t in cavity {
+            self.tris[t as usize].alive = false;
+        }
+        (base..base + n_new as u32).collect()
+    }
+
+    /// Full Bowyer–Watson insertion of a new point. Returns the new
+    /// triangle ids, or `None` if the point is outside the mesh or
+    /// coincides with an existing vertex.
+    pub fn insert_point(&mut self, p: IPoint, hint: u32) -> Option<Vec<u32>> {
+        let t0 = self.locate(hint, p)?;
+        // Reject exact duplicates of the containing triangle's corners.
+        let tri = self.tris[t0 as usize];
+        for &v in &tri.v {
+            if self.points[v as usize] == p {
+                return None;
+            }
+        }
+        let cav = self.cavity(t0, p);
+        // A point exactly on a shared edge of two cavity triangles is
+        // fine; a point duplicating any cavity vertex is not.
+        for &t in &cav {
+            for &v in &self.tris[t as usize].v {
+                if self.points[v as usize] == p {
+                    return None;
+                }
+            }
+        }
+        let pid = self.points.len() as u32;
+        self.points.push(p);
+        Some(self.retriangulate(&cav, pid))
+    }
+
+    /// Checks mesh integrity: neighbor links are mutual, triangles CCW.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        for (id, t) in self.tris.iter().enumerate() {
+            if !t.alive {
+                continue;
+            }
+            let [a, b, c] = self.corners(id as u32);
+            if orient2d(a, b, c) <= 0 {
+                return Err(format!("triangle {id} not CCW"));
+            }
+            for i in 0..3 {
+                let nb = t.nbr[i];
+                if nb == NONE {
+                    continue;
+                }
+                let n = &self.tris[nb as usize];
+                if !n.alive {
+                    return Err(format!("triangle {id} points at dead {nb}"));
+                }
+                if !n.nbr.contains(&(id as u32)) {
+                    return Err(format!("asymmetric adjacency {id} -> {nb}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the (constrained-free) Delaunay property: no live
+    /// triangle's circumcircle strictly contains another mesh vertex.
+    /// Quadratic — test-only.
+    pub fn check_delaunay(&self) -> Result<(), String> {
+        for (id, t) in self.tris.iter().enumerate() {
+            if !t.alive {
+                continue;
+            }
+            let [a, b, c] = self.corners(id as u32);
+            for (pi, &p) in self.points.iter().enumerate() {
+                if t.v.contains(&(pi as u32)) {
+                    continue;
+                }
+                if incircle(a, b, c, p) > 0 {
+                    return Err(format!("vertex {pi} violates triangle {id}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::snap;
+
+    fn pt(x: f64, y: f64) -> IPoint {
+        (snap(x), snap(y))
+    }
+
+    #[test]
+    fn super_triangle_contains_unit_square() {
+        let m = Mesh::with_super_triangle(0.0, 1.0);
+        assert!(m.contains(0, pt(0.0, 0.0)));
+        assert!(m.contains(0, pt(1.0, 1.0)));
+        assert!(m.contains(0, pt(0.5, 0.5)));
+        m.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn single_insertion() {
+        let mut m = Mesh::with_super_triangle(0.0, 1.0);
+        let created = m.insert_point(pt(0.5, 0.5), 0).unwrap();
+        assert_eq!(created.len(), 3);
+        assert_eq!(m.live_triangles(), 3);
+        m.check_integrity().unwrap();
+        m.check_delaunay().unwrap();
+    }
+
+    #[test]
+    fn several_insertions_stay_delaunay() {
+        let mut m = Mesh::with_super_triangle(0.0, 1.0);
+        let pts = [
+            pt(0.5, 0.5),
+            pt(0.25, 0.3),
+            pt(0.75, 0.4),
+            pt(0.6, 0.8),
+            pt(0.1, 0.9),
+            pt(0.9, 0.1),
+        ];
+        let mut hint = 0;
+        for &p in &pts {
+            let created = m.insert_point(p, hint).unwrap();
+            hint = created[0];
+            m.check_integrity().unwrap();
+        }
+        m.check_delaunay().unwrap();
+        // Euler: with the 3 super vertices, live triangles = 2·n_inner + 1.
+        assert_eq!(m.live_triangles(), 2 * pts.len() + 1);
+    }
+
+    #[test]
+    fn duplicate_point_rejected() {
+        let mut m = Mesh::with_super_triangle(0.0, 1.0);
+        m.insert_point(pt(0.5, 0.5), 0).unwrap();
+        assert!(m.insert_point(pt(0.5, 0.5), 0).is_none());
+    }
+
+    #[test]
+    fn locate_finds_containing_triangle() {
+        let mut m = Mesh::with_super_triangle(0.0, 1.0);
+        m.insert_point(pt(0.5, 0.5), 0).unwrap();
+        m.insert_point(pt(0.2, 0.2), 1).unwrap();
+        for &(x, y) in &[(0.3, 0.3), (0.7, 0.6), (0.05, 0.95)] {
+            let p = pt(x, y);
+            let t = m.locate(m.tris.len() as u32 - 1, p).unwrap();
+            assert!(m.contains(t, p));
+            assert!(m.tris[t as usize].alive);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Exact geometric predicates on grid-snapped coordinates.
+//!
+//! Floating-point orientation/in-circle tests fail near degeneracy and
+//! would make "deterministic refinement" an empty promise. Instead of
+//! Shewchuk's adaptive expansions we snap every coordinate to a `2^26`
+//! integer grid ([`snap`]): with 27-bit signed coordinates the 3×3
+//! orientation determinant fits in `i64` and the 4-point in-circle
+//! determinant in `i128`, so both predicates are evaluated **exactly**.
+//! Snapping perturbs inputs by ≤ 2^-26 of the bounding box — irrelevant
+//! for mesh quality, decisive for robustness.
+
+/// Coordinates are snapped to this many grid cells per unit.
+pub const GRID: f64 = (1u64 << 26) as f64;
+
+/// Snaps a coordinate in (roughly) `[-32, 32]` to the integer grid.
+#[inline]
+pub fn snap(x: f64) -> i64 {
+    (x * GRID).round() as i64
+}
+
+/// Inverse of [`snap`], for reporting.
+#[inline]
+pub fn unsnap(x: i64) -> f64 {
+    x as f64 / GRID
+}
+
+/// Orientation of the triple `(a, b, c)` on grid points:
+/// `> 0` counter-clockwise, `< 0` clockwise, `= 0` collinear. Exact.
+#[inline]
+pub fn orient2d(a: (i64, i64), b: (i64, i64), c: (i64, i64)) -> i64 {
+    let acx = a.0 - c.0;
+    let acy = a.1 - c.1;
+    let bcx = b.0 - c.0;
+    let bcy = b.1 - c.1;
+    // |acx|,|acy| ≤ 2^28 after snapping sane inputs; the products fit
+    // comfortably in i64; sign is what callers use.
+    let det = acx as i128 * bcy as i128 - acy as i128 * bcx as i128;
+    det.signum() as i64
+}
+
+/// In-circle test: `> 0` iff `d` lies strictly inside the circumcircle
+/// of the CCW triangle `(a, b, c)`. Exact on grid points with
+/// coordinates up to ±2^60 (heavy-tailed inputs like `2Dkuzmin` snap
+/// to large magnitudes; the super-triangle is larger still).
+pub fn incircle(a: (i64, i64), b: (i64, i64), c: (i64, i64), d: (i64, i64)) -> i64 {
+    let adx = (a.0 - d.0) as i128;
+    let ady = (a.1 - d.1) as i128;
+    let bdx = (b.0 - d.0) as i128;
+    let bdy = (b.1 - d.1) as i128;
+    let cdx = (c.0 - d.0) as i128;
+    let cdy = (c.1 - d.1) as i128;
+
+    let alift = adx * adx + ady * ady;
+    let blift = bdx * bdx + bdy * bdy;
+    let clift = cdx * cdx + cdy * cdy;
+
+    let ab = adx * bdy - ady * bdx;
+    let bc = bdx * cdy - bdy * cdx;
+    let ca = cdx * ady - cdy * adx;
+
+    // Fast path: with differences below 2^30 every term fits i128.
+    let small = |x: i128| x.abs() < (1 << 30);
+    if small(adx) && small(ady) && small(bdx) && small(bdy) && small(cdx) && small(cdy) {
+        let det = alift * bc + blift * ca + clift * ab;
+        return det.signum() as i64;
+    }
+    // Exact wide path: accumulate the three products in 256 bits.
+    let det = I256::mul(alift, bc).add(I256::mul(blift, ca)).add(I256::mul(clift, ab));
+    det.signum()
+}
+
+/// Minimal signed 256-bit accumulator for the in-circle determinant.
+/// Only what the predicate needs: i128×i128 multiply, add, signum.
+#[derive(Clone, Copy, Debug)]
+struct I256 {
+    /// Two's-complement limbs, little-endian (lo, hi).
+    lo: u128,
+    hi: i128,
+}
+
+impl I256 {
+    fn mul(a: i128, b: i128) -> I256 {
+        let neg = (a < 0) != (b < 0);
+        let (ua, ub) = (a.unsigned_abs(), b.unsigned_abs());
+        // 128×128 → 256 via 64-bit limbs.
+        let (a0, a1) = (ua as u64 as u128, ua >> 64);
+        let (b0, b1) = (ub as u64 as u128, ub >> 64);
+        let p00 = a0 * b0;
+        let p01 = a0 * b1;
+        let p10 = a1 * b0;
+        let p11 = a1 * b1;
+        let mid = p01.wrapping_add(p10);
+        let mid_carry = if mid < p01 { 1u128 << 64 } else { 0 };
+        let lo = p00.wrapping_add(mid << 64);
+        let lo_carry = if lo < p00 { 1u128 } else { 0 };
+        let hi = p11 + (mid >> 64) + mid_carry + lo_carry;
+        let v = I256 { lo, hi: hi as i128 };
+        if neg {
+            v.neg()
+        } else {
+            v
+        }
+    }
+
+    fn neg(self) -> I256 {
+        let lo = (!self.lo).wrapping_add(1);
+        let hi = if lo == 0 {
+            (!self.hi).wrapping_add(1)
+        } else {
+            !self.hi
+        };
+        I256 { lo, hi }
+    }
+
+    fn add(self, other: I256) -> I256 {
+        let (lo, carry) = self.lo.overflowing_add(other.lo);
+        I256 { lo, hi: self.hi.wrapping_add(other.hi).wrapping_add(carry as i128) }
+    }
+
+    fn signum(self) -> i64 {
+        if self.hi < 0 {
+            -1
+        } else if self.hi > 0 || self.lo > 0 {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// Circumcenter of the triangle `(a, b, c)` in grid coordinates
+/// (rounded to the grid; `None` if the points are collinear).
+pub fn circumcenter(a: (i64, i64), b: (i64, i64), c: (i64, i64)) -> Option<(i64, i64)> {
+    let abx = (b.0 - a.0) as f64;
+    let aby = (b.1 - a.1) as f64;
+    let acx = (c.0 - a.0) as f64;
+    let acy = (c.1 - a.1) as f64;
+    let d = 2.0 * (abx * acy - aby * acx);
+    if d == 0.0 {
+        return None;
+    }
+    let ab2 = abx * abx + aby * aby;
+    let ac2 = acx * acx + acy * acy;
+    let ux = (acy * ab2 - aby * ac2) / d;
+    let uy = (abx * ac2 - acx * ab2) / d;
+    Some((a.0 + ux.round() as i64, a.1 + uy.round() as i64))
+}
+
+/// Squared distance between grid points (as `i128`, exact).
+#[inline]
+pub fn dist2(a: (i64, i64), b: (i64, i64)) -> i128 {
+    let dx = (a.0 - b.0) as i128;
+    let dy = (a.1 - b.1) as i128;
+    dx * dx + dy * dy
+}
+
+/// Whether the triangle has an angle smaller than `min_angle_deg`.
+///
+/// Uses the law of cosines on exact squared lengths with a floating
+/// comparison — fine here because "bad triangle" is a quality
+/// heuristic, not a correctness predicate.
+pub fn has_small_angle(
+    a: (i64, i64),
+    b: (i64, i64),
+    c: (i64, i64),
+    min_angle_deg: f64,
+) -> bool {
+    let l2 = [dist2(b, c) as f64, dist2(a, c) as f64, dist2(a, b) as f64];
+    let cos_min = min_angle_deg.to_radians().cos();
+    // The smallest angle is opposite the shortest edge.
+    for i in 0..3 {
+        let (opp, x, y) = (l2[i], l2[(i + 1) % 3], l2[(i + 2) % 3]);
+        if x == 0.0 || y == 0.0 {
+            return true; // degenerate
+        }
+        let cos_a = (x + y - opp) / (2.0 * (x * y).sqrt());
+        if cos_a > cos_min {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_signs() {
+        let (a, b, c) = ((0, 0), (10, 0), (0, 10));
+        assert!(orient2d(a, b, c) > 0); // CCW
+        assert!(orient2d(a, c, b) < 0); // CW
+        assert_eq!(orient2d((0, 0), (5, 5), (10, 10)), 0); // collinear
+    }
+
+    #[test]
+    fn orientation_exact_near_degenerate() {
+        // A case that defeats naive f64: nearly collinear large coords.
+        let a = (1 << 26, (1 << 26) - 1);
+        let b = (2 << 26, (2 << 26) - 1);
+        let c = (3 << 26, (3 << 26) - 2);
+        let s = orient2d(a, b, c);
+        assert_ne!(s, 0);
+        assert_eq!(s, -orient2d(a, c, b));
+    }
+
+    #[test]
+    fn incircle_signs() {
+        let (a, b, c) = ((0, 0), (10, 0), (0, 10));
+        assert!(incircle(a, b, c, (3, 3)) > 0); // inside
+        assert!(incircle(a, b, c, (100, 100)) < 0); // outside
+        assert_eq!(incircle(a, b, c, (10, 10)), 0); // cocircular corner
+    }
+
+    #[test]
+    fn circumcenter_equidistant() {
+        let (a, b, c) = ((0, 0), (1000, 0), (0, 1000));
+        let cc = circumcenter(a, b, c).unwrap();
+        assert_eq!(cc, (500, 500));
+        assert_eq!(dist2(cc, a), dist2(cc, b));
+        assert_eq!(dist2(cc, a), dist2(cc, c));
+        assert!(circumcenter((0, 0), (5, 5), (10, 10)).is_none());
+    }
+
+    #[test]
+    fn snap_roundtrip() {
+        for x in [0.0, 0.5, -1.25, 31.999] {
+            assert!((unsnap(snap(x)) - x).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn small_angle_detection() {
+        // Equilateral-ish: no angle below 30°.
+        let s = 1 << 20;
+        assert!(!has_small_angle((0, 0), (2 * s, 0), (s, (1.732 * s as f64) as i64), 30.0));
+        // Sliver: tiny angle.
+        assert!(has_small_angle((0, 0), (2 * s, 0), (s, s / 50), 30.0));
+    }
+}

@@ -1,0 +1,294 @@
+//! Breadth-first search (paper §5, Figure 2; Table 7).
+//!
+//! Three implementations, matching the paper's comparison:
+//!
+//! * [`serial_bfs`] — textbook queue BFS (the `serial` row);
+//! * [`array_bfs`] — deterministic parallel BFS that materializes each
+//!   next frontier into a pre-allocated array segment per frontier
+//!   vertex, then packs (the `array` row);
+//! * [`hash_bfs`] — the paper's Figure 2: winners of a `WriteMin` on
+//!   the parent slot insert the neighbor into a phase-concurrent hash
+//!   table, and the next frontier is simply `elements()` (generic over
+//!   the table implementation, so Table 7's per-table rows all run
+//!   through this one function).
+//!
+//! Both parallel variants resolve multi-parent races with `WriteMin`,
+//! so they produce the *same* deterministic parent array: each reached
+//! vertex's parent is the minimum frontier vertex pointing at it.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use phc_core::entry::U64Key;
+use phc_core::phase::{ConcurrentInsert, PhaseHashTable};
+use phc_parutil::scan_exclusive;
+use rayon::prelude::*;
+
+use crate::graph::Graph;
+
+/// Sentinel for unreachable vertices in the returned parent array.
+pub const UNREACHED: i64 = i64::MAX;
+
+/// Visited vertices are stored as `-(parent + 2)`: always negative, so
+/// any candidate parent (≥ 0) loses the `WriteMin`, and distinguishable
+/// from the `UNREACHED` sentinel.
+#[inline]
+fn encode_visited(parent: i64) -> i64 {
+    -(parent + 2)
+}
+
+#[inline]
+fn decode_visited(enc: i64) -> i64 {
+    -enc - 2
+}
+
+/// Serial BFS; returns the parent array (`parents[r] == r`,
+/// [`UNREACHED`] for unreachable vertices).
+pub fn serial_bfs(g: &Graph, r: usize) -> Vec<i64> {
+    let n = g.num_vertices();
+    let mut parents = vec![UNREACHED; n];
+    parents[r] = r as i64;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(r as u32);
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v as usize) {
+            if parents[u as usize] == UNREACHED {
+                parents[u as usize] = v as i64;
+                queue.push_back(u);
+            }
+        }
+    }
+    parents
+}
+
+/// Deterministic parallel array-based BFS (paper §5, the first method):
+/// `WriteMin` chooses parents; each frontier vertex copies the
+/// neighbors it won into its segment of a pre-sized array, which is
+/// then packed into the next frontier.
+pub fn array_bfs(g: &Graph, r: usize) -> Vec<i64> {
+    let n = g.num_vertices();
+    let parents: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(UNREACHED)).collect();
+    parents[r].store(encode_visited(r as i64), Ordering::Relaxed);
+    let mut frontier: Vec<u32> = vec![r as u32];
+    while !frontier.is_empty() {
+        let degs: Vec<usize> = frontier.iter().map(|&v| g.degree(v as usize)).collect();
+        let (offsets, total) = scan_exclusive(&degs);
+        // Phase 1: compete for parenthood.
+        frontier.par_iter().with_min_len(64).for_each(|&v| {
+            for &u in g.neighbors(v as usize) {
+                // Visited vertices hold negative values and never lose.
+                write_min_i64(&parents[u as usize], v as i64);
+            }
+        });
+        // Phase 2: winners copy their children into their segment.
+        let mut out: Vec<i64> = vec![-1; total];
+        let out_slices = split_segments(&mut out, &offsets, &degs);
+        frontier
+            .par_iter()
+            .zip(out_slices)
+            .with_min_len(64)
+            .for_each(|(&v, seg)| {
+                let nghs = g.neighbors(v as usize);
+                for (k, &u) in nghs.iter().enumerate() {
+                    // Skip duplicate parallel edges (lists are sorted,
+                    // so duplicates are adjacent): a vertex must enter
+                    // the frontier exactly once.
+                    if k > 0 && nghs[k - 1] == u {
+                        continue;
+                    }
+                    if parents[u as usize].load(Ordering::Acquire) == v as i64 {
+                        seg[k] = u as i64;
+                    }
+                }
+            });
+        // Pack and mark visited.
+        frontier = phc_parutil::pack_with(&out, |&x| (x >= 0).then_some(x as u32));
+        frontier.par_iter().with_min_len(256).for_each(|&u| {
+            let p = parents[u as usize].load(Ordering::Relaxed);
+            parents[u as usize].store(encode_visited(p), Ordering::Relaxed);
+        });
+    }
+    decode_parents(parents)
+}
+
+/// Hash-table BFS, exactly the paper's Figure 2, generic over the
+/// phase-concurrent table. Returns the same parent array as
+/// [`array_bfs`].
+pub fn hash_bfs<T, F>(g: &Graph, r: usize, mut make_table: F) -> Vec<i64>
+where
+    T: PhaseHashTable<U64Key>,
+    F: FnMut(u32) -> T,
+{
+    let n = g.num_vertices();
+    let parents: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(UNREACHED)).collect();
+    parents[r].store(encode_visited(r as i64), Ordering::Relaxed);
+    let mut frontier: Vec<u32> = vec![r as u32];
+    while !frontier.is_empty() {
+        let sum_deg: usize = frontier.iter().map(|&v| g.degree(v as usize)).sum();
+        // Table sized to the sum of frontier degrees rounded up to a
+        // power of two (paper §6), plus one bit so it can never be
+        // completely full.
+        let log2 = (sum_deg.max(2) + 1).next_power_of_two().trailing_zeros();
+        let mut table = make_table(log2);
+        {
+            let ins = table.begin_insert();
+            frontier.par_iter().with_min_len(64).for_each(|&v| {
+                for &u in g.neighbors(v as usize) {
+                    if write_min_i64(&parents[u as usize], v as i64) {
+                        // Keys are u+1 (0 is the tables' empty sentinel).
+                        ins.insert(U64Key::new(u as u64 + 1));
+                    }
+                }
+            });
+        }
+        let elems = table.elements();
+        frontier = elems.iter().map(|k| (k.0 - 1) as u32).collect();
+        frontier.par_iter().with_min_len(256).for_each(|&u| {
+            let p = parents[u as usize].load(Ordering::Relaxed);
+            parents[u as usize].store(encode_visited(p), Ordering::Relaxed);
+        });
+    }
+    decode_parents(parents)
+}
+
+/// `WriteMin` on an `i64` slot; visited (negative) entries always win.
+#[inline]
+fn write_min_i64(loc: &AtomicI64, val: i64) -> bool {
+    let mut cur = loc.load(Ordering::Relaxed);
+    while val < cur {
+        match loc.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return true,
+            Err(actual) => cur = actual,
+        }
+    }
+    false
+}
+
+fn decode_parents(parents: Vec<AtomicI64>) -> Vec<i64> {
+    parents
+        .into_iter()
+        .map(|p| {
+            let v = p.into_inner();
+            if v == UNREACHED {
+                UNREACHED
+            } else {
+                debug_assert!(v < 0, "unvisited-but-written vertex survived: {v}");
+                decode_visited(v)
+            }
+        })
+        .collect()
+}
+
+/// Splits `out` into per-frontier-vertex segments of the given sizes.
+fn split_segments<'a>(
+    out: &'a mut [i64],
+    offsets: &[usize],
+    degs: &[usize],
+) -> Vec<&'a mut [i64]> {
+    let mut segs = Vec::with_capacity(degs.len());
+    let mut rest = out;
+    let mut consumed = 0usize;
+    for (&off, &d) in offsets.iter().zip(degs) {
+        debug_assert_eq!(off, consumed);
+        let (head, tail) = rest.split_at_mut(d);
+        segs.push(head);
+        rest = tail;
+        consumed += d;
+    }
+    segs
+}
+
+/// BFS level (distance) of every vertex given a parent array — handy
+/// for comparing implementations that choose different parents.
+pub fn levels_from_parents(parents: &[i64], r: usize) -> Vec<i64> {
+    let n = parents.len();
+    let mut level = vec![-1i64; n];
+    level[r] = 0;
+    // Iterate to fixpoint (parents form a forest, depth ≤ n).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..n {
+            if level[v] < 0 && parents[v] != UNREACHED {
+                let p = parents[v] as usize;
+                if level[p] >= 0 {
+                    level[v] = level[p] + 1;
+                    changed = true;
+                }
+            }
+        }
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phc_core::{ChainedHashTable, CuckooHashTable, DetHashTable, NdHashTable};
+    use phc_workloads::graphs::EdgeList;
+
+    fn ring(n: usize) -> Graph {
+        Graph::from_edges(&EdgeList {
+            n,
+            edges: (0..n as u32).map(|v| (v, (v + 1) % n as u32)).collect(),
+        })
+    }
+
+    #[test]
+    fn serial_on_ring() {
+        let g = ring(10);
+        let p = serial_bfs(&g, 0);
+        assert_eq!(p[0], 0);
+        assert_eq!(p[1], 0);
+        assert_eq!(p[9], 0);
+        assert_eq!(p[2], 1);
+    }
+
+    #[test]
+    fn array_matches_hash_parents() {
+        let g = Graph::from_edges(&phc_workloads::random_graph(2000, 5, 1));
+        let a = array_bfs(&g, 0);
+        let h = hash_bfs(&g, 0, DetHashTable::<U64Key>::new_pow2);
+        assert_eq!(a, h);
+    }
+
+    #[test]
+    fn all_tables_agree() {
+        let g = Graph::from_edges(&phc_workloads::grid3d(8));
+        let reference = hash_bfs(&g, 0, DetHashTable::<U64Key>::new_pow2);
+        let nd = hash_bfs(&g, 0, NdHashTable::<U64Key>::new_pow2);
+        let ck = hash_bfs(&g, 0, |log2| CuckooHashTable::<U64Key>::new_pow2(log2 + 1));
+        let ch = hash_bfs(&g, 0, ChainedHashTable::<U64Key>::new_pow2_cr);
+        // WriteMin fixes the parents regardless of the table used.
+        assert_eq!(reference, nd);
+        assert_eq!(reference, ck);
+        assert_eq!(reference, ch);
+    }
+
+    #[test]
+    fn levels_match_serial() {
+        let g = Graph::from_edges(&phc_workloads::rmat(10, 6000, 2));
+        let ps = serial_bfs(&g, 0);
+        let pa = array_bfs(&g, 0);
+        assert_eq!(levels_from_parents(&ps, 0), levels_from_parents(&pa, 0));
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = Graph::from_edges(&EdgeList { n: 4, edges: vec![(0, 1)] });
+        let p = array_bfs(&g, 0);
+        assert_eq!(p[2], UNREACHED);
+        assert_eq!(p[3], UNREACHED);
+        let h = hash_bfs(&g, 0, DetHashTable::<U64Key>::new_pow2);
+        assert_eq!(p, h);
+    }
+
+    #[test]
+    fn hash_bfs_is_run_to_run_deterministic() {
+        let g = Graph::from_edges(&phc_workloads::rmat(11, 10_000, 5));
+        let a = hash_bfs(&g, 3, DetHashTable::<U64Key>::new_pow2);
+        for _ in 0..3 {
+            let b = hash_bfs(&g, 3, DetHashTable::<U64Key>::new_pow2);
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Connected components by repeated star contraction (the application
+//! the paper cites for edge contraction: Shun, Dhulipala & Blelloch's
+//! linear-work connectivity uses a deterministic hash table to remove
+//! duplicate edges on contraction).
+//!
+//! Each round: vertices flip a deterministic coin (hashed from the
+//! round and the vertex label); every tails vertex with at least one
+//! heads neighbor hooks to its *minimum* heads neighbor (deterministic
+//! conflict resolution); labels compress by pointer jumping; the edge
+//! list is relabeled and deduplicated through a phase-concurrent hash
+//! table. Rounds repeat until no inter-component edges remain.
+
+use phc_core::phase::{ConcurrentInsert, PhaseHashTable};
+use phc_parutil::hash64_pair;
+use rayon::prelude::*;
+
+use crate::edge_contraction::EdgeEntry;
+use crate::union_find::UnionFind;
+use phc_workloads::graphs::EdgeList;
+
+/// Computes a component label per vertex (labels are the minimum
+/// vertex id in each component — canonical and deterministic).
+/// `make_table(log2)` supplies the dedup table for each contraction
+/// round.
+pub fn connected_components<T, F>(el: &EdgeList, mut make_table: F) -> Vec<u32>
+where
+    T: PhaseHashTable<EdgeEntry>,
+    F: FnMut(u32) -> T,
+{
+    let n = el.n;
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut edges: Vec<(u32, u32)> = el
+        .edges
+        .iter()
+        .copied()
+        .filter(|&(u, v)| u != v)
+        .collect();
+    let mut round = 0u64;
+    while !edges.is_empty() {
+        round += 1;
+        assert!(round < 10_000, "contraction failed to converge");
+        // Deterministic coin per current label.
+        let heads = |v: u32| hash64_pair(round, v as u64) & 1 == 0;
+        // Hook: tails vertex → min heads neighbor.
+        let hook: Vec<u32> = {
+            let mut hook: Vec<u32> = (0..n as u32).collect();
+            // Min heads neighbor per tails vertex, in one sequential
+            // pass over the edges (deterministic; the edge list shrinks
+            // geometrically after the first rounds).
+            let mut consider = |t: u32, h: u32| {
+                if !heads(t) && heads(h) {
+                    let slot = &mut hook[t as usize];
+                    if *slot == t || h < *slot {
+                        *slot = h;
+                    }
+                }
+            };
+            for &(u, v) in &edges {
+                consider(u, v);
+                consider(v, u);
+            }
+            hook
+        };
+        // Apply hooks to labels of *current representatives*.
+        let mut next_label = label.clone();
+        next_label.par_iter_mut().enumerate().with_min_len(1024).for_each(|(v, l)| {
+            let cur = label[v];
+            // v's representative hooks wherever `hook` sends it.
+            let h = hook[cur as usize];
+            if h != cur {
+                *l = h;
+            }
+        });
+        // Pointer-jump to full compression (hooks form depth-1 stars:
+        // tails → heads, so one jump suffices; jump twice for safety).
+        for _ in 0..2 {
+            let snapshot = next_label.clone();
+            next_label.par_iter_mut().with_min_len(1024).for_each(|l| {
+                *l = snapshot[*l as usize];
+            });
+        }
+        label = next_label;
+        // Contract: relabel edges and dedup through the hash table.
+        let log2 = (edges.len() * 2).max(4).next_power_of_two().trailing_zeros();
+        let mut table = make_table(log2);
+        {
+            let ins = table.begin_insert();
+            edges.par_iter().with_min_len(512).for_each(|&(u, v)| {
+                let (ru, rv) = (label[u as usize], label[v as usize]);
+                if ru != rv {
+                    ins.insert(EdgeEntry::new(ru, rv, 1));
+                }
+            });
+        }
+        edges = table.elements().iter().map(|e| (e.u(), e.v())).collect();
+    }
+    // Canonicalize: label every vertex with the min id of its tree.
+    // The labels form a forest of depth ≥ 1; compress to roots, then
+    // roots are canonical only up to hooking — normalize by min id per
+    // root.
+    let mut compressed = label.clone();
+    loop {
+        let snapshot = compressed.clone();
+        let mut changed = false;
+        for v in 0..n {
+            let l = snapshot[compressed[v] as usize];
+            if l != compressed[v] {
+                compressed[v] = l;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut min_of_root = vec![u32::MAX; n];
+    for v in 0..n as u32 {
+        let r = compressed[v as usize] as usize;
+        min_of_root[r] = min_of_root[r].min(v);
+    }
+    (0..n).map(|v| min_of_root[compressed[v] as usize]).collect()
+}
+
+/// Union-find reference for validation.
+pub fn connected_components_reference(el: &EdgeList) -> Vec<u32> {
+    let uf = UnionFind::new(el.n);
+    for &(u, v) in &el.edges {
+        let (ru, rv) = (uf.find(u), uf.find(v));
+        if ru != rv {
+            uf.link(ru, rv);
+        }
+    }
+    let mut min_of_root = vec![u32::MAX; el.n];
+    for v in 0..el.n as u32 {
+        let r = uf.find(v) as usize;
+        min_of_root[r] = min_of_root[r].min(v);
+    }
+    (0..el.n as u32).map(|v| min_of_root[uf.find(v) as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phc_core::{ChainedHashTable, DetHashTable, NdHashTable};
+
+    fn check(el: &EdgeList) {
+        let expect = connected_components_reference(el);
+        let got = connected_components(el, DetHashTable::<EdgeEntry>::new_pow2);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn single_component_grid() {
+        check(&phc_workloads::grid3d(6));
+    }
+
+    #[test]
+    fn random_graph_components() {
+        check(&phc_workloads::random_graph(2000, 2, 1));
+    }
+
+    #[test]
+    fn sparse_graph_many_components() {
+        // Degree ~0.5: lots of small components.
+        let el = EdgeList {
+            n: 3000,
+            edges: phc_workloads::random_graph(3000, 1, 5)
+                .edges
+                .into_iter()
+                .step_by(2)
+                .collect(),
+        };
+        check(&el);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let el = EdgeList { n: 10, edges: vec![] };
+        let got = connected_components(&el, DetHashTable::<EdgeEntry>::new_pow2);
+        assert_eq!(got, (0..10u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_tables() {
+        let el = phc_workloads::rmat(11, 6000, 3);
+        let a = connected_components(&el, DetHashTable::<EdgeEntry>::new_pow2);
+        let b = connected_components(&el, DetHashTable::<EdgeEntry>::new_pow2);
+        assert_eq!(a, b);
+        // Component labels are canonical (min id), so even the ND
+        // tables must agree on the final labeling.
+        let nd = connected_components(&el, NdHashTable::<EdgeEntry>::new_pow2);
+        let ch = connected_components(&el, ChainedHashTable::<EdgeEntry>::new_pow2_cr);
+        assert_eq!(a, nd);
+        assert_eq!(a, ch);
+    }
+}

@@ -1,0 +1,124 @@
+//! Compressed sparse row (CSR) adjacency representation.
+
+use phc_parutil::scan_exclusive;
+use phc_workloads::graphs::EdgeList;
+use rayon::prelude::*;
+
+/// An undirected graph in CSR form (every edge stored in both
+/// directions).
+pub struct Graph {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+    n: usize,
+}
+
+impl Graph {
+    /// Builds a symmetric CSR graph from an edge list (each input edge
+    /// is inserted in both directions; parallel construction).
+    pub fn from_edges(el: &EdgeList) -> Self {
+        let n = el.n;
+        // Directed copies of every edge.
+        let mut degree = vec![0usize; n];
+        // Count degrees (sequential: contention-free and simple; the
+        // generators dominate construction cost anyway).
+        for &(u, v) in &el.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let (offsets_base, total) = scan_exclusive(&degree);
+        let mut cursor = offsets_base.clone();
+        let mut neighbors = vec![0u32; total];
+        for &(u, v) in &el.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort each adjacency list so the representation (and thus all
+        // deterministic algorithms over it) is canonical.
+        {
+            let mut slices: Vec<&mut [u32]> = Vec::with_capacity(n);
+            let mut rest: &mut [u32] = &mut neighbors;
+            for v in 0..n {
+                let d = degree[v];
+                let (head, tail) = rest.split_at_mut(d);
+                slices.push(head);
+                rest = tail;
+            }
+            slices.par_iter_mut().with_min_len(64).for_each(|s| s.sort_unstable());
+        }
+        let mut offsets = offsets_base;
+        offsets.push(total);
+        Graph { offsets, neighbors, n }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edge records (2× undirected edges).
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Neighbors of `v` (sorted ascending).
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Graph {
+        Graph::from_edges(&EdgeList { n: 4, edges: vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] })
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = tiny();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_directed_edges(), 10);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn symmetric() {
+        let g = tiny();
+        for v in 0..g.num_vertices() {
+            for &u in g.neighbors(v) {
+                assert!(g.neighbors(u as usize).contains(&(v as u32)), "{u} <-> {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_ok() {
+        let g = Graph::from_edges(&EdgeList { n: 5, edges: vec![(0, 1)] });
+        assert_eq!(g.degree(4), 0);
+        assert!(g.neighbors(4).is_empty());
+    }
+
+    #[test]
+    fn from_generator() {
+        let g = Graph::from_edges(&phc_workloads::grid3d(5));
+        assert_eq!(g.num_vertices(), 125);
+        // Torus: every vertex has degree 6.
+        for v in 0..125 {
+            assert_eq!(g.degree(v), 6, "vertex {v}");
+        }
+    }
+}

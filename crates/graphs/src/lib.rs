@@ -1,0 +1,29 @@
+//! Graph applications of phase-concurrent hash tables (paper §5–6).
+//!
+//! Three of the paper's six applications live here, each in two
+//! flavours — a direct array-addressing implementation and a
+//! hash-table-backed one, so the benchmarks can reproduce the paper's
+//! "cost of using a hash table instead of raw memory" comparison
+//! (Tables 6–8):
+//!
+//! * [`bfs`] — breadth-first search (Figure 2 of the paper);
+//! * [`spanning_forest`] — deterministic-reservations spanning forest;
+//! * [`edge_contraction`] — relabel + deduplicate-with-combine.
+//!
+//! Shared substrates: [`graph`] (CSR adjacency), [`union_find`]
+//! (concurrent union-find), and [`reservations`] (the deterministic
+//! reservations speculative-for framework of Blelloch et al.,
+//! PPoPP'12, which the paper's applications are built on).
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod connectivity;
+pub mod edge_contraction;
+pub mod graph;
+pub mod reservations;
+pub mod spanning_forest;
+pub mod union_find;
+
+pub use graph::Graph;
+pub use union_find::UnionFind;

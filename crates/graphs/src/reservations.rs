@@ -1,0 +1,208 @@
+//! Deterministic reservations (Blelloch, Fineman, Gibbons & Shun,
+//! PPoPP 2012).
+//!
+//! A *speculative for*: iterations carry priorities (their indices);
+//! each round takes a prefix of the remaining iterations, runs all
+//! their `reserve` steps in parallel (typically priority-writes into
+//! shared slots), then runs `commit` for those whose reservations held.
+//! Failed iterations retry in the next round, in order. Because
+//! conflicts always resolve in favour of the lowest index, the sequence
+//! of committed iterations — and thus the output — is identical to some
+//! fixed sequential order, regardless of parallel scheduling. The
+//! paper's Delaunay refinement, spanning forest, and maximal matching
+//! are all instances.
+
+use rayon::prelude::*;
+
+/// One speculative iteration space.
+pub trait Reservable: Sync {
+    /// Phase 0 for iteration `i`: reset the reservation slots this
+    /// iteration will write, so stale winners from earlier rounds
+    /// cannot block progress. Runs for the whole batch before any
+    /// `reserve`. Racing resets are fine — every participant writes
+    /// the same "empty" value. Default: nothing to reset.
+    fn prepare(&self, _i: usize) {}
+
+    /// Phase 1 for iteration `i`: attempt to reserve the shared state
+    /// it needs (use priority writes keyed by `i`). Return `false` to
+    /// give up on this iteration permanently (e.g. it became moot).
+    fn reserve(&self, i: usize) -> bool;
+
+    /// Phase 2 for iteration `i` (runs only if `reserve` returned
+    /// `true`): check the reservations stuck and perform the mutation.
+    /// Return `true` on success; `false` re-queues `i` for the next
+    /// round.
+    fn commit(&self, i: usize) -> bool;
+}
+
+/// Runs iterations `0..n` speculatively with round size
+/// `granularity`. Returns the number of rounds executed.
+pub fn speculative_for<R: Reservable>(r: &R, n: usize, granularity: usize) -> usize {
+    let items: Vec<usize> = (0..n).collect();
+    speculative_for_items(r, items, granularity)
+}
+
+/// [`speculative_for`] over an explicit (priority-ordered) item list.
+pub fn speculative_for_items<R: Reservable>(
+    r: &R,
+    mut items: Vec<usize>,
+    granularity: usize,
+) -> usize {
+    assert!(granularity > 0);
+    let mut rounds = 0usize;
+    while !items.is_empty() {
+        rounds += 1;
+        let take = granularity.min(items.len());
+        let batch = &items[..take];
+        batch.par_iter().with_min_len(64).for_each(|&i| r.prepare(i));
+        let reserved: Vec<bool> =
+            batch.par_iter().with_min_len(64).map(|&i| r.reserve(i)).collect();
+        let committed: Vec<bool> = batch
+            .par_iter()
+            .zip(reserved.par_iter())
+            .with_min_len(64)
+            .map(|(&i, &ok)| !ok || r.commit(i))
+            .collect();
+        let mut next: Vec<usize> = batch
+            .iter()
+            .zip(&committed)
+            .filter_map(|(&i, &done)| (!done).then_some(i))
+            .collect();
+        next.extend_from_slice(&items[take..]);
+        items = next;
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phc_core::priority_write::write_min_usize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Greedy maximal independent set on a path graph: iteration i
+    /// joins the MIS iff no lower-priority neighbor did. Determinism:
+    /// the result must equal the sequential greedy answer.
+    struct PathMis {
+        n: usize,
+        reservation: Vec<AtomicUsize>,
+        state: Vec<AtomicUsize>, // 0 = undecided, 1 = in MIS, 2 = out
+    }
+
+    impl PathMis {
+        fn new(n: usize) -> Self {
+            PathMis {
+                n,
+                reservation: (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect(),
+                state: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            }
+        }
+        fn neighborhood(&self, i: usize) -> impl Iterator<Item = usize> {
+            let lo = i.saturating_sub(1);
+            let hi = (i + 1).min(self.n - 1);
+            lo..=hi
+        }
+    }
+
+    impl Reservable for PathMis {
+        fn prepare(&self, i: usize) {
+            // Clear stale reservations so a neighbor that was decided
+            // OUT in an earlier round cannot block this one forever.
+            if self.state[i].load(Ordering::Acquire) == 0 {
+                for j in self.neighborhood(i) {
+                    self.reservation[j].store(usize::MAX, Ordering::Relaxed);
+                }
+            }
+        }
+        fn reserve(&self, i: usize) -> bool {
+            if self.state[i].load(Ordering::Acquire) != 0 {
+                return false;
+            }
+            for j in self.neighborhood(i) {
+                write_min_usize(&self.reservation[j], i);
+            }
+            true
+        }
+        fn commit(&self, i: usize) -> bool {
+            if self.state[i].load(Ordering::Acquire) != 0 {
+                return true;
+            }
+            let won = self.neighborhood(i).all(|j| {
+                self.reservation[j].load(Ordering::Acquire) == i
+                    || self.state[j].load(Ordering::Acquire) != 0
+            });
+            if won {
+                self.state[i].store(1, Ordering::Release);
+                for j in self.neighborhood(i) {
+                    if j != i {
+                        self.state[j].store(2, Ordering::Release);
+                    }
+                }
+                true
+            } else {
+                // Undecided neighbors with lower priority exist; retry.
+                // Reset our reservations so the winner can proceed.
+                false
+            }
+        }
+    }
+
+    fn sequential_greedy_mis(n: usize) -> Vec<usize> {
+        let mut state = vec![0u8; n];
+        for i in 0..n {
+            if state[i] == 0 {
+                state[i] = 1;
+                if i > 0 && state[i - 1] == 0 {
+                    state[i - 1] = 2;
+                }
+                if i + 1 < n && state[i + 1] == 0 {
+                    state[i + 1] = 2;
+                }
+            }
+        }
+        (0..n).filter(|&i| state[i] == 1).collect()
+    }
+
+    #[test]
+    fn mis_matches_sequential_greedy() {
+        let n = 5000;
+        let mis = PathMis::new(n);
+        let rounds = speculative_for(&mis, n, 512);
+        assert!(rounds >= 1);
+        let got: Vec<usize> =
+            (0..n).filter(|&i| mis.state[i].load(Ordering::Relaxed) == 1).collect();
+        assert_eq!(got, sequential_greedy_mis(n));
+    }
+
+    #[test]
+    fn mis_deterministic_across_granularities() {
+        let n = 3000;
+        let run = |g: usize| {
+            let mis = PathMis::new(n);
+            speculative_for(&mis, n, g);
+            (0..n)
+                .filter(|&i| mis.state[i].load(Ordering::Relaxed) == 1)
+                .collect::<Vec<usize>>()
+        };
+        // Determinism across round sizes is a stronger property than the
+        // paper needs (it fixes granularity), but greedy MIS on a path
+        // resolves conflicts purely by priority, so it holds here.
+        assert_eq!(run(64), run(4096));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        struct Trivial;
+        impl Reservable for Trivial {
+            fn reserve(&self, _i: usize) -> bool {
+                true
+            }
+            fn commit(&self, _i: usize) -> bool {
+                true
+            }
+        }
+        assert_eq!(speculative_for(&Trivial, 0, 10), 0);
+        assert_eq!(speculative_for(&Trivial, 1, 10), 1);
+        assert_eq!(speculative_for(&Trivial, 100, 10), 10);
+    }
+}

@@ -1,0 +1,272 @@
+//! Spanning forest via deterministic reservations (paper §5; Table 8).
+//!
+//! Edges carry their index as priority. Each round, pending edges find
+//! the components of their endpoints, reserve both component roots with
+//! a priority write, and edges that won at least one of their roots
+//! link that root and join the forest. The committed edge set equals
+//! that of a fixed sequential greedy run — deterministic regardless of
+//! scheduling.
+//!
+//! Two reservation stores, matching the paper's comparison:
+//!
+//! * [`array_spanning_forest`] — reservations in a plain array indexed
+//!   by vertex id (the `array` row of Table 8);
+//! * [`hash_spanning_forest`] — reservations in a phase-concurrent
+//!   hash table keyed by root id (the per-table rows), which is what
+//!   one would use when vertex ids are not small dense integers.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use phc_core::entry::{KeepMin, KvPair};
+use phc_core::phase::{ConcurrentInsert, ConcurrentRead, PhaseHashTable};
+use rayon::prelude::*;
+
+use crate::union_find::UnionFind;
+use phc_workloads::graphs::EdgeList;
+
+/// Round size for the speculative loop.
+const GRANULARITY: usize = 8192;
+
+/// Sequential reference: greedy union-find in edge order.
+pub fn serial_spanning_forest(el: &EdgeList) -> Vec<usize> {
+    let uf = UnionFind::new(el.n);
+    let mut forest = Vec::new();
+    for (i, &(u, v)) in el.edges.iter().enumerate() {
+        let (ru, rv) = (uf.find(u), uf.find(v));
+        if ru != rv {
+            uf.link(ru, rv);
+            forest.push(i);
+        }
+    }
+    forest
+}
+
+/// Deterministic parallel spanning forest with array reservations.
+/// Returns the indices of the forest edges (ascending).
+pub fn array_spanning_forest(el: &EdgeList) -> Vec<usize> {
+    let n = el.n;
+    let uf = UnionFind::new(n);
+    let reservations: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let in_forest: Vec<AtomicU32> = (0..el.edges.len()).map(|_| AtomicU32::new(0)).collect();
+
+    let mut pending: Vec<usize> = (0..el.edges.len()).collect();
+    while !pending.is_empty() {
+        let take = GRANULARITY.min(pending.len());
+        let batch = &pending[..take];
+        // Roots at round start (also used to reset reservations).
+        let roots: Vec<(u32, u32)> = batch
+            .par_iter()
+            .with_min_len(64)
+            .map(|&i| {
+                let (u, v) = el.edges[i];
+                (uf.find(u), uf.find(v))
+            })
+            .collect();
+        batch.par_iter().zip(roots.par_iter()).with_min_len(64).for_each(|(_, &(ru, rv))| {
+            reservations[ru as usize].store(u32::MAX, Ordering::Relaxed);
+            reservations[rv as usize].store(u32::MAX, Ordering::Relaxed);
+        });
+        // Reserve both roots with the edge priority.
+        batch.par_iter().zip(roots.par_iter()).with_min_len(64).for_each(|(&i, &(ru, rv))| {
+            if ru != rv {
+                phc_core::write_min_u32(&reservations[ru as usize], i as u32);
+                phc_core::write_min_u32(&reservations[rv as usize], i as u32);
+            }
+        });
+        // Commit: an edge that owns one of its roots links it.
+        let committed: Vec<bool> = batch
+            .par_iter()
+            .zip(roots.par_iter())
+            .with_min_len(64)
+            .map(|(&i, &(ru, rv))| {
+                if ru == rv {
+                    return true; // already connected; drop silently
+                }
+                if reservations[ru as usize].load(Ordering::Acquire) == i as u32 {
+                    uf.link(ru, rv);
+                } else if reservations[rv as usize].load(Ordering::Acquire) == i as u32 {
+                    uf.link(rv, ru);
+                } else {
+                    return false; // lost both; retry next round
+                }
+                in_forest[i].store(1, Ordering::Release);
+                true
+            })
+            .collect();
+        let mut next: Vec<usize> = batch
+            .iter()
+            .zip(&committed)
+            .filter_map(|(&i, &done)| (!done).then_some(i))
+            .collect();
+        next.extend_from_slice(&pending[take..]);
+        pending = next;
+    }
+    (0..el.edges.len()).filter(|&i| in_forest[i].load(Ordering::Relaxed) == 1).collect()
+}
+
+/// Deterministic parallel spanning forest with reservations kept in a
+/// phase-concurrent hash table (keys are root ids, values are edge
+/// priorities, combined with `min` — the paper's priority rule).
+pub fn hash_spanning_forest<T, F>(el: &EdgeList, mut make_table: F) -> Vec<usize>
+where
+    T: PhaseHashTable<KvPair<KeepMin>>,
+    F: FnMut(u32) -> T,
+{
+    let n = el.n;
+    let uf = UnionFind::new(n);
+    let in_forest: Vec<AtomicU32> = (0..el.edges.len()).map(|_| AtomicU32::new(0)).collect();
+    // Table sized to twice the vertex count (paper §6, Table 8 setup).
+    let log2 = (2 * n.max(2)).next_power_of_two().trailing_zeros();
+
+    let mut pending: Vec<usize> = (0..el.edges.len()).collect();
+    while !pending.is_empty() {
+        let take = GRANULARITY.min(pending.len());
+        let batch = &pending[..take];
+        let roots: Vec<(u32, u32)> = batch
+            .par_iter()
+            .with_min_len(64)
+            .map(|&i| {
+                let (u, v) = el.edges[i];
+                (uf.find(u), uf.find(v))
+            })
+            .collect();
+        // Fresh table per round = free reservation reset.
+        let mut table = make_table(log2);
+        {
+            let ins = table.begin_insert();
+            batch.par_iter().zip(roots.par_iter()).with_min_len(64).for_each(
+                |(&i, &(ru, rv))| {
+                    if ru != rv {
+                        // Keys are root+1 (0 is the empty sentinel).
+                        ins.insert(KvPair::new(ru + 1, i as u32));
+                        ins.insert(KvPair::new(rv + 1, i as u32));
+                    }
+                },
+            );
+        }
+        let committed: Vec<bool> = {
+            let reader = table.begin_read();
+            batch
+                .par_iter()
+                .zip(roots.par_iter())
+                .with_min_len(64)
+                .map(|(&i, &(ru, rv))| {
+                    if ru == rv {
+                        return true;
+                    }
+                    let owns = |root: u32| {
+                        reader
+                            .find(KvPair::new(root + 1, 0))
+                            .is_some_and(|kv| kv.value == i as u32)
+                    };
+                    if owns(ru) {
+                        uf.link(ru, rv);
+                    } else if owns(rv) {
+                        uf.link(rv, ru);
+                    } else {
+                        return false;
+                    }
+                    in_forest[i].store(1, Ordering::Release);
+                    true
+                })
+                .collect()
+        };
+        let mut next: Vec<usize> = batch
+            .iter()
+            .zip(&committed)
+            .filter_map(|(&i, &done)| (!done).then_some(i))
+            .collect();
+        next.extend_from_slice(&pending[take..]);
+        pending = next;
+    }
+    (0..el.edges.len()).filter(|&i| in_forest[i].load(Ordering::Relaxed) == 1).collect()
+}
+
+/// Validates that `forest` is a spanning forest of `el`: acyclic, and
+/// spans exactly the components of the graph.
+pub fn is_spanning_forest(el: &EdgeList, forest: &[usize]) -> bool {
+    let check = UnionFind::new(el.n);
+    for &i in forest {
+        let (u, v) = el.edges[i];
+        let (ru, rv) = (check.find(u), check.find(v));
+        if ru == rv {
+            return false; // cycle
+        }
+        check.link(ru, rv);
+    }
+    // Same component structure as the full graph?
+    let full = UnionFind::new(el.n);
+    for &(u, v) in &el.edges {
+        let (ru, rv) = (full.find(u), full.find(v));
+        if ru != rv {
+            full.link(ru, rv);
+        }
+    }
+    // Acyclic (checked above) + equal component counts ⇒ the forest
+    // spans every component.
+    full.num_components() == check.num_components()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phc_core::{ChainedHashTable, CuckooHashTable, DetHashTable, NdHashTable};
+
+    fn inputs() -> Vec<EdgeList> {
+        vec![
+            phc_workloads::grid3d(6),
+            phc_workloads::random_graph(800, 5, 1),
+            phc_workloads::rmat(10, 4000, 2),
+        ]
+    }
+
+    #[test]
+    fn serial_forest_valid() {
+        for el in inputs() {
+            let f = serial_spanning_forest(&el);
+            assert!(is_spanning_forest(&el, &f));
+        }
+    }
+
+    #[test]
+    fn array_forest_valid_and_deterministic() {
+        for el in inputs() {
+            let a = array_spanning_forest(&el);
+            assert!(is_spanning_forest(&el, &a));
+            assert_eq!(a, array_spanning_forest(&el));
+        }
+    }
+
+    #[test]
+    fn hash_forest_valid_and_matches_array() {
+        for el in inputs() {
+            let a = array_spanning_forest(&el);
+            let h = hash_spanning_forest(&el, |log2| {
+                DetHashTable::<KvPair<KeepMin>>::new_pow2(log2)
+            });
+            assert!(is_spanning_forest(&el, &h));
+            // Both resolve every conflict by minimum edge priority with
+            // identical round boundaries, so the forests coincide.
+            assert_eq!(a, h);
+        }
+    }
+
+    #[test]
+    fn other_tables_produce_valid_forests() {
+        let el = phc_workloads::random_graph(500, 5, 3);
+        for f in [
+            hash_spanning_forest(&el, NdHashTable::<KvPair<KeepMin>>::new_pow2),
+            hash_spanning_forest(&el, CuckooHashTable::<KvPair<KeepMin>>::new_pow2),
+            hash_spanning_forest(&el, ChainedHashTable::<KvPair<KeepMin>>::new_pow2_cr),
+        ] {
+            assert!(is_spanning_forest(&el, &f));
+        }
+    }
+
+    #[test]
+    fn forest_size_is_components() {
+        let el = phc_workloads::grid3d(5); // connected torus
+        let f = array_spanning_forest(&el);
+        assert_eq!(f.len(), el.n - 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Concurrent union-find (disjoint sets).
+//!
+//! The spanning-forest and edge-contraction applications use union-find
+//! inside deterministic reservations: `find` may run concurrently from
+//! any thread; `link` is only ever called on a root that the calling
+//! edge has exclusively reserved, which is what makes the concurrent
+//! usage safe (at most one link per root per round).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A concurrent union-find over vertices `0..n`.
+pub struct UnionFind {
+    parent: Vec<AtomicU32>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).map(AtomicU32::new).collect() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Root of `v`'s set, with path halving (safe concurrently: the
+    /// halving CAS only ever shortcuts towards the root).
+    pub fn find(&self, mut v: u32) -> u32 {
+        loop {
+            let p = self.parent[v as usize].load(Ordering::Acquire);
+            if p == v {
+                return v;
+            }
+            let gp = self.parent[p as usize].load(Ordering::Acquire);
+            if p == gp {
+                return p;
+            }
+            // Path halving.
+            let _ = self.parent[v as usize].compare_exchange(
+                p,
+                gp,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            v = gp;
+        }
+    }
+
+    /// Links root `r` under `other`'s tree. Caller must guarantee `r`
+    /// is a root it exclusively owns this round (reservation
+    /// discipline); debug builds check the root property.
+    pub fn link(&self, r: u32, other: u32) {
+        debug_assert_eq!(self.parent[r as usize].load(Ordering::Acquire), r, "link on non-root");
+        self.parent[r as usize].store(other, Ordering::Release);
+    }
+
+    /// Whether `u` and `v` are currently in the same set (exact only at
+    /// quiescence).
+    pub fn same_set(&self, u: u32, v: u32) -> bool {
+        self.find(u) == self.find(v)
+    }
+
+    /// Number of distinct roots (quiescent).
+    pub fn num_components(&self) -> usize {
+        (0..self.parent.len() as u32).filter(|&v| self.find(v) == v).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let uf = UnionFind::new(10);
+        for v in 0..10 {
+            assert_eq!(uf.find(v), v);
+        }
+        assert_eq!(uf.num_components(), 10);
+    }
+
+    #[test]
+    fn link_merges() {
+        let uf = UnionFind::new(6);
+        uf.link(0, 1);
+        uf.link(2, 3);
+        uf.link(uf.find(1), uf.find(3));
+        assert!(uf.same_set(0, 3));
+        assert!(!uf.same_set(0, 5));
+        assert_eq!(uf.num_components(), 3);
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let uf = UnionFind::new(1000);
+        for v in 0..999u32 {
+            uf.link(uf.find(v), v + 1);
+        }
+        assert_eq!(uf.find(0), uf.find(999));
+        assert_eq!(uf.num_components(), 1);
+    }
+
+    #[test]
+    fn concurrent_finds_are_safe() {
+        use rayon::prelude::*;
+        let uf = UnionFind::new(10_000);
+        for v in 0..9999u32 {
+            uf.link(uf.find(v), v + 1);
+        }
+        let roots: Vec<u32> = (0..10_000u32).into_par_iter().map(|v| uf.find(v)).collect();
+        let r = roots[0];
+        assert!(roots.iter().all(|&x| x == r));
+    }
+}

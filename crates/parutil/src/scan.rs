@@ -1,0 +1,158 @@
+//! Parallel prefix sums (scans).
+//!
+//! Implemented with the classic blocked two-pass algorithm: partition the
+//! input into blocks, reduce each block in parallel, scan the block sums
+//! sequentially (there are few of them), then scan each block in parallel
+//! seeded with its block offset. The result is bitwise identical to a
+//! sequential scan, which is what makes `pack` — and therefore the hash
+//! table's `elements()` — deterministic.
+
+use rayon::prelude::*;
+
+use crate::{num_blocks, DEFAULT_GRAIN};
+
+/// Exclusive prefix sum of `input`; returns `(sums, total)` where
+/// `sums[i] = input[0] + … + input[i-1]` and `total` is the sum of all
+/// elements.
+///
+/// ```
+/// let (sums, total) = phc_parutil::scan_exclusive(&[1usize, 2, 3, 4]);
+/// assert_eq!(sums, vec![0, 1, 3, 6]);
+/// assert_eq!(total, 10);
+/// ```
+pub fn scan_exclusive(input: &[usize]) -> (Vec<usize>, usize) {
+    let n = input.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    if n <= DEFAULT_GRAIN {
+        let mut out = Vec::with_capacity(n);
+        let mut acc = 0usize;
+        for &x in input {
+            out.push(acc);
+            acc += x;
+        }
+        return (out, acc);
+    }
+    let grain = DEFAULT_GRAIN;
+    let nb = num_blocks(n, grain);
+    let mut block_sums: Vec<usize> = vec![0; nb];
+    input
+        .par_chunks(grain)
+        .zip(block_sums.par_iter_mut())
+        .for_each(|(chunk, sum)| *sum = chunk.iter().sum());
+    // Sequential scan over the (few) block sums.
+    let mut acc = 0usize;
+    for s in block_sums.iter_mut() {
+        let v = *s;
+        *s = acc;
+        acc += v;
+    }
+    let total = acc;
+    let mut out = vec![0usize; n];
+    out.par_chunks_mut(grain)
+        .zip(input.par_chunks(grain))
+        .zip(block_sums.par_iter())
+        .for_each(|((out_chunk, in_chunk), &offset)| {
+            let mut acc = offset;
+            for (o, &x) in out_chunk.iter_mut().zip(in_chunk) {
+                *o = acc;
+                acc += x;
+            }
+        });
+    (out, total)
+}
+
+/// Inclusive prefix sum: `sums[i] = input[0] + … + input[i]`.
+pub fn scan_inclusive(input: &[usize]) -> Vec<usize> {
+    let (mut sums, _) = scan_exclusive(input);
+    sums.par_iter_mut()
+        .zip(input.par_iter())
+        .for_each(|(s, &x)| *s += x);
+    sums
+}
+
+/// In-place exclusive prefix sum; returns the total.
+pub fn scan_inplace_exclusive(data: &mut [usize]) -> usize {
+    let (sums, total) = scan_exclusive(data);
+    data.copy_from_slice(&sums);
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_exclusive(input: &[usize]) -> (Vec<usize>, usize) {
+        let mut out = Vec::with_capacity(input.len());
+        let mut acc = 0;
+        for &x in input {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn empty() {
+        let (s, t) = scan_exclusive(&[]);
+        assert!(s.is_empty());
+        assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn single() {
+        let (s, t) = scan_exclusive(&[7]);
+        assert_eq!(s, vec![0]);
+        assert_eq!(t, 7);
+    }
+
+    #[test]
+    fn matches_reference_small() {
+        let input: Vec<usize> = (0..100).map(|i| (i * 7 + 3) % 11).collect();
+        assert_eq!(scan_exclusive(&input), reference_exclusive(&input));
+    }
+
+    #[test]
+    fn matches_reference_large() {
+        let input: Vec<usize> = (0..100_000).map(|i| (i * 31 + 17) % 23).collect();
+        assert_eq!(scan_exclusive(&input), reference_exclusive(&input));
+    }
+
+    #[test]
+    fn inclusive_matches() {
+        let input: Vec<usize> = (0..10_000).map(|i| i % 5).collect();
+        let inc = scan_inclusive(&input);
+        let (exc, total) = scan_exclusive(&input);
+        for i in 0..input.len() {
+            assert_eq!(inc[i], exc[i] + input[i]);
+        }
+        assert_eq!(*inc.last().unwrap(), total);
+    }
+
+    #[test]
+    fn inplace_matches() {
+        let mut data: Vec<usize> = (0..50_000).map(|i| i % 7).collect();
+        let copy = data.clone();
+        let total = scan_inplace_exclusive(&mut data);
+        let (expect, expect_total) = reference_exclusive(&copy);
+        assert_eq!(data, expect);
+        assert_eq!(total, expect_total);
+    }
+
+    #[test]
+    fn all_zeros() {
+        let input = vec![0usize; 10_000];
+        let (s, t) = scan_exclusive(&input);
+        assert!(s.iter().all(|&x| x == 0));
+        assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn exactly_grain_boundary() {
+        for n in [DEFAULT_GRAIN - 1, DEFAULT_GRAIN, DEFAULT_GRAIN + 1, 2 * DEFAULT_GRAIN] {
+            let input: Vec<usize> = (0..n).map(|i| i % 3).collect();
+            assert_eq!(scan_exclusive(&input), reference_exclusive(&input));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Suffix array by parallel prefix doubling, and Kasai's LCP.
+
+use rayon::prelude::*;
+
+/// Builds the suffix array of `text` (all bytes allowed except the
+/// implicit terminator, which is smaller than every byte). Prefix
+/// doubling with parallel sorts: O(n log² n) work, deterministic.
+pub fn suffix_array(text: &[u8]) -> Vec<u32> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // rank[i] = rank of suffix i by its first k characters.
+    let mut rank: Vec<u32> = text.par_iter().map(|&b| b as u32 + 1).collect();
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let key = |sa_i: u32, rank: &[u32], k: usize| -> (u32, u32) {
+        let i = sa_i as usize;
+        let second = if i + k < rank.len() { rank[i + k] } else { 0 };
+        (rank[i], second)
+    };
+    let mut k = 0usize; // current prefix length handled (0 = single char pass next)
+    loop {
+        {
+            let r = &rank;
+            sa.par_sort_unstable_by_key(|&i| key(i, r, k));
+        }
+        // Re-rank.
+        let mut new_rank = vec![0u32; n];
+        let mut r = 1u32;
+        new_rank[sa[0] as usize] = r;
+        for w in 1..n {
+            if key(sa[w], &rank, k) != key(sa[w - 1], &rank, k) {
+                r += 1;
+            }
+            new_rank[sa[w] as usize] = r;
+        }
+        rank = new_rank;
+        if r as usize == n {
+            break;
+        }
+        k = if k == 0 { 1 } else { k * 2 };
+        if k >= n {
+            // All distinct by now unless the text is fully periodic;
+            // one more ranking pass resolves it.
+            if r as usize == n {
+                break;
+            }
+        }
+        if k > 2 * n {
+            unreachable!("prefix doubling failed to converge");
+        }
+    }
+    sa
+}
+
+/// Kasai's algorithm: `lcp[j]` is the length of the longest common
+/// prefix of `text[sa[j]..]` and `text[sa[j-1]..]` (`lcp[0] = 0`).
+pub fn lcp_kasai(text: &[u8], sa: &[u32]) -> Vec<u32> {
+    let n = text.len();
+    let mut lcp = vec![0u32; n];
+    if n == 0 {
+        return lcp;
+    }
+    let mut rank = vec![0u32; n];
+    for (j, &s) in sa.iter().enumerate() {
+        rank[s as usize] = j as u32;
+    }
+    let mut h = 0usize;
+    for i in 0..n {
+        let r = rank[i] as usize;
+        if r > 0 {
+            let j = sa[r - 1] as usize;
+            while i + h < n && j + h < n && text[i + h] == text[j + h] {
+                h += 1;
+            }
+            lcp[r] = h as u32;
+            h = h.saturating_sub(1);
+        } else {
+            h = 0;
+        }
+    }
+    lcp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_sa(text: &[u8]) -> Vec<u32> {
+        let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+        sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+        sa
+    }
+
+    #[test]
+    fn banana() {
+        let t = b"banana";
+        assert_eq!(suffix_array(t), naive_sa(t));
+    }
+
+    #[test]
+    fn matches_naive_on_random_texts() {
+        for seed in 0..5u64 {
+            let t = phc_workloads::text::protein_like(500, seed);
+            assert_eq!(suffix_array(&t), naive_sa(&t), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn periodic_text() {
+        let t = b"abababababababab";
+        assert_eq!(suffix_array(t), naive_sa(t));
+        let t2 = vec![b'a'; 64];
+        assert_eq!(suffix_array(&t2), naive_sa(&t2));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(suffix_array(b"").is_empty());
+        assert_eq!(suffix_array(b"x"), vec![0]);
+    }
+
+    #[test]
+    fn kasai_matches_naive() {
+        let t = phc_workloads::text::english_like(400, 3);
+        let sa = suffix_array(&t);
+        let lcp = lcp_kasai(&t, &sa);
+        for j in 1..sa.len() {
+            let a = &t[sa[j - 1] as usize..];
+            let b = &t[sa[j] as usize..];
+            let naive = a.iter().zip(b).take_while(|(x, y)| x == y).count();
+            assert_eq!(lcp[j] as usize, naive, "at {j}");
+        }
+        assert_eq!(lcp[0], 0);
+    }
+}

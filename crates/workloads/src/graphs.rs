@@ -1,0 +1,154 @@
+//! Graph inputs (paper §6: `3D-grid`, `random`, `rMat`).
+//!
+//! All generators return undirected edge lists with vertex ids in
+//! `[0, n)`; the graph applications build CSR adjacency from them.
+
+use phc_parutil::IndexRng;
+use rayon::prelude::*;
+
+/// An undirected edge list plus its vertex count.
+#[derive(Clone, Debug)]
+pub struct EdgeList {
+    /// Number of vertices.
+    pub n: usize,
+    /// Edges as (u, v) pairs; may contain duplicates and both
+    /// orientations depending on the generator.
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// `3D-grid`: vertices on a `side³` grid, each connected to its two
+/// neighbors in each dimension (torus wraparound, matching PBBS's
+/// constant-degree construction: every vertex has six edges).
+pub fn grid3d(side: usize) -> EdgeList {
+    let n = side * side * side;
+    assert!(n > 0);
+    let idx = |x: usize, y: usize, z: usize| -> u32 { ((x * side + y) * side + z) as u32 };
+    let edges: Vec<(u32, u32)> = (0..n)
+        .into_par_iter()
+        .with_min_len(1024)
+        .flat_map_iter(|v| {
+            let z = v % side;
+            let y = (v / side) % side;
+            let x = v / (side * side);
+            // Emit the +1 neighbor in each dimension: every edge once.
+            [
+                (idx(x, y, z), idx((x + 1) % side, y, z)),
+                (idx(x, y, z), idx(x, (y + 1) % side, z)),
+                (idx(x, y, z), idx(x, y, (z + 1) % side)),
+            ]
+        })
+        .filter(|&(u, v)| u != v)
+        .collect();
+    EdgeList { n, edges }
+}
+
+/// `random`: each vertex draws `degree` neighbors uniformly at random.
+pub fn random_graph(n: usize, degree: usize, seed: u64) -> EdgeList {
+    let rng = IndexRng::new(seed);
+    let edges: Vec<(u32, u32)> = (0..n)
+        .into_par_iter()
+        .with_min_len(1024)
+        .flat_map_iter(|v| {
+            let rng = rng;
+            (0..degree as u64).filter_map(move |d| {
+                let u = rng.gen_range(v as u64 * degree as u64 + d, n as u64) as u32;
+                (u as usize != v).then_some((v as u32, u))
+            })
+        })
+        .collect();
+    EdgeList { n, edges }
+}
+
+/// `rMat`: the recursive-matrix power-law generator of Chakrabarti,
+/// Zhan & Faloutsos with the standard PBBS parameters
+/// `(a, b, c) = (0.5, 0.1, 0.1)`.
+pub fn rmat(log2_n: u32, m: usize, seed: u64) -> EdgeList {
+    let n = 1usize << log2_n;
+    let rng = IndexRng::new(seed);
+    let (a, b, c) = (0.5f64, 0.1f64, 0.1f64);
+    let edges: Vec<(u32, u32)> = (0..m)
+        .into_par_iter()
+        .with_min_len(1024)
+        .filter_map(|e| {
+            let s = rng.stream(e as u64);
+            let (mut u, mut v) = (0usize, 0usize);
+            for lvl in 0..log2_n as u64 {
+                let r = s.gen_f64(lvl);
+                let (du, dv) = if r < a {
+                    (0, 0)
+                } else if r < a + b {
+                    (0, 1)
+                } else if r < a + b + c {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                u = (u << 1) | du;
+                v = (v << 1) | dv;
+            }
+            (u != v).then_some((u as u32, v as u32))
+        })
+        .collect();
+    EdgeList { n, edges }
+}
+
+impl EdgeList {
+    /// Total number of (directed) edge records.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_three_edges_per_vertex() {
+        let g = grid3d(10);
+        assert_eq!(g.n, 1000);
+        assert_eq!(g.edges.len(), 3000);
+        assert!(g.edges.iter().all(|&(u, v)| (u as usize) < g.n && (v as usize) < g.n));
+    }
+
+    #[test]
+    fn grid_side_one_has_no_self_loops() {
+        let g = grid3d(1);
+        assert_eq!(g.n, 1);
+        assert!(g.edges.is_empty());
+    }
+
+    #[test]
+    fn random_graph_shape() {
+        let g = random_graph(1000, 5, 1);
+        assert_eq!(g.n, 1000);
+        assert!(g.edges.len() <= 5000 && g.edges.len() > 4900);
+        assert!(g.edges.iter().all(|&(u, v)| (u as usize) < 1000 && (v as usize) < 1000 && u != v));
+        assert_eq!(random_graph(1000, 5, 1).edges, g.edges);
+    }
+
+    #[test]
+    fn rmat_is_power_law_ish() {
+        let g = rmat(12, 20_000, 3);
+        assert_eq!(g.n, 4096);
+        assert!(g.edges.iter().all(|&(u, v)| (u as usize) < g.n && (v as usize) < g.n));
+        // Degree skew: the max out-degree should dwarf the mean.
+        let mut deg = vec![0usize; g.n];
+        for &(u, _) in &g.edges {
+            deg[u as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let mean = g.edges.len() / g.n;
+        assert!(max > mean * 10, "max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn rmat_reproducible() {
+        assert_eq!(rmat(10, 5000, 7).edges, rmat(10, 5000, 7).edges);
+    }
+}

@@ -1,0 +1,29 @@
+//! Deterministic reimplementations of the PBBS input distributions used
+//! by the paper's evaluation (§6).
+//!
+//! Every generator is a pure function of `(seed, n)` — element `i` is
+//! derived by hashing `i`, so generation parallelizes trivially and the
+//! same inputs are reproduced bit-for-bit on every machine and thread
+//! count. The six sequence distributions match the paper:
+//!
+//! * [`random_seq_int`] / [`random_seq_pair_int`] — uniform in `[1, n]`;
+//! * [`expt_seq_int`] / [`expt_seq_pair_int`] — exponential (heavy
+//!   duplication, stress-tests collision handling);
+//! * [`trigram::words`] — English-like strings from a letter trigram
+//!   model (many duplicates, string comparisons);
+//!
+//! plus the graph inputs (`3D-grid`, `random`, `rMat`), the point
+//! distributions (`2DinCube`, `2Dkuzmin`), and synthetic stand-ins for
+//! the paper's suffix-tree corpora (see [`text`]).
+
+#![warn(missing_docs)]
+
+pub mod graphs;
+pub mod points;
+pub mod sequences;
+pub mod text;
+pub mod trigram;
+
+pub use graphs::{grid3d, random_graph, rmat};
+pub use points::{in_cube_2d, kuzmin_2d, Point2d};
+pub use sequences::{expt_seq_int, expt_seq_pair_int, random_seq_int, random_seq_pair_int};

@@ -1,0 +1,77 @@
+//! 2-D point distributions (paper §6: the Delaunay refinement inputs
+//! `2DinCube` and `2Dkuzmin`).
+
+use phc_parutil::IndexRng;
+use rayon::prelude::*;
+
+/// A 2-D point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point2d {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+}
+
+/// `2DinCube`: `n` points uniform in the unit square.
+pub fn in_cube_2d(n: usize, seed: u64) -> Vec<Point2d> {
+    let rx = IndexRng::new(seed);
+    let ry = rx.stream(1);
+    (0..n)
+        .into_par_iter()
+        .with_min_len(4096)
+        .map(|i| Point2d { x: rx.gen_f64(i as u64), y: ry.gen_f64(i as u64) })
+        .collect()
+}
+
+/// `2Dkuzmin`: `n` points from the Kuzmin disk distribution — a
+/// heavily clustered radial profile used by PBBS to stress spatially
+/// non-uniform meshes. Radius has CDF `F(r) = 1 - 1/√(1 + r²)`.
+pub fn kuzmin_2d(n: usize, seed: u64) -> Vec<Point2d> {
+    let ru = IndexRng::new(seed);
+    let rt = ru.stream(1);
+    (0..n)
+        .into_par_iter()
+        .with_min_len(4096)
+        .map(|i| {
+            let i = i as u64;
+            let u = ru.gen_f64(i).min(1.0 - 1e-12);
+            let r = ((1.0 / ((1.0 - u) * (1.0 - u))) - 1.0).sqrt();
+            let theta = rt.gen_f64(i) * std::f64::consts::TAU;
+            Point2d { x: r * theta.cos(), y: r * theta.sin() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_points_in_unit_square() {
+        let pts = in_cube_2d(10_000, 1);
+        assert_eq!(pts.len(), 10_000);
+        assert!(pts.iter().all(|p| (0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y)));
+    }
+
+    #[test]
+    fn cube_reproducible() {
+        assert_eq!(in_cube_2d(100, 5), in_cube_2d(100, 5));
+    }
+
+    #[test]
+    fn kuzmin_is_centrally_clustered() {
+        let pts = kuzmin_2d(20_000, 2);
+        let within_1 = pts.iter().filter(|p| (p.x * p.x + p.y * p.y) < 1.0).count();
+        // F(1) = 1 - 1/√2 ≈ 0.293 of mass within radius 1.
+        let frac = within_1 as f64 / pts.len() as f64;
+        assert!((0.26..0.33).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    fn kuzmin_has_long_tail() {
+        let pts = kuzmin_2d(20_000, 2);
+        let far = pts.iter().filter(|p| (p.x * p.x + p.y * p.y) > 100.0).count();
+        assert!(far > 0, "no tail points at all");
+    }
+}

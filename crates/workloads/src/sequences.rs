@@ -1,0 +1,128 @@
+//! Integer sequence distributions (paper §6: `randomSeq-int`,
+//! `randomSeq-pairInt`, `exptSeq-int`, `exptSeq-pairInt`).
+
+use phc_parutil::IndexRng;
+use rayon::prelude::*;
+
+/// `randomSeq-int`: `n` keys uniform in `[1, n]`.
+pub fn random_seq_int(n: usize, seed: u64) -> Vec<u64> {
+    let rng = IndexRng::new(seed);
+    (0..n)
+        .into_par_iter()
+        .with_min_len(4096)
+        .map(|i| rng.gen_range(i as u64, n as u64) + 1)
+        .collect()
+}
+
+/// `randomSeq-pairInt`: `n` key-value pairs, both uniform in `[1, n]`.
+pub fn random_seq_pair_int(n: usize, seed: u64) -> Vec<(u32, u32)> {
+    let keys = IndexRng::new(seed);
+    let vals = keys.stream(1);
+    let bound = (n as u64).min(u32::MAX as u64 - 1);
+    (0..n)
+        .into_par_iter()
+        .with_min_len(4096)
+        .map(|i| {
+            (
+                (keys.gen_range(i as u64, bound) + 1) as u32,
+                (vals.gen_range(i as u64, bound) + 1) as u32,
+            )
+        })
+        .collect()
+}
+
+/// `exptSeq-int`: `n` keys from an exponential distribution over
+/// `[1, n]` — hot keys repeat heavily, exercising collision paths.
+///
+/// Matches the PBBS construction: the key space is divided into
+/// log-many buckets whose probabilities halve, so key `1` region draws
+/// half the samples, the next region a quarter, and so on.
+pub fn expt_seq_int(n: usize, seed: u64) -> Vec<u64> {
+    let rng = IndexRng::new(seed);
+    let aux = rng.stream(7);
+    (0..n)
+        .into_par_iter()
+        .with_min_len(4096)
+        .map(|i| {
+            let i = i as u64;
+            // Geometric bucket index: count leading ones in a uniform
+            // draw (probability 2^-(b+1) for bucket b).
+            let u = rng.gen(i);
+            let bucket = (u.leading_ones() as u64).min(62);
+            // Uniform within the bucket's key range.
+            let lo = if bucket == 0 { 0 } else { n as u64 >> (64 - bucket).min(63) };
+            let hi = (n as u64 >> (63 - bucket).min(63)).max(lo + 1);
+            let span = (hi - lo).max(1);
+            lo + aux.gen_range(i, span) + 1
+        })
+        .collect()
+}
+
+/// `exptSeq-pairInt`: exponential keys with uniform values.
+pub fn expt_seq_pair_int(n: usize, seed: u64) -> Vec<(u32, u32)> {
+    let keys = expt_seq_int(n, seed);
+    let vals = IndexRng::new(seed).stream(2);
+    let bound = (n as u64).min(u32::MAX as u64 - 1);
+    keys.into_par_iter()
+        .enumerate()
+        .with_min_len(4096)
+        .map(|(i, k)| (k.min(u32::MAX as u64 - 1) as u32, (vals.gen_range(i as u64, bound) + 1) as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn random_seq_in_range_and_reproducible() {
+        let a = random_seq_int(10_000, 1);
+        let b = random_seq_int(10_000, 1);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&k| (1..=10_000).contains(&k)));
+        // Roughly uniform: distinct count near n(1 - 1/e) ≈ 0.632 n.
+        let distinct = a.iter().collect::<HashSet<_>>().len();
+        assert!((5700..7000).contains(&distinct), "distinct = {distinct}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(random_seq_int(1000, 1), random_seq_int(1000, 2));
+    }
+
+    #[test]
+    fn pair_int_keys_nonzero() {
+        let pairs = random_seq_pair_int(10_000, 3);
+        assert!(pairs.iter().all(|&(k, v)| k >= 1 && v >= 1));
+    }
+
+    #[test]
+    fn expt_seq_is_skewed() {
+        let a = expt_seq_int(100_000, 5);
+        assert!(a.iter().all(|&k| k >= 1));
+        let distinct = a.iter().collect::<HashSet<_>>().len();
+        // Exponential distribution has far fewer distinct keys than
+        // uniform (≈63k for uniform at this size).
+        assert!(distinct < 40_000, "distinct = {distinct}");
+        // And the single hottest key is very hot.
+        let mut counts = std::collections::HashMap::new();
+        for &k in &a {
+            *counts.entry(k).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().unwrap();
+        assert!(*max > 1000, "hottest key count = {max}");
+    }
+
+    #[test]
+    fn expt_seq_reproducible() {
+        assert_eq!(expt_seq_int(5000, 9), expt_seq_int(5000, 9));
+    }
+
+    #[test]
+    fn expt_pairs_match_keys() {
+        let pairs = expt_seq_pair_int(5000, 4);
+        assert_eq!(pairs.len(), 5000);
+        assert!(pairs.iter().all(|&(k, v)| k >= 1 && v >= 1));
+    }
+}

@@ -1,0 +1,132 @@
+//! Synthetic corpora standing in for the paper's suffix-tree texts.
+//!
+//! The paper uses three ~110 MB real-world files from the Manzini
+//! lightweight corpus: `etext99` (English prose), `retail96`
+//! (transaction records), `sprot34.dat` (protein database). Those files
+//! are not redistributable here, so we synthesize texts with the same
+//! *structural* character — alphabet size, repetition structure, and
+//! record shape — which is what drives suffix-tree size and search
+//! cost. The substitution is recorded in DESIGN.md §4.
+
+use phc_parutil::IndexRng;
+
+use crate::trigram::TrigramModel;
+
+/// English-prose-like text of roughly `n` bytes (words from the trigram
+/// model joined by spaces, sentences by periods). Stands in for
+/// `etext99`.
+pub fn english_like(n: usize, seed: u64) -> Vec<u8> {
+    let model = TrigramModel::new();
+    let rng = IndexRng::new(seed);
+    let mut out = Vec::with_capacity(n + 32);
+    let mut i = 0u64;
+    while out.len() < n {
+        let word = model.word(&rng, i);
+        out.extend_from_slice(word.as_bytes());
+        i += 1;
+        if rng.gen_range(i, 12) == 0 {
+            out.extend_from_slice(b". ");
+        } else {
+            out.push(b' ');
+        }
+    }
+    out.truncate(n);
+    out
+}
+
+/// Transaction-record-like text of roughly `n` bytes: newline-separated
+/// records of small item ids drawn from a skewed distribution (heavy
+/// repetition of popular items, like `retail96`).
+pub fn retail_like(n: usize, seed: u64) -> Vec<u8> {
+    let rng = IndexRng::new(seed);
+    let mut out = Vec::with_capacity(n + 32);
+    let mut i = 0u64;
+    while out.len() < n {
+        let items = 2 + rng.gen_range(i, 8);
+        for j in 0..items {
+            // Skewed item ids: square a uniform draw to favour small ids.
+            let u = rng.stream(1).gen_f64(i * 16 + j);
+            let id = (u * u * 9999.0) as u32;
+            out.extend_from_slice(id.to_string().as_bytes());
+            out.push(b' ');
+        }
+        out.push(b'\n');
+        i += 1;
+    }
+    out.truncate(n);
+    out
+}
+
+/// Protein-sequence-like text of roughly `n` bytes over the 20 amino
+/// acid letters, with repeated motifs spliced in (like `sprot34.dat`).
+pub fn protein_like(n: usize, seed: u64) -> Vec<u8> {
+    const AA: &[u8; 20] = b"ACDEFGHIKLMNPQRSTVWY";
+    let rng = IndexRng::new(seed);
+    let motifs: Vec<Vec<u8>> = (0..32u64)
+        .map(|m| {
+            let s = rng.stream(1000 + m);
+            (0..6 + s.gen_range(0, 10)).map(|j| AA[s.gen_range(j, 20) as usize]).collect()
+        })
+        .collect();
+    let mut out = Vec::with_capacity(n + 32);
+    let mut i = 0u64;
+    while out.len() < n {
+        if rng.gen_range(i, 4) == 0 {
+            // Splice a motif (repetition structure).
+            let m = &motifs[rng.gen_range(i * 2 + 1, 32) as usize];
+            out.extend_from_slice(m);
+        } else {
+            out.push(AA[rng.gen_range(i * 2, 20) as usize]);
+        }
+        i += 1;
+    }
+    out.truncate(n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn english_like_shape() {
+        let t = english_like(50_000, 1);
+        assert_eq!(t.len(), 50_000);
+        assert!(t.iter().all(|&b| b.is_ascii_lowercase() || b == b' ' || b == b'.'));
+        let spaces = t.iter().filter(|&&b| b == b' ').count();
+        assert!(spaces > 5_000, "too few word boundaries: {spaces}");
+    }
+
+    #[test]
+    fn retail_like_shape() {
+        let t = retail_like(50_000, 2);
+        assert_eq!(t.len(), 50_000);
+        assert!(t.iter().all(|&b| b.is_ascii_digit() || b == b' ' || b == b'\n'));
+    }
+
+    #[test]
+    fn protein_like_shape() {
+        let t = protein_like(50_000, 3);
+        assert_eq!(t.len(), 50_000);
+        assert!(t.iter().all(|b| b"ACDEFGHIKLMNPQRSTVWY".contains(b)));
+    }
+
+    #[test]
+    fn protein_has_repeats() {
+        // Motif splicing must create repeated 6-grams.
+        let t = protein_like(100_000, 3);
+        let mut grams = std::collections::HashMap::new();
+        for w in t.windows(6) {
+            *grams.entry(w).or_insert(0usize) += 1;
+        }
+        let max = grams.values().max().unwrap();
+        assert!(*max > 20, "max 6-gram repetition {max}");
+    }
+
+    #[test]
+    fn all_reproducible() {
+        assert_eq!(english_like(1000, 7), english_like(1000, 7));
+        assert_eq!(retail_like(1000, 7), retail_like(1000, 7));
+        assert_eq!(protein_like(1000, 7), protein_like(1000, 7));
+    }
+}

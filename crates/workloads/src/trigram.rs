@@ -1,0 +1,190 @@
+//! English-like string keys from a letter trigram model (the paper's
+//! `trigramSeq` input).
+//!
+//! PBBS generates words from trigram probabilities measured on English
+//! text. We embed a compact second-order Markov model instead of the
+//! original multi-megabyte table: transition weights are synthesized
+//! from English letter frequencies plus a list of the most common
+//! English trigrams, which reproduces the properties the benchmark
+//! needs — realistic letter distributions, word-length distribution,
+//! and (crucially) a heavy-tailed duplicate-key distribution, because
+//! short probable words recur constantly.
+
+use phc_parutil::IndexRng;
+use rayon::prelude::*;
+
+const ALPHA: usize = 26;
+
+/// English letter frequencies (per mille), the first-order backbone.
+const LETTER_FREQ: [u32; ALPHA] = [
+    82, 15, 28, 43, 127, 22, 20, 61, 70, 2, 8, 40, 24, 67, 75, 19, 1, 60, 63, 91, 28, 10, 24, 2,
+    20, 1,
+];
+
+/// Common English trigrams, used to sharpen the second-order structure.
+const COMMON_TRIGRAMS: &[&str] = &[
+    "the", "and", "ing", "ent", "ion", "her", "for", "tha", "nth", "int", "ere", "tio", "ter",
+    "est", "ers", "ati", "hat", "ate", "all", "eth", "hes", "ver", "his", "oft", "ith", "fth",
+    "sth", "oth", "res", "ont", "are", "ear", "was", "sin", "sto", "tis", "ted", "ers", "con",
+    "com", "per", "ble", "der", "ous", "pro", "sta", "men", "our", "ess", "ave",
+];
+
+/// The trigram model: for every letter pair, a cumulative distribution
+/// over the next letter.
+pub struct TrigramModel {
+    /// `cdf[a * 26 + b]` is the cumulative weight table for next-letter
+    /// selection after the pair `(a, b)`.
+    cdf: Vec<[u32; ALPHA]>,
+}
+
+impl Default for TrigramModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrigramModel {
+    /// Builds the embedded model (deterministic; no I/O).
+    pub fn new() -> Self {
+        let mut weights = vec![[1u32; ALPHA]; ALPHA * ALPHA];
+        // First-order backbone: after any pair, next-letter weight
+        // follows English letter frequency.
+        for w in weights.iter_mut() {
+            for (c, wt) in w.iter_mut().enumerate() {
+                *wt += LETTER_FREQ[c];
+            }
+        }
+        // Sharpen with common trigrams.
+        for tri in COMMON_TRIGRAMS {
+            let b = tri.as_bytes();
+            let (a, bb, c) = (b[0] - b'a', b[1] - b'a', b[2] - b'a');
+            weights[a as usize * ALPHA + bb as usize][c as usize] += 2000;
+        }
+        // Convert to CDFs.
+        let cdf = weights
+            .into_iter()
+            .map(|w| {
+                let mut acc = 0u32;
+                let mut out = [0u32; ALPHA];
+                for (o, wt) in out.iter_mut().zip(w) {
+                    acc += wt;
+                    *o = acc;
+                }
+                out
+            })
+            .collect();
+        TrigramModel { cdf }
+    }
+
+    fn next_letter(&self, a: u8, b: u8, draw: u64) -> u8 {
+        let table = &self.cdf[a as usize * ALPHA + b as usize];
+        let total = table[ALPHA - 1] as u64;
+        let x = (draw % total) as u32;
+        let pos = table.partition_point(|&c| c <= x);
+        pos.min(ALPHA - 1) as u8
+    }
+
+    /// Generates the `i`-th word of the stream `(seed)`: length is
+    /// geometric-ish (mean ≈ 5), letters follow the trigram chain.
+    pub fn word(&self, rng: &IndexRng, i: u64) -> String {
+        let w = rng.stream(i);
+        // Word length: 1 + geometric with p = 1/5, capped at 16.
+        let mut len = 1usize;
+        let mut d = w.gen(0);
+        while len < 16 && !d.is_multiple_of(5) {
+            len += 1;
+            d = phc_parutil::hash64(d);
+        }
+        let mut out = Vec::with_capacity(len);
+        let (mut a, mut b) = (b't' - b'a', b'h' - b'a');
+        for j in 0..len {
+            let c = self.next_letter(a, b, w.gen(1 + j as u64));
+            out.push(b'a' + c);
+            a = b;
+            b = c;
+        }
+        // SAFETY-free: all bytes are ASCII lowercase letters.
+        String::from_utf8(out).unwrap()
+    }
+}
+
+/// `trigramSeq`: `n` English-like words (many duplicates).
+pub fn words(n: usize, seed: u64) -> Vec<String> {
+    let model = TrigramModel::new();
+    let rng = IndexRng::new(seed);
+    (0..n)
+        .into_par_iter()
+        .with_min_len(1024)
+        .map(|i| model.word(&rng, i as u64))
+        .collect()
+}
+
+/// `trigramSeq-pairInt`: words with a uniform integer value each.
+pub fn words_with_values(n: usize, seed: u64) -> Vec<(String, u64)> {
+    let model = TrigramModel::new();
+    let rng = IndexRng::new(seed);
+    let vals = rng.stream(999);
+    (0..n)
+        .into_par_iter()
+        .with_min_len(1024)
+        .map(|i| (model.word(&rng, i as u64), vals.gen(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_lowercase_ascii() {
+        for w in words(2000, 1) {
+            assert!(!w.is_empty() && w.len() <= 16);
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()), "{w}");
+        }
+    }
+
+    #[test]
+    fn reproducible() {
+        assert_eq!(words(1000, 42), words(1000, 42));
+        assert_ne!(words(1000, 42), words(1000, 43));
+    }
+
+    #[test]
+    fn has_heavy_duplicates() {
+        let ws = words(50_000, 7);
+        let distinct = ws.iter().collect::<HashSet<_>>().len();
+        // The paper's trigramSeq has many duplicate keys; the model
+        // must reproduce that (well under half distinct).
+        assert!(distinct < 40_000, "distinct = {distinct}");
+        assert!(distinct > 1_000, "distinct = {distinct} (too degenerate)");
+    }
+
+    #[test]
+    fn letter_distribution_is_english_like() {
+        let ws = words(20_000, 3);
+        let mut counts = [0usize; 26];
+        let mut total = 0usize;
+        for w in &ws {
+            for b in w.bytes() {
+                counts[(b - b'a') as usize] += 1;
+                total += 1;
+            }
+        }
+        // 'e' and 't' should be far more common than 'q' and 'z'.
+        let e = counts[4] as f64 / total as f64;
+        let q = counts[16] as f64 / total as f64;
+        assert!(e > 0.05, "e freq {e}");
+        assert!(q < 0.01, "q freq {q}");
+    }
+
+    #[test]
+    fn pair_values_attached() {
+        let ps = words_with_values(500, 11);
+        assert_eq!(ps.len(), 500);
+        let plain = words(500, 11);
+        for (i, (w, _)) in ps.iter().enumerate() {
+            assert_eq!(w, &plain[i]);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Build a suffix-tree text index and run pattern searches — the
+//! paper's suffix tree application (§5), with the insert phase and the
+//! search phase cleanly separated.
+//!
+//! ```text
+//! cargo run --release --example text_index
+//! ```
+
+use phase_concurrent_hashing::strings::SuffixTree;
+use phase_concurrent_hashing::tables::{DetHashTable, KeepMin, KvPair};
+
+fn main() {
+    let text = phase_concurrent_hashing::workloads::text::english_like(100_000, 9);
+    let mut index = SuffixTree::build(&text, DetHashTable::<KvPair<KeepMin>>::new_pow2);
+    println!("indexed {} bytes into {} suffix-tree nodes", text.len(), index.num_nodes());
+
+    // Real substrings are always found...
+    for &(start, len) in &[(10usize, 12usize), (5_000, 25), (99_000, 40)] {
+        let pat = &text[start..start + len];
+        let pos = index.search(pat).expect("substring must be found") as usize;
+        assert_eq!(&text[pos..pos + len], pat);
+        println!(
+            "found {:>2}-byte pattern {:?} at offset {pos}",
+            len,
+            String::from_utf8_lossy(&pat[..len.min(16)])
+        );
+    }
+
+    // ...and absent patterns are rejected.
+    for pat in [&b"zzqzzq"[..], b"the quick brown fox!", b"\x01\x02\x03"] {
+        assert_eq!(index.search(pat), None);
+    }
+    println!("absent patterns correctly rejected ✓");
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper on this machine and
+# captures the outputs under experiments/out/.
+#
+#   ./experiments/run_all.sh [--n N] [--scale S]
+#
+# Pass-through args go to every binary (e.g. --threads 80 on a big box).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p experiments/out
+
+for b in table1 table2 table3 table4 table5 table6 table7 table8 fig4 fig5; do
+  echo "=== $b ==="
+  cargo run --release -q -p phc-bench --bin "$b" -- "$@" \
+    | tee "experiments/out/$b.txt"
+done
+echo "all outputs in experiments/out/"

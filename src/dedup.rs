@@ -1,0 +1,83 @@
+//! Remove duplicates (paper §5; Table 3).
+//!
+//! The simplest application: insert everything, return `elements()`.
+//! With the deterministic table the output *sequence* (not just the
+//! output set) is the same on every run and at every thread count —
+//! which is what lets a surrounding parallel algorithm stay internally
+//! deterministic.
+
+use phc_core::entry::HashEntry;
+use phc_core::phase::{ConcurrentInsert, PhaseHashTable};
+use rayon::prelude::*;
+
+/// Removes duplicates from `input` using the phase-concurrent table
+/// built by `make_table(log2)`. Returns the distinct entries in the
+/// table's `elements()` order (deterministic iff the table is).
+pub fn remove_duplicates<E, T, F>(input: &[E], make_table: F) -> Vec<E>
+where
+    E: HashEntry,
+    T: PhaseHashTable<E>,
+    F: FnOnce(u32) -> T,
+{
+    // Paper (§6, Table 3): table of 2^27 cells for n = 10^8 — scale
+    // the same ratio (≈ 1.34 n).
+    let log2 = (input.len() * 4 / 3).max(4).next_power_of_two().trailing_zeros();
+    let mut table = make_table(log2);
+    {
+        let ins = table.begin_insert();
+        input.par_iter().with_min_len(512).for_each(|&e| ins.insert(e));
+    }
+    table.elements()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phc_core::{ChainedHashTable, CuckooHashTable, DetHashTable, NdHashTable, U64Key};
+    use std::collections::BTreeSet;
+
+    fn input() -> Vec<U64Key> {
+        phc_workloads::expt_seq_int(20_000, 1).into_iter().map(U64Key::new).collect()
+    }
+
+    #[test]
+    fn removes_all_duplicates() {
+        let inp = input();
+        let out = remove_duplicates(&inp, DetHashTable::<U64Key>::new_pow2);
+        let expect: BTreeSet<U64Key> = inp.iter().copied().collect();
+        let got: BTreeSet<U64Key> = out.iter().copied().collect();
+        assert_eq!(got, expect);
+        assert_eq!(out.len(), expect.len());
+    }
+
+    #[test]
+    fn deterministic_sequence_for_det_table() {
+        let inp = input();
+        let a = remove_duplicates(&inp, DetHashTable::<U64Key>::new_pow2);
+        let mut shuffled = inp.clone();
+        shuffled.reverse();
+        let b = remove_duplicates(&shuffled, DetHashTable::<U64Key>::new_pow2);
+        // Same set, same *order*, regardless of input order.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_tables_agree_on_the_set() {
+        let inp = input();
+        let expect: BTreeSet<U64Key> =
+            remove_duplicates(&inp, DetHashTable::<U64Key>::new_pow2).into_iter().collect();
+        for got in [
+            remove_duplicates(&inp, NdHashTable::<U64Key>::new_pow2),
+            remove_duplicates(&inp, |l| CuckooHashTable::<U64Key>::new_pow2(l + 1)),
+            remove_duplicates(&inp, ChainedHashTable::<U64Key>::new_pow2_cr),
+        ] {
+            assert_eq!(got.into_iter().collect::<BTreeSet<_>>(), expect);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = remove_duplicates::<U64Key, _, _>(&[], DetHashTable::new_pow2);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Phase-concurrent hash tables for determinism — the full stack.
+//!
+//! A Rust reproduction of *Shun & Blelloch, "Phase-Concurrent Hash
+//! Tables for Determinism" (SPAA 2014)*. This facade crate re-exports
+//! the whole workspace:
+//!
+//! * [`tables`] (from `phc-core`) — the deterministic phase-concurrent
+//!   hash table and every baseline the paper compares against;
+//! * [`parutil`] — PBBS-style parallel primitives (scan, pack, arenas);
+//! * [`workloads`] — the paper's input distributions;
+//! * [`graphs`] — BFS, spanning forest, edge contraction;
+//! * [`geometry`] — Delaunay triangulation + deterministic refinement;
+//! * [`strings`] — suffix trees over phase-concurrent tables;
+//! * [`dedup`] — the remove-duplicates application (defined here).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use phase_concurrent_hashing::tables::{DetHashTable, U64Key, PhaseHashTable,
+//!     ConcurrentInsert, ConcurrentRead};
+//! use rayon::prelude::*;
+//!
+//! let mut table: DetHashTable<U64Key> = DetHashTable::new_pow2(16);
+//! {
+//!     let ins = table.begin_insert();                 // insert phase
+//!     (1..=1000u64).into_par_iter().for_each(|k| ins.insert(U64Key::new(k)));
+//! }
+//! let reader = table.begin_read();                    // find phase
+//! assert!(reader.find(U64Key::new(500)).is_some());
+//! assert_eq!(reader.elements().len(), 1000);          // deterministic order
+//! ```
+
+pub use phc_core as tables;
+pub use phc_geometry as geometry;
+pub use phc_graphs as graphs;
+pub use phc_parutil as parutil;
+pub use phc_strings as strings;
+pub use phc_workloads as workloads;
+
+pub mod dedup;

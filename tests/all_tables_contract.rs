@@ -1,0 +1,106 @@
+//! Contract tests run uniformly over *every* hash table in the crate
+//! through the `PhaseHashTable` trait: set semantics, phase behavior,
+//! combining, and stress under parallel phases. (The tables differ in
+//! determinism, not in correctness — these tests pin the shared
+//! contract.)
+
+use std::collections::BTreeSet;
+
+use phase_concurrent_hashing::tables::{
+    AddValues, ChainedHashTable, ConcurrentDelete, ConcurrentInsert, ConcurrentRead,
+    CuckooHashTable, DetHashTable, HopscotchHashTable, KvPair, NdHashTable, PhaseHashTable,
+    U64Key,
+};
+use rayon::prelude::*;
+
+fn check_set_semantics<T: PhaseHashTable<U64Key>>(mut table: T, label: &str) {
+    let keys: Vec<u64> =
+        phase_concurrent_hashing::workloads::random_seq_int(20_000, 42).to_vec();
+    {
+        let ins = table.begin_insert();
+        keys.par_iter().for_each(|&k| ins.insert(U64Key::new(k)));
+    }
+    let expect: BTreeSet<u64> = keys.iter().copied().collect();
+    {
+        let reader = table.begin_read();
+        for &k in expect.iter().take(2000) {
+            assert_eq!(reader.find(U64Key::new(k)), Some(U64Key::new(k)), "{label}: find {k}");
+        }
+        // Keys certainly absent (outside the generator's range).
+        for k in 1_000_001..1_000_101u64 {
+            assert_eq!(reader.find(U64Key::new(k)), None, "{label}: phantom {k}");
+        }
+    }
+    let got: BTreeSet<u64> = table.elements().iter().map(|k| k.0).collect();
+    assert_eq!(got, expect, "{label}: elements() set");
+
+    // Delete half, in parallel.
+    let dels: Vec<u64> = expect.iter().copied().step_by(2).collect();
+    {
+        let del = table.begin_delete();
+        dels.par_iter().for_each(|&k| del.delete(U64Key::new(k)));
+    }
+    let after: BTreeSet<u64> = table.elements().iter().map(|k| k.0).collect();
+    let expect_after: BTreeSet<u64> =
+        expect.iter().copied().filter(|k| !dels.contains(k)).collect();
+    assert_eq!(after, expect_after, "{label}: set after deletes");
+}
+
+#[test]
+fn set_semantics_all_tables() {
+    check_set_semantics(DetHashTable::<U64Key>::new_pow2(16), "linearHash-D");
+    check_set_semantics(NdHashTable::<U64Key>::new_pow2(16), "linearHash-ND");
+    check_set_semantics(CuckooHashTable::<U64Key>::new_pow2(17), "cuckooHash");
+    check_set_semantics(ChainedHashTable::<U64Key>::new_pow2(16), "chainedHash");
+    check_set_semantics(ChainedHashTable::<U64Key>::new_pow2_cr(16), "chainedHash-CR");
+    check_set_semantics(HopscotchHashTable::<U64Key>::new_pow2(16), "hopscotchHash");
+    check_set_semantics(HopscotchHashTable::<U64Key>::new_pow2_pc(16), "hopscotchHash-PC");
+}
+
+fn check_combining<T: PhaseHashTable<KvPair<AddValues>>>(mut table: T, label: &str) {
+    // 64 hot keys, 200 increments each, from all threads at once: the
+    // combining function must make concurrent duplicate inserts
+    // commute exactly.
+    {
+        let ins = table.begin_insert();
+        (0..12_800u32).into_par_iter().for_each(|i| {
+            ins.insert(KvPair::new(i % 64 + 1, 1));
+        });
+    }
+    let reader = table.begin_read();
+    for k in 1..=64u32 {
+        let got = reader.find(KvPair::new(k, 0)).unwrap_or_else(|| panic!("{label}: key {k}"));
+        assert_eq!(got.value, 200, "{label}: key {k} sum");
+    }
+}
+
+#[test]
+fn additive_combining_all_tables() {
+    check_combining(DetHashTable::<KvPair<AddValues>>::new_pow2(10), "linearHash-D");
+    check_combining(NdHashTable::<KvPair<AddValues>>::new_pow2(10), "linearHash-ND");
+    check_combining(CuckooHashTable::<KvPair<AddValues>>::new_pow2(10), "cuckooHash");
+    check_combining(ChainedHashTable::<KvPair<AddValues>>::new_pow2_cr(10), "chainedHash-CR");
+    check_combining(HopscotchHashTable::<KvPair<AddValues>>::new_pow2(10), "hopscotchHash");
+}
+
+/// High-duplication parallel insert storm (the chainedHash collapse
+/// scenario from Table 1) must stay correct on every table.
+#[test]
+fn duplicate_storm_all_tables() {
+    fn storm<T: PhaseHashTable<U64Key>>(mut table: T, label: &str) {
+        let keys: Vec<u64> = phase_concurrent_hashing::workloads::expt_seq_int(50_000, 9);
+        {
+            let ins = table.begin_insert();
+            keys.par_iter().for_each(|&k| ins.insert(U64Key::new(k)));
+        }
+        let expect: BTreeSet<u64> = keys.iter().copied().collect();
+        let got: BTreeSet<u64> = table.elements().iter().map(|k| k.0).collect();
+        assert_eq!(got, expect, "{label}");
+    }
+    storm(DetHashTable::<U64Key>::new_pow2(17), "linearHash-D");
+    storm(NdHashTable::<U64Key>::new_pow2(17), "linearHash-ND");
+    storm(CuckooHashTable::<U64Key>::new_pow2(17), "cuckooHash");
+    storm(ChainedHashTable::<U64Key>::new_pow2(17), "chainedHash");
+    storm(ChainedHashTable::<U64Key>::new_pow2_cr(17), "chainedHash-CR");
+    storm(HopscotchHashTable::<U64Key>::new_pow2(17), "hopscotchHash");
+}

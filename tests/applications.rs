@@ -1,0 +1,136 @@
+//! End-to-end application tests across crates: every §5 application
+//! runs on real inputs, cross-validated between its array-based and
+//! hash-table-based implementations and checked for run-to-run
+//! determinism.
+
+use phase_concurrent_hashing::tables::{DetHashTable, KeepMin, KvPair, U64Key};
+
+#[test]
+fn dedup_is_deterministic_and_correct() {
+    use phase_concurrent_hashing::dedup::remove_duplicates;
+    let input: Vec<U64Key> = phase_concurrent_hashing::workloads::expt_seq_int(30_000, 7)
+        .into_iter()
+        .map(U64Key::new)
+        .collect();
+    let a = remove_duplicates(&input, DetHashTable::<U64Key>::new_pow2);
+    let b = remove_duplicates(&input, DetHashTable::<U64Key>::new_pow2);
+    assert_eq!(a, b);
+    let set: std::collections::BTreeSet<u64> = input.iter().map(|k| k.0).collect();
+    assert_eq!(a.len(), set.len());
+}
+
+#[test]
+fn bfs_variants_agree_on_all_graph_families() {
+    use phase_concurrent_hashing::graphs::bfs::*;
+    use phase_concurrent_hashing::graphs::Graph;
+    for el in [
+        phase_concurrent_hashing::workloads::grid3d(10),
+        phase_concurrent_hashing::workloads::random_graph(3000, 5, 1),
+        phase_concurrent_hashing::workloads::rmat(12, 20_000, 2),
+    ] {
+        let g = Graph::from_edges(&el);
+        let serial = serial_bfs(&g, 0);
+        let array = array_bfs(&g, 0);
+        let hashed = hash_bfs(&g, 0, DetHashTable::<U64Key>::new_pow2);
+        assert_eq!(array, hashed);
+        assert_eq!(levels_from_parents(&serial, 0), levels_from_parents(&array, 0));
+    }
+}
+
+#[test]
+fn spanning_forest_hash_equals_array() {
+    use phase_concurrent_hashing::graphs::spanning_forest::*;
+    for el in [
+        phase_concurrent_hashing::workloads::grid3d(7),
+        phase_concurrent_hashing::workloads::rmat(11, 8000, 3),
+    ] {
+        let a = array_spanning_forest(&el);
+        let h = hash_spanning_forest(&el, DetHashTable::<KvPair<KeepMin>>::new_pow2);
+        assert!(is_spanning_forest(&el, &a));
+        assert_eq!(a, h);
+    }
+}
+
+#[test]
+fn contraction_weights_are_exact() {
+    use phase_concurrent_hashing::graphs::edge_contraction::*;
+    let el = phase_concurrent_hashing::workloads::rmat(12, 30_000, 5);
+    let labels = matching_labels(&el);
+    let det = contract(&el, &labels, DetHashTable::<EdgeEntry>::new_pow2);
+    let xadd = contract_nd_xadd(&el, &labels);
+    let as_map = |v: &[EdgeEntry]| -> std::collections::BTreeMap<(u32, u32), u32> {
+        v.iter().map(|e| ((e.u(), e.v()), e.weight())).collect()
+    };
+    assert_eq!(as_map(&det), as_map(&xadd));
+    // Total weight = number of contracted non-self edges.
+    let total: u64 = det.iter().map(|e| e.weight() as u64).sum();
+    let expect = el
+        .edges
+        .iter()
+        .filter(|&&(u, v)| labels[u as usize] != labels[v as usize])
+        .count() as u64;
+    assert_eq!(total, expect);
+}
+
+#[test]
+fn connectivity_matches_union_find() {
+    use phase_concurrent_hashing::graphs::connectivity::*;
+    use phase_concurrent_hashing::graphs::edge_contraction::EdgeEntry;
+    let el = phase_concurrent_hashing::workloads::random_graph(5000, 2, 9);
+    let got = connected_components(&el, DetHashTable::<EdgeEntry>::new_pow2);
+    assert_eq!(got, connected_components_reference(&el));
+}
+
+#[test]
+fn refinement_round_uses_deterministic_elements() {
+    use phase_concurrent_hashing::geometry::{refine, triangulate};
+    let pts = phase_concurrent_hashing::workloads::in_cube_2d(400, 8);
+    let run = || {
+        let mut mesh = triangulate(&pts);
+        let stats = refine(&mut mesh, 25.0, 100_000, DetHashTable::<U64Key>::new_pow2);
+        (stats, mesh.points.len(), mesh.live_triangles())
+    };
+    let a = run();
+    assert_eq!(a, run());
+    assert_eq!(a.0.final_bad, 0);
+}
+
+#[test]
+fn refinement_is_thread_count_invariant() {
+    use phase_concurrent_hashing::geometry::{refine, triangulate};
+    let pts = phase_concurrent_hashing::workloads::kuzmin_2d(300, 12);
+    let run = |threads: usize| {
+        phase_concurrent_hashing::parutil::run_with_threads(threads, || {
+            let mut mesh = triangulate(&pts);
+            let stats = refine(&mut mesh, 24.0, 50_000, DetHashTable::<U64Key>::new_pow2);
+            (stats, mesh.points, mesh.tris.iter().map(|t| (t.v, t.alive)).collect::<Vec<_>>())
+        })
+    };
+    let one = run(1);
+    for t in [2, 4] {
+        assert_eq!(one, run(t), "refinement differs at {t} threads");
+    }
+}
+
+#[test]
+fn suffix_tree_over_every_table_kind() {
+    use phase_concurrent_hashing::strings::SuffixTree;
+    use phase_concurrent_hashing::tables::{ChainedHashTable, CuckooHashTable, NdHashTable};
+    type Kv = KvPair<KeepMin>;
+    let text = phase_concurrent_hashing::workloads::text::english_like(3000, 4);
+    let pats: Vec<&[u8]> = vec![&text[100..115], &text[1000..1030], &text[2500..2510]];
+    macro_rules! check {
+        ($make:expr) => {{
+            let mut st = SuffixTree::build(&text, $make);
+            for p in &pats {
+                let pos = st.search(p).expect("pattern must be found") as usize;
+                assert_eq!(&text[pos..pos + p.len()], *p);
+            }
+            assert_eq!(st.search(b"\x01zz"), None);
+        }};
+    }
+    check!(DetHashTable::<Kv>::new_pow2);
+    check!(NdHashTable::<Kv>::new_pow2);
+    check!(|l| CuckooHashTable::<Kv>::new_pow2(l + 1));
+    check!(ChainedHashTable::<Kv>::new_pow2_cr);
+}

@@ -1,0 +1,123 @@
+//! Cross-crate determinism tests: the paper's central claim, checked
+//! end-to-end — the deterministic table's state is a pure function of
+//! the operation *set*, never the order, interleaving, or thread
+//! count.
+
+use phase_concurrent_hashing::tables::{
+    invariant, ConcurrentDelete, ConcurrentInsert, DetHashTable, PhaseHashTable, SerialHashHI,
+    U64Key,
+};
+use rayon::prelude::*;
+
+fn keys(n: usize, seed: u64) -> Vec<u64> {
+    phase_concurrent_hashing::workloads::random_seq_int(n, seed)
+}
+
+/// Concurrent inserts must land in exactly the layout the sequential
+/// history-independent oracle produces.
+#[test]
+fn concurrent_inserts_match_serial_oracle() {
+    let ks = keys(50_000, 1);
+    let mut oracle: SerialHashHI<U64Key> = SerialHashHI::new_pow2(17);
+    for &k in &ks {
+        oracle.insert(U64Key::new(k));
+    }
+    for round in 0..3 {
+        let mut t: DetHashTable<U64Key> = DetHashTable::new_pow2(17);
+        {
+            let ins = t.begin_insert();
+            ks.par_iter().for_each(|&k| ins.insert(U64Key::new(k)));
+        }
+        assert_eq!(t.snapshot(), oracle.snapshot(), "round {round}");
+    }
+}
+
+/// Concurrent deletes leave exactly the layout of the never-inserted
+/// complement.
+#[test]
+fn concurrent_deletes_match_serial_oracle() {
+    let ks = keys(30_000, 2);
+    let (dels, keeps) = ks.split_at(18_000);
+    let mut oracle: SerialHashHI<U64Key> = SerialHashHI::new_pow2(16);
+    let delset: std::collections::HashSet<u64> = dels.iter().copied().collect();
+    for &k in keeps.iter().filter(|k| !delset.contains(k)) {
+        oracle.insert(U64Key::new(k));
+    }
+    for round in 0..3 {
+        let mut t: DetHashTable<U64Key> = DetHashTable::new_pow2(16);
+        {
+            let ins = t.begin_insert();
+            ks.par_iter().for_each(|&k| ins.insert(U64Key::new(k)));
+        }
+        {
+            let del = t.begin_delete();
+            dels.par_iter().for_each(|&k| del.delete(U64Key::new(k)));
+        }
+        assert_eq!(t.snapshot(), oracle.snapshot(), "round {round}");
+    }
+}
+
+/// The ordering invariant (Def. 2) holds at quiescence after heavily
+/// contended mixed rounds of insert and delete phases.
+#[test]
+fn ordering_invariant_after_stress() {
+    let mut t: DetHashTable<U64Key> = DetHashTable::new_pow2(14);
+    let a = keys(8_000, 3);
+    let b = keys(8_000, 4);
+    for round in 0..6 {
+        {
+            let ins = t.begin_insert();
+            let src = if round % 2 == 0 { &a } else { &b };
+            src.par_iter().for_each(|&k| ins.insert(U64Key::new(k)));
+        }
+        {
+            let del = t.begin_delete();
+            let src = if round % 2 == 0 { &b } else { &a };
+            del.delete(U64Key::new(1));
+            src.par_iter().for_each(|&k| del.delete(U64Key::new(k)));
+        }
+        let snap = t.snapshot();
+        invariant::check_ordering_invariant::<U64Key>(&snap).unwrap();
+        invariant::check_no_duplicate_keys::<U64Key>(&snap).unwrap();
+    }
+}
+
+/// elements() output is identical across thread counts.
+#[test]
+fn elements_identical_across_thread_counts() {
+    let ks = keys(40_000, 5);
+    let run = |threads: usize| -> Vec<U64Key> {
+        phase_concurrent_hashing::parutil::run_with_threads(threads, || {
+            let mut t: DetHashTable<U64Key> = DetHashTable::new_pow2(17);
+            {
+                let ins = t.begin_insert();
+                ks.par_iter().for_each(|&k| ins.insert(U64Key::new(k)));
+            }
+            t.elements()
+        })
+    };
+    let one = run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(one, run(threads), "threads = {threads}");
+    }
+}
+
+/// The growable wrapper preserves history independence across growth
+/// schedules.
+#[test]
+fn resizable_table_is_deterministic() {
+    use phase_concurrent_hashing::tables::ResizableTable;
+    let ks = keys(20_000, 6);
+    let run = |order_rev: bool| {
+        let mut t: ResizableTable<U64Key> = ResizableTable::new_pow2(6);
+        t.insert_phase(|t| {
+            if order_rev {
+                ks.par_iter().rev().for_each(|&k| t.insert(U64Key::new(k)));
+            } else {
+                ks.par_iter().for_each(|&k| t.insert(U64Key::new(k)));
+            }
+        });
+        (t.capacity(), t.snapshot())
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -1,0 +1,85 @@
+//! Property tests for the parallel substrates and for parallel-vs-
+//! sequential equivalence of the deterministic table — arbitrary
+//! inputs, not just the benchmark distributions.
+
+use proptest::prelude::*;
+
+use phase_concurrent_hashing::parutil::{pack, pack_index, scan_exclusive, scan_inclusive};
+use phase_concurrent_hashing::tables::{ConcurrentInsert, DetHashTable, PhaseHashTable, U64Key};
+use rayon::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scan_matches_sequential(input in prop::collection::vec(0usize..1000, 0..5000)) {
+        let (sums, total) = scan_exclusive(&input);
+        let mut acc = 0usize;
+        for (i, &x) in input.iter().enumerate() {
+            prop_assert_eq!(sums[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+        let inc = scan_inclusive(&input);
+        for i in 0..input.len() {
+            prop_assert_eq!(inc[i], sums[i] + input[i]);
+        }
+    }
+
+    #[test]
+    fn pack_matches_filter(input in prop::collection::vec(0u32..100, 0..5000), m in 1u32..10) {
+        let got = pack(&input, |&x| x % m == 0);
+        let expect: Vec<u32> = input.iter().copied().filter(|&x| x % m == 0).collect();
+        prop_assert_eq!(got, expect);
+        let idx = pack_index(&input, |&x| x % m == 0);
+        let expect_idx: Vec<usize> =
+            (0..input.len()).filter(|&i| input[i] % m == 0).collect();
+        prop_assert_eq!(idx, expect_idx);
+    }
+
+    /// Parallel insertion of an arbitrary multiset lands in exactly the
+    /// sequential layout — the concurrency half of Theorem 1, fuzzed.
+    #[test]
+    fn parallel_insert_equals_sequential(keys in prop::collection::vec(1u64..5000, 1..2000)) {
+        let seq: DetHashTable<U64Key> = DetHashTable::new_pow2(13);
+        for &k in &keys {
+            seq.insert(U64Key::new(k));
+        }
+        let mut par: DetHashTable<U64Key> = DetHashTable::new_pow2(13);
+        {
+            let ins = par.begin_insert();
+            keys.par_iter().for_each(|&k| ins.insert(U64Key::new(k)));
+        }
+        prop_assert_eq!(par.snapshot(), seq.snapshot());
+    }
+
+    /// Theorem 2 fuzzed: parallel deletion of an arbitrary subset gives
+    /// the sequential set-difference layout.
+    #[test]
+    fn parallel_delete_equals_difference(
+        keys in prop::collection::vec(1u64..3000, 1..1500),
+        del_mask in prop::collection::vec(any::<bool>(), 1500),
+    ) {
+        let t: DetHashTable<U64Key> = DetHashTable::new_pow2(12);
+        for &k in &keys {
+            t.insert(U64Key::new(k));
+        }
+        let dels: Vec<u64> = keys
+            .iter()
+            .zip(&del_mask)
+            .filter_map(|(&k, &d)| d.then_some(k))
+            .collect();
+        let mut t = t;
+        {
+            let handle = t.begin_delete();
+            use phase_concurrent_hashing::tables::ConcurrentDelete;
+            dels.par_iter().for_each(|&k| handle.delete(U64Key::new(k)));
+        }
+        let expect: DetHashTable<U64Key> = DetHashTable::new_pow2(12);
+        let delset: std::collections::HashSet<u64> = dels.iter().copied().collect();
+        for &k in keys.iter().filter(|k| !delset.contains(k)) {
+            expect.insert(U64Key::new(k));
+        }
+        prop_assert_eq!(t.snapshot(), expect.snapshot());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests (proptest) for the core invariants:
+//! model-based equivalence against `BTreeMap`, history independence
+//! under permutations, and the Definition 2 ordering invariant.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use phase_concurrent_hashing::tables::{
+    invariant, DetHashTable, HashEntry, KeepMin, KvPair, NdHashTable, SerialHashHD, SerialHashHI,
+    U64Key,
+};
+
+/// A random operation batch: inserts then deletes (phase discipline).
+fn ops_strategy() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    (
+        prop::collection::vec(1u64..200, 0..300),
+        prop::collection::vec(1u64..200, 0..300),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The deterministic table behaves as a set: after {inserts;
+    /// deletes}, contents equal the model.
+    #[test]
+    fn det_matches_model((inserts, deletes) in ops_strategy()) {
+        let t: DetHashTable<U64Key> = DetHashTable::new_pow2(10);
+        let mut model = std::collections::BTreeSet::new();
+        for &k in &inserts {
+            t.insert(U64Key::new(k));
+            model.insert(k);
+        }
+        for &k in &deletes {
+            t.delete(U64Key::new(k));
+            model.remove(&k);
+        }
+        let got: std::collections::BTreeSet<u64> =
+            t.elements().iter().map(|k| k.0).collect();
+        prop_assert_eq!(got, model.clone());
+        // And every membership query agrees.
+        for k in 1..200u64 {
+            prop_assert_eq!(t.find(U64Key::new(k)).is_some(), model.contains(&k));
+        }
+    }
+
+    /// Quiescent layout is independent of operation order (history
+    /// independence): any permutation of the insert batch gives a
+    /// bit-identical array; interleaving deletions differently too.
+    #[test]
+    fn det_layout_history_independent(
+        (inserts, deletes) in ops_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let build = |ins: &[u64], dels: &[u64]| {
+            let t: DetHashTable<U64Key> = DetHashTable::new_pow2(10);
+            for &k in ins { t.insert(U64Key::new(k)); }
+            for &k in dels { t.delete(U64Key::new(k)); }
+            t.snapshot()
+        };
+        let mut ins2 = inserts.clone();
+        let mut dels2 = deletes.clone();
+        // Deterministic permutation from the seed.
+        for i in (1..ins2.len()).rev() {
+            let j = (phase_concurrent_hashing::parutil::hash64(seed ^ i as u64)
+                % (i as u64 + 1)) as usize;
+            ins2.swap(i, j);
+        }
+        for i in (1..dels2.len()).rev() {
+            let j = (phase_concurrent_hashing::parutil::hash64(!seed ^ i as u64)
+                % (i as u64 + 1)) as usize;
+            dels2.swap(i, j);
+        }
+        prop_assert_eq!(build(&inserts, &deletes), build(&ins2, &dels2));
+    }
+
+    /// Definition 2 holds after any batch, and the concurrent table
+    /// always matches the sequential oracle.
+    #[test]
+    fn det_ordering_invariant_and_oracle((inserts, deletes) in ops_strategy()) {
+        let t: DetHashTable<U64Key> = DetHashTable::new_pow2(10);
+        let mut oracle: SerialHashHI<U64Key> = SerialHashHI::new_pow2(10);
+        for &k in &inserts {
+            t.insert(U64Key::new(k));
+            oracle.insert(U64Key::new(k));
+        }
+        for &k in &deletes {
+            t.delete(U64Key::new(k));
+            oracle.delete(U64Key::new(k));
+        }
+        let snap = t.snapshot();
+        prop_assert_eq!(&snap, &oracle.snapshot());
+        invariant::check_ordering_invariant::<U64Key>(&snap).unwrap();
+        invariant::check_no_duplicate_keys::<U64Key>(&snap).unwrap();
+    }
+
+    /// Key-value combining keeps the minimum value per key in both the
+    /// det table and the model, regardless of order.
+    #[test]
+    fn kv_min_combining_matches_model(
+        pairs in prop::collection::vec((1u32..100, 0u32..1000), 0..400),
+    ) {
+        let t: DetHashTable<KvPair<KeepMin>> = DetHashTable::new_pow2(9);
+        let mut model: BTreeMap<u32, u32> = BTreeMap::new();
+        for &(k, v) in &pairs {
+            t.insert(KvPair::new(k, v));
+            model.entry(k).and_modify(|m| *m = (*m).min(v)).or_insert(v);
+        }
+        for (&k, &v) in &model {
+            let got = t.find(KvPair::new(k, 0)).unwrap();
+            prop_assert_eq!(got.value, v);
+        }
+        prop_assert_eq!(t.len(), model.len());
+    }
+
+    /// The ND table and both serial tables are sets too (same model,
+    /// weaker layout guarantees).
+    #[test]
+    fn nd_and_serial_match_model((inserts, deletes) in ops_strategy()) {
+        let nd: NdHashTable<U64Key> = NdHashTable::new_pow2(10);
+        let mut hd: SerialHashHD<U64Key> = SerialHashHD::new_pow2(10);
+        let mut model = std::collections::BTreeSet::new();
+        for &k in &inserts {
+            nd.insert(U64Key::new(k));
+            hd.insert(U64Key::new(k));
+            model.insert(k);
+        }
+        for &k in &deletes {
+            nd.delete(U64Key::new(k));
+            hd.delete(U64Key::new(k));
+            model.remove(&k);
+        }
+        let nd_set: std::collections::BTreeSet<u64> =
+            nd.elements().iter().map(|k| k.0).collect();
+        let hd_set: std::collections::BTreeSet<u64> =
+            hd.elements().iter().map(|k| k.0).collect();
+        prop_assert_eq!(&nd_set, &model);
+        prop_assert_eq!(&hd_set, &model);
+    }
+
+    /// Round-trip: every entry type's repr encoding is lossless.
+    #[test]
+    fn entry_repr_roundtrip(k in 1u64..u64::MAX, kk in 1u32..u32::MAX, v in 0u32..u32::MAX) {
+        prop_assert_eq!(U64Key::from_repr(U64Key::new(k).to_repr()), U64Key::new(k));
+        let p: KvPair<KeepMin> = KvPair::new(kk, v);
+        prop_assert_eq!(<KvPair<KeepMin>>::from_repr(p.to_repr()), p);
+    }
+}

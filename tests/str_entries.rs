@@ -1,0 +1,121 @@
+//! Pointer-entry (string key) behaviour of the deterministic table:
+//! the paper's trigram inputs store entries "as a pointer to a
+//! structure with a pointer to a string". Determinism holds at the
+//! *payload* level — which pointer survives may vary, but the key and
+//! value it dereferences to cannot.
+
+use phase_concurrent_hashing::parutil::Arena;
+use phase_concurrent_hashing::tables::{
+    ConcurrentDelete, ConcurrentInsert, ConcurrentRead, DetHashTable, PhaseHashTable, StrPayload,
+    StrRef,
+};
+use rayon::prelude::*;
+
+struct Interned {
+    text: Arena<u8>,
+    payloads: Arena<StrPayload<'static>>,
+}
+
+impl Interned {
+    fn new() -> Self {
+        Interned { text: Arena::new(), payloads: Arena::new() }
+    }
+    fn entry(&self, key: &str, value: u64) -> StrRef<'_> {
+        let key: &str = self.text.alloc_str(key);
+        // SAFETY: both arenas live as long as `self`, and every entry
+        // we hand out borrows `self`.
+        let key: &'static str = unsafe { std::mem::transmute(key) };
+        let p = self.payloads.alloc(StrPayload { key, value });
+        StrRef(unsafe { std::mem::transmute::<&StrPayload<'static>, &StrPayload<'static>>(p) })
+    }
+}
+
+#[test]
+fn string_set_semantics() {
+    let pool = Interned::new();
+    let words = phase_concurrent_hashing::workloads::trigram::words(20_000, 3);
+    let entries: Vec<StrRef> = words.iter().map(|w| pool.entry(w, 0)).collect();
+    let mut table: DetHashTable<StrRef> = DetHashTable::new_pow2(16);
+    {
+        let ins = table.begin_insert();
+        entries.par_iter().for_each(|&e| ins.insert(e));
+    }
+    let distinct: std::collections::BTreeSet<&str> = words.iter().map(|w| w.as_str()).collect();
+    let got: std::collections::BTreeSet<&str> =
+        table.elements().iter().map(|e| e.key()).collect();
+    assert_eq!(got, distinct);
+
+    // Find by an entirely separate (re-interned) probe pointer.
+    let reader = table.begin_read();
+    for w in distinct.iter().take(500) {
+        let probe = pool.entry(w, 999);
+        let hit = reader.find(probe).expect("present key");
+        assert_eq!(hit.key(), *w);
+    }
+    assert!(reader.find(pool.entry("zzzzzzzzzzzzzz", 0)).is_none());
+}
+
+#[test]
+fn payload_level_determinism() {
+    // Two builds with different input orders: the *string sequence*
+    // from elements() must match exactly (pointer values may differ).
+    let pool = Interned::new();
+    let words = phase_concurrent_hashing::workloads::trigram::words(10_000, 5);
+    let fwd: Vec<StrRef> = words.iter().map(|w| pool.entry(w, 0)).collect();
+    let mut rev = fwd.clone();
+    rev.reverse();
+
+    let build = |input: &[StrRef<'_>]| -> Vec<String> {
+        let mut t: DetHashTable<StrRef> = DetHashTable::new_pow2(15);
+        {
+            let ins = t.begin_insert();
+            input.par_iter().for_each(|&e| ins.insert(e));
+        }
+        t.elements().iter().map(|e| e.key().to_string()).collect()
+    };
+    assert_eq!(build(&fwd), build(&rev));
+}
+
+#[test]
+fn min_value_combining_on_duplicate_strings() {
+    let pool = Interned::new();
+    let mut table: DetHashTable<StrRef> = DetHashTable::new_pow2(10);
+    {
+        let ins = table.begin_insert();
+        // Insert "hot" 100 times with values 100..1; min must survive.
+        (1..=100u64).into_par_iter().for_each(|v| ins.insert(pool.entry("hot", v)));
+        ins.insert(pool.entry("cold", 7));
+    }
+    let reader = table.begin_read();
+    assert_eq!(reader.find(pool.entry("hot", 0)).unwrap().value(), 1);
+    assert_eq!(reader.find(pool.entry("cold", 0)).unwrap().value(), 7);
+    drop(reader);
+    assert_eq!(table.elements().len(), 2);
+}
+
+#[test]
+fn delete_by_string_key() {
+    let pool = Interned::new();
+    let mut table: DetHashTable<StrRef> = DetHashTable::new_pow2(12);
+    let words = phase_concurrent_hashing::workloads::trigram::words(3_000, 9);
+    {
+        let ins = table.begin_insert();
+        words.iter().for_each(|w| ins.insert(pool.entry(w, 0)));
+    }
+    let distinct: Vec<&str> = {
+        let s: std::collections::BTreeSet<&str> = words.iter().map(|w| w.as_str()).collect();
+        s.into_iter().collect()
+    };
+    let (kill, keep) = distinct.split_at(distinct.len() / 2);
+    {
+        let del = table.begin_delete();
+        kill.par_iter().for_each(|w| del.delete(pool.entry(w, 0)));
+    }
+    let reader = table.begin_read();
+    for w in kill {
+        assert!(reader.find(pool.entry(w, 0)).is_none(), "{w} not deleted");
+    }
+    for w in keep {
+        assert!(reader.find(pool.entry(w, 0)).is_some(), "{w} lost");
+    }
+}

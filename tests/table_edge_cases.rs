@@ -1,0 +1,187 @@
+//! Edge-case tests for the baseline tables: wraparound seams, tiny
+//! tables, near-full loads, and capacity-boundary behaviour — the
+//! places open-addressing implementations classically break.
+
+use phase_concurrent_hashing::tables::{
+    ChainedHashTable, ConcurrentDelete, ConcurrentInsert, ConcurrentRead, CuckooHashTable,
+    DetHashTable, HopscotchHashTable, NdHashTable, PhaseHashTable, U64Key,
+};
+
+/// Keys engineered to hash into the last few buckets, so probe
+/// sequences and hopscotch neighborhoods cross the wraparound seam.
+fn seam_keys(log2: u32, want: usize) -> Vec<u64> {
+    let mask = (1usize << log2) - 1;
+    let mut out = Vec::new();
+    let mut k = 1u64;
+    while out.len() < want {
+        let h = (phase_concurrent_hashing::parutil::hash64(k) as usize) & mask;
+        if h + 4 >= mask {
+            out.push(k);
+        }
+        k += 1;
+    }
+    out
+}
+
+#[test]
+fn hopscotch_wraparound_neighborhood() {
+    // Table of 512 cells: the seam keys' H=32 neighborhoods wrap.
+    // 25 keys homed in ~5 buckets fit the 36-cell window that the
+    // H=32 hop constraint allows (more would be infeasible — see
+    // `hopscotch_infeasible_neighborhood_panics`).
+    let mut t: HopscotchHashTable<U64Key> = HopscotchHashTable::new_pow2(9);
+    let keys = seam_keys(9, 25);
+    {
+        let ins = t.begin_insert();
+        for &k in &keys {
+            ins.insert(U64Key::new(k));
+        }
+    }
+    {
+        let r = t.begin_read();
+        for &k in &keys {
+            assert_eq!(r.find(U64Key::new(k)), Some(U64Key::new(k)), "{k:#x}");
+        }
+    }
+    {
+        let d = t.begin_delete();
+        for &k in &keys {
+            d.delete(U64Key::new(k));
+        }
+    }
+    assert_eq!(t.elements().len(), 0);
+}
+
+#[test]
+fn cuckoo_wraparound_and_reinsert() {
+    // 25 seam keys share ~5 primary buckets; the secondaries are
+    // uniform, so the cuckoo graph stays feasible (60 would not be:
+    // more keys than reachable cells — see the panic test below).
+    let mut t: CuckooHashTable<U64Key> = CuckooHashTable::new_pow2(9);
+    let keys = seam_keys(9, 25);
+    {
+        let ins = t.begin_insert();
+        for &k in &keys {
+            ins.insert(U64Key::new(k));
+        }
+        // Duplicate inserts are idempotent.
+        for &k in &keys {
+            ins.insert(U64Key::new(k));
+        }
+    }
+    assert_eq!(t.elements().len(), keys.len());
+}
+
+#[test]
+fn det_table_near_full() {
+    // Fill a 256-cell table to 255 entries: every cluster merges into
+    // one giant run; finds and deletes must still be exact.
+    let mut t: DetHashTable<U64Key> = DetHashTable::new_pow2(8);
+    let keys: Vec<u64> = (1..=255u64).collect();
+    {
+        let ins = t.begin_insert();
+        for &k in &keys {
+            ins.insert(U64Key::new(k));
+        }
+    }
+    {
+        let r = t.begin_read();
+        for &k in &keys {
+            assert_eq!(r.find(U64Key::new(k)), Some(U64Key::new(k)), "{k}");
+        }
+        assert_eq!(r.find(U64Key::new(999)), None);
+    }
+    // Delete everything; the table must return to all-empty.
+    {
+        let d = t.begin_delete();
+        for &k in &keys {
+            d.delete(U64Key::new(k));
+        }
+    }
+    assert!(t.begin_read().find(U64Key::new(1)).is_none());
+    assert_eq!(t.elements().len(), 0);
+}
+
+#[test]
+fn nd_table_near_full() {
+    let mut t: NdHashTable<U64Key> = NdHashTable::new_pow2(8);
+    let keys: Vec<u64> = (1..=255u64).collect();
+    {
+        let ins = t.begin_insert();
+        for &k in &keys {
+            ins.insert(U64Key::new(k));
+        }
+    }
+    {
+        let d = t.begin_delete();
+        for &k in keys.iter().rev() {
+            d.delete(U64Key::new(k));
+        }
+    }
+    assert_eq!(t.elements().len(), 0);
+}
+
+#[test]
+fn minimum_size_tables() {
+    // 16-cell tables still work for a handful of keys.
+    let mut det: DetHashTable<U64Key> = DetHashTable::new_pow2(4);
+    let mut ch: ChainedHashTable<U64Key> = ChainedHashTable::new_pow2(4);
+    for k in 1..=10u64 {
+        det.begin_insert().insert(U64Key::new(k));
+        ch.begin_insert().insert(U64Key::new(k));
+    }
+    assert_eq!(det.elements().len(), 10);
+    assert_eq!(ch.elements().len(), 10);
+}
+
+#[test]
+fn empty_table_operations() {
+    let mut t: DetHashTable<U64Key> = DetHashTable::new_pow2(6);
+    assert_eq!(t.begin_read().find(U64Key::new(1)), None);
+    t.begin_delete().delete(U64Key::new(1));
+    assert!(t.elements().is_empty());
+    assert_eq!(t.count(), 0);
+}
+
+#[test]
+fn chained_many_collisions_single_bucket() {
+    // 16 buckets, 500 keys: long chains; delete from the middle.
+    let mut t: ChainedHashTable<U64Key> = ChainedHashTable::new_pow2(4);
+    let keys: Vec<u64> = (1..=500u64).collect();
+    {
+        let ins = t.begin_insert();
+        for &k in &keys {
+            ins.insert(U64Key::new(k));
+        }
+    }
+    {
+        let d = t.begin_delete();
+        for &k in keys.iter().filter(|k| *k % 3 == 0) {
+            d.delete(U64Key::new(k));
+        }
+    }
+    let r = t.begin_read();
+    for &k in &keys {
+        assert_eq!(r.find(U64Key::new(k)).is_some(), k % 3 != 0, "{k}");
+    }
+}
+
+#[test]
+#[should_panic]
+fn hopscotch_infeasible_neighborhood_panics() {
+    // More keys homed in a handful of buckets than an H=32 window can
+    // hold: hopscotch must refuse (the original resizes here).
+    let t: HopscotchHashTable<U64Key> = HopscotchHashTable::new_pow2(9);
+    for k in seam_keys(9, 45) {
+        t.insert(U64Key::new(k));
+    }
+}
+
+#[test]
+#[should_panic(expected = "full")]
+fn det_overflow_panics_cleanly() {
+    let t: DetHashTable<U64Key> = DetHashTable::new_pow2(3);
+    for k in 1..=9u64 {
+        t.insert(U64Key::new(k));
+    }
+}
