@@ -44,7 +44,11 @@ impl HashEntry for WeakHashKey {
 
 fn bench(c: &mut Criterion) {
     // --- priorities vs first-fit at increasing duplicate rates.
-    for (label, dup_mod) in [("unique", u64::MAX), ("dup10", 10 * N as u64 / 100), ("dup1", N as u64 / 100)] {
+    for (label, dup_mod) in [
+        ("unique", u64::MAX),
+        ("dup10", 10 * N as u64 / 100),
+        ("dup1", N as u64 / 100),
+    ] {
         let keys: Vec<u64> = (0..N as u64)
             .map(|i| (phc_parutil::hash64(i) % dup_mod.max(1)).max(1))
             .collect();

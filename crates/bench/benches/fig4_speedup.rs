@@ -10,8 +10,10 @@ const N: usize = 100_000;
 const LOG2: u32 = 18;
 
 fn bench(c: &mut Criterion) {
-    let keys: Vec<U64Key> =
-        phc_workloads::random_seq_int(N, 1).into_iter().map(U64Key::new).collect();
+    let keys: Vec<U64Key> = phc_workloads::random_seq_int(N, 1)
+        .into_iter()
+        .map(U64Key::new)
+        .collect();
     c.bench_function("fig4/serialHash-HI", |b| {
         b.iter(|| {
             let mut t: SerialHashHI<U64Key> = SerialHashHI::new_pow2(LOG2);
@@ -20,7 +22,9 @@ fn bench(c: &mut Criterion) {
             }
         })
     });
-    let max_t = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let max_t = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let mut threads = vec![1usize];
     while *threads.last().unwrap() * 2 <= max_t {
         threads.push(threads.last().unwrap() * 2);

@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
             fill.par_iter().for_each(|&k| ins.insert(U64Key::new(k)));
         }
         let fresh: Vec<u64> = ((fill_n as u64 + 1)..=(fill_n + OPS) as u64).collect();
-        let probes: Vec<u64> = (0..OPS as u64).map(|i| phc_parutil::hash64(i) | 1).collect();
+        let probes: Vec<u64> = (0..OPS as u64)
+            .map(|i| phc_parutil::hash64(i) | 1)
+            .collect();
         c.bench_function(&format!("fig5/insert+delete/load={load}"), |b| {
             b.iter(|| {
                 {

@@ -1,0 +1,69 @@
+//! Resizing ablation (ISSUE 2 acceptance): insert-phase throughput
+//! when the table must grow from a 16-cell seed, comparing
+//!
+//! * **stop-the-world** — the `RwLock` rebuild baseline
+//!   (`StwResizableTable`): every growth serializes all inserters
+//!   behind a write lock;
+//! * **cooperative** — the phase-concurrent epoch scheme
+//!   (`ResizableTable`): inserters claim migration blocks and share
+//!   the copying work;
+//! * **preallocated** — a `DetHashTable` already sized for the final
+//!   load (no growth at all), the upper bound.
+//!
+//! The acceptance bar is cooperative-from-16-cells within 2x of
+//! preallocated at 8 threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phc_core::{DetHashTable, ResizableTable, StwResizableTable, U64Key};
+use rayon::prelude::*;
+
+const N: usize = 100_000;
+/// Preallocated capacity: smallest power of two holding N at load < 3/4
+/// (the canonical capacity the growable tables normalize to).
+const PREALLOC_LOG2: u32 = 18;
+const SEED_LOG2: u32 = 4; // 16 cells
+
+fn bench(c: &mut Criterion) {
+    let keys: Vec<u64> = (0..N as u64).map(|i| phc_parutil::hash64(i) | 1).collect();
+
+    for threads in [1usize, 2, 4, 8] {
+        c.bench_function(&format!("resize/stop-the-world/from16/{threads}t"), |b| {
+            b.iter(|| {
+                phc_parutil::run_with_threads(threads, || {
+                    let mut t: StwResizableTable<U64Key> = StwResizableTable::new_pow2(SEED_LOG2);
+                    t.insert_phase(|t| {
+                        keys.par_iter().for_each(|&k| t.insert(U64Key::new(k)));
+                    });
+                    t.len()
+                })
+            })
+        });
+        c.bench_function(&format!("resize/cooperative/from16/{threads}t"), |b| {
+            b.iter(|| {
+                phc_parutil::run_with_threads(threads, || {
+                    let mut t: ResizableTable<U64Key> = ResizableTable::new_pow2(SEED_LOG2);
+                    t.insert_phase(|t| {
+                        keys.par_iter().for_each(|&k| t.insert(U64Key::new(k)));
+                    });
+                    t.len()
+                })
+            })
+        });
+        c.bench_function(&format!("resize/preallocated/{threads}t"), |b| {
+            b.iter(|| {
+                phc_parutil::run_with_threads(threads, || {
+                    let t: DetHashTable<U64Key> = DetHashTable::new_pow2(PREALLOC_LOG2);
+                    keys.par_iter().for_each(|&k| t.insert(U64Key::new(k)));
+                    t.capacity()
+                })
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use phc_bench::datasets;
 use phc_core::phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
 use phc_core::{
-    ChainedHashTable, CuckooHashTable, DetHashTable, HopscotchHashTable, NdHashTable,
-    SerialHashHD, SerialHashHI, U64Key,
+    ChainedHashTable, CuckooHashTable, DetHashTable, HopscotchHashTable, NdHashTable, SerialHashHD,
+    SerialHashHI, U64Key,
 };
 use rayon::prelude::*;
 

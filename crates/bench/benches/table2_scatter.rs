@@ -13,30 +13,43 @@ const LOG2: u32 = 18;
 fn bench(c: &mut Criterion) {
     let size = 1usize << LOG2;
     let keys = phc_workloads::random_seq_int(N, 7);
-    let slots: Vec<usize> =
-        keys.iter().map(|&k| (phc_parutil::hash64(k) as usize) & (size - 1)).collect();
+    let slots: Vec<usize> = keys
+        .iter()
+        .map(|&k| (phc_parutil::hash64(k) as usize) & (size - 1))
+        .collect();
     let array: Vec<AtomicU64> = (0..size).map(|_| AtomicU64::new(0)).collect();
 
     c.bench_function("table2/random_write", |b| {
         b.iter(|| {
-            slots.par_iter().zip(keys.par_iter()).with_min_len(1024).for_each(|(&s, &k)| {
-                array[s].store(k, Ordering::Relaxed);
-            });
+            slots
+                .par_iter()
+                .zip(keys.par_iter())
+                .with_min_len(1024)
+                .for_each(|(&s, &k)| {
+                    array[s].store(k, Ordering::Relaxed);
+                });
         })
     });
     c.bench_function("table2/conditional_random_write", |b| {
         b.iter(|| {
-            slots.par_iter().zip(keys.par_iter()).with_min_len(1024).for_each(|(&s, &k)| {
-                if array[s].load(Ordering::Relaxed) == 0 {
-                    let _ = array[s].compare_exchange(0, k, Ordering::Relaxed, Ordering::Relaxed);
-                }
-            });
+            slots
+                .par_iter()
+                .zip(keys.par_iter())
+                .with_min_len(1024)
+                .for_each(|(&s, &k)| {
+                    if array[s].load(Ordering::Relaxed) == 0 {
+                        let _ =
+                            array[s].compare_exchange(0, k, Ordering::Relaxed, Ordering::Relaxed);
+                    }
+                });
         })
     });
     c.bench_function("table2/hash_insert", |b| {
         b.iter(|| {
             let t: DetHashTable<U64Key> = DetHashTable::new_pow2(LOG2);
-            keys.par_iter().with_min_len(1024).for_each(|&k| t.insert(U64Key::new(k)));
+            keys.par_iter()
+                .with_min_len(1024)
+                .for_each(|&k| t.insert(U64Key::new(k)));
         })
     });
 }

@@ -15,7 +15,8 @@ fn kernel<T: PhaseHashTable<U64Key>>(make: impl Fn(u32) -> T, bad: &[u32]) -> us
     let mut t = make(log2);
     {
         let ins = t.begin_insert();
-        bad.par_iter().for_each(|&x| ins.insert(U64Key::new(x as u64 + 1)));
+        bad.par_iter()
+            .for_each(|&x| ins.insert(U64Key::new(x as u64 + 1)));
     }
     t.elements().len()
 }
@@ -33,8 +34,12 @@ fn bench(c: &mut Criterion) {
             has_small_angle(a, b, cc, 26.0)
         })
         .collect();
-    c.bench_function("table4/linearHash-D", |b| b.iter(|| kernel(DetHashTable::new_pow2, &bad)));
-    c.bench_function("table4/linearHash-ND", |b| b.iter(|| kernel(NdHashTable::new_pow2, &bad)));
+    c.bench_function("table4/linearHash-D", |b| {
+        b.iter(|| kernel(DetHashTable::new_pow2, &bad))
+    });
+    c.bench_function("table4/linearHash-ND", |b| {
+        b.iter(|| kernel(NdHashTable::new_pow2, &bad))
+    });
     c.bench_function("table4/cuckooHash", |b| {
         b.iter(|| kernel(|l| CuckooHashTable::new_pow2(l + 1), &bad))
     });

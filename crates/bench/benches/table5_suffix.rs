@@ -16,7 +16,11 @@ fn bench(c: &mut Criterion) {
     let edges = st.edges().to_vec();
     let log2 = (2 * edges.len()).next_power_of_two().trailing_zeros();
 
-    fn insert_bench<T: PhaseHashTable<Kv>>(make: impl Fn(u32) -> T, log2: u32, edges: &[(u32, u8, u32)]) {
+    fn insert_bench<T: PhaseHashTable<Kv>>(
+        make: impl Fn(u32) -> T,
+        log2: u32,
+        edges: &[(u32, u8, u32)],
+    ) {
         let mut t = make(log2);
         SuffixTree::insert_edges(&mut t, edges);
         std::hint::black_box(t.capacity());
@@ -38,8 +42,9 @@ fn bench(c: &mut Criterion) {
     // Search phase on the det tree.
     let mut t = DetHashTable::<Kv>::new_pow2(log2);
     SuffixTree::insert_edges(&mut t, &edges);
-    let queries: Vec<&[u8]> =
-        (0..2000).map(|q| &text[(q * 17) % (text.len() - 20)..][..12]).collect();
+    let queries: Vec<&[u8]> = (0..2000)
+        .map(|q| &text[(q * 17) % (text.len() - 20)..][..12])
+        .collect();
     c.bench_function("table5/search/linearHash-D", |b| {
         b.iter(|| {
             let reader = t.begin_read();

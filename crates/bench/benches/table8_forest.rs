@@ -12,8 +12,12 @@ type Kv = KvPair<KeepMin>;
 
 fn bench(c: &mut Criterion) {
     let el = phc_workloads::random_graph(30_000, 5, 1);
-    c.bench_function("table8/serial", |b| b.iter(|| serial_spanning_forest(&el).len()));
-    c.bench_function("table8/array", |b| b.iter(|| array_spanning_forest(&el).len()));
+    c.bench_function("table8/serial", |b| {
+        b.iter(|| serial_spanning_forest(&el).len())
+    });
+    c.bench_function("table8/array", |b| {
+        b.iter(|| array_spanning_forest(&el).len())
+    });
     c.bench_function("table8/linearHash-D", |b| {
         b.iter(|| hash_spanning_forest(&el, DetHashTable::<Kv>::new_pow2).len())
     });

@@ -29,7 +29,10 @@ fn main() {
         let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
         let mut report = Report::new(format!("Figure 4: speedup, {title}"), &col_refs);
         for op in OP_NAMES {
-            let values = per_thread.iter().map(|r| Some(serial.get(op) / r.get(op))).collect();
+            let values = per_thread
+                .iter()
+                .map(|r| Some(serial.get(op) / r.get(op)))
+                .collect();
             report.push(op, values);
         }
         report.print();
@@ -38,13 +41,17 @@ fn main() {
 
     let data = datasets::random_int(n, 1);
     let serial = run_serial_ops(true, log2, &data);
-    let per: Vec<_> =
-        threads.iter().map(|&t| run_ops(DetHashTable::new_pow2, log2, &data, t)).collect();
+    let per: Vec<_> = threads
+        .iter()
+        .map(|&t| run_ops(DetHashTable::new_pow2, log2, &data, t))
+        .collect();
     run("randomSeq-int", serial, per);
 
     let (_owner, data) = datasets::StrDataset::trigram(n, 2, true);
     let serial = run_serial_ops(true, log2, &data);
-    let per: Vec<_> =
-        threads.iter().map(|&t| run_ops(DetHashTable::new_pow2, log2, &data, t)).collect();
+    let per: Vec<_> = threads
+        .iter()
+        .map(|&t| run_ops(DetHashTable::new_pow2, log2, &data, t))
+        .collect();
     run("trigramSeq-pairInt", serial, per);
 }

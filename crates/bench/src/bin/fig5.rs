@@ -39,7 +39,9 @@ fn main() {
             k += 1;
         }
         let table: DetHashTable<U64Key> = DetHashTable::new_pow2(log2);
-        fill.par_iter().with_min_len(1024).for_each(|&k| table.insert(U64Key::new(k)));
+        fill.par_iter()
+            .with_min_len(1024)
+            .for_each(|&k| table.insert(U64Key::new(k)));
         let mut table = table;
 
         // Timed inserts of fresh keys — capped so the table never
@@ -50,12 +52,16 @@ fn main() {
         let ops = n_fresh;
         let (ti, ()) = time_in_pool(threads, || {
             let ins = table.begin_insert();
-            fresh.par_iter().with_min_len(512).for_each(|&k| ins.insert(U64Key::new(k)));
+            fresh
+                .par_iter()
+                .with_min_len(512)
+                .for_each(|&k| ins.insert(U64Key::new(k)));
         });
         insert_ns.push(Some(ti * 1e9 / ops as f64));
         // Timed finds of random (mostly absent) keys.
-        let probes: Vec<u64> =
-            (0..ops as u64).map(|i| phc_parutil::hash64(i) | 1).collect();
+        let probes: Vec<u64> = (0..ops as u64)
+            .map(|i| phc_parutil::hash64(i) | 1)
+            .collect();
         let (tf, ()) = time_in_pool(threads, || {
             let reader = table.begin_read();
             probes.par_iter().with_min_len(512).for_each(|&k| {
@@ -66,7 +72,10 @@ fn main() {
         // Timed deletes of the fresh keys (restores the fill).
         let (td, ()) = time_in_pool(threads, || {
             let del = table.begin_delete();
-            fresh.par_iter().with_min_len(512).for_each(|&k| del.delete(U64Key::new(k)));
+            fresh
+                .par_iter()
+                .with_min_len(512)
+                .for_each(|&k| del.delete(U64Key::new(k)));
         });
         delete_ns.push(Some(td * 1e9 / ops as f64));
         eprintln!("load {load}: done");

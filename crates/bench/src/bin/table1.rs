@@ -41,9 +41,7 @@ fn main() {
         eprintln!("running {dist} ...");
         let rows = match dist {
             "randomSeq-int" => run_table1_rows(&datasets::random_int(n, 1), log2, threads),
-            "randomSeq-pairInt" => {
-                run_table1_rows(&datasets::random_pair_int(n, 2), log2, threads)
-            }
+            "randomSeq-pairInt" => run_table1_rows(&datasets::random_pair_int(n, 2), log2, threads),
             "trigramSeq" => {
                 let (_owner, data) = datasets::StrDataset::trigram(n, 3, false);
                 run_table1_rows(&data, log2, threads)

@@ -15,13 +15,13 @@ fn main() {
     let threads = arg_or_env(&args, "--threads", "PHC_THREADS", default_threads());
     let log2 = (2 * n).next_power_of_two().trailing_zeros().max(4);
     let size = 1usize << log2;
-    println!(
-        "# Table 2 reproduction: n = {n} operations, array/table = 2^{log2}, P = {threads}\n"
-    );
+    println!("# Table 2 reproduction: n = {n} operations, array/table = 2^{log2}, P = {threads}\n");
 
     let keys = phc_workloads::random_seq_int(n, 7);
-    let slots: Vec<usize> =
-        keys.iter().map(|&k| (phc_parutil::hash64(k) as usize) & (size - 1)).collect();
+    let slots: Vec<usize> = keys
+        .iter()
+        .map(|&k| (phc_parutil::hash64(k) as usize) & (size - 1))
+        .collect();
 
     // Random write: unconditional scatter.
     let array: Vec<AtomicU64> = (0..size).map(|_| AtomicU64::new(0)).collect();
@@ -32,9 +32,13 @@ fn main() {
     })
     .0;
     let scatter_p = time_in_pool(threads, || {
-        slots.par_iter().zip(keys.par_iter()).with_min_len(1024).for_each(|(&s, &k)| {
-            array[s].store(k, Ordering::Relaxed);
-        });
+        slots
+            .par_iter()
+            .zip(keys.par_iter())
+            .with_min_len(1024)
+            .for_each(|(&s, &k)| {
+                array[s].store(k, Ordering::Relaxed);
+            });
     })
     .0;
 
@@ -50,11 +54,15 @@ fn main() {
     .0;
     let cond2: Vec<AtomicU64> = (0..size).map(|_| AtomicU64::new(0)).collect();
     let cond_p = time_in_pool(threads, || {
-        slots.par_iter().zip(keys.par_iter()).with_min_len(1024).for_each(|(&s, &k)| {
-            if cond2[s].load(Ordering::Relaxed) == 0 {
-                let _ = cond2[s].compare_exchange(0, k, Ordering::Relaxed, Ordering::Relaxed);
-            }
-        });
+        slots
+            .par_iter()
+            .zip(keys.par_iter())
+            .with_min_len(1024)
+            .for_each(|(&s, &k)| {
+                if cond2[s].load(Ordering::Relaxed) == 0 {
+                    let _ = cond2[s].compare_exchange(0, k, Ordering::Relaxed, Ordering::Relaxed);
+                }
+            });
     })
     .0;
 
@@ -68,7 +76,9 @@ fn main() {
     .0;
     let t2: DetHashTable<U64Key> = DetHashTable::new_pow2(log2);
     let ins_p = time_in_pool(threads, || {
-        keys.par_iter().with_min_len(1024).for_each(|&k| t2.insert(U64Key::new(k)));
+        keys.par_iter()
+            .with_min_len(1024)
+            .for_each(|&k| t2.insert(U64Key::new(k)));
     })
     .0;
 

@@ -13,12 +13,18 @@ fn dedup_time<E: HashEntry, T: PhaseHashTable<E>>(
     input: &[E],
     threads: usize,
 ) -> f64 {
-    let log2 = (input.len() * 4 / 3).max(4).next_power_of_two().trailing_zeros();
+    let log2 = (input.len() * 4 / 3)
+        .max(4)
+        .next_power_of_two()
+        .trailing_zeros();
     let run = || {
         let mut table = make(log2);
         {
             let ins = table.begin_insert();
-            input.par_iter().with_min_len(512).for_each(|&e| ins.insert(e));
+            input
+                .par_iter()
+                .with_min_len(512)
+                .for_each(|&e| ins.insert(e));
         }
         std::hint::black_box(table.elements().len());
     };

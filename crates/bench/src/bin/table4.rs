@@ -42,7 +42,9 @@ fn hash_portion<T: PhaseHashTable<U64Key>>(
         let mut table = make(log2);
         {
             let ins = table.begin_insert();
-            bad.par_iter().with_min_len(256).for_each(|&t| ins.insert(U64Key::new(t as u64 + 1)));
+            bad.par_iter()
+                .with_min_len(256)
+                .for_each(|&t| ins.insert(U64Key::new(t as u64 + 1)));
         }
         std::hint::black_box(table.elements().len());
     };
@@ -78,18 +80,40 @@ fn main() {
         let bad = bad_triangles(&mesh, min_angle);
         eprintln!("  {} bad triangles", bad.len());
         let runs: Vec<(usize, f64, f64)> = vec![
-            (0, hash_portion(DetHashTable::new_pow2, &bad, 1), hash_portion(DetHashTable::new_pow2, &bad, threads)),
-            (1, hash_portion(NdHashTable::new_pow2, &bad, 1), hash_portion(NdHashTable::new_pow2, &bad, threads)),
-            (2, hash_portion(|l| CuckooHashTable::new_pow2(l + 1), &bad, 1), hash_portion(|l| CuckooHashTable::new_pow2(l + 1), &bad, threads)),
-            (3, hash_portion(ChainedHashTable::new_pow2_cr, &bad, 1), hash_portion(ChainedHashTable::new_pow2_cr, &bad, threads)),
+            (
+                0,
+                hash_portion(DetHashTable::new_pow2, &bad, 1),
+                hash_portion(DetHashTable::new_pow2, &bad, threads),
+            ),
+            (
+                1,
+                hash_portion(NdHashTable::new_pow2, &bad, 1),
+                hash_portion(NdHashTable::new_pow2, &bad, threads),
+            ),
+            (
+                2,
+                hash_portion(|l| CuckooHashTable::new_pow2(l + 1), &bad, 1),
+                hash_portion(|l| CuckooHashTable::new_pow2(l + 1), &bad, threads),
+            ),
+            (
+                3,
+                hash_portion(ChainedHashTable::new_pow2_cr, &bad, 1),
+                hash_portion(ChainedHashTable::new_pow2_cr, &bad, threads),
+            ),
         ];
         for (row, one, par) in runs {
             cells[row].push(Some(one));
             cells[row].push(Some(par));
         }
     }
-    for (label, values) in
-        ["linearHash-D", "linearHash-ND", "cuckooHash", "chainedHash-CR"].iter().zip(cells)
+    for (label, values) in [
+        "linearHash-D",
+        "linearHash-ND",
+        "cuckooHash",
+        "chainedHash-CR",
+    ]
+    .iter()
+    .zip(cells)
     {
         report.push(*label, values);
     }
@@ -99,7 +123,12 @@ fn main() {
     let pts = phc_workloads::in_cube_2d(n.min(20_000), 11);
     let mut mesh = triangulate(&pts);
     let (t, stats) = time_once(|| {
-        refine(&mut mesh, min_angle, 10 * n, DetHashTable::<U64Key>::new_pow2)
+        refine(
+            &mut mesh,
+            min_angle,
+            10 * n,
+            DetHashTable::<U64Key>::new_pow2,
+        )
     });
     println!(
         "full refinement (linearHash-D): {:.3}s, {} rounds, {} points added, {} bad left",

@@ -43,7 +43,9 @@ fn run<T: PhaseHashTable<KvPair<KeepMin>>>(
                 let start = (rng.gen(q * 3 + 1) % (text.len() - len) as u64) as usize;
                 text[start..start + len].to_vec()
             } else {
-                (0..len).map(|j| (rng.gen(q * 100 + j as u64) % 26) as u8 + b'a').collect()
+                (0..len)
+                    .map(|j| (rng.gen(q * 100 + j as u64) % 26) as u8 + b'a')
+                    .collect()
             }
         })
         .collect();
@@ -55,7 +57,10 @@ fn run<T: PhaseHashTable<KvPair<KeepMin>>>(
             .filter(|pat| SuffixTree::<T>::search_with(text, nodes, &reader, pat).is_some())
             .count()
     });
-    assert!(hits >= n_queries / 2, "every even query is a real substring");
+    assert!(
+        hits >= n_queries / 2,
+        "every even query is a real substring"
+    );
     (t_insert, t_search)
 }
 
@@ -100,8 +105,14 @@ fn main() {
         row!(3, ChainedHashTable::<KvPair<KeepMin>>::new_pow2_cr);
     }
 
-    let columns =
-        ["english(1)", "english(P)", "retail(1)", "retail(P)", "protein(1)", "protein(P)"];
+    let columns = [
+        "english(1)",
+        "english(P)",
+        "retail(1)",
+        "retail(P)",
+        "protein(1)",
+        "protein(P)",
+    ];
     let mut a = Report::new("Table 5(a): Suffix Tree Insert", &columns);
     for (label, values) in insert_rows {
         a.push(label, values);

@@ -53,23 +53,47 @@ fn main() {
         ]);
         // ND with the hardware-add fast path (the paper's asymmetry).
         let nd1 = time_once(|| std::hint::black_box(contract_nd_xadd(el, &labels).len())).0;
-        let ndp =
-            time_in_pool(threads, || std::hint::black_box(contract_nd_xadd(el, &labels).len())).0;
+        let ndp = time_in_pool(threads, || {
+            std::hint::black_box(contract_nd_xadd(el, &labels).len())
+        })
+        .0;
         rows[1].1.extend([Some(nd1), Some(ndp)]);
         let _ = NdHashTable::<EdgeEntry>::new_pow2; // (plain ND path covered by xadd variant)
         rows[2].1.extend([
-            Some(time_contract(el, &labels, |l| CuckooHashTable::new_pow2(l + 1), 1)),
-            Some(time_contract(el, &labels, |l| CuckooHashTable::new_pow2(l + 1), threads)),
+            Some(time_contract(
+                el,
+                &labels,
+                |l| CuckooHashTable::new_pow2(l + 1),
+                1,
+            )),
+            Some(time_contract(
+                el,
+                &labels,
+                |l| CuckooHashTable::new_pow2(l + 1),
+                threads,
+            )),
         ]);
         rows[3].1.extend([
             Some(time_contract(el, &labels, ChainedHashTable::new_pow2_cr, 1)),
-            Some(time_contract(el, &labels, ChainedHashTable::new_pow2_cr, threads)),
+            Some(time_contract(
+                el,
+                &labels,
+                ChainedHashTable::new_pow2_cr,
+                threads,
+            )),
         ]);
     }
 
     let mut report = Report::new(
         "Table 6: Edge Contraction",
-        &["3D-grid(1)", "3D-grid(P)", "random(1)", "random(P)", "rMat(1)", "rMat(P)"],
+        &[
+            "3D-grid(1)",
+            "3D-grid(P)",
+            "random(1)",
+            "random(P)",
+            "rMat(1)",
+            "rMat(P)",
+        ],
     );
     for (label, values) in rows {
         report.push(label, values);

@@ -16,9 +16,18 @@ fn main() {
     println!("# (paper: 10^7-vertex graphs; defaults here are ~100x smaller)\n");
 
     let inputs: Vec<(&str, Graph)> = vec![
-        ("3D-grid", Graph::from_edges(&phc_workloads::grid3d(40 * scale.min(5)))),
-        ("random", Graph::from_edges(&phc_workloads::random_graph(100_000 * scale, 5, 1))),
-        ("rMat", Graph::from_edges(&phc_workloads::rmat(17, 500_000 * scale, 2))),
+        (
+            "3D-grid",
+            Graph::from_edges(&phc_workloads::grid3d(40 * scale.min(5))),
+        ),
+        (
+            "random",
+            Graph::from_edges(&phc_workloads::random_graph(100_000 * scale, 5, 1)),
+        ),
+        (
+            "rMat",
+            Graph::from_edges(&phc_workloads::rmat(17, 500_000 * scale, 2)),
+        ),
     ];
 
     let mut rows: Vec<(&str, Vec<Option<f64>>)> = vec![
@@ -59,7 +68,14 @@ fn main() {
 
     let mut report = Report::new(
         "Table 7: Breadth-First Search",
-        &["3D-grid(1)", "3D-grid(P)", "random(1)", "random(P)", "rMat(1)", "rMat(P)"],
+        &[
+            "3D-grid(1)",
+            "3D-grid(P)",
+            "random(1)",
+            "random(P)",
+            "rMat(1)",
+            "rMat(P)",
+        ],
     );
     for (label, values) in rows {
         report.push(label, values);

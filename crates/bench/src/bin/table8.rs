@@ -54,14 +54,20 @@ fn main() {
         let (c1, cp) =
             timed!(|| hash_spanning_forest(el, |l| CuckooHashTable::<Kv>::new_pow2(l + 1)));
         rows[4].1.extend([Some(c1), Some(cp)]);
-        let (h1, hp) =
-            timed!(|| hash_spanning_forest(el, ChainedHashTable::<Kv>::new_pow2_cr));
+        let (h1, hp) = timed!(|| hash_spanning_forest(el, ChainedHashTable::<Kv>::new_pow2_cr));
         rows[5].1.extend([Some(h1), Some(hp)]);
     }
 
     let mut report = Report::new(
         "Table 8: Spanning Forest",
-        &["3D-grid(1)", "3D-grid(P)", "random(1)", "random(P)", "rMat(1)", "rMat(P)"],
+        &[
+            "3D-grid(1)",
+            "3D-grid(P)",
+            "random(1)",
+            "random(P)",
+            "rMat(1)",
+            "rMat(P)",
+        ],
     );
     for (label, values) in rows {
         report.push(label, values);

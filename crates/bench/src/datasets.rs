@@ -16,7 +16,10 @@ pub struct Dataset<E> {
 /// `randomSeq-int` as `U64Key` entries.
 pub fn random_int(n: usize, seed: u64) -> Dataset<U64Key> {
     Dataset {
-        inserted: phc_workloads::random_seq_int(n, seed).into_iter().map(U64Key::new).collect(),
+        inserted: phc_workloads::random_seq_int(n, seed)
+            .into_iter()
+            .map(U64Key::new)
+            .collect(),
         random: phc_workloads::random_seq_int(n, seed ^ 0xabcd)
             .into_iter()
             .map(U64Key::new)
@@ -32,13 +35,19 @@ pub fn random_pair_int(n: usize, seed: u64) -> Dataset<KvPair<KeepMin>> {
             .map(|(k, v)| KvPair::new(k, v))
             .collect()
     };
-    Dataset { inserted: mk(seed), random: mk(seed ^ 0xabcd) }
+    Dataset {
+        inserted: mk(seed),
+        random: mk(seed ^ 0xabcd),
+    }
 }
 
 /// `exptSeq-int`.
 pub fn expt_int(n: usize, seed: u64) -> Dataset<U64Key> {
     Dataset {
-        inserted: phc_workloads::expt_seq_int(n, seed).into_iter().map(U64Key::new).collect(),
+        inserted: phc_workloads::expt_seq_int(n, seed)
+            .into_iter()
+            .map(U64Key::new)
+            .collect(),
         random: phc_workloads::expt_seq_int(n, seed ^ 0xabcd)
             .into_iter()
             .map(U64Key::new)
@@ -54,7 +63,10 @@ pub fn expt_pair_int(n: usize, seed: u64) -> Dataset<KvPair<KeepMin>> {
             .map(|(k, v)| KvPair::new(k, v))
             .collect()
     };
-    Dataset { inserted: mk(seed), random: mk(seed ^ 0xabcd) }
+    Dataset {
+        inserted: mk(seed),
+        random: mk(seed ^ 0xabcd),
+    }
 }
 
 /// Owner of the string payloads behind a `StrRef` dataset: the arena
@@ -77,8 +89,10 @@ impl StrDataset {
     /// caller keeps the `StrDataset` alive for as long as the entries
     /// (enforced by the borrow in the return type).
     pub fn trigram(n: usize, seed: u64, with_values: bool) -> (Self, Dataset<StrRef<'static>>) {
-        let owner =
-            StrDataset { text_arena: Arena::new(), payload_arena: Arena::new() };
+        let owner = StrDataset {
+            text_arena: Arena::new(),
+            payload_arena: Arena::new(),
+        };
         let mk = |s: u64, owner: &StrDataset| -> Vec<StrRef<'static>> {
             let words = phc_workloads::trigram::words_with_values(n, s);
             words

@@ -34,10 +34,15 @@ pub use report::{Report, Row};
 pub fn arg_or_env(args: &[String], flag: &str, env: &str, default: usize) -> usize {
     if let Some(pos) = args.iter().position(|a| a == flag) {
         if let Some(v) = args.get(pos + 1) {
-            return v.parse().unwrap_or_else(|_| panic!("bad value for {flag}: {v}"));
+            return v
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value for {flag}: {v}"));
         }
     }
-    std::env::var(env).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(env)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Whether a bare flag is present.
@@ -48,7 +53,9 @@ pub fn has_flag(args: &[String], flag: &str) -> bool {
 /// The default parallel thread count for the "(P)" columns: all
 /// available cores (the paper's 40h column used 80 hyperthreads).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
 }
 
 /// Times `f` once and returns seconds.

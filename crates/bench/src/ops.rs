@@ -42,8 +42,14 @@ impl OpResults {
 }
 
 /// Canonical operation names, in the paper's Table 1 order.
-pub const OP_NAMES: [&str; 6] =
-    ["insert", "find_random", "find_inserted", "delete_random", "delete_inserted", "elements"];
+pub const OP_NAMES: [&str; 6] = [
+    "insert",
+    "find_random",
+    "find_inserted",
+    "delete_random",
+    "delete_inserted",
+    "elements",
+];
 
 /// Runs the six operations for one concurrent table type with
 /// `threads` workers. `make(log2)` builds a fresh table.
@@ -60,7 +66,10 @@ where
     let mut out = OpResults::default();
     let fill = |table: &mut T| {
         let ins = table.begin_insert();
-        data.inserted.par_iter().with_min_len(256).for_each(|&e| ins.insert(e));
+        data.inserted
+            .par_iter()
+            .with_min_len(256)
+            .for_each(|&e| ins.insert(e));
     };
 
     // Insert.
@@ -95,7 +104,10 @@ where
     // Delete random.
     out.delete_random = time_in_pool(threads, || {
         let del = table.begin_delete();
-        data.random.par_iter().with_min_len(256).for_each(|&e| del.delete(e));
+        data.random
+            .par_iter()
+            .with_min_len(256)
+            .for_each(|&e| del.delete(e));
     })
     .0;
 
@@ -104,7 +116,10 @@ where
     phc_parutil::run_with_threads(threads, || fill(&mut table));
     out.delete_inserted = time_in_pool(threads, || {
         let del = table.begin_delete();
-        data.inserted.par_iter().with_min_len(256).for_each(|&e| del.delete(e));
+        data.inserted
+            .par_iter()
+            .with_min_len(256)
+            .for_each(|&e| del.delete(e));
     })
     .0;
 
@@ -118,23 +133,31 @@ pub fn run_serial_ops<E: HashEntry>(
     data: &Dataset<E>,
 ) -> OpResults {
     if history_independent {
-        run_serial_impl(data, || SerialHashHI::<E>::new_pow2(log2), SerialOps {
-            insert: SerialHashHI::insert,
-            find: |t, e| {
-                std::hint::black_box(t.find(e));
+        run_serial_impl(
+            data,
+            || SerialHashHI::<E>::new_pow2(log2),
+            SerialOps {
+                insert: SerialHashHI::insert,
+                find: |t, e| {
+                    std::hint::black_box(t.find(e));
+                },
+                delete: SerialHashHI::delete,
+                elements: |t| t.elements().len(),
             },
-            delete: SerialHashHI::delete,
-            elements: |t| t.elements().len(),
-        })
+        )
     } else {
-        run_serial_impl(data, || SerialHashHD::<E>::new_pow2(log2), SerialOps {
-            insert: SerialHashHD::insert,
-            find: |t, e| {
-                std::hint::black_box(t.find(e));
+        run_serial_impl(
+            data,
+            || SerialHashHD::<E>::new_pow2(log2),
+            SerialOps {
+                insert: SerialHashHD::insert,
+                find: |t, e| {
+                    std::hint::black_box(t.find(e));
+                },
+                delete: SerialHashHD::delete,
+                elements: |t| t.elements().len(),
             },
-            delete: SerialHashHD::delete,
-            elements: |t| t.elements().len(),
-        })
+        )
     }
 }
 

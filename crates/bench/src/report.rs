@@ -1,10 +1,10 @@
 //! Aligned-text report tables (paper-style rows) with optional JSON
-//! dumps for EXPERIMENTS.md bookkeeping.
-
-use serde::Serialize;
+//! dumps for EXPERIMENTS.md bookkeeping. JSON is emitted by hand (the
+//! build environment has no serde), escaping only what report strings
+//! can contain.
 
 /// One row of a report: a label plus one value per column.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Row label (e.g. `linearHash-D`).
     pub label: String,
@@ -14,7 +14,7 @@ pub struct Row {
 }
 
 /// A titled table with named columns.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Report {
     /// Table title (e.g. `Table 1(a): Insert, randomSeq-int`).
     pub title: String,
@@ -37,7 +37,10 @@ impl Report {
     /// Appends a row.
     pub fn push(&mut self, label: impl Into<String>, values: Vec<Option<f64>>) {
         assert_eq!(values.len(), self.columns.len());
-        self.rows.push(Row { label: label.into(), values });
+        self.rows.push(Row {
+            label: label.into(),
+            values,
+        });
     }
 
     /// Renders the aligned text table.
@@ -92,8 +95,76 @@ pub fn format_time(secs: f64) -> String {
 
 /// Writes a set of reports as JSON to `path`.
 pub fn write_json(path: &str, reports: &[Report]) -> std::io::Result<()> {
-    let json = serde_json::to_string_pretty(reports).expect("serialize reports");
+    let mut json = String::from("[\n");
+    for (i, rep) in reports.iter().enumerate() {
+        json.push_str("  {\n");
+        json.push_str(&format!("    \"title\": {},\n", json_string(&rep.title)));
+        json.push_str("    \"columns\": [");
+        for (j, c) in rep.columns.iter().enumerate() {
+            if j > 0 {
+                json.push_str(", ");
+            }
+            json.push_str(&json_string(c));
+        }
+        json.push_str("],\n    \"rows\": [\n");
+        for (j, row) in rep.rows.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"label\": {}, \"values\": [",
+                json_string(&row.label)
+            ));
+            for (k, v) in row.values.iter().enumerate() {
+                if k > 0 {
+                    json.push_str(", ");
+                }
+                match v {
+                    Some(x) => json.push_str(&json_number(*x)),
+                    None => json.push_str("null"),
+                }
+            }
+            json.push_str("]}");
+            json.push_str(if j + 1 < rep.rows.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("    ]\n  }");
+        json.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("]\n");
     std::fs::write(path, json)
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an f64 as a JSON number (JSON has no NaN/Infinity; report
+/// timings are finite, but map the degenerate cases to null anyway).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // `{}` prints integral floats without a dot; keep them numbers
+        // but unambiguous as floats for downstream tooling.
+        if s.contains('.') || s.contains('e') || s.contains('-') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +199,30 @@ mod tests {
     fn wrong_arity_rejected() {
         let mut r = Report::new("T", &["a", "b"]);
         r.push("x", vec![Some(1.0)]);
+    }
+
+    #[test]
+    fn json_escaping_and_shape() {
+        let mut r = Report::new("Quote \" and \\ slash", &["(1)"]);
+        r.push("row\n1", vec![Some(1.5)]);
+        r.push("row2", vec![None]);
+        let path = std::env::temp_dir().join("phc_report_test.json");
+        let path = path.to_str().unwrap();
+        write_json(path, &[r]).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).ok();
+        assert!(text.contains("\"Quote \\\" and \\\\ slash\""), "{text}");
+        assert!(text.contains("\"row\\n1\""), "{text}");
+        assert!(text.contains("[1.5]"), "{text}");
+        assert!(text.contains("[null]"), "{text}");
+    }
+
+    #[test]
+    fn json_numbers() {
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(2.0), "2.0");
+        assert_eq!(json_number(-0.25), "-0.25");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
     }
 }

@@ -22,7 +22,7 @@ use std::marker::PhantomData;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use phc_parutil::Arena;
 
@@ -132,7 +132,10 @@ impl<E: HashEntry> ChainedHashTable<E> {
             if merged == cur {
                 return;
             }
-            match node.repr.compare_exchange(cur, merged, Ordering::AcqRel, Ordering::Acquire) {
+            match node
+                .repr
+                .compare_exchange(cur, merged, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
             }
@@ -152,7 +155,7 @@ impl<E: HashEntry> ChainedHashTable<E> {
                 return;
             }
         }
-        let _guard = self.stripe(b).lock();
+        let _guard = self.stripe(b).lock().expect("stripe lock poisoned");
         // (Re-)check under the lock — another insert may have linked
         // the key meanwhile.
         if let Some(node) = self.find_node(b, v) {
@@ -183,7 +186,7 @@ impl<E: HashEntry> ChainedHashTable<E> {
             // CR: skip the lock entirely when the key is absent.
             return;
         }
-        let _guard = self.stripe(b).lock();
+        let _guard = self.stripe(b).lock().expect("stripe lock poisoned");
         // Unlink under the lock. Readers racing with this are safe: the
         // unlinked node stays allocated and still points into the list.
         let mut prev: Option<&Node> = None;
@@ -324,7 +327,10 @@ mod tests {
     use std::collections::BTreeSet;
 
     fn both_modes() -> [ChainedHashTable<U64Key>; 2] {
-        [ChainedHashTable::new_pow2(8), ChainedHashTable::new_pow2_cr(8)]
+        [
+            ChainedHashTable::new_pow2(8),
+            ChainedHashTable::new_pow2_cr(8),
+        ]
     }
 
     #[test]
@@ -371,7 +377,9 @@ mod tests {
         use rayon::prelude::*;
         // Exponential-ish duplicate-heavy stream: the CR mode's reason
         // to exist. Both modes must produce the same set.
-        let keys: Vec<u64> = (0..20_000u64).map(|i| (phc_parutil::hash64(i) % 100) + 1).collect();
+        let keys: Vec<u64> = (0..20_000u64)
+            .map(|i| (phc_parutil::hash64(i) % 100) + 1)
+            .collect();
         for cr in [false, true] {
             let t: ChainedHashTable<U64Key> = ChainedHashTable::with_mode(10, cr);
             keys.par_iter().for_each(|&k| t.insert(U64Key::new(k)));

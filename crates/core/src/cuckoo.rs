@@ -151,7 +151,11 @@ impl<E: HashEntry> CuckooHashTable<E> {
             }
             // Both occupied (or only the forbidden cell is free): evict
             // from the candidate we did not just come from.
-            let (victim_cell, victim) = if avoid == Some(b1) { (b2, c2) } else { (b1, c1) };
+            let (victim_cell, victim) = if avoid == Some(b1) {
+                (b2, c2)
+            } else {
+                (b1, c1)
+            };
             self.cells[victim_cell].store(v, Ordering::Release);
             self.unlock_pair(b1, b2);
             if victim == E::EMPTY {

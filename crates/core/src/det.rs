@@ -71,7 +71,11 @@ impl<E: HashEntry> DetHashTable<E> {
     pub fn new_pow2(log2_size: u32) -> Self {
         let n = 1usize << log2_size;
         let cells = (0..n).map(|_| AtomicU64::new(E::EMPTY)).collect();
-        DetHashTable { cells, mask: n - 1, _entry: PhantomData }
+        DetHashTable {
+            cells,
+            mask: n - 1,
+            _entry: PhantomData,
+        }
     }
 
     /// Creates a table with at least `capacity / max_load` cells
@@ -99,7 +103,10 @@ impl<E: HashEntry> DetHashTable<E> {
     /// whose reprs are canonical; pointer entries are deterministic at
     /// the payload level instead).
     pub fn snapshot(&self) -> Vec<u64> {
-        self.cells.iter().map(|c| c.load(Ordering::Acquire)).collect()
+        self.cells
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .collect()
     }
 
     #[inline]
@@ -161,7 +168,24 @@ impl<E: HashEntry> DetHashTable<E> {
         self.insert_repr(e.to_repr())
     }
 
-    pub(crate) fn insert_repr(&self, mut v: u64) -> bool {
+    pub(crate) fn insert_repr(&self, v: u64) -> bool {
+        match self.try_insert_repr(v) {
+            Ok(filled) => filled,
+            Err(_) => panic!(
+                "DetHashTable::insert: table is full (capacity {})",
+                self.cells.len()
+            ),
+        }
+    }
+
+    /// Like [`insert_repr`](Self::insert_repr), but reports a full
+    /// table instead of panicking: `Err(carried)` hands back the repr
+    /// still looking for a home once the probe has wrapped the whole
+    /// array. Any displacements performed before the wrap stand — the
+    /// carried entry is no longer stored anywhere, so the caller must
+    /// re-home it (the cooperative resizer routes it to the successor
+    /// table).
+    pub(crate) fn try_insert_repr(&self, mut v: u64) -> Result<bool, u64> {
         debug_assert_ne!(v, E::EMPTY);
         let mut i = self.slot(E::hash(v));
         let mut steps = 0usize;
@@ -171,24 +195,22 @@ impl<E: HashEntry> DetHashTable<E> {
                 // Duplicate key: converge on the combined value.
                 let merged = E::combine(c, v);
                 if merged == c {
-                    return false;
+                    return Ok(false);
                 }
                 if self.cells[i]
                     .compare_exchange(c, merged, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    return false;
+                    return Ok(false);
                 }
                 continue; // cell changed under us; re-read
             }
             if E::cmp_priority(c, v) == CmpOrdering::Greater {
                 i = (i + 1) & self.mask;
                 steps += 1;
-                assert!(
-                    steps <= self.cells.len(),
-                    "DetHashTable::insert: table is full (capacity {})",
-                    self.cells.len()
-                );
+                if steps > self.cells.len() {
+                    return Err(v);
+                }
             } else {
                 // `c` has strictly lower priority than `v` (possibly ⊥):
                 // try to take the cell and carry `c` onward.
@@ -197,16 +219,14 @@ impl<E: HashEntry> DetHashTable<E> {
                     .is_ok()
                 {
                     if c == E::EMPTY {
-                        return true;
+                        return Ok(true);
                     }
                     v = c;
                     i = (i + 1) & self.mask;
                     steps += 1;
-                    assert!(
-                        steps <= self.cells.len(),
-                        "DetHashTable::insert: table is full (capacity {})",
-                        self.cells.len()
-                    );
+                    if steps > self.cells.len() {
+                        return Err(v);
+                    }
                 }
                 // On CAS failure, retry the same cell: its priority can
                 // only have increased, so the comparison re-runs.
@@ -350,6 +370,24 @@ impl<E: HashEntry> DetHashTable<E> {
                 Some(E::from_repr(v))
             }
         })
+    }
+
+    /// Applies `f` to every entry stored in the cell range (clamped to
+    /// the capacity), sequentially and in cell order.
+    ///
+    /// This is the migration primitive of the cooperative resizer
+    /// ([`crate::resize::ResizableTable`]): threads claim disjoint
+    /// block ranges of a frozen table and drain them independently. The
+    /// caller must guarantee no concurrent mutation of the scanned
+    /// cells; with that guarantee the visit is exact.
+    pub fn for_each_in_range(&self, range: std::ops::Range<usize>, mut f: impl FnMut(E)) {
+        let end = range.end.min(self.cells.len());
+        for cell in &self.cells[range.start.min(end)..end] {
+            let v = cell.load(Ordering::Acquire);
+            if v != E::EMPTY {
+                f(E::from_repr(v));
+            }
+        }
     }
 
     /// Applies `f` to every stored entry, in parallel, without

@@ -175,8 +175,15 @@ impl<C: Combine> KvPair<C> {
     /// Creates a pair; panics if `key == 0` (reserved for `⊥`).
     #[inline]
     pub fn new(key: u32, value: u32) -> Self {
-        assert_ne!(key, 0, "KvPair key cannot be 0 (reserved for the empty cell)");
-        KvPair { key, value, _policy: std::marker::PhantomData }
+        assert_ne!(
+            key, 0,
+            "KvPair key cannot be 0 (reserved for the empty cell)"
+        );
+        KvPair {
+            key,
+            value,
+            _policy: std::marker::PhantomData,
+        }
     }
 }
 
@@ -306,7 +313,10 @@ impl<'a> HashEntry for StrRef<'a> {
             (0, 0) => Ordering::Equal,
             (0, _) => Ordering::Less,
             (_, 0) => Ordering::Greater,
-            _ => Self::payload(a).key.as_bytes().cmp(Self::payload(b).key.as_bytes()),
+            _ => Self::payload(a)
+                .key
+                .as_bytes()
+                .cmp(Self::payload(b).key.as_bytes()),
         }
     }
 
@@ -400,20 +410,38 @@ mod tests {
 
     #[test]
     fn strref_roundtrip_and_order() {
-        let pa = StrPayload { key: "apple", value: 2 };
-        let pb = StrPayload { key: "banana", value: 1 };
+        let pa = StrPayload {
+            key: "apple",
+            value: 2,
+        };
+        let pb = StrPayload {
+            key: "banana",
+            value: 1,
+        };
         let a = StrRef(&pa);
         let b = StrRef(&pb);
         assert_eq!(StrRef::from_repr(a.to_repr()).key(), "apple");
-        assert_eq!(StrRef::cmp_priority(a.to_repr(), b.to_repr()), Ordering::Less);
-        assert_eq!(StrRef::cmp_priority(StrRef::EMPTY, a.to_repr()), Ordering::Less);
+        assert_eq!(
+            StrRef::cmp_priority(a.to_repr(), b.to_repr()),
+            Ordering::Less
+        );
+        assert_eq!(
+            StrRef::cmp_priority(StrRef::EMPTY, a.to_repr()),
+            Ordering::Less
+        );
         assert!(!StrRef::same_key(a.to_repr(), b.to_repr()));
     }
 
     #[test]
     fn strref_same_key_across_distinct_pointers() {
-        let p1 = StrPayload { key: "dup", value: 9 };
-        let p2 = StrPayload { key: "dup", value: 4 };
+        let p1 = StrPayload {
+            key: "dup",
+            value: 9,
+        };
+        let p2 = StrPayload {
+            key: "dup",
+            value: 4,
+        };
         let (r1, r2) = (StrRef(&p1).to_repr(), StrRef(&p2).to_repr());
         assert!(StrRef::same_key(r1, r2));
         assert_eq!(StrRef::cmp_priority(r1, r2), Ordering::Equal);
@@ -424,8 +452,14 @@ mod tests {
 
     #[test]
     fn strref_hash_same_for_equal_keys() {
-        let p1 = StrPayload { key: "hash-me", value: 1 };
-        let p2 = StrPayload { key: "hash-me", value: 2 };
+        let p1 = StrPayload {
+            key: "hash-me",
+            value: 1,
+        };
+        let p2 = StrPayload {
+            key: "hash-me",
+            value: 2,
+        };
         assert_eq!(
             StrRef::hash(StrRef(&p1).to_repr()),
             StrRef::hash(StrRef(&p2).to_repr())

@@ -23,7 +23,7 @@
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::entry::HashEntry;
 use crate::phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
@@ -126,7 +126,10 @@ impl<E: HashEntry> HopscotchHashTable<E> {
             }
         }
         segs[..n].sort_unstable();
-        let guards: Vec<_> = segs[..n].iter().map(|&s| self.segments[s].lock()).collect();
+        let guards: Vec<_> = segs[..n]
+            .iter()
+            .map(|&s| self.segments[s].lock().expect("segment lock poisoned"))
+            .collect();
         let r = f();
         drop(guards);
         r
@@ -459,7 +462,11 @@ mod tests {
                 t.delete(U64Key::new(k));
             }
             for k in 1..=300u64 {
-                assert_eq!(t.find(U64Key::new(k)).is_some(), (k - 1) % 3 != 0, "key {k}");
+                assert_eq!(
+                    t.find(U64Key::new(k)).is_some(),
+                    (k - 1) % 3 != 0,
+                    "key {k}"
+                );
             }
         }
     }
@@ -481,7 +488,9 @@ mod tests {
     #[test]
     fn every_entry_within_h_of_home() {
         let t: HopscotchHashTable<U64Key> = HopscotchHashTable::new_pow2(10);
-        let keys: Vec<u64> = (1..=700u64).map(|i| phc_parutil::hash64(i * 31) | 1).collect();
+        let keys: Vec<u64> = (1..=700u64)
+            .map(|i| phc_parutil::hash64(i * 31) | 1)
+            .collect();
         for &k in &keys {
             t.insert(U64Key::new(k));
         }

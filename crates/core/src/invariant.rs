@@ -51,6 +51,35 @@ pub fn check_ordering_invariant<E: HashEntry>(cells: &[u64]) -> Result<(), Strin
     Ok(())
 }
 
+/// Verifies the growth invariant of the resizable table on a
+/// quiescent snapshot: the load is strictly below the 3/4 migration
+/// threshold, and — unless the table is still at its seed size
+/// `min_capacity` — half the capacity would have been at or over the
+/// threshold. Together these say the capacity is *canonical* for the
+/// entry count: growth triggered exactly when required and never
+/// overshot, which is what makes the final capacity a pure function of
+/// the final key set.
+pub fn check_canonical_capacity<E: HashEntry>(
+    cells: &[u64],
+    min_capacity: usize,
+) -> Result<(), String> {
+    let cap = cells.len();
+    assert!(cap.is_power_of_two(), "table sizes are powers of two");
+    let entries = cells.iter().filter(|&&c| c != E::EMPTY).count();
+    if entries * 4 >= cap * 3 {
+        return Err(format!(
+            "load {entries}/{cap} is at or above the 3/4 growth threshold; a migration was missed"
+        ));
+    }
+    if cap > min_capacity && entries * 4 < (cap / 2) * 3 {
+        return Err(format!(
+            "overshoot: {entries} entries fit below threshold in {} cells but capacity is {cap}",
+            cap / 2
+        ));
+    }
+    Ok(())
+}
+
 /// Verifies that no key occupies two cells (quiescent uniqueness).
 pub fn check_no_duplicate_keys<E: HashEntry>(cells: &[u64]) -> Result<(), String> {
     let mut live: Vec<u64> = cells.iter().copied().filter(|&c| c != E::EMPTY).collect();
@@ -138,5 +167,29 @@ mod tests {
     fn detects_duplicate_keys() {
         let cells = vec![5u64, 5u64, 0, 0];
         assert!(check_no_duplicate_keys::<U64Key>(&cells).is_err());
+    }
+
+    #[test]
+    fn canonical_capacity_accepts_and_rejects() {
+        // 16 cells, 5 entries: below threshold, but 8 cells would do —
+        // canonical only if 16 is the seed size.
+        let mut cells = vec![0u64; 16];
+        for (i, c) in cells.iter_mut().enumerate().take(5) {
+            *c = (i as u64 + 1) << 8; // occupancy is all the checker reads
+        }
+        check_canonical_capacity::<U64Key>(&cells, 16).unwrap();
+        assert!(check_canonical_capacity::<U64Key>(&cells, 8).is_err());
+        // 12 entries in 16 cells is exactly the 3/4 threshold: a
+        // migration should have fired.
+        for (i, c) in cells.iter_mut().enumerate().take(12) {
+            *c = (i as u64 + 1) << 8;
+        }
+        assert!(check_canonical_capacity::<U64Key>(&cells, 16).is_err());
+        // 12 entries in 32 cells is canonical even from a smaller seed.
+        let mut big = vec![0u64; 32];
+        for (i, c) in big.iter_mut().enumerate().take(12) {
+            *c = (i as u64 + 1) << 8;
+        }
+        check_canonical_capacity::<U64Key>(&big, 16).unwrap();
     }
 }

@@ -41,13 +41,15 @@ pub mod stats;
 pub use chained::ChainedHashTable;
 pub use cuckoo::CuckooHashTable;
 pub use det::DetHashTable;
-pub use entry::{AddValues, Combine, HashEntry, KeepMax, KeepMin, KvPair, StrPayload, StrRef, U64Key};
+pub use entry::{
+    AddValues, Combine, HashEntry, KeepMax, KeepMin, KvPair, StrPayload, StrRef, U64Key,
+};
 pub use hopscotch::HopscotchHashTable;
 pub use nd::NdHashTable;
 pub use phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
 pub use priority_write::{
     write_max, write_max_u32, write_max_usize, write_min, write_min_u32, write_min_usize,
 };
-pub use resize::ResizableTable;
-pub use rooms::{AutoPhaseTable, Room, RoomSync};
+pub use resize::{ResizableTable, StwResizableTable};
+pub use rooms::{AutoPhaseGrowTable, AutoPhaseTable, Room, RoomSync};
 pub use serial::{SerialHashHD, SerialHashHI};

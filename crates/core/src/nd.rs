@@ -45,7 +45,11 @@ impl<E: HashEntry> NdHashTable<E> {
     pub fn new_pow2(log2_size: u32) -> Self {
         let n = 1usize << log2_size;
         let cells = (0..n).map(|_| AtomicU64::new(E::EMPTY)).collect();
-        NdHashTable { cells, mask: n - 1, _entry: PhantomData }
+        NdHashTable {
+            cells,
+            mask: n - 1,
+            _entry: PhantomData,
+        }
     }
 
     /// Number of cells.
@@ -57,7 +61,10 @@ impl<E: HashEntry> NdHashTable<E> {
     /// Snapshot of the raw cell contents (quiescent use only). Unlike
     /// the deterministic table's, this layout depends on history.
     pub fn snapshot(&self) -> Vec<u64> {
-        self.cells.iter().map(|c| c.load(Ordering::Acquire)).collect()
+        self.cells
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .collect()
     }
 
     #[inline]
@@ -106,7 +113,10 @@ impl<E: HashEntry> NdHashTable<E> {
             }
             i = (i + 1) & self.mask;
             steps += 1;
-            assert!(steps <= self.cells.len(), "NdHashTable::insert: table is full");
+            assert!(
+                steps <= self.cells.len(),
+                "NdHashTable::insert: table is full"
+            );
         }
     }
 
@@ -118,7 +128,10 @@ impl<E: HashEntry> NdHashTable<E> {
     /// `xadd`, the add cannot saturate, and an overflow would carry
     /// into the key bits.
     pub fn insert_add_value(&self, e: E) {
-        assert!(E::VALUE_MASK != 0, "entry type has no value field to accumulate");
+        assert!(
+            E::VALUE_MASK != 0,
+            "entry type has no value field to accumulate"
+        );
         let v = e.to_repr();
         debug_assert_ne!(v, E::EMPTY);
         let mut i = self.slot(E::hash(v));
@@ -142,7 +155,10 @@ impl<E: HashEntry> NdHashTable<E> {
             }
             i = (i + 1) & self.mask;
             steps += 1;
-            assert!(steps <= self.cells.len(), "NdHashTable::insert_add_value: table is full");
+            assert!(
+                steps <= self.cells.len(),
+                "NdHashTable::insert_add_value: table is full"
+            );
         }
     }
 

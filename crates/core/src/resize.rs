@@ -1,45 +1,570 @@
 //! Growable wrapper over the deterministic table (paper §4,
 //! "Resizing").
 //!
-//! The paper *outlines* a lock-free scheme in which inserts detect an
-//! overfull table, link a new table of twice the size, and cooperatively
-//! migrate elements. This implementation keeps the same trigger and
-//! growth policy but migrates with a brief stop-the-world pause inside
-//! the insert phase: inserts hold a shared (read) lock on the backing
-//! table; the thread that observes the load threshold takes the
-//! exclusive (write) lock, re-checks, and rebuilds into a doubled
-//! table. Determinism is preserved because
+//! The paper outlines a lock-free scheme in which inserts detect an
+//! overfull table, link a new table of twice the size, and
+//! cooperatively migrate elements. [`ResizableTable`] implements that
+//! scheme: the backing store is a chain of **epochs**, each owning one
+//! fixed-size [`DetHashTable`]. An inserter that observes its epoch's
+//! load at the 3/4 threshold publishes a doubled successor epoch with a
+//! single CAS, which **freezes** the old table; every thread that
+//! subsequently enters `insert` helps migrate by claiming fixed-size
+//! blocks of the frozen cell array from a shared atomic cursor and
+//! re-inserting the block's entries into the successor. Migration cost
+//! is thus spread across all inserting threads — there is no exclusive
+//! lock and no stop-the-world rebuild on the insert hot path (the
+//! previous implementation, preserved as [`StwResizableTable`] for the
+//! `resize` benchmark ablation, held an `RwLock` around the whole
+//! table and rebuilt it under the write lock).
 //!
-//! * the element count is exact (see [`DetHashTable::insert_counted`]),
-//!   so the final capacity is a pure function of the final key set, and
-//! * for a fixed capacity the deterministic table's layout is a pure
-//!   function of its contents — no matter when or how often migration
-//!   ran in between.
+//! ## Freeze protocol
+//!
+//! Writers register in a per-epoch `active` counter before touching the
+//! epoch's table and re-check `next` afterwards; the publisher CASes
+//! `next` and then waits for `active == 0`. Both sides use `SeqCst`, so
+//! in the total order either the writer's re-check sees the successor
+//! (and the writer backs off) or the publisher's wait sees the writer
+//! (and blocks until it retires). After the wait, the old cell array is
+//! immutable and block scans are exact.
+//!
+//! ## Determinism
+//!
+//! Within a phase, the *moment* growth triggers depends on thread
+//! timing, so the capacity **during** a phase is schedule-dependent.
+//! Two facts restore determinism at phase end:
+//!
+//! * the element count is exact — every insert that fills an empty cell
+//!   (see [`DetHashTable::insert_counted`]) credits its epoch, and
+//!   migration re-inserts credit the successor, so at quiescence the
+//!   tail epoch's credit count equals the number of stored entries; and
+//! * the growth trigger `items * 4 >= capacity * 3` only fires when the
+//!   *final* element count also exceeds the threshold (credits never
+//!   exceed the final count during an insert phase), so mid-phase
+//!   growth can never overshoot the canonical capacity.
+//!
+//! [`insert_phase`](ResizableTable::insert_phase) therefore normalizes
+//! after the phase: it drains pending migration and keeps doubling
+//! while `len * 4 >= capacity * 3`. The final capacity is the smallest
+//! power of two (≥ the initial capacity) with load < 3/4 — a pure
+//! function of the final key set — and for a fixed capacity the
+//! deterministic table's layout is a pure function of its contents, so
+//! `snapshot()` is equal across thread counts and schedules. The table
+//! never shrinks, matching the paper.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::RwLock;
-use rayon::prelude::*;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
 
 use crate::det::DetHashTable;
 use crate::entry::HashEntry;
+use crate::phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
 
-/// Grow when `items * DEN > capacity * NUM` (load factor > 3/4).
+/// Grow when `items * DEN >= capacity * NUM` (keeps load < 3/4).
 const MAX_LOAD_NUM: usize = 3;
 const MAX_LOAD_DEN: usize = 4;
 
-/// A deterministic phase-concurrent hash table that doubles its backing
-/// array when the load factor exceeds 3/4 — including in the middle of
-/// an insert phase.
-pub struct ResizableTable<E: HashEntry> {
-    inner: RwLock<DetHashTable<E>>,
-    items: AtomicUsize,
+/// Brief spin, then yield. The waits in migration are short in the
+/// common case, but when cores are oversubscribed the thread being
+/// waited on needs the CPU to make progress — pure spinning can burn a
+/// whole scheduler quantum per waiter.
+fn spin_wait(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 64 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
 }
+
+/// Cells per migration block. Small enough that a 16-cell seed table
+/// still exercises the block path, large enough that cursor traffic is
+/// negligible for big tables.
+const MIGRATION_BLOCK: usize = 512;
+
+/// One link in the growth chain: a fixed-capacity table plus the
+/// coordination state for freezing and migrating it.
+struct Epoch<E: HashEntry> {
+    table: DetHashTable<E>,
+    /// Packed coordination word: writer count in the high 32 bits
+    /// (`ACTIVE_ONE` units), empty-cell fill credits in the low 32.
+    /// Packing lets an insert register, credit its fill, and retire
+    /// with two atomic RMWs instead of four — the RMW count per insert
+    /// is the dominant overhead of growability (the credits are exact:
+    /// once the epoch is quiescent the low half equals the number of
+    /// stored entries, see module docs). Capacities are < 2^31 cells,
+    /// so the halves cannot carry into each other.
+    state: AtomicUsize,
+    /// Successor epoch; non-null marks this epoch frozen.
+    next: AtomicPtr<Epoch<E>>,
+    /// Next migration block index to claim.
+    cursor: AtomicUsize,
+    /// Migration blocks fully drained.
+    done: AtomicUsize,
+}
+
+/// One registered writer in `Epoch::state`'s high half.
+const ACTIVE_ONE: usize = 1 << 32;
+/// Mask of the fill-credit (items) half of `Epoch::state`.
+const ITEMS_MASK: usize = ACTIVE_ONE - 1;
+
+impl<E: HashEntry> Epoch<E> {
+    fn new_pow2(log2_size: u32) -> Self {
+        assert!(log2_size < 31, "epoch capacity must stay below 2^31 cells");
+        Epoch {
+            table: DetHashTable::new_pow2(log2_size),
+            state: AtomicUsize::new(0),
+            next: AtomicPtr::new(ptr::null_mut()),
+            cursor: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+        }
+    }
+
+    fn blocks(&self) -> usize {
+        self.table.capacity().div_ceil(MIGRATION_BLOCK)
+    }
+
+    fn items(&self) -> usize {
+        self.state.load(Ordering::Acquire) & ITEMS_MASK
+    }
+
+    fn over_threshold(&self) -> bool {
+        self.items() * MAX_LOAD_DEN >= self.table.capacity() * MAX_LOAD_NUM
+    }
+
+    fn items_over_threshold(items: usize, capacity: usize) -> bool {
+        items * MAX_LOAD_DEN >= capacity * MAX_LOAD_NUM
+    }
+}
+
+/// A deterministic phase-concurrent hash table that doubles its backing
+/// array when the load factor reaches 3/4 — including in the middle of
+/// an insert phase, with all inserting threads sharing the migration
+/// work (see the [module docs](self)).
+pub struct ResizableTable<E: HashEntry> {
+    /// Oldest epoch that may still hold entries; advances as epochs
+    /// drain. Its `next` chain ends at the live tail.
+    current: AtomicPtr<Epoch<E>>,
+    /// Every epoch ever published, freed in `Drop`. Chain memory is at
+    /// most 2x the tail table (capacities are geometric).
+    allocated: Mutex<Vec<*mut Epoch<E>>>,
+}
+
+// SAFETY: epochs are only mutated through atomics and the interior
+// `DetHashTable` (itself Sync); raw epoch pointers are freed only in
+// `Drop`, which requires exclusive access.
+unsafe impl<E: HashEntry> Send for ResizableTable<E> {}
+unsafe impl<E: HashEntry> Sync for ResizableTable<E> {}
 
 impl<E: HashEntry> ResizableTable<E> {
     /// Creates a table with `2^log2_size` initial cells.
     pub fn new_pow2(log2_size: u32) -> Self {
+        let first = Box::into_raw(Box::new(Epoch::new_pow2(log2_size)));
         ResizableTable {
+            current: AtomicPtr::new(first),
+            allocated: Mutex::new(vec![first]),
+        }
+    }
+
+    fn current_epoch(&self) -> &Epoch<E> {
+        // SAFETY: `current` always points into `allocated`, whose
+        // entries outlive `&self` (freed only in Drop).
+        unsafe { &*self.current.load(Ordering::Acquire) }
+    }
+
+    fn next_of<'t>(&'t self, ep: &Epoch<E>) -> Option<&'t Epoch<E>> {
+        let p = ep.next.load(Ordering::SeqCst);
+        // SAFETY: as in `current_epoch`.
+        (!p.is_null()).then(|| unsafe { &*p })
+    }
+
+    /// Current capacity (cells) — of the tail table once quiescent.
+    pub fn capacity(&self) -> usize {
+        self.quiesce();
+        self.current_epoch().table.capacity()
+    }
+
+    /// Number of stored entries (exact at phase quiescence).
+    pub fn len(&self) -> usize {
+        self.quiesce();
+        self.current_epoch().items()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs an insert phase and **normalizes** the capacity afterwards.
+    ///
+    /// Mid-phase, concurrent inserts may race past the load threshold
+    /// before one of them grows the table, so the capacity *during* a
+    /// phase can depend on timing. The phase wrapper drains any pending
+    /// migration and re-checks the threshold once the phase is
+    /// quiescent, making the final capacity — and hence the final
+    /// layout — a pure function of the contents. Use this (rather than
+    /// bare [`insert`](Self::insert)) whenever you rely on snapshot
+    /// determinism.
+    pub fn insert_phase<R>(&mut self, f: impl FnOnce(&Self) -> R) -> R {
+        let r = f(self);
+        self.normalize();
+        r
+    }
+
+    /// Drains pending migration and grows until the load is below the
+    /// threshold. Called between phases (`&self` methods quiesce but do
+    /// not normalize).
+    fn normalize(&self) {
+        loop {
+            self.quiesce();
+            let ep = self.current_epoch();
+            if !ep.over_threshold() {
+                return;
+            }
+            self.publish_successor(ep);
+            self.help_migrate(ep);
+        }
+    }
+
+    /// Helps until the epoch chain is a single live table.
+    fn quiesce(&self) {
+        loop {
+            let ep = self.current_epoch();
+            if ep.next.load(Ordering::SeqCst).is_null() {
+                return;
+            }
+            self.help_migrate(ep);
+        }
+    }
+
+    /// Inserts an entry, helping any in-progress migration first and
+    /// publishing a doubled successor when the load threshold is hit.
+    /// Callable from any number of threads during an insert phase.
+    pub fn insert(&self, e: E) {
+        let mut v = e.to_repr();
+        loop {
+            let ep = self.current_epoch();
+            if !ep.next.load(Ordering::SeqCst).is_null() {
+                // A predecessor is frozen: claim migration blocks
+                // before inserting, so growth cost stays cooperative.
+                self.help_migrate(ep);
+                continue;
+            }
+            // Registration also reads the fill credits for free (the
+            // RMW returns the previous word), so the threshold check
+            // costs no extra atomic op.
+            let prev = ep.state.fetch_add(ACTIVE_ONE, Ordering::SeqCst);
+            if !ep.next.load(Ordering::SeqCst).is_null() {
+                // Froze between the null-check and registration.
+                ep.state.fetch_sub(ACTIVE_ONE, Ordering::SeqCst);
+                continue;
+            }
+            if Epoch::<E>::items_over_threshold(prev & ITEMS_MASK, ep.table.capacity()) {
+                ep.state.fetch_sub(ACTIVE_ONE, Ordering::SeqCst);
+                self.publish_successor(ep);
+                self.help_migrate(ep);
+                continue;
+            }
+            match ep.table.try_insert_repr(v) {
+                Ok(filled) => {
+                    // Retire and credit the fill in a single RMW.
+                    ep.state
+                        .fetch_sub(ACTIVE_ONE - (filled as usize), Ordering::SeqCst);
+                    return;
+                }
+                Err(carried) => {
+                    // The table hard-filled before any thread saw the
+                    // threshold (possible only below the canonical
+                    // capacity, e.g. tiny seed tables under heavy
+                    // concurrency). The carried repr lost its cell to a
+                    // displacement chain; grow and re-home it.
+                    ep.state.fetch_sub(ACTIVE_ONE, Ordering::SeqCst);
+                    self.publish_successor(ep);
+                    self.help_migrate(ep);
+                    v = carried;
+                }
+            }
+        }
+    }
+
+    /// Deletes by key. Callable from any number of threads during a
+    /// delete phase. The table never shrinks (as in the paper).
+    pub fn delete(&self, key: E) {
+        self.quiesce();
+        let ep = self.current_epoch();
+        if ep.table.delete_counted(key) {
+            ep.state.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Looks up a key (find/elements phase).
+    pub fn find(&self, key: E) -> Option<E> {
+        self.quiesce();
+        self.current_epoch().table.find(key)
+    }
+
+    /// Packs the contents (deterministic sequence).
+    pub fn elements(&self) -> Vec<E> {
+        self.quiesce();
+        self.current_epoch().table.elements()
+    }
+
+    /// Raw snapshot of the current backing array.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.quiesce();
+        self.current_epoch().table.snapshot()
+    }
+
+    /// Raw view of the live cell array (for invariant checkers).
+    pub fn with_raw_cells<R>(&self, f: impl FnOnce(&[std::sync::atomic::AtomicU64]) -> R) -> R {
+        self.quiesce();
+        f(self.current_epoch().table.raw_cells())
+    }
+
+    /// Publishes a doubled successor for `ep` (freezing it) unless one
+    /// already exists.
+    #[cold]
+    fn publish_successor(&self, ep: &Epoch<E>) {
+        // Serialize publishers on the registry lock: racing threads
+        // would otherwise each allocate (and fault in) a table-sized
+        // epoch only to lose the CAS and free it.
+        let mut registry = self.allocated.lock().expect("epoch registry poisoned");
+        if !ep.next.load(Ordering::SeqCst).is_null() {
+            return;
+        }
+        let log2 = ep.table.capacity().trailing_zeros() + 1;
+        let fresh = Box::into_raw(Box::new(Epoch::new_pow2(log2)));
+        match ep
+            .next
+            .compare_exchange(ptr::null_mut(), fresh, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => registry.push(fresh),
+            // Unreachable while publishers hold the lock, but keep the
+            // lost-race path sound regardless.
+            Err(_) => drop(unsafe { Box::from_raw(fresh) }),
+        }
+    }
+
+    /// Cooperatively migrates the frozen epoch `ep` into its successor:
+    /// waits out in-flight writers, claims blocks from the shared
+    /// cursor, re-inserts each block's entries down the chain, and
+    /// advances `current` once the epoch is fully drained.
+    fn help_migrate(&self, ep: &Epoch<E>) {
+        let next = self.next_of(ep).expect("help_migrate on unfrozen epoch");
+        // Freeze: once every registered writer has retired, the old
+        // cell array is immutable and block scans are exact.
+        let mut spins = 0u32;
+        while ep.state.load(Ordering::SeqCst) >= ACTIVE_ONE {
+            spin_wait(&mut spins);
+        }
+        let nblocks = ep.blocks();
+        loop {
+            let b = ep.cursor.fetch_add(1, Ordering::Relaxed);
+            if b >= nblocks {
+                break;
+            }
+            let mut batch: Vec<u64> = Vec::with_capacity(MIGRATION_BLOCK);
+            ep.table
+                .for_each_in_range(b * MIGRATION_BLOCK..(b + 1) * MIGRATION_BLOCK, |e| {
+                    batch.push(e.to_repr())
+                });
+            self.insert_batch_into_chain(next, &batch);
+            ep.done.fetch_add(1, Ordering::Release);
+        }
+        // Other helpers may still be draining their blocks; the epoch
+        // may not be retired until every entry has moved.
+        let mut spins = 0u32;
+        while ep.done.load(Ordering::Acquire) < nblocks {
+            spin_wait(&mut spins);
+        }
+        self.advance_current();
+    }
+
+    /// Re-inserts a block's worth of reprs into the live tail of the
+    /// chain starting at `start`, publishing successors on
+    /// threshold/full as usual but **without** helping migration —
+    /// migration re-inserts must not recurse into block draining
+    /// (unbounded chains would overflow the stack; the drain is owned
+    /// by `help_migrate` callers). Registration in the tail's `active`
+    /// counter is amortized over the whole batch: migration moves
+    /// hundreds of entries per block, and a `SeqCst` RMW pair per entry
+    /// would dominate the copy cost.
+    fn insert_batch_into_chain(&self, start: &Epoch<E>, batch: &[u64]) {
+        let mut i = 0;
+        // A repr displaced by a hard-full insert; takes precedence over
+        // `batch[i]` until it lands.
+        let mut carry: Option<u64> = None;
+        while i < batch.len() || carry.is_some() {
+            let mut ep = start;
+            while let Some(n) = self.next_of(ep) {
+                ep = n;
+            }
+            let prev = ep.state.fetch_add(ACTIVE_ONE, Ordering::SeqCst);
+            if !ep.next.load(Ordering::SeqCst).is_null() {
+                ep.state.fetch_sub(ACTIVE_ONE, Ordering::SeqCst);
+                continue;
+            }
+            // Credits for this registration window accumulate locally
+            // and post with the deregistration RMW: per-entry credit
+            // RMWs would dominate the copy cost. The threshold check
+            // uses the registration read plus local fills — exact for
+            // this thread, approximate across threads, which only
+            // shifts *when* growth triggers, never the final capacity
+            // (normalization re-checks with exact counts).
+            let cap = ep.table.capacity();
+            let mut fills = 0usize;
+            let mut publish = false;
+            while i < batch.len() || carry.is_some() {
+                if Epoch::<E>::items_over_threshold((prev & ITEMS_MASK) + fills, cap) {
+                    publish = true;
+                    break;
+                }
+                let v = carry.unwrap_or_else(|| batch[i]);
+                match ep.table.try_insert_repr(v) {
+                    Ok(filled) => {
+                        fills += filled as usize;
+                        if carry.take().is_none() {
+                            i += 1;
+                        }
+                    }
+                    Err(displaced) => {
+                        carry = Some(displaced);
+                        publish = true;
+                        break;
+                    }
+                }
+            }
+            ep.state.fetch_sub(ACTIVE_ONE - fills, Ordering::SeqCst);
+            if publish {
+                self.publish_successor(ep);
+            }
+        }
+    }
+
+    /// Advances `current` past fully drained epochs.
+    fn advance_current(&self) {
+        loop {
+            let cur = self.current.load(Ordering::Acquire);
+            // SAFETY: as in `current_epoch`.
+            let ep = unsafe { &*cur };
+            let next = ep.next.load(Ordering::SeqCst);
+            if next.is_null() || ep.done.load(Ordering::Acquire) < ep.blocks() {
+                return;
+            }
+            // On CAS failure another thread advanced for us; re-check
+            // from the new head (a later epoch may also be drained).
+            let _ = self
+                .current
+                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire);
+        }
+    }
+}
+
+impl<E: HashEntry> Drop for ResizableTable<E> {
+    fn drop(&mut self) {
+        let epochs = std::mem::take(&mut *self.allocated.lock().expect("epoch registry poisoned"));
+        for p in epochs {
+            // SAFETY: each pointer was Box::into_raw'd exactly once and
+            // appears in the registry exactly once.
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
+/// Insert-phase handle for [`ResizableTable`] (see [`crate::phase`]).
+pub struct ResizableInserter<'t, E: HashEntry>(&'t ResizableTable<E>);
+/// Delete-phase handle.
+pub struct ResizableDeleter<'t, E: HashEntry>(&'t ResizableTable<E>);
+/// Read-phase handle.
+pub struct ResizableReader<'t, E: HashEntry>(&'t ResizableTable<E>);
+
+impl<E: HashEntry> ConcurrentInsert<E> for ResizableInserter<'_, E> {
+    #[inline]
+    fn insert(&self, e: E) {
+        self.0.insert(e);
+    }
+}
+impl<E: HashEntry> ConcurrentDelete<E> for ResizableDeleter<'_, E> {
+    #[inline]
+    fn delete(&self, key: E) {
+        self.0.delete(key);
+    }
+}
+impl<E: HashEntry> ConcurrentRead<E> for ResizableReader<'_, E> {
+    #[inline]
+    fn find(&self, key: E) -> Option<E> {
+        self.0.find(key)
+    }
+}
+impl<E: HashEntry> ResizableReader<'_, E> {
+    /// Packs the table contents (allowed in the read phase).
+    pub fn elements(&self) -> Vec<E> {
+        self.0.elements()
+    }
+}
+
+impl<E: HashEntry> PhaseHashTable<E> for ResizableTable<E> {
+    type Inserter<'t>
+        = ResizableInserter<'t, E>
+    where
+        E: 't;
+    type Deleter<'t>
+        = ResizableDeleter<'t, E>
+    where
+        E: 't;
+    type Reader<'t>
+        = ResizableReader<'t, E>
+    where
+        E: 't;
+
+    const NAME: &'static str = "linearHash-D-grow";
+
+    fn new_pow2(log2_size: u32) -> Self {
+        ResizableTable::new_pow2(log2_size)
+    }
+
+    fn capacity(&self) -> usize {
+        self.current_epoch().table.capacity()
+    }
+
+    // Every phase transition normalizes: leaving an insert phase
+    // through `begin_*`/`elements` lands on the canonical capacity, so
+    // generic phase-discipline code sees deterministic snapshots.
+    fn begin_insert(&mut self) -> ResizableInserter<'_, E> {
+        self.normalize();
+        ResizableInserter(self)
+    }
+
+    fn begin_delete(&mut self) -> ResizableDeleter<'_, E> {
+        self.normalize();
+        ResizableDeleter(self)
+    }
+
+    fn begin_read(&mut self) -> ResizableReader<'_, E> {
+        self.normalize();
+        ResizableReader(self)
+    }
+
+    fn elements(&mut self) -> Vec<E> {
+        self.normalize();
+        ResizableTable::elements(self)
+    }
+}
+
+/// The previous, stop-the-world growable table: inserts share a read
+/// lock; the thread that sees the threshold takes the write lock and
+/// rebuilds into a doubled table while every other inserter blocks.
+///
+/// Kept as the baseline arm of the `resize` benchmark ablation; new
+/// code should use [`ResizableTable`].
+pub struct StwResizableTable<E: HashEntry> {
+    inner: RwLock<DetHashTable<E>>,
+    items: AtomicUsize,
+}
+
+impl<E: HashEntry> StwResizableTable<E> {
+    /// Creates a table with `2^log2_size` initial cells.
+    pub fn new_pow2(log2_size: u32) -> Self {
+        StwResizableTable {
             inner: RwLock::new(DetHashTable::new_pow2(log2_size)),
             items: AtomicUsize::new(0),
         }
@@ -47,7 +572,7 @@ impl<E: HashEntry> ResizableTable<E> {
 
     /// Current capacity (cells).
     pub fn capacity(&self) -> usize {
-        self.inner.read().capacity()
+        self.inner.read().expect("table lock poisoned").capacity()
     }
 
     /// Number of stored entries (exact).
@@ -60,15 +585,7 @@ impl<E: HashEntry> ResizableTable<E> {
         self.len() == 0
     }
 
-    /// Runs an insert phase and **normalizes** the capacity afterwards.
-    ///
-    /// Mid-phase, concurrent inserts may race past the load threshold
-    /// before one of them grows the table, so the capacity *during* a
-    /// phase can depend on timing. The phase wrapper re-checks the
-    /// threshold once the phase is quiescent, making the final
-    /// capacity — and hence the final layout — a pure function of the
-    /// contents. Use this (rather than bare [`insert`](Self::insert))
-    /// whenever you rely on snapshot determinism.
+    /// Runs an insert phase and normalizes the capacity afterwards.
     pub fn insert_phase<R>(&mut self, f: impl FnOnce(&Self) -> R) -> R {
         let r = f(self);
         while self.len() * MAX_LOAD_DEN >= self.capacity() * MAX_LOAD_NUM {
@@ -77,14 +594,11 @@ impl<E: HashEntry> ResizableTable<E> {
         r
     }
 
-    /// Inserts an entry, growing the table first if it is at the load
-    /// threshold. Callable from any number of threads during an insert
-    /// phase.
+    /// Inserts an entry, growing (stop-the-world) at the threshold.
     pub fn insert(&self, e: E) {
         loop {
-            let guard = self.inner.read();
-            if self.items.load(Ordering::Acquire) * MAX_LOAD_DEN
-                >= guard.capacity() * MAX_LOAD_NUM
+            let guard = self.inner.read().expect("table lock poisoned");
+            if self.items.load(Ordering::Acquire) * MAX_LOAD_DEN >= guard.capacity() * MAX_LOAD_NUM
             {
                 drop(guard);
                 self.grow();
@@ -97,43 +611,44 @@ impl<E: HashEntry> ResizableTable<E> {
         }
     }
 
-    /// Deletes by key. Callable from any number of threads during a
-    /// delete phase. The table never shrinks (as in the paper).
+    /// Deletes by key.
     pub fn delete(&self, key: E) {
-        let guard = self.inner.read();
+        let guard = self.inner.read().expect("table lock poisoned");
         if guard.delete_counted(key) {
             self.items.fetch_sub(1, Ordering::AcqRel);
         }
     }
 
-    /// Looks up a key (find/elements phase).
+    /// Looks up a key.
     pub fn find(&self, key: E) -> Option<E> {
-        self.inner.read().find(key)
+        self.inner.read().expect("table lock poisoned").find(key)
     }
 
-    /// Packs the contents (deterministic sequence).
+    /// Packs the contents.
     pub fn elements(&self) -> Vec<E> {
-        self.inner.read().elements()
+        self.inner.read().expect("table lock poisoned").elements()
     }
 
     /// Raw snapshot of the current backing array.
     pub fn snapshot(&self) -> Vec<u64> {
-        self.inner.read().snapshot()
+        self.inner.read().expect("table lock poisoned").snapshot()
     }
 
     #[cold]
     fn grow(&self) {
-        let mut w = self.inner.write();
+        use rayon::prelude::*;
+        let mut w = self.inner.write().expect("table lock poisoned");
         // Another thread may have grown while we waited.
         if self.items.load(Ordering::Acquire) * MAX_LOAD_DEN < w.capacity() * MAX_LOAD_NUM {
             return;
         }
         let log2 = w.capacity().trailing_zeros() + 1;
         let bigger: DetHashTable<E> = DetHashTable::new_pow2(log2);
-        // Parallel migration: inserts of a deterministic element
-        // sequence commute, so the new layout is deterministic.
         let elems = w.elements();
-        elems.par_iter().with_min_len(1024).for_each(|&e| bigger.insert(e));
+        elems
+            .par_iter()
+            .with_min_len(1024)
+            .for_each(|&e| bigger.insert(e));
         *w = bigger;
     }
 }
@@ -142,6 +657,7 @@ impl<E: HashEntry> ResizableTable<E> {
 mod tests {
     use super::*;
     use crate::entry::U64Key;
+    use crate::invariant::{check_no_duplicate_keys, check_ordering_invariant};
 
     #[test]
     fn grows_past_initial_capacity() {
@@ -205,7 +721,9 @@ mod tests {
     fn parallel_growth_count_is_exact() {
         use rayon::prelude::*;
         let t: ResizableTable<U64Key> = ResizableTable::new_pow2(4);
-        (1..=5000u64).into_par_iter().for_each(|k| t.insert(U64Key::new(k)));
+        (1..=5000u64)
+            .into_par_iter()
+            .for_each(|k| t.insert(U64Key::new(k)));
         assert_eq!(t.len(), 5000);
         // Final capacity is the unique power of two keeping load ≤ 3/4.
         assert!(t.capacity() * MAX_LOAD_NUM >= 5000 * MAX_LOAD_DEN - t.capacity());
@@ -220,7 +738,9 @@ mod tests {
         let build = || {
             let mut t: ResizableTable<U64Key> = ResizableTable::new_pow2(4);
             t.insert_phase(|t| {
-                (1..=3000u64).into_par_iter().for_each(|k| t.insert(U64Key::new(k)));
+                (1..=3000u64)
+                    .into_par_iter()
+                    .for_each(|k| t.insert(U64Key::new(k)));
             });
             t
         };
@@ -228,5 +748,67 @@ mod tests {
         let b = build();
         assert_eq!(a.capacity(), b.capacity());
         assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn migration_preserves_table_invariants() {
+        use rayon::prelude::*;
+        let mut t: ResizableTable<U64Key> = ResizableTable::new_pow2(4);
+        t.insert_phase(|t| {
+            (1..=4000u64)
+                .into_par_iter()
+                .for_each(|k| t.insert(U64Key::new(k)));
+        });
+        // The migrated layout still satisfies the ordering invariant
+        // (Definition 2) and holds each key exactly once.
+        let snap = t.snapshot();
+        check_ordering_invariant::<U64Key>(&snap).unwrap();
+        check_no_duplicate_keys::<U64Key>(&snap).unwrap();
+        // And the capacity is canonical for the key count: growth
+        // fired exactly when required, with no overshoot.
+        crate::invariant::check_canonical_capacity::<U64Key>(&snap, 16).unwrap();
+    }
+
+    #[test]
+    fn cooperative_matches_stop_the_world() {
+        // Same key set, same seed capacity: after normalization both
+        // growth strategies must land on the identical array.
+        let keys: Vec<u64> = (1..=2000).map(|i| phc_parutil::hash64(i) | 1).collect();
+        let mut coop: ResizableTable<U64Key> = ResizableTable::new_pow2(4);
+        coop.insert_phase(|t| {
+            for &k in &keys {
+                t.insert(U64Key::new(k));
+            }
+        });
+        let mut stw: StwResizableTable<U64Key> = StwResizableTable::new_pow2(4);
+        stw.insert_phase(|t| {
+            for &k in &keys {
+                t.insert(U64Key::new(k));
+            }
+        });
+        assert_eq!(coop.capacity(), stw.capacity());
+        assert_eq!(coop.snapshot(), stw.snapshot());
+    }
+
+    #[test]
+    fn phase_api_normalizes_between_phases() {
+        use crate::phase::*;
+        let mut t: ResizableTable<U64Key> = PhaseHashTable::new_pow2(4);
+        {
+            let ins = t.begin_insert();
+            for k in 1..=300u64 {
+                ins.insert(U64Key::new(k));
+            }
+        }
+        {
+            let del = t.begin_delete();
+            for k in 1..=100u64 {
+                del.delete(U64Key::new(k));
+            }
+        }
+        let reader = t.begin_read();
+        assert_eq!(reader.find(U64Key::new(50)), None);
+        assert_eq!(reader.find(U64Key::new(200)), Some(U64Key::new(200)));
+        assert_eq!(reader.elements().len(), 200);
     }
 }

@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::det::DetHashTable;
 use crate::entry::HashEntry;
+use crate::resize::ResizableTable;
 
 /// The three rooms of a phase-concurrent hash table.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -56,7 +57,9 @@ impl Default for RoomSync {
 impl RoomSync {
     /// Creates an idle synchronizer.
     pub fn new() -> Self {
-        RoomSync { state: AtomicU64::new(0) }
+        RoomSync {
+            state: AtomicU64::new(0),
+        }
     }
 
     /// Enters `room`, waiting until no other room is occupied.
@@ -97,7 +100,11 @@ impl RoomSync {
             debug_assert_eq!(s >> 56, id, "exit from a room not entered");
             let count = s & COUNT_MASK;
             debug_assert!(count > 0);
-            let next = if count == 1 { 0 } else { (id << 56) | (count - 1) };
+            let next = if count == 1 {
+                0
+            } else {
+                (id << 56) | (count - 1)
+            };
             if self
                 .state
                 .compare_exchange_weak(s, next, Ordering::AcqRel, Ordering::Acquire)
@@ -144,7 +151,10 @@ pub struct AutoPhaseTable<E: HashEntry> {
 impl<E: HashEntry> AutoPhaseTable<E> {
     /// Creates a table with `2^log2_size` cells.
     pub fn new_pow2(log2_size: u32) -> Self {
-        AutoPhaseTable { table: DetHashTable::new_pow2(log2_size), rooms: RoomSync::new() }
+        AutoPhaseTable {
+            table: DetHashTable::new_pow2(log2_size),
+            rooms: RoomSync::new(),
+        }
     }
 
     /// Number of cells.
@@ -175,6 +185,66 @@ impl<E: HashEntry> AutoPhaseTable<E> {
     /// Grants direct phased access when the caller has `&mut`
     /// (no synchronization needed — the borrow is exclusive).
     pub fn raw_mut(&mut self) -> &mut DetHashTable<E> {
+        &mut self.table
+    }
+}
+
+/// [`AutoPhaseTable`]'s growable sibling: room synchronization over a
+/// [`ResizableTable`].
+///
+/// Cooperative migration composes with room synchronization because
+/// migration is *insert work*: it only ever runs on threads that are
+/// already executing an insert (or a quiescing accessor), re-inserting
+/// entries into the successor epoch with the same insert primitive. So
+/// inside the insert room migration is just more concurrent inserters
+/// cooperating, and the delete/read rooms always observe a fully
+/// migrated table because every `ResizableTable` accessor drains
+/// pending migrations before touching the contents. No extra "resize
+/// room" is needed.
+pub struct AutoPhaseGrowTable<E: HashEntry> {
+    table: ResizableTable<E>,
+    rooms: RoomSync,
+}
+
+impl<E: HashEntry> AutoPhaseGrowTable<E> {
+    /// Creates a table seeded with `2^log2_size` cells; it grows as
+    /// needed.
+    pub fn new_pow2(log2_size: u32) -> Self {
+        AutoPhaseGrowTable {
+            table: ResizableTable::new_pow2(log2_size),
+            rooms: RoomSync::new(),
+        }
+    }
+
+    /// Current number of cells (grows over time, never shrinks).
+    pub fn capacity(&self) -> usize {
+        self.rooms.with(Room::Read, || self.table.capacity())
+    }
+
+    /// Inserts an entry (enters the insert room; may trigger or join a
+    /// cooperative migration).
+    pub fn insert(&self, e: E) {
+        self.rooms.with(Room::Insert, || self.table.insert(e));
+    }
+
+    /// Deletes by key (enters the delete room).
+    pub fn delete(&self, key: E) {
+        self.rooms.with(Room::Delete, || self.table.delete(key));
+    }
+
+    /// Looks up a key (enters the read room).
+    pub fn find(&self, key: E) -> Option<E> {
+        self.rooms.with(Room::Read, || self.table.find(key))
+    }
+
+    /// Packs the contents (enters the read room).
+    pub fn elements(&self) -> Vec<E> {
+        self.rooms.with(Room::Read, || self.table.elements())
+    }
+
+    /// Grants direct phased access when the caller has `&mut`
+    /// (no synchronization needed — the borrow is exclusive).
+    pub fn raw_mut(&mut self) -> &mut ResizableTable<E> {
         &mut self.table
     }
 }
@@ -305,5 +375,36 @@ mod tests {
         // At least sometimes multiple threads share the room (not a
         // strict guarantee on 1 core, so only assert sanity).
         assert!(peak.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn grow_table_mixed_calls_from_tiny_seed() {
+        // Threads freely mix inserts/deletes/finds against a 16-cell
+        // seed, forcing many cooperative migrations inside the insert
+        // room interleaved with quiescing read/delete rooms.
+        let mut t: AutoPhaseGrowTable<U64Key> = AutoPhaseGrowTable::new_pow2(4);
+        std::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..800u64 {
+                        let k = tid * 10_000 + i + 1;
+                        t.insert(U64Key::new(k));
+                        if i % 4 == 0 {
+                            t.delete(U64Key::new(k));
+                        } else {
+                            assert!(t.find(U64Key::new(k)).is_some());
+                        }
+                    }
+                });
+            }
+        });
+        // 800 per thread, every 4th deleted: 600 survivors per thread.
+        let elems = t.elements();
+        assert_eq!(elems.len(), 4 * 600);
+        assert!(t.capacity() > 16, "table must have grown");
+        let snap: Vec<u64> = t.raw_mut().snapshot();
+        crate::invariant::check_ordering_invariant::<U64Key>(&snap).unwrap();
+        crate::invariant::check_no_duplicate_keys::<U64Key>(&snap).unwrap();
     }
 }

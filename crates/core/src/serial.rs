@@ -26,7 +26,12 @@ impl<E: HashEntry> SerialHashHI<E> {
     /// Creates a table with `2^log2_size` cells.
     pub fn new_pow2(log2_size: u32) -> Self {
         let n = 1usize << log2_size;
-        SerialHashHI { cells: vec![E::EMPTY; n], mask: n - 1, len: 0, _entry: PhantomData }
+        SerialHashHI {
+            cells: vec![E::EMPTY; n],
+            mask: n - 1,
+            len: 0,
+            _entry: PhantomData,
+        }
     }
 
     /// Number of cells.
@@ -88,7 +93,10 @@ impl<E: HashEntry> SerialHashHI<E> {
                 i = (i + 1) & self.mask;
             }
             steps += 1;
-            assert!(steps <= self.cells.len(), "SerialHashHI::insert: table is full");
+            assert!(
+                steps <= self.cells.len(),
+                "SerialHashHI::insert: table is full"
+            );
         }
     }
 
@@ -181,7 +189,12 @@ impl<E: HashEntry> SerialHashHD<E> {
     /// Creates a table with `2^log2_size` cells.
     pub fn new_pow2(log2_size: u32) -> Self {
         let n = 1usize << log2_size;
-        SerialHashHD { cells: vec![E::EMPTY; n], mask: n - 1, len: 0, _entry: PhantomData }
+        SerialHashHD {
+            cells: vec![E::EMPTY; n],
+            mask: n - 1,
+            len: 0,
+            _entry: PhantomData,
+        }
     }
 
     /// Number of cells.
@@ -236,7 +249,10 @@ impl<E: HashEntry> SerialHashHD<E> {
             }
             i = (i + 1) & self.mask;
             steps += 1;
-            assert!(steps <= self.cells.len(), "SerialHashHD::insert: table is full");
+            assert!(
+                steps <= self.cells.len(),
+                "SerialHashHD::insert: table is full"
+            );
         }
     }
 
@@ -335,7 +351,11 @@ mod tests {
             t.delete(U64Key::new(k));
         }
         for k in 1..=100u64 {
-            assert_eq!(t.find(U64Key::new(k)).is_some(), (k - 1) % 3 != 0, "key {k}");
+            assert_eq!(
+                t.find(U64Key::new(k)).is_some(),
+                (k - 1) % 3 != 0,
+                "key {k}"
+            );
         }
     }
 

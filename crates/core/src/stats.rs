@@ -10,6 +10,20 @@
 
 use crate::entry::HashEntry;
 
+/// Whether a raw cell holds an entry. This is the single definition of
+/// "occupied" for snapshot analysis: `E::EMPTY` is an entry-type
+/// constant, not necessarily `0`, so comparing raw cells against a
+/// literal zero is wrong for any entry whose empty sentinel differs.
+pub fn cell_occupied<E: HashEntry>(cell: u64) -> bool {
+    cell != E::EMPTY
+}
+
+/// Occupancy mask of a snapshot: `mask[j]` is true iff cell `j` holds
+/// an entry (per [`cell_occupied`]).
+pub fn occupancy<E: HashEntry>(cells: &[u64]) -> Vec<bool> {
+    cells.iter().map(|&c| cell_occupied::<E>(c)).collect()
+}
+
 /// Displacement distribution of a snapshot: `histogram[d]` counts
 /// entries stored `d` cells past their hash bucket (cyclically).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -54,7 +68,7 @@ pub fn probe_stats<E: HashEntry>(cells: &[u64]) -> ProbeStats {
     let mut histogram = Vec::new();
     let mut entries = 0usize;
     for (j, &c) in cells.iter().enumerate() {
-        if c == E::EMPTY {
+        if !cell_occupied::<E>(c) {
             continue;
         }
         entries += 1;
@@ -78,28 +92,58 @@ mod tests {
     use crate::entry::U64Key;
     use crate::nd::NdHashTable;
 
+    /// Fixed key-stream seed. The test keys are
+    /// `hash64(SEED + k) | 1` for `k = 1..`, so the whole distribution
+    /// is a pure function of this constant; change it and the
+    /// statistical assertions below must be re-validated.
+    const SEED: u64 = 0x5EED_0001;
+
     fn filled_det(load: f64, log2: u32) -> DetHashTable<U64Key> {
         let t = DetHashTable::new_pow2(log2);
         let n = ((1usize << log2) as f64 * load) as u64;
         for k in 1..=n {
-            t.insert(U64Key::new(phc_parutil::hash64(k) | 1));
+            t.insert(U64Key::new(phc_parutil::hash64(SEED + k) | 1));
         }
         t
     }
 
+    // The thresholds in the two statistical tests are deterministic
+    // for the fixed SEED above, but they are chosen with wide margin
+    // against the *expected* values for uniform linear probing so that
+    // retuning the hash function or the seed does not flip them:
+    // Knuth's analysis gives a mean successful probe count of roughly
+    // (1 + 1/(1-a))/2 at load a, i.e. mean displacement
+    // (1/(1-a) - 1)/2 — about 0.06 at a=0.1, 0.13 at a=0.2, and 2.8
+    // at a=0.85, and a home-bucket fraction near 1-a/2 at low load.
+
     #[test]
     fn low_load_is_mostly_home() {
+        // Expected home fraction at load 0.1 is ~0.95; assert 0.80 to
+        // leave margin for an unlucky key stream.
         let t = filled_det(0.1, 14);
         let s = probe_stats::<U64Key>(&t.snapshot());
-        assert!(s.home_fraction() > 0.85, "home fraction {}", s.home_fraction());
-        assert!(s.mean() < 0.2, "mean {}", s.mean());
+        assert!(
+            s.home_fraction() > 0.80,
+            "home fraction {}",
+            s.home_fraction()
+        );
+        // Expected mean displacement ~0.06; assert < 0.3.
+        assert!(s.mean() < 0.3, "mean {}", s.mean());
     }
 
     #[test]
     fn displacement_grows_with_load() {
+        // Expected ratio hi/lo is ~22x (2.8 / 0.13); assert 3x, which
+        // only tests the direction and rough magnitude of the load
+        // effect, not the exact constants.
         let lo = probe_stats::<U64Key>(&filled_det(0.2, 14).snapshot());
         let hi = probe_stats::<U64Key>(&filled_det(0.85, 14).snapshot());
-        assert!(hi.mean() > 4.0 * lo.mean(), "lo {} hi {}", lo.mean(), hi.mean());
+        assert!(
+            hi.mean() > 3.0 * lo.mean(),
+            "lo {} hi {}",
+            lo.mean(),
+            hi.mean()
+        );
         assert!(hi.max() > lo.max());
     }
 
@@ -109,15 +153,22 @@ mod tests {
         // two linear-probing variants (the paper notes this — it is
         // why their `elements` times match), even though which key
         // sits where differs between them.
-        let keys: Vec<u64> = (1..=2000u64).map(|k| phc_parutil::hash64(k) | 1).collect();
+        let keys: Vec<u64> = (1..=2000u64)
+            .map(|k| phc_parutil::hash64(SEED + k) | 1)
+            .collect();
         let d: DetHashTable<U64Key> = DetHashTable::new_pow2(12);
         let nd: NdHashTable<U64Key> = NdHashTable::new_pow2(12);
         for &k in &keys {
             d.insert(U64Key::new(k));
             nd.insert(U64Key::new(k));
         }
-        let d_occ: Vec<bool> = d.snapshot().iter().map(|&c| c != 0).collect();
-        let nd_occ: Vec<bool> = nd.snapshot().iter().map(|&c| c != 0).collect();
+        // Occupancy must come from `occupancy`/`cell_occupied`, not a
+        // raw `c != 0` comparison: `E::EMPTY` need not be zero (a
+        // KvPair entry with a zero key and nonzero value would count
+        // as occupied under `!= 0` but is not a stored entry for entry
+        // types whose sentinel differs).
+        let d_occ = occupancy::<U64Key>(&d.snapshot());
+        let nd_occ = occupancy::<U64Key>(&nd.snapshot());
         assert_eq!(d_occ, nd_occ);
         // Per-cluster total displacement also matches (both pack each
         // cluster densely), so the mean probe length is identical.

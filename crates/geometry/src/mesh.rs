@@ -44,9 +44,16 @@ impl Mesh {
         let a = (snap(cx - 20.0 * span), snap(lo - 10.0 * span));
         let b = (snap(cx + 20.0 * span), snap(lo - 10.0 * span));
         let c = (snap(cx), snap(hi + 25.0 * span));
-        let mut m = Mesh { points: vec![a, b, c], tris: Vec::new() };
+        let mut m = Mesh {
+            points: vec![a, b, c],
+            tris: Vec::new(),
+        };
         debug_assert!(orient2d(a, b, c) > 0);
-        m.tris.push(Tri { v: [0, 1, 2], nbr: [NONE, NONE, NONE], alive: true });
+        m.tris.push(Tri {
+            v: [0, 1, 2],
+            nbr: [NONE, NONE, NONE],
+            alive: true,
+        });
         m
     }
 
@@ -63,7 +70,10 @@ impl Mesh {
 
     /// Whether triangle `t` touches the super-triangle.
     pub fn touches_super(&self, t: u32) -> bool {
-        self.tris[t as usize].v.iter().any(|&v| self.is_super_vertex(v))
+        self.tris[t as usize]
+            .v
+            .iter()
+            .any(|&v| self.is_super_vertex(v))
     }
 
     /// The coordinates of triangle `t`'s vertices.

@@ -65,7 +65,9 @@ pub fn incircle(a: (i64, i64), b: (i64, i64), c: (i64, i64), d: (i64, i64)) -> i
         return det.signum() as i64;
     }
     // Exact wide path: accumulate the three products in 256 bits.
-    let det = I256::mul(alift, bc).add(I256::mul(blift, ca)).add(I256::mul(clift, ab));
+    let det = I256::mul(alift, bc)
+        .add(I256::mul(blift, ca))
+        .add(I256::mul(clift, ab));
     det.signum()
 }
 
@@ -114,7 +116,10 @@ impl I256 {
 
     fn add(self, other: I256) -> I256 {
         let (lo, carry) = self.lo.overflowing_add(other.lo);
-        I256 { lo, hi: self.hi.wrapping_add(other.hi).wrapping_add(carry as i128) }
+        I256 {
+            lo,
+            hi: self.hi.wrapping_add(other.hi).wrapping_add(carry as i128),
+        }
     }
 
     fn signum(self) -> i64 {
@@ -159,12 +164,7 @@ pub fn dist2(a: (i64, i64), b: (i64, i64)) -> i128 {
 /// Uses the law of cosines on exact squared lengths with a floating
 /// comparison — fine here because "bad triangle" is a quality
 /// heuristic, not a correctness predicate.
-pub fn has_small_angle(
-    a: (i64, i64),
-    b: (i64, i64),
-    c: (i64, i64),
-    min_angle_deg: f64,
-) -> bool {
+pub fn has_small_angle(a: (i64, i64), b: (i64, i64), c: (i64, i64), min_angle_deg: f64) -> bool {
     let l2 = [dist2(b, c) as f64, dist2(a, c) as f64, dist2(a, b) as f64];
     let cos_min = min_angle_deg.to_radians().cos();
     // The smallest angle is opposite the shortest edge.
@@ -233,7 +233,12 @@ mod tests {
     fn small_angle_detection() {
         // Equilateral-ish: no angle below 30°.
         let s = 1 << 20;
-        assert!(!has_small_angle((0, 0), (2 * s, 0), (s, (1.732 * s as f64) as i64), 30.0));
+        assert!(!has_small_angle(
+            (0, 0),
+            (2 * s, 0),
+            (s, (1.732 * s as f64) as i64),
+            30.0
+        ));
         // Sliver: tiny angle.
         assert!(has_small_angle((0, 0), (2 * s, 0), (s, s / 50), 30.0));
     }

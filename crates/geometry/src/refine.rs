@@ -77,7 +77,11 @@ where
     T: PhaseHashTable<U64Key>,
     F: FnMut(u32) -> T,
 {
-    let mut stats = RefineStats { rounds: 0, points_added: 0, final_bad: 0 };
+    let mut stats = RefineStats {
+        rounds: 0,
+        points_added: 0,
+        final_bad: 0,
+    };
 
     // Seed the table with the initial bad triangles. Table size: twice
     // the number of bad triangles, rounded up to a power of two
@@ -91,7 +95,9 @@ where
         let mut table = make_table(log2);
         {
             let ins = table.begin_insert();
-            initial_bad.par_iter().for_each(|&t| ins.insert(U64Key::new(t as u64 + 1)));
+            initial_bad
+                .par_iter()
+                .for_each(|&t| ins.insert(U64Key::new(t as u64 + 1)));
         }
         table.elements().iter().map(|k| (k.0 - 1) as u32).collect()
     };
@@ -133,17 +139,28 @@ where
                 }
                 affected.sort_unstable();
                 affected.dedup();
-                Some(Candidate { rank: rank as u32, tri: t, cc, cavity, affected })
+                Some(Candidate {
+                    rank: rank as u32,
+                    tri: t,
+                    cc,
+                    cavity,
+                    affected,
+                })
             })
             .collect();
 
-        let marks: Vec<AtomicU32> =
-            (0..mesh.tris.len()).map(|_| AtomicU32::new(u32::MAX)).collect();
-        candidates.par_iter().with_min_len(16).flatten().for_each(|cand| {
-            for &a in &cand.affected {
-                write_min_u32(&marks[a as usize], cand.rank);
-            }
-        });
+        let marks: Vec<AtomicU32> = (0..mesh.tris.len())
+            .map(|_| AtomicU32::new(u32::MAX))
+            .collect();
+        candidates
+            .par_iter()
+            .with_min_len(16)
+            .flatten()
+            .for_each(|cand| {
+                for &a in &cand.affected {
+                    write_min_u32(&marks[a as usize], cand.rank);
+                }
+            });
 
         // ---- Commit: winners own every mark; cap to the point budget
         // by rank (deterministic).
@@ -157,8 +174,7 @@ where
             })
             .collect();
         winners.truncate(budget);
-        let winner_ranks: std::collections::HashSet<u32> =
-            winners.iter().map(|w| w.rank).collect();
+        let winner_ranks: std::collections::HashSet<u32> = winners.iter().map(|w| w.rank).collect();
 
         // Apply in rank order (winners' affected sets are disjoint, so
         // this is conflict-free; sequential order fixes new ids
@@ -194,7 +210,9 @@ where
         let mut table = make_table(log2);
         {
             let ins = table.begin_insert();
-            next.par_iter().with_min_len(64).for_each(|&t| ins.insert(U64Key::new(t as u64 + 1)));
+            next.par_iter()
+                .with_min_len(64)
+                .for_each(|&t| ins.insert(U64Key::new(t as u64 + 1)));
         }
         bad = table.elements().iter().map(|k| (k.0 - 1) as u32).collect();
     }
@@ -245,7 +263,11 @@ mod tests {
         let run = || {
             let mut mesh = triangulate(&pts);
             let stats = refine(&mut mesh, 24.0, 50_000, make_det);
-            (stats, mesh.points.clone(), mesh.tris.iter().map(|t| (t.v, t.alive)).collect::<Vec<_>>())
+            (
+                stats,
+                mesh.points.clone(),
+                mesh.tris.iter().map(|t| (t.v, t.alive)).collect::<Vec<_>>(),
+            )
         };
         let a = run();
         let b = run();

@@ -179,11 +179,7 @@ fn decode_parents(parents: Vec<AtomicI64>) -> Vec<i64> {
 }
 
 /// Splits `out` into per-frontier-vertex segments of the given sizes.
-fn split_segments<'a>(
-    out: &'a mut [i64],
-    offsets: &[usize],
-    degs: &[usize],
-) -> Vec<&'a mut [i64]> {
+fn split_segments<'a>(out: &'a mut [i64], offsets: &[usize], degs: &[usize]) -> Vec<&'a mut [i64]> {
     let mut segs = Vec::with_capacity(degs.len());
     let mut rest = out;
     let mut consumed = 0usize;
@@ -274,7 +270,10 @@ mod tests {
 
     #[test]
     fn unreachable_marked() {
-        let g = Graph::from_edges(&EdgeList { n: 4, edges: vec![(0, 1)] });
+        let g = Graph::from_edges(&EdgeList {
+            n: 4,
+            edges: vec![(0, 1)],
+        });
         let p = array_bfs(&g, 0);
         assert_eq!(p[2], UNREACHED);
         assert_eq!(p[3], UNREACHED);

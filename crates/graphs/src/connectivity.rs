@@ -29,12 +29,7 @@ where
 {
     let n = el.n;
     let mut label: Vec<u32> = (0..n as u32).collect();
-    let mut edges: Vec<(u32, u32)> = el
-        .edges
-        .iter()
-        .copied()
-        .filter(|&(u, v)| u != v)
-        .collect();
+    let mut edges: Vec<(u32, u32)> = el.edges.iter().copied().filter(|&(u, v)| u != v).collect();
     let mut round = 0u64;
     while !edges.is_empty() {
         round += 1;
@@ -63,14 +58,18 @@ where
         };
         // Apply hooks to labels of *current representatives*.
         let mut next_label = label.clone();
-        next_label.par_iter_mut().enumerate().with_min_len(1024).for_each(|(v, l)| {
-            let cur = label[v];
-            // v's representative hooks wherever `hook` sends it.
-            let h = hook[cur as usize];
-            if h != cur {
-                *l = h;
-            }
-        });
+        next_label
+            .par_iter_mut()
+            .enumerate()
+            .with_min_len(1024)
+            .for_each(|(v, l)| {
+                let cur = label[v];
+                // v's representative hooks wherever `hook` sends it.
+                let h = hook[cur as usize];
+                if h != cur {
+                    *l = h;
+                }
+            });
         // Pointer-jump to full compression (hooks form depth-1 stars:
         // tails → heads, so one jump suffices; jump twice for safety).
         for _ in 0..2 {
@@ -81,7 +80,10 @@ where
         }
         label = next_label;
         // Contract: relabel edges and dedup through the hash table.
-        let log2 = (edges.len() * 2).max(4).next_power_of_two().trailing_zeros();
+        let log2 = (edges.len() * 2)
+            .max(4)
+            .next_power_of_two()
+            .trailing_zeros();
         let mut table = make_table(log2);
         {
             let ins = table.begin_insert();
@@ -118,7 +120,9 @@ where
         let r = compressed[v as usize] as usize;
         min_of_root[r] = min_of_root[r].min(v);
     }
-    (0..n).map(|v| min_of_root[compressed[v] as usize]).collect()
+    (0..n)
+        .map(|v| min_of_root[compressed[v] as usize])
+        .collect()
 }
 
 /// Union-find reference for validation.
@@ -135,7 +139,9 @@ pub fn connected_components_reference(el: &EdgeList) -> Vec<u32> {
         let r = uf.find(v) as usize;
         min_of_root[r] = min_of_root[r].min(v);
     }
-    (0..el.n as u32).map(|v| min_of_root[uf.find(v) as usize]).collect()
+    (0..el.n as u32)
+        .map(|v| min_of_root[uf.find(v) as usize])
+        .collect()
 }
 
 #[cfg(test)]
@@ -175,7 +181,10 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let el = EdgeList { n: 10, edges: vec![] };
+        let el = EdgeList {
+            n: 10,
+            edges: vec![],
+        };
         let got = connected_components(&el, DetHashTable::<EdgeEntry>::new_pow2);
         assert_eq!(got, (0..10u32).collect::<Vec<_>>());
     }

@@ -39,17 +39,23 @@ impl Graph {
         {
             let mut slices: Vec<&mut [u32]> = Vec::with_capacity(n);
             let mut rest: &mut [u32] = &mut neighbors;
-            for v in 0..n {
-                let d = degree[v];
+            for &d in degree.iter().take(n) {
                 let (head, tail) = rest.split_at_mut(d);
                 slices.push(head);
                 rest = tail;
             }
-            slices.par_iter_mut().with_min_len(64).for_each(|s| s.sort_unstable());
+            slices
+                .par_iter_mut()
+                .with_min_len(64)
+                .for_each(|s| s.sort_unstable());
         }
         let mut offsets = offsets_base;
         offsets.push(total);
-        Graph { offsets, neighbors, n }
+        Graph {
+            offsets,
+            neighbors,
+            n,
+        }
     }
 
     /// Number of vertices.
@@ -82,7 +88,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> Graph {
-        Graph::from_edges(&EdgeList { n: 4, edges: vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] })
+        Graph::from_edges(&EdgeList {
+            n: 4,
+            edges: vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+        })
     }
 
     #[test]
@@ -107,7 +116,10 @@ mod tests {
 
     #[test]
     fn isolated_vertices_ok() {
-        let g = Graph::from_edges(&EdgeList { n: 5, edges: vec![(0, 1)] });
+        let g = Graph::from_edges(&EdgeList {
+            n: 5,
+            edges: vec![(0, 1)],
+        });
         assert_eq!(g.degree(4), 0);
         assert!(g.neighbors(4).is_empty());
     }

@@ -54,9 +54,15 @@ pub fn speculative_for_items<R: Reservable>(
         rounds += 1;
         let take = granularity.min(items.len());
         let batch = &items[..take];
-        batch.par_iter().with_min_len(64).for_each(|&i| r.prepare(i));
-        let reserved: Vec<bool> =
-            batch.par_iter().with_min_len(64).map(|&i| r.reserve(i)).collect();
+        batch
+            .par_iter()
+            .with_min_len(64)
+            .for_each(|&i| r.prepare(i));
+        let reserved: Vec<bool> = batch
+            .par_iter()
+            .with_min_len(64)
+            .map(|&i| r.reserve(i))
+            .collect();
         let committed: Vec<bool> = batch
             .par_iter()
             .zip(reserved.par_iter())
@@ -169,8 +175,9 @@ mod tests {
         let mis = PathMis::new(n);
         let rounds = speculative_for(&mis, n, 512);
         assert!(rounds >= 1);
-        let got: Vec<usize> =
-            (0..n).filter(|&i| mis.state[i].load(Ordering::Relaxed) == 1).collect();
+        let got: Vec<usize> = (0..n)
+            .filter(|&i| mis.state[i].load(Ordering::Relaxed) == 1)
+            .collect();
         assert_eq!(got, sequential_greedy_mis(n));
     }
 

@@ -62,17 +62,25 @@ pub fn array_spanning_forest(el: &EdgeList) -> Vec<usize> {
                 (uf.find(u), uf.find(v))
             })
             .collect();
-        batch.par_iter().zip(roots.par_iter()).with_min_len(64).for_each(|(_, &(ru, rv))| {
-            reservations[ru as usize].store(u32::MAX, Ordering::Relaxed);
-            reservations[rv as usize].store(u32::MAX, Ordering::Relaxed);
-        });
+        batch
+            .par_iter()
+            .zip(roots.par_iter())
+            .with_min_len(64)
+            .for_each(|(_, &(ru, rv))| {
+                reservations[ru as usize].store(u32::MAX, Ordering::Relaxed);
+                reservations[rv as usize].store(u32::MAX, Ordering::Relaxed);
+            });
         // Reserve both roots with the edge priority.
-        batch.par_iter().zip(roots.par_iter()).with_min_len(64).for_each(|(&i, &(ru, rv))| {
-            if ru != rv {
-                phc_core::write_min_u32(&reservations[ru as usize], i as u32);
-                phc_core::write_min_u32(&reservations[rv as usize], i as u32);
-            }
-        });
+        batch
+            .par_iter()
+            .zip(roots.par_iter())
+            .with_min_len(64)
+            .for_each(|(&i, &(ru, rv))| {
+                if ru != rv {
+                    phc_core::write_min_u32(&reservations[ru as usize], i as u32);
+                    phc_core::write_min_u32(&reservations[rv as usize], i as u32);
+                }
+            });
         // Commit: an edge that owns one of its roots links it.
         let committed: Vec<bool> = batch
             .par_iter()
@@ -101,7 +109,9 @@ pub fn array_spanning_forest(el: &EdgeList) -> Vec<usize> {
         next.extend_from_slice(&pending[take..]);
         pending = next;
     }
-    (0..el.edges.len()).filter(|&i| in_forest[i].load(Ordering::Relaxed) == 1).collect()
+    (0..el.edges.len())
+        .filter(|&i| in_forest[i].load(Ordering::Relaxed) == 1)
+        .collect()
 }
 
 /// Deterministic parallel spanning forest with reservations kept in a
@@ -134,15 +144,17 @@ where
         let mut table = make_table(log2);
         {
             let ins = table.begin_insert();
-            batch.par_iter().zip(roots.par_iter()).with_min_len(64).for_each(
-                |(&i, &(ru, rv))| {
+            batch
+                .par_iter()
+                .zip(roots.par_iter())
+                .with_min_len(64)
+                .for_each(|(&i, &(ru, rv))| {
                     if ru != rv {
                         // Keys are root+1 (0 is the empty sentinel).
                         ins.insert(KvPair::new(ru + 1, i as u32));
                         ins.insert(KvPair::new(rv + 1, i as u32));
                     }
-                },
-            );
+                });
         }
         let committed: Vec<bool> = {
             let reader = table.begin_read();
@@ -179,7 +191,9 @@ where
         next.extend_from_slice(&pending[take..]);
         pending = next;
     }
-    (0..el.edges.len()).filter(|&i| in_forest[i].load(Ordering::Relaxed) == 1).collect()
+    (0..el.edges.len())
+        .filter(|&i| in_forest[i].load(Ordering::Relaxed) == 1)
+        .collect()
 }
 
 /// Validates that `forest` is a spanning forest of `el`: acyclic, and
@@ -241,9 +255,7 @@ mod tests {
     fn hash_forest_valid_and_matches_array() {
         for el in inputs() {
             let a = array_spanning_forest(&el);
-            let h = hash_spanning_forest(&el, |log2| {
-                DetHashTable::<KvPair<KeepMin>>::new_pow2(log2)
-            });
+            let h = hash_spanning_forest(&el, DetHashTable::<KvPair<KeepMin>>::new_pow2);
             assert!(is_spanning_forest(&el, &h));
             // Both resolve every conflict by minimum edge priority with
             // identical round boundaries, so the forests coincide.

@@ -16,7 +16,9 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).map(AtomicU32::new).collect() }
+        UnionFind {
+            parent: (0..n as u32).map(AtomicU32::new).collect(),
+        }
     }
 
     /// Number of elements.
@@ -56,7 +58,11 @@ impl UnionFind {
     /// is a root it exclusively owns this round (reservation
     /// discipline); debug builds check the root property.
     pub fn link(&self, r: u32, other: u32) {
-        debug_assert_eq!(self.parent[r as usize].load(Ordering::Acquire), r, "link on non-root");
+        debug_assert_eq!(
+            self.parent[r as usize].load(Ordering::Acquire),
+            r,
+            "link on non-root"
+        );
         self.parent[r as usize].store(other, Ordering::Release);
     }
 
@@ -68,7 +74,9 @@ impl UnionFind {
 
     /// Number of distinct roots (quiescent).
     pub fn num_components(&self) -> usize {
-        (0..self.parent.len() as u32).filter(|&v| self.find(v) == v).count()
+        (0..self.parent.len() as u32)
+            .filter(|&v| self.find(v) == v)
+            .count()
     }
 }
 

@@ -32,7 +32,10 @@ impl<T> Chunk<T> {
             let v: Vec<MaybeUninit<T>> = (0..CHUNK).map(|_| MaybeUninit::uninit()).collect();
             v.into_boxed_slice().try_into().map_err(|_| ()).unwrap()
         };
-        Chunk { slots, len: AtomicUsize::new(0) }
+        Chunk {
+            slots,
+            len: AtomicUsize::new(0),
+        }
     }
 }
 
@@ -46,7 +49,9 @@ impl<T> Chunk<T> {
 /// ```
 pub struct Arena<T = u8> {
     /// Completed chunks; references into them remain valid because chunks
-    /// are boxed and never moved or freed until the arena drops.
+    /// are boxed and never moved or freed until the arena drops (the
+    /// Box is what pins each chunk when the Vec reallocates).
+    #[allow(clippy::vec_box)]
     full: Mutex<Vec<Box<Chunk<T>>>>,
     /// The currently-filling chunk, behind a pointer so allocating
     /// threads can race on the cursor without holding the mutex.
@@ -183,7 +188,9 @@ mod tests {
     #[test]
     fn alloc_str_roundtrip() {
         let arena = Arena::new();
-        let strs: Vec<&str> = (0..1000).map(|i| arena.alloc_str(&format!("key-{i}"))).collect();
+        let strs: Vec<&str> = (0..1000)
+            .map(|i| arena.alloc_str(&format!("key-{i}")))
+            .collect();
         for (i, s) in strs.iter().enumerate() {
             assert_eq!(*s, format!("key-{i}"));
         }

@@ -62,6 +62,8 @@ where
         .par_chunks(grain)
         .zip(offsets.par_iter())
         .for_each(|(chunk, &offset)| {
+            // Rebind to capture the SendPtr by value (Send, not Sync).
+            #[allow(clippy::redundant_locals)]
             let out_ptr = out_ptr;
             let mut k = offset;
             for x in chunk {
@@ -106,6 +108,8 @@ where
         .enumerate()
         .zip(offsets.par_iter())
         .for_each(|((b, chunk), &offset)| {
+            // Rebind to capture the SendPtr by value (Send, not Sync).
+            #[allow(clippy::redundant_locals)]
             let out_ptr = out_ptr;
             let mut k = offset;
             for (j, x) in chunk.iter().enumerate() {
@@ -180,7 +184,9 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let input: Vec<u64> = (0..200_000u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+        let input: Vec<u64> = (0..200_000u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9))
+            .collect();
         let a = pack(&input, |&x| x % 5 < 2);
         let b = pack(&input, |&x| x % 5 < 2);
         assert_eq!(a, b);

@@ -38,7 +38,9 @@ impl IndexRng {
     /// Creates a generator with the given seed.
     #[inline]
     pub fn new(seed: u64) -> Self {
-        IndexRng { seed: hash64(seed ^ 0x5bf0_3635_d1c2_56e9) }
+        IndexRng {
+            seed: hash64(seed ^ 0x5bf0_3635_d1c2_56e9),
+        }
     }
 
     /// The `i`-th random word of this stream.
@@ -66,7 +68,9 @@ impl IndexRng {
     /// A derived independent stream (for multi-dimensional draws).
     #[inline]
     pub fn stream(&self, s: u64) -> IndexRng {
-        IndexRng { seed: hash64_pair(self.seed, s) }
+        IndexRng {
+            seed: hash64_pair(self.seed, s),
+        }
     }
 }
 
@@ -122,7 +126,10 @@ mod tests {
         }
         let expect = n as usize / 10;
         for &c in &counts {
-            assert!(c > expect * 9 / 10 && c < expect * 11 / 10, "bucket count {c}");
+            assert!(
+                c > expect * 9 / 10 && c < expect * 11 / 10,
+                "bucket count {c}"
+            );
         }
     }
 

@@ -150,7 +150,12 @@ mod tests {
 
     #[test]
     fn exactly_grain_boundary() {
-        for n in [DEFAULT_GRAIN - 1, DEFAULT_GRAIN, DEFAULT_GRAIN + 1, 2 * DEFAULT_GRAIN] {
+        for n in [
+            DEFAULT_GRAIN - 1,
+            DEFAULT_GRAIN,
+            DEFAULT_GRAIN + 1,
+            2 * DEFAULT_GRAIN,
+        ] {
             let input: Vec<usize> = (0..n).map(|i| i % 3).collect();
             assert_eq!(scan_exclusive(&input), reference_exclusive(&input));
         }

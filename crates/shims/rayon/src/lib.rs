@@ -1,0 +1,1225 @@
+//! In-repo stand-in for the `rayon` crate.
+//!
+//! This workspace builds in environments with no access to crates.io,
+//! so the subset of rayon's API the workspace actually uses is
+//! reimplemented here on top of `std::thread::scope`. The model is a
+//! simplified version of rayon's producer/consumer architecture:
+//!
+//! * a [`Producer`] is an indexed, splittable source (slice, range,
+//!   `Vec`, chunks, zip, enumerate, …);
+//! * [`ParIter`] wraps a producer and executes by cutting it into at
+//!   most `current_num_threads()` contiguous pieces (respecting
+//!   `with_min_len`) and running each piece's sequential iterator on a
+//!   scoped thread;
+//! * adapters ([`Map`], [`Filter`], …) compose per-piece sequential
+//!   iterator logic, so piece results come back in piece order and
+//!   order-sensitive terminals (`collect`) behave exactly like rayon's
+//!   indexed counterparts.
+//!
+//! Differences from real rayon, none observable by this workspace:
+//! threads are spawned per call instead of pooled (amortized by
+//! `with_min_len`, which every hot call site here already sets);
+//! `ThreadPool::install` sets a thread-local width instead of moving
+//! work to pool workers; reductions do not short-circuit across
+//! pieces.
+
+use std::cell::Cell;
+
+pub mod prelude {
+    //! The traits needed to call parallel-iterator methods.
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Thread accounting: a thread-local "current pool width".
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel iterators will use on this thread.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// A "pool": records a width; [`ThreadPool::install`] applies it for
+/// the duration of a closure (threads are created per parallel call).
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The width this pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with parallel iterators using this pool's width.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(Some(self.threads)));
+        let r = f();
+        POOL_THREADS.with(|c| c.set(prev));
+        r
+    }
+}
+
+/// Builder matching `rayon::ThreadPoolBuilder`'s used surface.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    threads: Option<usize>,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    let width = current_num_threads();
+    std::thread::scope(|s| {
+        let hb = s.spawn(move || {
+            POOL_THREADS.with(|c| c.set(Some(width)));
+            b()
+        });
+        let ra = a();
+        (ra, hb.join().unwrap())
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Producers: indexed splittable sources.
+// ---------------------------------------------------------------------------
+
+/// An indexed source of `len` items that can be split at an index and
+/// turned into a sequential iterator.
+pub trait Producer: Sized + Send {
+    /// Item produced.
+    type Item: Send;
+    /// Whether no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Sequential iterator over one piece.
+    type IntoIter: Iterator<Item = Self::Item>;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// Splits into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Sequential iteration over the whole piece.
+    fn into_iter(self) -> Self::IntoIter;
+}
+
+/// Producer over `&[T]`.
+pub struct SliceProducer<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at(index);
+        (SliceProducer(l), SliceProducer(r))
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// Producer over `&mut [T]`.
+pub struct SliceMutProducer<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at_mut(index);
+        (SliceMutProducer(l), SliceMutProducer(r))
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter_mut()
+    }
+}
+
+/// Producer over an owned `Vec<T>`.
+pub struct VecProducer<T>(Vec<T>);
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let right = self.0.split_off(index);
+        (self, VecProducer(right))
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+/// Producer over an integer range.
+pub struct RangeProducer<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! range_producer {
+    ($($t:ty),*) => {$(
+        impl Producer for RangeProducer<$t> {
+            type Item = $t;
+            type IntoIter = std::ops::Range<$t>;
+            fn len(&self) -> usize {
+                if self.end > self.start { (self.end - self.start) as usize } else { 0 }
+            }
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.start + index as $t;
+                (
+                    RangeProducer { start: self.start, end: mid },
+                    RangeProducer { start: mid, end: self.end },
+                )
+            }
+            fn into_iter(self) -> Self::IntoIter {
+                self.start..self.end
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<RangeProducer<$t>>;
+            fn into_par_iter(self) -> Self::Iter {
+                ParIter::new(RangeProducer { start: self.start, end: self.end })
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+            type Iter = ParIter<RangeProducer<$t>>;
+            fn into_par_iter(self) -> Self::Iter {
+                let (start, end) = (*self.start(), *self.end());
+                let (start, end) =
+                    if start > end { (start, start) } else { (start, end + 1) };
+                ParIter::new(RangeProducer { start, end })
+            }
+        }
+    )*};
+}
+
+range_producer!(u16, u32, u64, usize, i32, i64);
+
+/// Producer of `&[T]` chunks.
+pub struct ChunksProducer<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Chunks<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(mid);
+        (
+            ChunksProducer {
+                slice: l,
+                size: self.size,
+            },
+            ChunksProducer {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Producer of `&mut [T]` chunks.
+pub struct ChunksMutProducer<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = std::slice::ChunksMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(mid);
+        (
+            ChunksMutProducer {
+                slice: l,
+                size: self.size,
+            },
+            ChunksMutProducer {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Producer zipping two producers (length = shorter side).
+pub struct ZipProducer<A, B>(A, B);
+
+impl<A: Producer, B: Producer> Producer for ZipProducer<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoIter = std::iter::Zip<A::IntoIter, B::IntoIter>;
+    fn len(&self) -> usize {
+        self.0.len().min(self.1.len())
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.0.split_at(index);
+        let (bl, br) = self.1.split_at(index);
+        (ZipProducer(al, bl), ZipProducer(ar, br))
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter().zip(self.1.into_iter())
+    }
+}
+
+/// Producer pairing items with their global index.
+pub struct EnumerateProducer<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    type IntoIter = std::iter::Zip<std::ops::Range<usize>, P::IntoIter>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            EnumerateProducer {
+                base: l,
+                offset: self.offset,
+            },
+            EnumerateProducer {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        let n = self.base.len();
+        (self.offset..self.offset + n).zip(self.base.into_iter())
+    }
+}
+
+/// Producer yielding the base in reverse order.
+pub struct RevProducer<P>(P);
+
+impl<P: Producer> Producer for RevProducer<P>
+where
+    P::IntoIter: DoubleEndedIterator,
+{
+    type Item = P::Item;
+    type IntoIter = std::iter::Rev<P::IntoIter>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let n = self.0.len();
+        let (l, r) = self.0.split_at(n - index);
+        (RevProducer(r), RevProducer(l))
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter().rev()
+    }
+}
+
+/// Coerces a closure to the higher-ranked consumer signature used by
+/// [`ParallelIterator::drive`]. Closures written with an annotated
+/// `&mut dyn Iterator` argument infer one fixed lifetime and fail the
+/// `for<'i>` bound; routing them through this identity function makes
+/// inference adopt the higher-ranked signature.
+fn seq<T, R, F>(f: F) -> F
+where
+    F: for<'i> Fn(&mut (dyn Iterator<Item = T> + 'i)) -> R + Sync,
+{
+    f
+}
+
+// ---------------------------------------------------------------------------
+// The parallel iterator trait and its executor.
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator: drives a consumer over ordered pieces.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type.
+    type Item: Send;
+
+    /// Splits the underlying source into ordered pieces, runs
+    /// `consumer` over each piece's sequential iterator (in parallel),
+    /// and returns the per-piece results in piece order.
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: for<'i> Fn(&mut (dyn Iterator<Item = Self::Item> + 'i)) -> R + Sync;
+
+    /// Propagates a minimum piece length to the source.
+    fn set_min_len(&mut self, _n: usize) {}
+
+    /// Requires pieces of at least `n` items (bounds thread overhead).
+    fn with_min_len(mut self, n: usize) -> Self {
+        self.set_min_len(n.max(1));
+        self
+    }
+
+    /// Accepted for rayon compatibility; pieces are already maximal.
+    fn with_max_len(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Maps each item.
+    fn map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        T: Send,
+        F: Fn(Self::Item) -> T + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keeps items matching the predicate.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync,
+    {
+        Filter { base: self, f }
+    }
+
+    /// Maps and filters in one pass.
+    fn filter_map<T, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        T: Send,
+        F: Fn(Self::Item) -> Option<T> + Sync,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Flattens nested iterables (sequentially within each piece).
+    fn flatten(self) -> Flatten<Self>
+    where
+        Self::Item: IntoIterator,
+        <Self::Item as IntoIterator>::Item: Send,
+    {
+        Flatten { base: self }
+    }
+
+    /// Maps each item to an iterable and flattens (the iterable is
+    /// consumed sequentially within each piece, as in rayon).
+    fn flat_map_iter<T, U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator<Item = T>,
+        T: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Copies referenced items.
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        T: Copy + Send + Sync + 'a,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Copied { base: self }
+    }
+
+    /// Clones referenced items.
+    fn cloned<'a, T>(self) -> Cloned<Self>
+    where
+        T: Clone + Send + Sync + 'a,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Cloned { base: self }
+    }
+
+    /// Applies `op` to every item.
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.drive(&seq::<Self::Item, _, _>(|it| {
+            for x in it {
+                op(x);
+            }
+        }));
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.drive(&seq::<Self::Item, _, _>(|it| it.count()))
+            .into_iter()
+            .sum()
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        self.drive(&seq::<Self::Item, _, _>(|it| it.sum::<S>()))
+            .into_iter()
+            .sum()
+    }
+
+    /// Minimum item (first one on ties, like rayon's indexed min).
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.drive(&seq::<Self::Item, _, _>(|it| {
+            it.fold(None::<Self::Item>, |best, x| match best {
+                Some(b) if b <= x => Some(b),
+                _ => Some(x),
+            })
+        }))
+        .into_iter()
+        .flatten()
+        .reduce(|a, b| if a <= b { a } else { b })
+    }
+
+    /// Maximum item (last one on ties, like rayon's indexed max).
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.drive(&seq::<Self::Item, _, _>(|it| it.max()))
+            .into_iter()
+            .flatten()
+            .reduce(|a, b| if b >= a { b } else { a })
+    }
+
+    /// Whether all items satisfy the predicate (no cross-piece
+    /// short-circuit).
+    fn all<F>(self, f: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Sync,
+    {
+        self.drive(&seq::<Self::Item, _, _>(|it| {
+            for x in it {
+                if !f(x) {
+                    return false;
+                }
+            }
+            true
+        }))
+        .into_iter()
+        .all(|b| b)
+    }
+
+    /// Whether any item satisfies the predicate.
+    fn any<F>(self, f: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Sync,
+    {
+        self.drive(&seq::<Self::Item, _, _>(|it| {
+            for x in it {
+                if f(x) {
+                    return true;
+                }
+            }
+            false
+        }))
+        .into_iter()
+        .any(|b| b)
+    }
+
+    /// Reduces with an identity and an associative operation.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        self.drive(&seq::<Self::Item, _, _>(|it| it.fold(identity(), &op)))
+            .into_iter()
+            .fold(identity(), op)
+    }
+
+    /// Collects into a container.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<VecProducer<T>>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter::new(VecProducer(self))
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParIter<SliceProducer<'a, T>>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter::new(SliceProducer(self))
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<SliceProducer<'a, T>>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter::new(SliceProducer(self))
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Iter = ParIter<SliceMutProducer<'a, T>>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter::new(SliceMutProducer(self))
+    }
+}
+
+impl<P: Producer> IntoParallelIterator for ParIter<P> {
+    type Item = P::Item;
+    type Iter = Self;
+    fn into_par_iter(self) -> Self {
+        self
+    }
+}
+
+/// Collection construction from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let pieces = iter.drive(&seq::<T, _, _>(|it| it.collect::<Vec<T>>()));
+        let mut out = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
+        for p in pieces {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+impl<T: Send> FromParallelIterator<T> for String
+where
+    String: Extend<T> + FromIterator<T>,
+{
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let pieces = iter.drive(&seq::<T, _, _>(|it| it.collect::<String>()));
+        pieces.concat()
+    }
+}
+
+impl<T, S> FromParallelIterator<T> for std::collections::HashSet<T, S>
+where
+    T: Send + Eq + std::hash::Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let pieces = iter.drive(&seq::<T, _, _>(|it| it.collect::<Vec<T>>()));
+        pieces.into_iter().flatten().collect()
+    }
+}
+
+impl<K, V, S> FromParallelIterator<(K, V)> for std::collections::HashMap<K, V, S>
+where
+    K: Send + Eq + std::hash::Hash,
+    V: Send,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_par_iter<I: ParallelIterator<Item = (K, V)>>(iter: I) -> Self {
+        let pieces = iter.drive(&seq::<(K, V), _, _>(|it| it.collect::<Vec<(K, V)>>()));
+        pieces.into_iter().flatten().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The source iterator and its executor.
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator directly over a [`Producer`]; the only type
+/// supporting index-preserving adapters (`zip`, `enumerate`, `rev`).
+pub struct ParIter<P: Producer> {
+    producer: P,
+    min_len: usize,
+}
+
+impl<P: Producer> ParIter<P> {
+    fn new(producer: P) -> Self {
+        ParIter {
+            producer,
+            min_len: 1,
+        }
+    }
+
+    /// Pairs items positionally with another indexed iterator.
+    pub fn zip<Z, Q>(self, other: Z) -> ParIter<ZipProducer<P, Q>>
+    where
+        Q: Producer,
+        Z: IntoParallelIterator<Iter = ParIter<Q>>,
+    {
+        ParIter {
+            producer: ZipProducer(self.producer, other.into_par_iter().producer),
+            min_len: self.min_len,
+        }
+    }
+
+    /// Pairs items with their index.
+    pub fn enumerate(self) -> ParIter<EnumerateProducer<P>> {
+        ParIter {
+            producer: EnumerateProducer {
+                base: self.producer,
+                offset: 0,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Reverses the iteration order.
+    pub fn rev(self) -> ParIter<RevProducer<P>>
+    where
+        P::IntoIter: DoubleEndedIterator,
+    {
+        ParIter {
+            producer: RevProducer(self.producer),
+            min_len: self.min_len,
+        }
+    }
+}
+
+impl<P: Producer> ParallelIterator for ParIter<P> {
+    type Item = P::Item;
+
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: for<'i> Fn(&mut (dyn Iterator<Item = Self::Item> + 'i)) -> R + Sync,
+    {
+        let len = self.producer.len();
+        let threads = current_num_threads();
+        let pieces = threads.min(len.div_ceil(self.min_len.max(1))).max(1);
+        if pieces <= 1 {
+            return vec![consumer(&mut self.producer.into_iter())];
+        }
+        // Cut into `pieces` contiguous parts of near-equal size.
+        let mut parts = Vec::with_capacity(pieces);
+        let mut rest = self.producer;
+        let mut remaining = len;
+        for i in (1..pieces).rev() {
+            let take = remaining.div_ceil(i + 1);
+            let (l, r) = rest.split_at(take);
+            parts.push(l);
+            rest = r;
+            remaining -= take;
+        }
+        parts.push(rest);
+        let width = threads;
+        std::thread::scope(|s| {
+            let last = parts.pop().expect("at least one piece");
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|p| {
+                    s.spawn(move || {
+                        POOL_THREADS.with(|c| c.set(Some(width)));
+                        consumer(&mut p.into_iter())
+                    })
+                })
+                .collect();
+            let last_result = consumer(&mut last.into_iter());
+            let mut results: Vec<R> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            results.push(last_result);
+            results
+        })
+    }
+
+    fn set_min_len(&mut self, n: usize) {
+        self.min_len = n;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters.
+// ---------------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, T> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> T + Sync + Send,
+    T: Send,
+{
+    type Item = T;
+
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: for<'i> Fn(&mut (dyn Iterator<Item = T> + 'i)) -> R + Sync,
+    {
+        let Map { base, f } = self;
+        let f = &f;
+        base.drive(&seq::<I::Item, _, _>(move |it| consumer(&mut it.map(f))))
+    }
+
+    fn set_min_len(&mut self, n: usize) {
+        self.base.set_min_len(n);
+    }
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F> ParallelIterator for Filter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(&I::Item) -> bool + Sync + Send,
+{
+    type Item = I::Item;
+
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: for<'i> Fn(&mut (dyn Iterator<Item = I::Item> + 'i)) -> R + Sync,
+    {
+        let Filter { base, f } = self;
+        let f = &f;
+        base.drive(&seq::<I::Item, _, _>(move |it| {
+            consumer(&mut it.filter(|x| f(x)))
+        }))
+    }
+
+    fn set_min_len(&mut self, n: usize) {
+        self.base.set_min_len(n);
+    }
+}
+
+/// See [`ParallelIterator::filter_map`].
+pub struct FilterMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, T> ParallelIterator for FilterMap<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> Option<T> + Sync + Send,
+    T: Send,
+{
+    type Item = T;
+
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: for<'i> Fn(&mut (dyn Iterator<Item = T> + 'i)) -> R + Sync,
+    {
+        let FilterMap { base, f } = self;
+        let f = &f;
+        base.drive(&seq::<I::Item, _, _>(move |it| {
+            consumer(&mut it.filter_map(f))
+        }))
+    }
+
+    fn set_min_len(&mut self, n: usize) {
+        self.base.set_min_len(n);
+    }
+}
+
+/// See [`ParallelIterator::flatten`].
+pub struct Flatten<I> {
+    base: I,
+}
+
+impl<I> ParallelIterator for Flatten<I>
+where
+    I: ParallelIterator,
+    I::Item: IntoIterator,
+    <I::Item as IntoIterator>::Item: Send,
+{
+    type Item = <I::Item as IntoIterator>::Item;
+
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: for<'i> Fn(&mut (dyn Iterator<Item = Self::Item> + 'i)) -> R + Sync,
+    {
+        self.base
+            .drive(&seq::<I::Item, _, _>(move |it| consumer(&mut it.flatten())))
+    }
+
+    fn set_min_len(&mut self, n: usize) {
+        self.base.set_min_len(n);
+    }
+}
+
+/// See [`ParallelIterator::flat_map_iter`].
+pub struct FlatMapIter<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, U, T> ParallelIterator for FlatMapIter<I, F>
+where
+    I: ParallelIterator,
+    U: IntoIterator<Item = T>,
+    T: Send,
+    F: Fn(I::Item) -> U + Sync + Send,
+{
+    type Item = T;
+
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: for<'i> Fn(&mut (dyn Iterator<Item = T> + 'i)) -> R + Sync,
+    {
+        let FlatMapIter { base, f } = self;
+        let f = &f;
+        base.drive(&seq::<I::Item, _, _>(move |it| {
+            consumer(&mut it.flat_map(f))
+        }))
+    }
+
+    fn set_min_len(&mut self, n: usize) {
+        self.base.set_min_len(n);
+    }
+}
+
+/// See [`ParallelIterator::copied`].
+pub struct Copied<I> {
+    base: I,
+}
+
+impl<'a, I, T> ParallelIterator for Copied<I>
+where
+    I: ParallelIterator<Item = &'a T>,
+    T: Copy + Send + Sync + 'a,
+{
+    type Item = T;
+
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: for<'i> Fn(&mut (dyn Iterator<Item = T> + 'i)) -> R + Sync,
+    {
+        self.base
+            .drive(&seq::<&'a T, _, _>(move |it| consumer(&mut it.copied())))
+    }
+
+    fn set_min_len(&mut self, n: usize) {
+        self.base.set_min_len(n);
+    }
+}
+
+/// See [`ParallelIterator::cloned`].
+pub struct Cloned<I> {
+    base: I,
+}
+
+impl<'a, I, T> ParallelIterator for Cloned<I>
+where
+    I: ParallelIterator<Item = &'a T>,
+    T: Clone + Send + Sync + 'a,
+{
+    type Item = T;
+
+    fn drive<R, C>(self, consumer: &C) -> Vec<R>
+    where
+        R: Send,
+        C: for<'i> Fn(&mut (dyn Iterator<Item = T> + 'i)) -> R + Sync,
+    {
+        self.base
+            .drive(&seq::<&'a T, _, _>(move |it| consumer(&mut it.cloned())))
+    }
+
+    fn set_min_len(&mut self, n: usize) {
+        self.base.set_min_len(n);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice extension traits.
+// ---------------------------------------------------------------------------
+
+/// `par_iter`/`par_chunks` on shared slices (and, via deref, `Vec`,
+/// `Box<[T]>`, arrays).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>>;
+    /// Parallel iterator over `&[T]` chunks of `size` (last may be
+    /// shorter).
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>> {
+        ParIter::new(SliceProducer(self))
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter::new(ChunksProducer { slice: self, size })
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut`/parallel sorts on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutProducer<'_, T>>;
+    /// Parallel iterator over `&mut [T]` chunks of `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>>;
+    /// Sorts by key (piece-sorted in parallel, then merged).
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+    /// Sorts by comparator (piece-sorted in parallel, then merged).
+    fn par_sort_unstable_by<F>(&mut self, f: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
+    /// Sorts naturally ordered items.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutProducer<'_, T>> {
+        ParIter::new(SliceMutProducer(self))
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter::new(ChunksMutProducer { slice: self, size })
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.par_sort_unstable_by(|a, b| f(a).cmp(&f(b)));
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, f: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    {
+        par_merge_sort(self, &f);
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.par_sort_unstable_by(T::cmp);
+    }
+}
+
+/// Recursive fork-join merge sort: halves sorted on separate threads,
+/// then merged. Falls back to the sequential sort for small inputs.
+fn par_merge_sort<T: Send, F>(v: &mut [T], cmp: &F)
+where
+    F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+{
+    const SEQ_CUTOFF: usize = 1 << 14;
+    if v.len() <= SEQ_CUTOFF || current_num_threads() <= 1 {
+        v.sort_unstable_by(cmp);
+        return;
+    }
+    let mid = v.len() / 2;
+    {
+        let (lo, hi) = v.split_at_mut(mid);
+        join(|| par_merge_sort(lo, cmp), || par_merge_sort(hi, cmp));
+    }
+    // Merge the sorted halves through a scratch vector of indices-free
+    // moved items. `T: Send` but not `Copy`; use Vec<T> and ptr reads.
+    let mut merged: Vec<T> = Vec::with_capacity(v.len());
+    unsafe {
+        let (mut i, mut j) = (0usize, mid);
+        let base = v.as_ptr();
+        while i < mid && j < v.len() {
+            let take_left = cmp(&*base.add(i), &*base.add(j)) != std::cmp::Ordering::Greater;
+            let idx = if take_left { &mut i } else { &mut j };
+            merged.push(std::ptr::read(base.add(*idx)));
+            *idx += 1;
+        }
+        while i < mid {
+            merged.push(std::ptr::read(base.add(i)));
+            i += 1;
+        }
+        while j < v.len() {
+            merged.push(std::ptr::read(base.add(j)));
+            j += 1;
+        }
+        std::ptr::copy_nonoverlapping(merged.as_ptr(), v.as_mut_ptr(), v.len());
+        merged.set_len(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).collect();
+        let doubled: Vec<u64> = v.par_iter().with_min_len(64).map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ranges_and_sum() {
+        let s: u64 = (0..1000u64).into_par_iter().sum();
+        assert_eq!(s, 999 * 1000 / 2);
+        let s: u64 = (1..=1000u64).into_par_iter().sum();
+        assert_eq!(s, 1000 * 1001 / 2);
+    }
+
+    #[test]
+    fn zip_enumerate_rev() {
+        let a: Vec<usize> = (0..500).collect();
+        let b: Vec<usize> = (0..500).map(|x| x * 10).collect();
+        let pairs: Vec<(usize, (usize, usize))> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .enumerate()
+            .with_min_len(16)
+            .map(|(i, (&x, &y))| (i, (x, y)))
+            .collect();
+        assert_eq!(pairs.len(), 500);
+        for (i, (x, y)) in pairs {
+            assert_eq!(x, i);
+            assert_eq!(y, i * 10);
+        }
+        let r: Vec<usize> = a.par_iter().rev().copied().collect();
+        let mut expect = a.clone();
+        expect.reverse();
+        assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn chunks_line_up() {
+        let v: Vec<usize> = (0..1000).collect();
+        let mut out = vec![0usize; 1000];
+        out.par_chunks_mut(64)
+            .zip(v.par_chunks(64))
+            .for_each(|(o, i)| {
+                o.copy_from_slice(i);
+            });
+        assert_eq!(out, v);
+    }
+
+    #[test]
+    fn install_sets_width() {
+        for t in [1, 2, 4] {
+            let pool = ThreadPoolBuilder::new().num_threads(t).build().unwrap();
+            assert_eq!(pool.install(current_num_threads), t);
+        }
+    }
+
+    #[test]
+    fn par_sort_matches_std() {
+        let mut a: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let mut b = a.clone();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| a.par_sort_unstable());
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn filter_min_max_count() {
+        let v: Vec<i64> = (-500..500).collect();
+        let evens = v.par_iter().with_min_len(10).filter(|x| **x % 2 == 0);
+        assert_eq!(evens.count(), 500);
+        assert_eq!(v.par_iter().copied().min(), Some(-500));
+        assert_eq!(v.par_iter().copied().max(), Some(499));
+        assert!(v.par_iter().any(|&x| x == 250));
+        assert!(v.par_iter().all(|&x| x < 500));
+    }
+}

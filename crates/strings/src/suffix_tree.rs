@@ -53,19 +53,29 @@ impl<'a, T: PhaseHashTable<KvPair<KeepMin>>> SuffixTree<'a, T> {
             nodes.len() < (1usize << 23),
             "text too large: node ids must fit 23 bits for the packed child key"
         );
-        let log2 = (2 * edges.len().max(2)).next_power_of_two().trailing_zeros();
+        let log2 = (2 * edges.len().max(2))
+            .next_power_of_two()
+            .trailing_zeros();
         let mut children = make_table(log2);
         Self::insert_edges(&mut children, &edges);
-        SuffixTree { text, nodes, edges, children }
+        SuffixTree {
+            text,
+            nodes,
+            edges,
+            children,
+        }
     }
 
     /// The parallel insert phase, separated out so benchmarks can time
     /// it alone (Table 5(a)).
     pub fn insert_edges(table: &mut T, edges: &[(u32, u8, u32)]) {
         let ins = table.begin_insert();
-        edges.par_iter().with_min_len(512).for_each(|&(parent, byte, child)| {
-            ins.insert(KvPair::new(Self::child_key(parent, byte), child));
-        });
+        edges
+            .par_iter()
+            .with_min_len(512)
+            .for_each(|&(parent, byte, child)| {
+                ins.insert(KvPair::new(Self::child_key(parent, byte), child));
+            });
     }
 
     /// The edge list (for rebuilding tables in benchmarks).
@@ -81,7 +91,11 @@ impl<'a, T: PhaseHashTable<KvPair<KeepMin>>> SuffixTree<'a, T> {
     /// Builds (nodes, edges) from SA + LCP with the stack algorithm.
     fn skeleton(text: &[u8]) -> (Vec<Node>, Vec<(u32, u8, u32)>) {
         let n = text.len();
-        let mut nodes = vec![Node { parent: NO_PARENT, depth: 0, repr: 0 }];
+        let mut nodes = vec![Node {
+            parent: NO_PARENT,
+            depth: 0,
+            repr: 0,
+        }];
         let mut edges: Vec<(u32, u8, u32)> = Vec::with_capacity(2 * n);
         if n == 0 {
             return (nodes, edges);
@@ -127,7 +141,11 @@ impl<'a, T: PhaseHashTable<KvPair<KeepMin>>> SuffixTree<'a, T> {
             };
             // Add the leaf for suffix sa[j].
             let leaf = nodes.len() as u32;
-            nodes.push(Node { parent: NO_PARENT, depth: (n - sa[j] as usize) as u32, repr: sa[j] });
+            nodes.push(Node {
+                parent: NO_PARENT,
+                depth: (n - sa[j] as usize) as u32,
+                repr: sa[j],
+            });
             pending_parent.push(attach_to);
             stack.push(leaf);
         }
@@ -314,7 +332,11 @@ mod tests {
         let text = phc_workloads::text::protein_like(5000, 4);
         let st = build(&text);
         // ≤ 2n nodes for a suffix tree (n leaves, < n internal).
-        assert!(st.num_nodes() <= 2 * text.len() + 1, "nodes = {}", st.num_nodes());
+        assert!(
+            st.num_nodes() <= 2 * text.len() + 1,
+            "nodes = {}",
+            st.num_nodes()
+        );
         assert!(st.num_nodes() > text.len());
     }
 
@@ -324,7 +346,12 @@ mod tests {
         let mut st = build(t);
         let naive = |pat: &[u8]| t.windows(pat.len()).filter(|w| *w == pat).count();
         for pat in [&b"a"[..], b"an", b"ana", b"na", b"banana", b"b", b"nan"] {
-            assert_eq!(st.count_occurrences(pat), naive(pat), "{:?}", std::str::from_utf8(pat));
+            assert_eq!(
+                st.count_occurrences(pat),
+                naive(pat),
+                "{:?}",
+                std::str::from_utf8(pat)
+            );
         }
         assert_eq!(st.count_occurrences(b"xyz"), 0);
         assert_eq!(st.count_occurrences(b""), t.len());

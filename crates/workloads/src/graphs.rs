@@ -49,6 +49,8 @@ pub fn random_graph(n: usize, degree: usize, seed: u64) -> EdgeList {
         .into_par_iter()
         .with_min_len(1024)
         .flat_map_iter(|v| {
+            // Rebind to move a copy of the rng into the inner closure.
+            #[allow(clippy::redundant_locals)]
             let rng = rng;
             (0..degree as u64).filter_map(move |d| {
                 let u = rng.gen_range(v as u64 * degree as u64 + d, n as u64) as u32;
@@ -113,7 +115,10 @@ mod tests {
         let g = grid3d(10);
         assert_eq!(g.n, 1000);
         assert_eq!(g.edges.len(), 3000);
-        assert!(g.edges.iter().all(|&(u, v)| (u as usize) < g.n && (v as usize) < g.n));
+        assert!(g
+            .edges
+            .iter()
+            .all(|&(u, v)| (u as usize) < g.n && (v as usize) < g.n));
     }
 
     #[test]
@@ -128,7 +133,10 @@ mod tests {
         let g = random_graph(1000, 5, 1);
         assert_eq!(g.n, 1000);
         assert!(g.edges.len() <= 5000 && g.edges.len() > 4900);
-        assert!(g.edges.iter().all(|&(u, v)| (u as usize) < 1000 && (v as usize) < 1000 && u != v));
+        assert!(g
+            .edges
+            .iter()
+            .all(|&(u, v)| (u as usize) < 1000 && (v as usize) < 1000 && u != v));
         assert_eq!(random_graph(1000, 5, 1).edges, g.edges);
     }
 
@@ -136,7 +144,10 @@ mod tests {
     fn rmat_is_power_law_ish() {
         let g = rmat(12, 20_000, 3);
         assert_eq!(g.n, 4096);
-        assert!(g.edges.iter().all(|&(u, v)| (u as usize) < g.n && (v as usize) < g.n));
+        assert!(g
+            .edges
+            .iter()
+            .all(|&(u, v)| (u as usize) < g.n && (v as usize) < g.n));
         // Degree skew: the max out-degree should dwarf the mean.
         let mut deg = vec![0usize; g.n];
         for &(u, _) in &g.edges {

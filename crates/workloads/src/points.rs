@@ -20,7 +20,10 @@ pub fn in_cube_2d(n: usize, seed: u64) -> Vec<Point2d> {
     (0..n)
         .into_par_iter()
         .with_min_len(4096)
-        .map(|i| Point2d { x: rx.gen_f64(i as u64), y: ry.gen_f64(i as u64) })
+        .map(|i| Point2d {
+            x: rx.gen_f64(i as u64),
+            y: ry.gen_f64(i as u64),
+        })
         .collect()
 }
 
@@ -38,7 +41,10 @@ pub fn kuzmin_2d(n: usize, seed: u64) -> Vec<Point2d> {
             let u = ru.gen_f64(i).min(1.0 - 1e-12);
             let r = ((1.0 / ((1.0 - u) * (1.0 - u))) - 1.0).sqrt();
             let theta = rt.gen_f64(i) * std::f64::consts::TAU;
-            Point2d { x: r * theta.cos(), y: r * theta.sin() }
+            Point2d {
+                x: r * theta.cos(),
+                y: r * theta.sin(),
+            }
         })
         .collect()
 }
@@ -51,7 +57,9 @@ mod tests {
     fn cube_points_in_unit_square() {
         let pts = in_cube_2d(10_000, 1);
         assert_eq!(pts.len(), 10_000);
-        assert!(pts.iter().all(|p| (0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y)));
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y)));
     }
 
     #[test]
@@ -71,7 +79,10 @@ mod tests {
     #[test]
     fn kuzmin_has_long_tail() {
         let pts = kuzmin_2d(20_000, 2);
-        let far = pts.iter().filter(|p| (p.x * p.x + p.y * p.y) > 100.0).count();
+        let far = pts
+            .iter()
+            .filter(|p| (p.x * p.x + p.y * p.y) > 100.0)
+            .count();
         assert!(far > 0, "no tail points at all");
     }
 }

@@ -50,7 +50,11 @@ pub fn expt_seq_int(n: usize, seed: u64) -> Vec<u64> {
             let u = rng.gen(i);
             let bucket = (u.leading_ones() as u64).min(62);
             // Uniform within the bucket's key range.
-            let lo = if bucket == 0 { 0 } else { n as u64 >> (64 - bucket).min(63) };
+            let lo = if bucket == 0 {
+                0
+            } else {
+                n as u64 >> (64 - bucket).min(63)
+            };
             let hi = (n as u64 >> (63 - bucket).min(63)).max(lo + 1);
             let span = (hi - lo).max(1);
             lo + aux.gen_range(i, span) + 1
@@ -66,7 +70,12 @@ pub fn expt_seq_pair_int(n: usize, seed: u64) -> Vec<(u32, u32)> {
     keys.into_par_iter()
         .enumerate()
         .with_min_len(4096)
-        .map(|(i, k)| (k.min(u32::MAX as u64 - 1) as u32, (vals.gen_range(i as u64, bound) + 1) as u32))
+        .map(|(i, k)| {
+            (
+                k.min(u32::MAX as u64 - 1) as u32,
+                (vals.gen_range(i as u64, bound) + 1) as u32,
+            )
+        })
         .collect()
 }
 

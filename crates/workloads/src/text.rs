@@ -65,7 +65,9 @@ pub fn protein_like(n: usize, seed: u64) -> Vec<u8> {
     let motifs: Vec<Vec<u8>> = (0..32u64)
         .map(|m| {
             let s = rng.stream(1000 + m);
-            (0..6 + s.gen_range(0, 10)).map(|j| AA[s.gen_range(j, 20) as usize]).collect()
+            (0..6 + s.gen_range(0, 10))
+                .map(|j| AA[s.gen_range(j, 20) as usize])
+                .collect()
         })
         .collect();
     let mut out = Vec::with_capacity(n + 32);
@@ -92,7 +94,9 @@ mod tests {
     fn english_like_shape() {
         let t = english_like(50_000, 1);
         assert_eq!(t.len(), 50_000);
-        assert!(t.iter().all(|&b| b.is_ascii_lowercase() || b == b' ' || b == b'.'));
+        assert!(t
+            .iter()
+            .all(|&b| b.is_ascii_lowercase() || b == b' ' || b == b'.'));
         let spaces = t.iter().filter(|&&b| b == b' ').count();
         assert!(spaces > 5_000, "too few word boundaries: {spaces}");
     }
@@ -101,7 +105,9 @@ mod tests {
     fn retail_like_shape() {
         let t = retail_like(50_000, 2);
         assert_eq!(t.len(), 50_000);
-        assert!(t.iter().all(|&b| b.is_ascii_digit() || b == b' ' || b == b'\n'));
+        assert!(t
+            .iter()
+            .all(|&b| b.is_ascii_digit() || b == b' ' || b == b'\n'));
     }
 
     #[test]

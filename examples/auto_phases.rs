@@ -14,7 +14,9 @@ fn main() {
     // --- ResizableTable: start tiny, grow deterministically. ---------
     let mut grow: ResizableTable<U64Key> = ResizableTable::new_pow2(4); // 16 cells!
     grow.insert_phase(|t| {
-        (1..=100_000u64).into_par_iter().for_each(|k| t.insert(U64Key::new(k)));
+        (1..=100_000u64)
+            .into_par_iter()
+            .for_each(|k| t.insert(U64Key::new(k)));
     });
     println!(
         "ResizableTable grew from 16 to {} cells for {} keys (load {:.2})",
@@ -53,5 +55,8 @@ fn main() {
             });
         }
     });
-    println!("AutoPhaseTable survived 4 threads of mixed ops: {} keys remain", auto.elements().len());
+    println!(
+        "AutoPhaseTable survived 4 threads of mixed ops: {} keys remain",
+        auto.elements().len()
+    );
 }

@@ -6,7 +6,7 @@
 //! cargo run --release --example dedup_words
 //! ```
 
-use phase_concurrent_hashing::dedup::remove_duplicates;
+use phase_concurrent_hashing::dedup::{remove_duplicates, remove_duplicates_grow};
 use phase_concurrent_hashing::parutil::Arena;
 use phase_concurrent_hashing::tables::{DetHashTable, StrPayload, StrRef};
 
@@ -20,7 +20,12 @@ fn main() {
     let payload_arena: Arena<StrPayload> = Arena::new();
     let entries: Vec<StrRef> = words
         .iter()
-        .map(|w| StrRef(payload_arena.alloc(StrPayload { key: text_arena.alloc_str(w), value: 0 })))
+        .map(|w| {
+            StrRef(payload_arena.alloc(StrPayload {
+                key: text_arena.alloc_str(w),
+                value: 0,
+            }))
+        })
         .collect();
 
     let distinct = remove_duplicates(&entries, DetHashTable::<StrRef>::new_pow2);
@@ -32,8 +37,33 @@ fn main() {
     reversed.reverse();
     let distinct2 = remove_duplicates(&reversed, DetHashTable::<StrRef>::new_pow2);
     assert_eq!(distinct.len(), distinct2.len());
-    assert!(distinct.iter().zip(&distinct2).all(|(a, b)| a.key() == b.key()));
+    assert!(distinct
+        .iter()
+        .zip(&distinct2)
+        .all(|(a, b)| a.key() == b.key()));
     println!("deterministic output sequence across input orders ✓");
 
-    println!("a few samples: {:?}", distinct.iter().take(8).map(|e| e.key()).collect::<Vec<_>>());
+    println!(
+        "a few samples: {:?}",
+        distinct.iter().take(8).map(|e| e.key()).collect::<Vec<_>>()
+    );
+
+    // When the distinct count is unknown up front — here the word list
+    // is duplicate-heavy, so sizing from the input length would
+    // overshoot — use the growable table: it starts at 16 cells and
+    // grows with the distinct count, yet produces the same
+    // deterministic sequence.
+    let grown = remove_duplicates_grow(&entries);
+    assert_eq!(grown.len(), distinct.len());
+    let grown_rev = remove_duplicates_grow(&reversed);
+    // Same distinct count as the preallocated run, and the grown
+    // table's own sequence is identical across input orders. (The two
+    // variants' sequences differ from each other: elements() order
+    // depends on capacity, and the grown table normalizes to the
+    // smaller canonical capacity for the distinct count.)
+    assert!(grown
+        .iter()
+        .zip(&grown_rev)
+        .all(|(a, b)| a.key() == b.key()));
+    println!("growable table (no size estimate): same set, deterministic sequence ✓");
 }

@@ -14,11 +14,18 @@ fn main() {
     // An rMat power-law graph: 2^16 vertices, ~300k edges.
     let el = phase_concurrent_hashing::workloads::rmat(16, 300_000, 7);
     let g = Graph::from_edges(&el);
-    println!("graph: {} vertices, {} directed edges", g.num_vertices(), g.num_directed_edges());
+    println!(
+        "graph: {} vertices, {} directed edges",
+        g.num_vertices(),
+        g.num_directed_edges()
+    );
 
     let parents_hash = hash_bfs(&g, 0, DetHashTable::<U64Key>::new_pow2);
     let parents_array = array_bfs(&g, 0);
-    assert_eq!(parents_hash, parents_array, "both WriteMin BFS variants agree exactly");
+    assert_eq!(
+        parents_hash, parents_array,
+        "both WriteMin BFS variants agree exactly"
+    );
 
     let parents_serial = serial_bfs(&g, 0);
     let levels = levels_from_parents(&parents_hash, 0);
@@ -31,6 +38,9 @@ fn main() {
     let reached = levels.iter().filter(|&&l| l >= 0).count();
     let max_level = levels.iter().max().copied().unwrap_or(0);
     println!("reached {reached} vertices; eccentricity from vertex 0 = {max_level}");
-    println!("parent of vertex 1 = {}, of vertex 42 = {}", parents_hash[1], parents_hash[42]);
+    println!(
+        "parent of vertex 1 = {}, of vertex 42 = {}",
+        parents_hash[1], parents_hash[42]
+    );
     println!("deterministic parents via WriteMin + deterministic frontier via elements() ✓");
 }

@@ -21,7 +21,8 @@ fn main() {
         stats.rounds, stats.points_added, stats.final_bad
     );
     println!("final mesh: {} triangles", mesh.live_triangles());
-    mesh.check_integrity().expect("mesh adjacency is consistent");
+    mesh.check_integrity()
+        .expect("mesh adjacency is consistent");
 
     // Determinism: run again from scratch and compare the final meshes
     // vertex-for-vertex and triangle-for-triangle.

@@ -30,7 +30,10 @@ fn main() {
     // --- Find phase ---------------------------------------------------
     {
         let reader = table.begin_read();
-        let hits = keys.par_iter().filter(|&&k| reader.find(U64Key::new(k)).is_some()).count();
+        let hits = keys
+            .par_iter()
+            .filter(|&&k| reader.find(U64Key::new(k)).is_some())
+            .count();
         println!("found {hits} of {} inserted keys", keys.len());
         assert_eq!(hits, keys.len());
     }
@@ -39,14 +42,20 @@ fn main() {
     // The packed sequence is a pure function of the key set: any
     // insertion order, any thread count, same output.
     let elems = table.elements();
-    println!("elements() returned {} keys; first = {:?}", elems.len(), elems[0]);
+    println!(
+        "elements() returned {} keys; first = {:?}",
+        elems.len(),
+        elems[0]
+    );
 
     // Demonstrate the guarantee: rebuild in reverse order, in parallel,
     // and compare the *sequences* (not just the sets).
     let mut table2: DetHashTable<U64Key> = DetHashTable::new_pow2(20);
     {
         let ins = table2.begin_insert();
-        keys.par_iter().rev().for_each(|&k| ins.insert(U64Key::new(k)));
+        keys.par_iter()
+            .rev()
+            .for_each(|&k| ins.insert(U64Key::new(k)));
     }
     assert_eq!(elems, table2.elements());
     println!("identical elements() sequence from a reversed, parallel build ✓");
@@ -54,7 +63,9 @@ fn main() {
     // --- Delete phase ---------------------------------------------------
     {
         let del = table.begin_delete();
-        keys.par_iter().filter(|&&k| k % 2 == 0).for_each(|&k| del.delete(U64Key::new(k)));
+        keys.par_iter()
+            .filter(|&&k| k % 2 == 0)
+            .for_each(|&k| del.delete(U64Key::new(k)));
     }
     let reader = table.begin_read();
     assert!(reader.find(U64Key::new(2)).is_none());

@@ -12,7 +12,11 @@ use phase_concurrent_hashing::tables::{DetHashTable, KeepMin, KvPair};
 fn main() {
     let text = phase_concurrent_hashing::workloads::text::english_like(100_000, 9);
     let mut index = SuffixTree::build(&text, DetHashTable::<KvPair<KeepMin>>::new_pow2);
-    println!("indexed {} bytes into {} suffix-tree nodes", text.len(), index.num_nodes());
+    println!(
+        "indexed {} bytes into {} suffix-tree nodes",
+        text.len(),
+        index.num_nodes()
+    );
 
     // Real substrings are always found...
     for &(start, len) in &[(10usize, 12usize), (5_000, 25), (99_000, 40)] {

@@ -21,11 +21,40 @@ where
 {
     // Paper (§6, Table 3): table of 2^27 cells for n = 10^8 — scale
     // the same ratio (≈ 1.34 n).
-    let log2 = (input.len() * 4 / 3).max(4).next_power_of_two().trailing_zeros();
+    let log2 = (input.len() * 4 / 3)
+        .max(4)
+        .next_power_of_two()
+        .trailing_zeros();
     let mut table = make_table(log2);
     {
         let ins = table.begin_insert();
-        input.par_iter().with_min_len(512).for_each(|&e| ins.insert(e));
+        input
+            .par_iter()
+            .with_min_len(512)
+            .for_each(|&e| ins.insert(e));
+    }
+    table.elements()
+}
+
+/// Removes duplicates without a size estimate: the table starts at 16
+/// cells and grows cooperatively as distinct keys arrive.
+///
+/// Use this when the *distinct* count is unknown — duplicate-heavy or
+/// streamed inputs — where [`remove_duplicates`]'s `1.34 n` sizing
+/// (proportional to the input length) can overshoot the needed
+/// capacity by orders of magnitude. Here memory tracks the distinct
+/// count instead, at the cost of migrating entries through `O(log n)`
+/// doublings. The output is the same deterministic sequence: growth is
+/// normalized away between phases, so the final layout — and therefore
+/// `elements()` — is a pure function of the distinct key set.
+pub fn remove_duplicates_grow<E: HashEntry>(input: &[E]) -> Vec<E> {
+    let mut table: phc_core::ResizableTable<E> = phc_core::ResizableTable::new_pow2(4);
+    {
+        let ins = table.begin_insert();
+        input
+            .par_iter()
+            .with_min_len(512)
+            .for_each(|&e| ins.insert(e));
     }
     table.elements()
 }
@@ -37,7 +66,10 @@ mod tests {
     use std::collections::BTreeSet;
 
     fn input() -> Vec<U64Key> {
-        phc_workloads::expt_seq_int(20_000, 1).into_iter().map(U64Key::new).collect()
+        phc_workloads::expt_seq_int(20_000, 1)
+            .into_iter()
+            .map(U64Key::new)
+            .collect()
     }
 
     #[test]
@@ -64,8 +96,9 @@ mod tests {
     #[test]
     fn all_tables_agree_on_the_set() {
         let inp = input();
-        let expect: BTreeSet<U64Key> =
-            remove_duplicates(&inp, DetHashTable::<U64Key>::new_pow2).into_iter().collect();
+        let expect: BTreeSet<U64Key> = remove_duplicates(&inp, DetHashTable::<U64Key>::new_pow2)
+            .into_iter()
+            .collect();
         for got in [
             remove_duplicates(&inp, NdHashTable::<U64Key>::new_pow2),
             remove_duplicates(&inp, |l| CuckooHashTable::<U64Key>::new_pow2(l + 1)),
@@ -79,5 +112,39 @@ mod tests {
     fn empty_input() {
         let out = remove_duplicates::<U64Key, _, _>(&[], DetHashTable::new_pow2);
         assert!(out.is_empty());
+        assert!(remove_duplicates_grow::<U64Key>(&[]).is_empty());
+    }
+
+    #[test]
+    fn grow_variant_matches_preallocated_set_and_is_deterministic() {
+        let inp = input();
+        let expect: BTreeSet<U64Key> = remove_duplicates(&inp, DetHashTable::<U64Key>::new_pow2)
+            .into_iter()
+            .collect();
+        let a = remove_duplicates_grow(&inp);
+        assert_eq!(a.iter().copied().collect::<BTreeSet<_>>(), expect);
+        // Deterministic sequence across input orders, like the
+        // fixed-size det table — growth is normalized away.
+        let mut rev = inp.clone();
+        rev.reverse();
+        assert_eq!(a, remove_duplicates_grow(&rev));
+    }
+
+    #[test]
+    fn grow_variant_sizes_to_distinct_count_not_input_length() {
+        // 200k inputs but only 500 distinct keys: the grown table's
+        // capacity must track the distinct count (here ≤ 2^10 = 1024
+        // cells at load 3/4), not the 2^18 cells the 1.34n estimate
+        // would preallocate.
+        let inp: Vec<U64Key> = (0..200_000u64).map(|i| U64Key::new(1 + i % 500)).collect();
+        let mut table: phc_core::ResizableTable<U64Key> = phc_core::ResizableTable::new_pow2(4);
+        {
+            let ins = table.begin_insert();
+            inp.par_iter()
+                .with_min_len(512)
+                .for_each(|&e| ins.insert(e));
+        }
+        assert_eq!(table.elements().len(), 500);
+        assert!(table.capacity() <= 1024, "capacity {}", table.capacity());
     }
 }

@@ -8,14 +8,12 @@ use std::collections::BTreeSet;
 
 use phase_concurrent_hashing::tables::{
     AddValues, ChainedHashTable, ConcurrentDelete, ConcurrentInsert, ConcurrentRead,
-    CuckooHashTable, DetHashTable, HopscotchHashTable, KvPair, NdHashTable, PhaseHashTable,
-    U64Key,
+    CuckooHashTable, DetHashTable, HopscotchHashTable, KvPair, NdHashTable, PhaseHashTable, U64Key,
 };
 use rayon::prelude::*;
 
 fn check_set_semantics<T: PhaseHashTable<U64Key>>(mut table: T, label: &str) {
-    let keys: Vec<u64> =
-        phase_concurrent_hashing::workloads::random_seq_int(20_000, 42).to_vec();
+    let keys: Vec<u64> = phase_concurrent_hashing::workloads::random_seq_int(20_000, 42).to_vec();
     {
         let ins = table.begin_insert();
         keys.par_iter().for_each(|&k| ins.insert(U64Key::new(k)));
@@ -24,7 +22,11 @@ fn check_set_semantics<T: PhaseHashTable<U64Key>>(mut table: T, label: &str) {
     {
         let reader = table.begin_read();
         for &k in expect.iter().take(2000) {
-            assert_eq!(reader.find(U64Key::new(k)), Some(U64Key::new(k)), "{label}: find {k}");
+            assert_eq!(
+                reader.find(U64Key::new(k)),
+                Some(U64Key::new(k)),
+                "{label}: find {k}"
+            );
         }
         // Keys certainly absent (outside the generator's range).
         for k in 1_000_001..1_000_101u64 {
@@ -41,8 +43,11 @@ fn check_set_semantics<T: PhaseHashTable<U64Key>>(mut table: T, label: &str) {
         dels.par_iter().for_each(|&k| del.delete(U64Key::new(k)));
     }
     let after: BTreeSet<u64> = table.elements().iter().map(|k| k.0).collect();
-    let expect_after: BTreeSet<u64> =
-        expect.iter().copied().filter(|k| !dels.contains(k)).collect();
+    let expect_after: BTreeSet<u64> = expect
+        .iter()
+        .copied()
+        .filter(|k| !dels.contains(k))
+        .collect();
     assert_eq!(after, expect_after, "{label}: set after deletes");
 }
 
@@ -52,9 +57,15 @@ fn set_semantics_all_tables() {
     check_set_semantics(NdHashTable::<U64Key>::new_pow2(16), "linearHash-ND");
     check_set_semantics(CuckooHashTable::<U64Key>::new_pow2(17), "cuckooHash");
     check_set_semantics(ChainedHashTable::<U64Key>::new_pow2(16), "chainedHash");
-    check_set_semantics(ChainedHashTable::<U64Key>::new_pow2_cr(16), "chainedHash-CR");
+    check_set_semantics(
+        ChainedHashTable::<U64Key>::new_pow2_cr(16),
+        "chainedHash-CR",
+    );
     check_set_semantics(HopscotchHashTable::<U64Key>::new_pow2(16), "hopscotchHash");
-    check_set_semantics(HopscotchHashTable::<U64Key>::new_pow2_pc(16), "hopscotchHash-PC");
+    check_set_semantics(
+        HopscotchHashTable::<U64Key>::new_pow2_pc(16),
+        "hopscotchHash-PC",
+    );
 }
 
 fn check_combining<T: PhaseHashTable<KvPair<AddValues>>>(mut table: T, label: &str) {
@@ -69,18 +80,35 @@ fn check_combining<T: PhaseHashTable<KvPair<AddValues>>>(mut table: T, label: &s
     }
     let reader = table.begin_read();
     for k in 1..=64u32 {
-        let got = reader.find(KvPair::new(k, 0)).unwrap_or_else(|| panic!("{label}: key {k}"));
+        let got = reader
+            .find(KvPair::new(k, 0))
+            .unwrap_or_else(|| panic!("{label}: key {k}"));
         assert_eq!(got.value, 200, "{label}: key {k} sum");
     }
 }
 
 #[test]
 fn additive_combining_all_tables() {
-    check_combining(DetHashTable::<KvPair<AddValues>>::new_pow2(10), "linearHash-D");
-    check_combining(NdHashTable::<KvPair<AddValues>>::new_pow2(10), "linearHash-ND");
-    check_combining(CuckooHashTable::<KvPair<AddValues>>::new_pow2(10), "cuckooHash");
-    check_combining(ChainedHashTable::<KvPair<AddValues>>::new_pow2_cr(10), "chainedHash-CR");
-    check_combining(HopscotchHashTable::<KvPair<AddValues>>::new_pow2(10), "hopscotchHash");
+    check_combining(
+        DetHashTable::<KvPair<AddValues>>::new_pow2(10),
+        "linearHash-D",
+    );
+    check_combining(
+        NdHashTable::<KvPair<AddValues>>::new_pow2(10),
+        "linearHash-ND",
+    );
+    check_combining(
+        CuckooHashTable::<KvPair<AddValues>>::new_pow2(10),
+        "cuckooHash",
+    );
+    check_combining(
+        ChainedHashTable::<KvPair<AddValues>>::new_pow2_cr(10),
+        "chainedHash-CR",
+    );
+    check_combining(
+        HopscotchHashTable::<KvPair<AddValues>>::new_pow2(10),
+        "hopscotchHash",
+    );
 }
 
 /// High-duplication parallel insert storm (the chainedHash collapse
@@ -101,6 +129,9 @@ fn duplicate_storm_all_tables() {
     storm(NdHashTable::<U64Key>::new_pow2(17), "linearHash-ND");
     storm(CuckooHashTable::<U64Key>::new_pow2(17), "cuckooHash");
     storm(ChainedHashTable::<U64Key>::new_pow2(17), "chainedHash");
-    storm(ChainedHashTable::<U64Key>::new_pow2_cr(17), "chainedHash-CR");
+    storm(
+        ChainedHashTable::<U64Key>::new_pow2_cr(17),
+        "chainedHash-CR",
+    );
     storm(HopscotchHashTable::<U64Key>::new_pow2(17), "hopscotchHash");
 }

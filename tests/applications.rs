@@ -33,7 +33,10 @@ fn bfs_variants_agree_on_all_graph_families() {
         let array = array_bfs(&g, 0);
         let hashed = hash_bfs(&g, 0, DetHashTable::<U64Key>::new_pow2);
         assert_eq!(array, hashed);
-        assert_eq!(levels_from_parents(&serial, 0), levels_from_parents(&array, 0));
+        assert_eq!(
+            levels_from_parents(&serial, 0),
+            levels_from_parents(&array, 0)
+        );
     }
 }
 
@@ -103,7 +106,11 @@ fn refinement_is_thread_count_invariant() {
         phase_concurrent_hashing::parutil::run_with_threads(threads, || {
             let mut mesh = triangulate(&pts);
             let stats = refine(&mut mesh, 24.0, 50_000, DetHashTable::<U64Key>::new_pow2);
-            (stats, mesh.points, mesh.tris.iter().map(|t| (t.v, t.alive)).collect::<Vec<_>>())
+            (
+                stats,
+                mesh.points,
+                mesh.tris.iter().map(|t| (t.v, t.alive)).collect::<Vec<_>>(),
+            )
         })
     };
     let one = run(1);

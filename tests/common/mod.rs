@@ -1,0 +1,77 @@
+//! Hand-rolled property-test harness: a deterministic splitmix64
+//! generator plus a fixed-seed case driver. The build environment has
+//! no crates.io access, so this replaces `proptest` for the randomized
+//! suites; every case is reproducible from its printed case number.
+
+#![allow(dead_code)]
+
+/// Deterministic splitmix64 stream.
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds a stream; equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi);
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Vector of draws from `[lo, hi)` with a length drawn from
+    /// `[min_len, max_len)`.
+    pub fn vec_u64(&mut self, lo: u64, hi: u64, min_len: usize, max_len: usize) -> Vec<u64> {
+        let len = self.range_usize(min_len, max_len);
+        (0..len).map(|_| self.range_u64(lo, hi)).collect()
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, v: &mut [T]) {
+        for i in (1..v.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            v.swap(i, j);
+        }
+    }
+}
+
+/// Runs `f` over `cases` deterministic seeds. On failure, prints the
+/// case number (re-run by seeding `Rng::new(case)`) before propagating
+/// the panic.
+pub fn check_cases(cases: u64, f: impl Fn(&mut Rng)) {
+    for case in 0..cases {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = Rng::new(case);
+            f(&mut rng);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!("property failed at deterministic case {case}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}

@@ -121,3 +121,32 @@ fn resizable_table_is_deterministic() {
     };
     assert_eq!(run(false), run(true));
 }
+
+/// Acceptance criterion for cooperative resizing: growing from a
+/// 16-cell seed under 1, 2, and 8 threads — dozens of interleaved
+/// migration epochs at the higher thread counts — ends, after phase
+/// normalization, with the same canonical capacity and a bit-identical
+/// snapshot as the single-threaded run. Final state is a pure function
+/// of the key *set*, independent of which threads migrated which
+/// blocks.
+#[test]
+fn cooperative_resize_identical_across_thread_counts() {
+    use phase_concurrent_hashing::tables::ResizableTable;
+    let ks = keys(25_000, 7);
+    let run = |threads: usize| -> (usize, usize, Vec<u64>) {
+        phase_concurrent_hashing::parutil::run_with_threads(threads, || {
+            let mut t: ResizableTable<U64Key> = ResizableTable::new_pow2(4);
+            t.insert_phase(|t| {
+                ks.par_iter().for_each(|&k| t.insert(U64Key::new(k)));
+            });
+            (t.capacity(), t.len(), t.snapshot())
+        })
+    };
+    let one = run(1);
+    assert!(one.0 > 16, "table must actually have grown");
+    invariant::check_ordering_invariant::<U64Key>(&one.2).unwrap();
+    invariant::check_no_duplicate_keys::<U64Key>(&one.2).unwrap();
+    for threads in [2, 8] {
+        assert_eq!(one, run(threads), "threads = {threads}");
+    }
+}

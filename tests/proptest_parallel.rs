@@ -1,46 +1,68 @@
 //! Property tests for the parallel substrates and for parallel-vs-
-//! sequential equivalence of the deterministic table — arbitrary
-//! inputs, not just the benchmark distributions.
+//! sequential equivalence of the deterministic tables — arbitrary
+//! inputs, not just the benchmark distributions. Randomized via the
+//! hand-rolled deterministic harness in `common` (fixed seeds, so the
+//! suite itself is deterministic).
 
-use proptest::prelude::*;
+mod common;
 
-use phase_concurrent_hashing::parutil::{pack, pack_index, scan_exclusive, scan_inclusive};
-use phase_concurrent_hashing::tables::{ConcurrentInsert, DetHashTable, PhaseHashTable, U64Key};
+use common::check_cases;
+use phase_concurrent_hashing::parutil::{
+    pack, pack_index, run_with_threads, scan_exclusive, scan_inclusive,
+};
+use phase_concurrent_hashing::tables::{
+    ConcurrentInsert, DetHashTable, PhaseHashTable, ResizableTable, U64Key,
+};
 use rayon::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn scan_matches_sequential(input in prop::collection::vec(0usize..1000, 0..5000)) {
+#[test]
+fn scan_matches_sequential() {
+    check_cases(48, |rng| {
+        let input: Vec<usize> = rng
+            .vec_u64(0, 1000, 0, 5000)
+            .into_iter()
+            .map(|x| x as usize)
+            .collect();
         let (sums, total) = scan_exclusive(&input);
         let mut acc = 0usize;
         for (i, &x) in input.iter().enumerate() {
-            prop_assert_eq!(sums[i], acc);
+            assert_eq!(sums[i], acc);
             acc += x;
         }
-        prop_assert_eq!(total, acc);
+        assert_eq!(total, acc);
         let inc = scan_inclusive(&input);
         for i in 0..input.len() {
-            prop_assert_eq!(inc[i], sums[i] + input[i]);
+            assert_eq!(inc[i], sums[i] + input[i]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn pack_matches_filter(input in prop::collection::vec(0u32..100, 0..5000), m in 1u32..10) {
+#[test]
+fn pack_matches_filter() {
+    check_cases(48, |rng| {
+        let input: Vec<u32> = rng
+            .vec_u64(0, 100, 0, 5000)
+            .into_iter()
+            .map(|x| x as u32)
+            .collect();
+        let m = rng.range_u32(1, 10);
         let got = pack(&input, |&x| x % m == 0);
         let expect: Vec<u32> = input.iter().copied().filter(|&x| x % m == 0).collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
         let idx = pack_index(&input, |&x| x % m == 0);
-        let expect_idx: Vec<usize> =
-            (0..input.len()).filter(|&i| input[i] % m == 0).collect();
-        prop_assert_eq!(idx, expect_idx);
-    }
+        let expect_idx: Vec<usize> = (0..input.len())
+            .filter(|&i| input[i].is_multiple_of(m))
+            .collect();
+        assert_eq!(idx, expect_idx);
+    });
+}
 
-    /// Parallel insertion of an arbitrary multiset lands in exactly the
-    /// sequential layout — the concurrency half of Theorem 1, fuzzed.
-    #[test]
-    fn parallel_insert_equals_sequential(keys in prop::collection::vec(1u64..5000, 1..2000)) {
+/// Parallel insertion of an arbitrary multiset lands in exactly the
+/// sequential layout — the concurrency half of Theorem 1, fuzzed.
+#[test]
+fn parallel_insert_equals_sequential() {
+    check_cases(48, |rng| {
+        let keys = rng.vec_u64(1, 5000, 1, 2000);
         let seq: DetHashTable<U64Key> = DetHashTable::new_pow2(13);
         for &k in &keys {
             seq.insert(U64Key::new(k));
@@ -50,17 +72,18 @@ proptest! {
             let ins = par.begin_insert();
             keys.par_iter().for_each(|&k| ins.insert(U64Key::new(k)));
         }
-        prop_assert_eq!(par.snapshot(), seq.snapshot());
-    }
+        assert_eq!(par.snapshot(), seq.snapshot());
+    });
+}
 
-    /// Theorem 2 fuzzed: parallel deletion of an arbitrary subset gives
-    /// the sequential set-difference layout.
-    #[test]
-    fn parallel_delete_equals_difference(
-        keys in prop::collection::vec(1u64..3000, 1..1500),
-        del_mask in prop::collection::vec(any::<bool>(), 1500),
-    ) {
-        let t: DetHashTable<U64Key> = DetHashTable::new_pow2(12);
+/// Theorem 2 fuzzed: parallel deletion of an arbitrary subset gives
+/// the sequential set-difference layout.
+#[test]
+fn parallel_delete_equals_difference() {
+    check_cases(48, |rng| {
+        let keys = rng.vec_u64(1, 3000, 1, 1500);
+        let del_mask: Vec<bool> = (0..keys.len()).map(|_| rng.bool()).collect();
+        let mut t: DetHashTable<U64Key> = DetHashTable::new_pow2(12);
         for &k in &keys {
             t.insert(U64Key::new(k));
         }
@@ -69,7 +92,6 @@ proptest! {
             .zip(&del_mask)
             .filter_map(|(&k, &d)| d.then_some(k))
             .collect();
-        let mut t = t;
         {
             let handle = t.begin_delete();
             use phase_concurrent_hashing::tables::ConcurrentDelete;
@@ -80,6 +102,77 @@ proptest! {
         for &k in keys.iter().filter(|k| !delset.contains(k)) {
             expect.insert(U64Key::new(k));
         }
-        prop_assert_eq!(t.snapshot(), expect.snapshot());
-    }
+        assert_eq!(t.snapshot(), expect.snapshot());
+    });
+}
+
+/// Cooperative resizing fuzzed across thread counts: concurrent
+/// inserts into a tiny (16-cell) table — forcing many interleaved
+/// growth epochs — must end with an exact `len()` and, after phase
+/// normalization, the same capacity and bit-identical snapshot as a
+/// serial rebuild, at 1, 2, and 8 threads.
+#[test]
+fn resizable_grow_under_concurrency_matches_serial_rebuild() {
+    check_cases(10, |rng| {
+        let keys = rng.vec_u64(1, 1 << 40, 1, 4000);
+        let distinct = keys
+            .iter()
+            .copied()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+
+        let mut serial: ResizableTable<U64Key> = ResizableTable::new_pow2(4);
+        serial.insert_phase(|t| {
+            for &k in &keys {
+                t.insert(U64Key::new(k));
+            }
+        });
+        assert_eq!(serial.len(), distinct);
+
+        for &threads in &[1usize, 2, 8] {
+            let mut t: ResizableTable<U64Key> = ResizableTable::new_pow2(4);
+            run_with_threads(threads, || {
+                t.insert_phase(|t| {
+                    keys.par_iter().for_each(|&k| t.insert(U64Key::new(k)));
+                });
+            });
+            assert_eq!(t.len(), distinct, "{threads} threads: len");
+            assert_eq!(
+                t.capacity(),
+                serial.capacity(),
+                "{threads} threads: capacity"
+            );
+            assert_eq!(
+                t.snapshot(),
+                serial.snapshot(),
+                "{threads} threads: snapshot"
+            );
+        }
+    });
+}
+
+/// Growth interleaved with repeated insert phases: each phase adds a
+/// batch on top of the previous contents; after every phase the table
+/// must equal a serial rebuild of everything inserted so far.
+#[test]
+fn resizable_incremental_phases_match_rebuild() {
+    check_cases(8, |rng| {
+        let mut t: ResizableTable<U64Key> = ResizableTable::new_pow2(4);
+        let mut all: Vec<u64> = Vec::new();
+        for _phase in 0..4 {
+            let batch = rng.vec_u64(1, 1 << 30, 1, 800);
+            all.extend_from_slice(&batch);
+            t.insert_phase(|t| {
+                batch.par_iter().for_each(|&k| t.insert(U64Key::new(k)));
+            });
+            let mut rebuild: ResizableTable<U64Key> = ResizableTable::new_pow2(4);
+            rebuild.insert_phase(|t| {
+                for &k in &all {
+                    t.insert(U64Key::new(k));
+                }
+            });
+            assert_eq!(t.capacity(), rebuild.capacity());
+            assert_eq!(t.snapshot(), rebuild.snapshot());
+        }
+    });
 }

@@ -1,31 +1,29 @@
-//! Property-based tests (proptest) for the core invariants:
-//! model-based equivalence against `BTreeMap`, history independence
+//! Property-based tests for the core invariants: model-based
+//! equivalence against `BTreeMap`/`BTreeSet`, history independence
 //! under permutations, and the Definition 2 ordering invariant.
+//! Randomized via the hand-rolled deterministic harness in `common`.
+
+mod common;
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
-
+use common::{check_cases, Rng};
 use phase_concurrent_hashing::tables::{
     invariant, DetHashTable, HashEntry, KeepMin, KvPair, NdHashTable, SerialHashHD, SerialHashHI,
     U64Key,
 };
 
 /// A random operation batch: inserts then deletes (phase discipline).
-fn ops_strategy() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
-    (
-        prop::collection::vec(1u64..200, 0..300),
-        prop::collection::vec(1u64..200, 0..300),
-    )
+fn ops(rng: &mut Rng) -> (Vec<u64>, Vec<u64>) {
+    (rng.vec_u64(1, 200, 0, 300), rng.vec_u64(1, 200, 0, 300))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The deterministic table behaves as a set: after {inserts;
-    /// deletes}, contents equal the model.
-    #[test]
-    fn det_matches_model((inserts, deletes) in ops_strategy()) {
+/// The deterministic table behaves as a set: after {inserts; deletes},
+/// contents equal the model.
+#[test]
+fn det_matches_model() {
+    check_cases(64, |rng| {
+        let (inserts, deletes) = ops(rng);
         let t: DetHashTable<U64Key> = DetHashTable::new_pow2(10);
         let mut model = std::collections::BTreeSet::new();
         for &k in &inserts {
@@ -36,49 +34,46 @@ proptest! {
             t.delete(U64Key::new(k));
             model.remove(&k);
         }
-        let got: std::collections::BTreeSet<u64> =
-            t.elements().iter().map(|k| k.0).collect();
-        prop_assert_eq!(got, model.clone());
+        let got: std::collections::BTreeSet<u64> = t.elements().iter().map(|k| k.0).collect();
+        assert_eq!(got, model);
         // And every membership query agrees.
         for k in 1..200u64 {
-            prop_assert_eq!(t.find(U64Key::new(k)).is_some(), model.contains(&k));
+            assert_eq!(t.find(U64Key::new(k)).is_some(), model.contains(&k));
         }
-    }
+    });
+}
 
-    /// Quiescent layout is independent of operation order (history
-    /// independence): any permutation of the insert batch gives a
-    /// bit-identical array; interleaving deletions differently too.
-    #[test]
-    fn det_layout_history_independent(
-        (inserts, deletes) in ops_strategy(),
-        seed in 0u64..1000,
-    ) {
+/// Quiescent layout is independent of operation order (history
+/// independence): any permutation of the insert batch gives a
+/// bit-identical array; interleaving deletions differently too.
+#[test]
+fn det_layout_history_independent() {
+    check_cases(64, |rng| {
+        let (inserts, deletes) = ops(rng);
         let build = |ins: &[u64], dels: &[u64]| {
             let t: DetHashTable<U64Key> = DetHashTable::new_pow2(10);
-            for &k in ins { t.insert(U64Key::new(k)); }
-            for &k in dels { t.delete(U64Key::new(k)); }
+            for &k in ins {
+                t.insert(U64Key::new(k));
+            }
+            for &k in dels {
+                t.delete(U64Key::new(k));
+            }
             t.snapshot()
         };
         let mut ins2 = inserts.clone();
         let mut dels2 = deletes.clone();
-        // Deterministic permutation from the seed.
-        for i in (1..ins2.len()).rev() {
-            let j = (phase_concurrent_hashing::parutil::hash64(seed ^ i as u64)
-                % (i as u64 + 1)) as usize;
-            ins2.swap(i, j);
-        }
-        for i in (1..dels2.len()).rev() {
-            let j = (phase_concurrent_hashing::parutil::hash64(!seed ^ i as u64)
-                % (i as u64 + 1)) as usize;
-            dels2.swap(i, j);
-        }
-        prop_assert_eq!(build(&inserts, &deletes), build(&ins2, &dels2));
-    }
+        rng.shuffle(&mut ins2);
+        rng.shuffle(&mut dels2);
+        assert_eq!(build(&inserts, &deletes), build(&ins2, &dels2));
+    });
+}
 
-    /// Definition 2 holds after any batch, and the concurrent table
-    /// always matches the sequential oracle.
-    #[test]
-    fn det_ordering_invariant_and_oracle((inserts, deletes) in ops_strategy()) {
+/// Definition 2 holds after any batch, and the concurrent table always
+/// matches the sequential oracle.
+#[test]
+fn det_ordering_invariant_and_oracle() {
+    check_cases(64, |rng| {
+        let (inserts, deletes) = ops(rng);
         let t: DetHashTable<U64Key> = DetHashTable::new_pow2(10);
         let mut oracle: SerialHashHI<U64Key> = SerialHashHI::new_pow2(10);
         for &k in &inserts {
@@ -90,17 +85,21 @@ proptest! {
             oracle.delete(U64Key::new(k));
         }
         let snap = t.snapshot();
-        prop_assert_eq!(&snap, &oracle.snapshot());
+        assert_eq!(&snap, &oracle.snapshot());
         invariant::check_ordering_invariant::<U64Key>(&snap).unwrap();
         invariant::check_no_duplicate_keys::<U64Key>(&snap).unwrap();
-    }
+    });
+}
 
-    /// Key-value combining keeps the minimum value per key in both the
-    /// det table and the model, regardless of order.
-    #[test]
-    fn kv_min_combining_matches_model(
-        pairs in prop::collection::vec((1u32..100, 0u32..1000), 0..400),
-    ) {
+/// Key-value combining keeps the minimum value per key in both the det
+/// table and the model, regardless of order.
+#[test]
+fn kv_min_combining_matches_model() {
+    check_cases(64, |rng| {
+        let n = rng.range_usize(0, 400);
+        let pairs: Vec<(u32, u32)> = (0..n)
+            .map(|_| (rng.range_u32(1, 100), rng.range_u32(0, 1000)))
+            .collect();
         let t: DetHashTable<KvPair<KeepMin>> = DetHashTable::new_pow2(9);
         let mut model: BTreeMap<u32, u32> = BTreeMap::new();
         for &(k, v) in &pairs {
@@ -109,15 +108,18 @@ proptest! {
         }
         for (&k, &v) in &model {
             let got = t.find(KvPair::new(k, 0)).unwrap();
-            prop_assert_eq!(got.value, v);
+            assert_eq!(got.value, v);
         }
-        prop_assert_eq!(t.len(), model.len());
-    }
+        assert_eq!(t.len(), model.len());
+    });
+}
 
-    /// The ND table and both serial tables are sets too (same model,
-    /// weaker layout guarantees).
-    #[test]
-    fn nd_and_serial_match_model((inserts, deletes) in ops_strategy()) {
+/// The ND table and both serial tables are sets too (same model,
+/// weaker layout guarantees).
+#[test]
+fn nd_and_serial_match_model() {
+    check_cases(64, |rng| {
+        let (inserts, deletes) = ops(rng);
         let nd: NdHashTable<U64Key> = NdHashTable::new_pow2(10);
         let mut hd: SerialHashHD<U64Key> = SerialHashHD::new_pow2(10);
         let mut model = std::collections::BTreeSet::new();
@@ -131,19 +133,22 @@ proptest! {
             hd.delete(U64Key::new(k));
             model.remove(&k);
         }
-        let nd_set: std::collections::BTreeSet<u64> =
-            nd.elements().iter().map(|k| k.0).collect();
-        let hd_set: std::collections::BTreeSet<u64> =
-            hd.elements().iter().map(|k| k.0).collect();
-        prop_assert_eq!(&nd_set, &model);
-        prop_assert_eq!(&hd_set, &model);
-    }
+        let nd_set: std::collections::BTreeSet<u64> = nd.elements().iter().map(|k| k.0).collect();
+        let hd_set: std::collections::BTreeSet<u64> = hd.elements().iter().map(|k| k.0).collect();
+        assert_eq!(&nd_set, &model);
+        assert_eq!(&hd_set, &model);
+    });
+}
 
-    /// Round-trip: every entry type's repr encoding is lossless.
-    #[test]
-    fn entry_repr_roundtrip(k in 1u64..u64::MAX, kk in 1u32..u32::MAX, v in 0u32..u32::MAX) {
-        prop_assert_eq!(U64Key::from_repr(U64Key::new(k).to_repr()), U64Key::new(k));
+/// Round-trip: every entry type's repr encoding is lossless.
+#[test]
+fn entry_repr_roundtrip() {
+    check_cases(64, |rng| {
+        let k = rng.range_u64(1, u64::MAX);
+        let kk = rng.range_u32(1, u32::MAX);
+        let v = rng.range_u32(0, u32::MAX);
+        assert_eq!(U64Key::from_repr(U64Key::new(k).to_repr()), U64Key::new(k));
         let p: KvPair<KeepMin> = KvPair::new(kk, v);
-        prop_assert_eq!(<KvPair<KeepMin>>::from_repr(p.to_repr()), p);
-    }
+        assert_eq!(<KvPair<KeepMin>>::from_repr(p.to_repr()), p);
+    });
 }

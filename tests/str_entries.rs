@@ -18,7 +18,10 @@ struct Interned {
 
 impl Interned {
     fn new() -> Self {
-        Interned { text: Arena::new(), payloads: Arena::new() }
+        Interned {
+            text: Arena::new(),
+            payloads: Arena::new(),
+        }
     }
     fn entry(&self, key: &str, value: u64) -> StrRef<'_> {
         let key: &str = self.text.alloc_str(key);
@@ -41,8 +44,7 @@ fn string_set_semantics() {
         entries.par_iter().for_each(|&e| ins.insert(e));
     }
     let distinct: std::collections::BTreeSet<&str> = words.iter().map(|w| w.as_str()).collect();
-    let got: std::collections::BTreeSet<&str> =
-        table.elements().iter().map(|e| e.key()).collect();
+    let got: std::collections::BTreeSet<&str> = table.elements().iter().map(|e| e.key()).collect();
     assert_eq!(got, distinct);
 
     // Find by an entirely separate (re-interned) probe pointer.
@@ -83,13 +85,16 @@ fn min_value_combining_on_duplicate_strings() {
     {
         let ins = table.begin_insert();
         // Insert "hot" 100 times with values 100..1; min must survive.
-        (1..=100u64).into_par_iter().for_each(|v| ins.insert(pool.entry("hot", v)));
+        (1..=100u64)
+            .into_par_iter()
+            .for_each(|v| ins.insert(pool.entry("hot", v)));
         ins.insert(pool.entry("cold", 7));
     }
-    let reader = table.begin_read();
-    assert_eq!(reader.find(pool.entry("hot", 0)).unwrap().value(), 1);
-    assert_eq!(reader.find(pool.entry("cold", 0)).unwrap().value(), 7);
-    drop(reader);
+    {
+        let reader = table.begin_read();
+        assert_eq!(reader.find(pool.entry("hot", 0)).unwrap().value(), 1);
+        assert_eq!(reader.find(pool.entry("cold", 0)).unwrap().value(), 7);
+    }
     assert_eq!(table.elements().len(), 2);
 }
 

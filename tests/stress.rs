@@ -1,4 +1,4 @@
-//! Concurrency stress tests with raw OS threads (crossbeam scope),
+//! Concurrency stress tests with raw OS threads (std::thread::scope),
 //! exercising contention patterns rayon's work-stealing does not:
 //! threads hammering the same keys, barrier-aligned phase storms, and
 //! run-to-run exact-state comparisons under maximal interleaving.
@@ -8,8 +8,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
 
 use phase_concurrent_hashing::tables::{
-    invariant, ConcurrentDelete, ConcurrentInsert, DetHashTable, KvPair, AddValues,
-    PhaseHashTable, U64Key,
+    invariant, AddValues, ConcurrentDelete, ConcurrentInsert, DetHashTable, KvPair, PhaseHashTable,
+    U64Key,
 };
 
 const THREADS: usize = 8;
@@ -25,17 +25,16 @@ fn identical_insert_storm() {
         let barrier = Barrier::new(THREADS);
         {
             let ins = table.begin_insert();
-            crossbeam::scope(|s| {
+            std::thread::scope(|s| {
                 for _ in 0..THREADS {
-                    s.spawn(|_| {
+                    s.spawn(|| {
                         barrier.wait();
                         for &k in &keys {
                             ins.insert(U64Key::new(k));
                         }
                     });
                 }
-            })
-            .unwrap();
+            });
         }
         let expect: DetHashTable<U64Key> = DetHashTable::new_pow2(12);
         keys.iter().for_each(|&k| expect.insert(U64Key::new(k)));
@@ -54,11 +53,11 @@ fn overlapping_delete_storm() {
         let barrier = Barrier::new(THREADS);
         {
             let del = table.begin_delete();
-            crossbeam::scope(|s| {
+            std::thread::scope(|s| {
                 for t in 0..THREADS {
                     let del = &del;
                     let barrier = &barrier;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         barrier.wait();
                         // Each thread deletes a shifted window; windows
                         // overlap heavily.
@@ -67,8 +66,7 @@ fn overlapping_delete_storm() {
                         }
                     });
                 }
-            })
-            .unwrap();
+            });
         }
         // Union of deleted windows: [1, 1500 + 70].
         let deleted_hi = 1500 + (THREADS as u64 - 1) * 10;
@@ -88,30 +86,28 @@ fn phase_storm_is_reproducible() {
         for phase in 0..6u64 {
             if phase % 2 == 0 {
                 let ins = table.begin_insert();
-                crossbeam::scope(|s| {
+                std::thread::scope(|s| {
                     for t in 0..THREADS as u64 {
                         let ins = &ins;
-                        s.spawn(move |_| {
+                        s.spawn(move || {
                             for i in 0..600u64 {
                                 ins.insert(U64Key::new(1 + (i * 7 + t + phase * 13) % 3000));
                             }
                         });
                     }
-                })
-                .unwrap();
+                });
             } else {
                 let del = table.begin_delete();
-                crossbeam::scope(|s| {
+                std::thread::scope(|s| {
                     for t in 0..THREADS as u64 {
                         let del = &del;
-                        s.spawn(move |_| {
+                        s.spawn(move || {
                             for i in 0..400u64 {
                                 del.delete(U64Key::new(1 + (i * 11 + t * 3 + phase) % 3000));
                             }
                         });
                     }
-                })
-                .unwrap();
+                });
             }
         }
         table.snapshot()
@@ -133,17 +129,16 @@ fn hot_key_combine_exact() {
     let per_thread = 5000u32;
     {
         let ins = table.begin_insert();
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..THREADS {
                 let ins = &ins;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..per_thread {
                         ins.insert(KvPair::new(7, 1));
                     }
                 });
             }
-        })
-        .unwrap();
+        });
     }
     let reader = table.begin_read();
     use phase_concurrent_hashing::tables::ConcurrentRead;
@@ -160,11 +155,11 @@ fn find_and_elements_share_a_phase() {
     keys.iter().for_each(|&k| table.insert(U64Key::new(k)));
     let reader = table.begin_read();
     let bogus = AtomicUsize::new(0);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..THREADS {
             let reader = &reader;
             let bogus = &bogus;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 use phase_concurrent_hashing::tables::ConcurrentRead;
                 if t % 2 == 0 {
                     for &k in &(1..=2000u64).collect::<Vec<_>>() {
@@ -185,7 +180,6 @@ fn find_and_elements_share_a_phase() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     assert_eq!(bogus.load(Ordering::SeqCst), 0);
 }
