@@ -93,8 +93,72 @@ pub fn format_time(secs: f64) -> String {
     }
 }
 
-/// Writes a set of reports as JSON to `path`.
+/// Provenance stamped into every JSON dump, so archived numbers can be
+/// traced back to the commit and build flags that produced them.
+#[derive(Clone, Debug)]
+pub struct RunMeta {
+    /// `git rev-parse HEAD` at run time (`"unknown"` outside a
+    /// checkout or without a `git` binary).
+    pub git_sha: String,
+    /// Cargo features that change what the dump contains.
+    pub features: Vec<String>,
+}
+
+impl RunMeta {
+    /// Captures the provenance of the running binary.
+    pub fn capture() -> Self {
+        let git_sha = std::process::Command::new("git")
+            .args(["rev-parse", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        let mut features = Vec::new();
+        if cfg!(feature = "obs") {
+            features.push("obs".to_string());
+        }
+        RunMeta { git_sha, features }
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"git_sha\": {}, \"features\": [",
+            json_string(&self.git_sha)
+        );
+        for (i, f) in self.features.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(f));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Writes a set of reports as JSON to `path`, wrapped in an envelope
+/// carrying [`RunMeta`] provenance and — when the `obs` feature is on —
+/// the aggregated observability snapshot (counters, histograms, phase
+/// timeline) at write time.
 pub fn write_json(path: &str, reports: &[Report]) -> std::io::Result<()> {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("\"meta\": {},\n", RunMeta::capture().to_json()));
+    if phc_obs::Recorder::ENABLED {
+        json.push_str(&format!(
+            "\"obs\": {},\n",
+            phc_obs::Recorder::global().snapshot().to_json()
+        ));
+    } else {
+        json.push_str("\"obs\": null,\n");
+    }
+    json.push_str(&format!("\"reports\": {}}}\n", reports_json(reports)));
+    std::fs::write(path, json)
+}
+
+/// Renders the reports array (the envelope's `"reports"` value).
+fn reports_json(reports: &[Report]) -> String {
     let mut json = String::from("[\n");
     for (i, rep) in reports.iter().enumerate() {
         json.push_str("  {\n");
@@ -127,8 +191,8 @@ pub fn write_json(path: &str, reports: &[Report]) -> std::io::Result<()> {
         json.push_str("    ]\n  }");
         json.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
     }
-    json.push_str("]\n");
-    std::fs::write(path, json)
+    json.push(']');
+    json
 }
 
 /// Escapes a string as a JSON string literal.
@@ -215,6 +279,21 @@ mod tests {
         assert!(text.contains("\"row\\n1\""), "{text}");
         assert!(text.contains("[1.5]"), "{text}");
         assert!(text.contains("[null]"), "{text}");
+        // Envelope keys.
+        assert!(text.contains("\"meta\""), "{text}");
+        assert!(text.contains("\"git_sha\""), "{text}");
+        assert!(text.contains("\"obs\""), "{text}");
+        assert!(text.contains("\"reports\""), "{text}");
+    }
+
+    #[test]
+    fn run_meta_features_follow_build() {
+        let meta = RunMeta::capture();
+        assert!(!meta.git_sha.is_empty());
+        assert_eq!(
+            meta.features.contains(&"obs".to_string()),
+            cfg!(feature = "obs")
+        );
     }
 
     #[test]

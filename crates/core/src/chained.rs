@@ -27,7 +27,9 @@ use std::sync::Mutex;
 use phc_parutil::Arena;
 
 use crate::entry::HashEntry;
-use crate::phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
+use crate::phase::{
+    ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable, PhaseKind, PhaseSpan,
+};
 
 /// A linked-list node. `repr` is atomic so CR-mode duplicate combining
 /// can CAS values without the stripe lock.
@@ -152,10 +154,12 @@ impl<E: HashEntry> ChainedHashTable<E> {
             // CR: lock-free find first; only lock to link a new node.
             if let Some(node) = self.find_node(b, v) {
                 Self::combine_into(node, v);
+                phc_obs::probe!(count ChainedCrFastPath);
                 return;
             }
         }
         let _guard = self.stripe(b).lock().expect("stripe lock poisoned");
+        phc_obs::probe!(count ChainedLockAcquires);
         // (Re-)check under the lock — another insert may have linked
         // the key meanwhile.
         if let Some(node) = self.find_node(b, v) {
@@ -184,9 +188,11 @@ impl<E: HashEntry> ChainedHashTable<E> {
         let b = self.bucket(probe);
         if self.contention_reducing && self.find_node(b, probe).is_none() {
             // CR: skip the lock entirely when the key is absent.
+            phc_obs::probe!(count ChainedCrFastPath);
             return;
         }
         let _guard = self.stripe(b).lock().expect("stripe lock poisoned");
+        phc_obs::probe!(count ChainedLockAcquires);
         // Unlink under the lock. Readers racing with this are safe: the
         // unlinked node stays allocated and still points into the list.
         let mut prev: Option<&Node> = None;
@@ -254,11 +260,14 @@ impl<E: HashEntry> ChainedHashTable<E> {
 }
 
 /// Insert-phase handle.
-pub struct ChainedInserter<'t, E: HashEntry>(&'t ChainedHashTable<E>);
+pub struct ChainedInserter<'t, E: HashEntry>(
+    &'t ChainedHashTable<E>,
+    #[allow(dead_code)] PhaseSpan,
+);
 /// Delete-phase handle.
-pub struct ChainedDeleter<'t, E: HashEntry>(&'t ChainedHashTable<E>);
+pub struct ChainedDeleter<'t, E: HashEntry>(&'t ChainedHashTable<E>, #[allow(dead_code)] PhaseSpan);
 /// Read-phase handle.
-pub struct ChainedReader<'t, E: HashEntry>(&'t ChainedHashTable<E>);
+pub struct ChainedReader<'t, E: HashEntry>(&'t ChainedHashTable<E>, #[allow(dead_code)] PhaseSpan);
 
 impl<E: HashEntry> ConcurrentInsert<E> for ChainedInserter<'_, E> {
     #[inline]
@@ -304,15 +313,15 @@ impl<E: HashEntry> PhaseHashTable<E> for ChainedHashTable<E> {
     }
 
     fn begin_insert(&mut self) -> ChainedInserter<'_, E> {
-        ChainedInserter(self)
+        ChainedInserter(self, PhaseSpan::begin(PhaseKind::Insert))
     }
 
     fn begin_delete(&mut self) -> ChainedDeleter<'_, E> {
-        ChainedDeleter(self)
+        ChainedDeleter(self, PhaseSpan::begin(PhaseKind::Delete))
     }
 
     fn begin_read(&mut self) -> ChainedReader<'_, E> {
-        ChainedReader(self)
+        ChainedReader(self, PhaseSpan::begin(PhaseKind::Read))
     }
 
     fn elements(&mut self) -> Vec<E> {

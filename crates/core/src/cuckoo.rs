@@ -13,7 +13,9 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::entry::HashEntry;
-use crate::phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
+use crate::phase::{
+    ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable, PhaseKind, PhaseSpan,
+};
 
 /// Maximum eviction chain length before declaring the table too full.
 /// With tables sized at load ≤ 0.5 (as in all experiments) chains stay
@@ -124,47 +126,55 @@ impl<E: HashEntry> CuckooHashTable<E> {
         // it there would undo the previous step, so an evicted entry
         // always moves to (or evicts from) its *other* candidate.
         let mut avoid: Option<usize> = None;
-        for _ in 0..MAX_EVICTIONS {
-            let (b1, b2) = self.buckets(v);
-            self.lock_pair(b1, b2);
-            let c1 = self.cells[b1].load(Ordering::Relaxed);
-            let c2 = self.cells[b2].load(Ordering::Relaxed);
-            if E::same_key(c1, v) {
-                self.cells[b1].store(E::combine(c1, v), Ordering::Release);
+        let mut evictions = 0usize;
+        'done: {
+            for _ in 0..MAX_EVICTIONS {
+                let (b1, b2) = self.buckets(v);
+                self.lock_pair(b1, b2);
+                let c1 = self.cells[b1].load(Ordering::Relaxed);
+                let c2 = self.cells[b2].load(Ordering::Relaxed);
+                if E::same_key(c1, v) {
+                    self.cells[b1].store(E::combine(c1, v), Ordering::Release);
+                    self.unlock_pair(b1, b2);
+                    break 'done;
+                }
+                if E::same_key(c2, v) {
+                    self.cells[b2].store(E::combine(c2, v), Ordering::Release);
+                    self.unlock_pair(b1, b2);
+                    break 'done;
+                }
+                if c1 == E::EMPTY && avoid != Some(b1) {
+                    self.cells[b1].store(v, Ordering::Release);
+                    self.unlock_pair(b1, b2);
+                    break 'done;
+                }
+                if c2 == E::EMPTY && avoid != Some(b2) {
+                    self.cells[b2].store(v, Ordering::Release);
+                    self.unlock_pair(b1, b2);
+                    break 'done;
+                }
+                // Both occupied (or only the forbidden cell is free):
+                // evict from the candidate we did not just come from.
+                let (victim_cell, victim) = if avoid == Some(b1) {
+                    (b2, c2)
+                } else {
+                    (b1, c1)
+                };
+                self.cells[victim_cell].store(v, Ordering::Release);
                 self.unlock_pair(b1, b2);
-                return;
+                if victim == E::EMPTY {
+                    break 'done; // the "forbidden" cell freed up concurrently
+                }
+                evictions += 1;
+                v = victim;
+                avoid = Some(victim_cell);
             }
-            if E::same_key(c2, v) {
-                self.cells[b2].store(E::combine(c2, v), Ordering::Release);
-                self.unlock_pair(b1, b2);
-                return;
-            }
-            if c1 == E::EMPTY && avoid != Some(b1) {
-                self.cells[b1].store(v, Ordering::Release);
-                self.unlock_pair(b1, b2);
-                return;
-            }
-            if c2 == E::EMPTY && avoid != Some(b2) {
-                self.cells[b2].store(v, Ordering::Release);
-                self.unlock_pair(b1, b2);
-                return;
-            }
-            // Both occupied (or only the forbidden cell is free): evict
-            // from the candidate we did not just come from.
-            let (victim_cell, victim) = if avoid == Some(b1) {
-                (b2, c2)
-            } else {
-                (b1, c1)
-            };
-            self.cells[victim_cell].store(v, Ordering::Release);
-            self.unlock_pair(b1, b2);
-            if victim == E::EMPTY {
-                return; // the "forbidden" cell freed up concurrently
-            }
-            v = victim;
-            avoid = Some(victim_cell);
+            panic!(
+                "CuckooHashTable::insert: eviction chain exceeded {MAX_EVICTIONS}; table too full"
+            );
         }
-        panic!("CuckooHashTable::insert: eviction chain exceeded {MAX_EVICTIONS}; table too full");
+        phc_obs::probe!(count CuckooEvictions, evictions);
+        phc_obs::probe!(hist ProbeLen, evictions);
     }
 
     /// Looks up the entry with `key`'s key part. Lock-free: valid in a
@@ -229,11 +239,11 @@ impl<E: HashEntry> CuckooHashTable<E> {
 }
 
 /// Insert-phase handle.
-pub struct CuckooInserter<'t, E: HashEntry>(&'t CuckooHashTable<E>);
+pub struct CuckooInserter<'t, E: HashEntry>(&'t CuckooHashTable<E>, #[allow(dead_code)] PhaseSpan);
 /// Delete-phase handle.
-pub struct CuckooDeleter<'t, E: HashEntry>(&'t CuckooHashTable<E>);
+pub struct CuckooDeleter<'t, E: HashEntry>(&'t CuckooHashTable<E>, #[allow(dead_code)] PhaseSpan);
 /// Read-phase handle.
-pub struct CuckooReader<'t, E: HashEntry>(&'t CuckooHashTable<E>);
+pub struct CuckooReader<'t, E: HashEntry>(&'t CuckooHashTable<E>, #[allow(dead_code)] PhaseSpan);
 
 impl<E: HashEntry> ConcurrentInsert<E> for CuckooInserter<'_, E> {
     #[inline]
@@ -279,15 +289,15 @@ impl<E: HashEntry> PhaseHashTable<E> for CuckooHashTable<E> {
     }
 
     fn begin_insert(&mut self) -> CuckooInserter<'_, E> {
-        CuckooInserter(self)
+        CuckooInserter(self, PhaseSpan::begin(PhaseKind::Insert))
     }
 
     fn begin_delete(&mut self) -> CuckooDeleter<'_, E> {
-        CuckooDeleter(self)
+        CuckooDeleter(self, PhaseSpan::begin(PhaseKind::Delete))
     }
 
     fn begin_read(&mut self) -> CuckooReader<'_, E> {
-        CuckooReader(self)
+        CuckooReader(self, PhaseSpan::begin(PhaseKind::Read))
     }
 
     fn elements(&mut self) -> Vec<E> {

@@ -36,7 +36,9 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::entry::HashEntry;
-use crate::phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
+use crate::phase::{
+    ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable, PhaseKind, PhaseSpan,
+};
 
 /// The deterministic phase-concurrent linear-probing hash table.
 ///
@@ -189,27 +191,30 @@ impl<E: HashEntry> DetHashTable<E> {
         debug_assert_ne!(v, E::EMPTY);
         let mut i = self.slot(E::hash(v));
         let mut steps = 0usize;
-        loop {
+        let mut cas_fails = 0usize;
+        let mut swaps = 0usize;
+        let result = loop {
             let c = self.cells[i].load(Ordering::Acquire);
             if E::same_key(c, v) {
                 // Duplicate key: converge on the combined value.
                 let merged = E::combine(c, v);
                 if merged == c {
-                    return Ok(false);
+                    break Ok(false);
                 }
                 if self.cells[i]
                     .compare_exchange(c, merged, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    return Ok(false);
+                    break Ok(false);
                 }
+                cas_fails += 1;
                 continue; // cell changed under us; re-read
             }
             if E::cmp_priority(c, v) == CmpOrdering::Greater {
                 i = (i + 1) & self.mask;
                 steps += 1;
                 if steps > self.cells.len() {
-                    return Err(v);
+                    break Err(v);
                 }
             } else {
                 // `c` has strictly lower priority than `v` (possibly ⊥):
@@ -219,19 +224,28 @@ impl<E: HashEntry> DetHashTable<E> {
                     .is_ok()
                 {
                     if c == E::EMPTY {
-                        return Ok(true);
+                        break Ok(true);
                     }
+                    swaps += 1;
                     v = c;
                     i = (i + 1) & self.mask;
                     steps += 1;
                     if steps > self.cells.len() {
-                        return Err(v);
+                        break Err(v);
                     }
+                } else {
+                    // On CAS failure, retry the same cell: its priority
+                    // can only have increased, so the comparison re-runs.
+                    cas_fails += 1;
                 }
-                // On CAS failure, retry the same cell: its priority can
-                // only have increased, so the comparison re-runs.
             }
-        }
+        };
+        phc_obs::probe!(count ProbeSteps, steps);
+        phc_obs::probe!(count InsertCasFail, cas_fails);
+        phc_obs::probe!(count PrioritySwap, swaps);
+        phc_obs::probe!(hist ProbeLen, steps);
+        phc_obs::probe!(hist CasRetries, cas_fails);
+        result
     }
 
     /// Looks up the entry with `key`'s key part (Figure 1, `FIND`).
@@ -243,23 +257,31 @@ impl<E: HashEntry> DetHashTable<E> {
     pub(crate) fn find_repr(&self, probe: u64) -> Option<u64> {
         debug_assert_ne!(probe, E::EMPTY);
         let mut i = self.slot(E::hash(probe));
-        // Guard against a (mis-used) full table of higher-priority keys.
-        for _ in 0..=self.cells.len() {
-            let c = self.cells[i].load(Ordering::Acquire);
-            if c == E::EMPTY {
-                return None;
+        let mut steps = 0usize;
+        let result = 'scan: {
+            // Guard against a (mis-used) full table of higher-priority
+            // keys.
+            for _ in 0..=self.cells.len() {
+                let c = self.cells[i].load(Ordering::Acquire);
+                if c == E::EMPTY {
+                    break 'scan None;
+                }
+                if E::same_key(c, probe) {
+                    break 'scan Some(c);
+                }
+                if E::cmp_priority(c, probe) == CmpOrdering::Less {
+                    // Keys on the probe path are priority-sorted: a
+                    // lower priority cell means `probe` cannot be
+                    // further on.
+                    break 'scan None;
+                }
+                i = (i + 1) & self.mask;
+                steps += 1;
             }
-            if E::same_key(c, probe) {
-                return Some(c);
-            }
-            if E::cmp_priority(c, probe) == CmpOrdering::Less {
-                // Keys on the probe path are priority-sorted: a lower
-                // priority cell means `probe` cannot be further on.
-                return None;
-            }
-            i = (i + 1) & self.mask;
-        }
-        None
+            None
+        };
+        phc_obs::probe!(count FindProbeSteps, steps);
+        result
     }
 
     /// Deletes the entry whose key equals `key`'s key part (Figure 1,
@@ -299,8 +321,13 @@ impl<E: HashEntry> DetHashTable<E> {
         // a key occupies at most one distinct cell value, and the CAS
         // needs the exact loaded repr anyway.
         let mut v = probe;
+        let mut steps = 0usize;
         // Lines 30-41.
-        while k >= i {
+        let result = loop {
+            if k < i {
+                break false;
+            }
+            steps += 1;
             let c = self.load_at(k);
             if c == E::EMPTY || !E::same_key(c, v) {
                 k -= 1;
@@ -315,7 +342,7 @@ impl<E: HashEntry> DetHashTable<E> {
                     k = j;
                     i = self.lift_hash(vprime, j);
                 } else {
-                    return true;
+                    break true;
                 }
             } else {
                 // Someone else changed the cell: the copy we were
@@ -323,8 +350,9 @@ impl<E: HashEntry> DetHashTable<E> {
                 // move entries down). Step back and keep looking.
                 k -= 1;
             }
-        }
-        false
+        };
+        phc_obs::probe!(count DeleteProbeSteps, steps);
+        result
     }
 
     /// Figure 1, `FINDREPLACEMENT(i)`: returns `(j, v')` where `v'` is
@@ -362,14 +390,16 @@ impl<E: HashEntry> DetHashTable<E> {
     /// `ELEMENTS`). Runs in parallel via a prefix sum, so the output is
     /// deterministic. Safe to call concurrently with finds.
     pub fn elements(&self) -> Vec<E> {
-        phc_parutil::pack_with(&self.cells, |c| {
+        let packed = phc_parutil::pack_with(&self.cells, |c| {
             let v = c.load(Ordering::Acquire);
             if v == E::EMPTY {
                 None
             } else {
                 Some(E::from_repr(v))
             }
-        })
+        });
+        phc_obs::probe!(hist PackSize, packed.len());
+        packed
     }
 
     /// Applies `f` to every entry stored in the cell range (clamped to
@@ -431,12 +461,13 @@ impl<E: HashEntry> DetHashTable<E> {
     }
 }
 
-/// Insert-phase handle (see [`crate::phase`]).
-pub struct DetInserter<'t, E: HashEntry>(&'t DetHashTable<E>);
+/// Insert-phase handle (see [`crate::phase`]). The embedded
+/// [`PhaseSpan`] brackets the phase on the observability timeline.
+pub struct DetInserter<'t, E: HashEntry>(&'t DetHashTable<E>, #[allow(dead_code)] PhaseSpan);
 /// Delete-phase handle.
-pub struct DetDeleter<'t, E: HashEntry>(&'t DetHashTable<E>);
+pub struct DetDeleter<'t, E: HashEntry>(&'t DetHashTable<E>, #[allow(dead_code)] PhaseSpan);
 /// Read-phase handle.
-pub struct DetReader<'t, E: HashEntry>(&'t DetHashTable<E>);
+pub struct DetReader<'t, E: HashEntry>(&'t DetHashTable<E>, #[allow(dead_code)] PhaseSpan);
 
 impl<E: HashEntry> ConcurrentInsert<E> for DetInserter<'_, E> {
     #[inline]
@@ -488,15 +519,15 @@ impl<E: HashEntry> PhaseHashTable<E> for DetHashTable<E> {
     }
 
     fn begin_insert(&mut self) -> DetInserter<'_, E> {
-        DetInserter(self)
+        DetInserter(self, PhaseSpan::begin(PhaseKind::Insert))
     }
 
     fn begin_delete(&mut self) -> DetDeleter<'_, E> {
-        DetDeleter(self)
+        DetDeleter(self, PhaseSpan::begin(PhaseKind::Delete))
     }
 
     fn begin_read(&mut self) -> DetReader<'_, E> {
-        DetReader(self)
+        DetReader(self, PhaseSpan::begin(PhaseKind::Read))
     }
 
     fn elements(&mut self) -> Vec<E> {

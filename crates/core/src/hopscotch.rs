@@ -26,7 +26,9 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::entry::HashEntry;
-use crate::phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
+use crate::phase::{
+    ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable, PhaseKind, PhaseSpan,
+};
 
 /// Neighborhood size (machine word of hop bits, as the original
 /// suggests).
@@ -250,6 +252,7 @@ impl<E: HashEntry> HopscotchHashTable<E> {
                         HopResult::Done => return,
                         HopResult::FreeLost => continue 'outer,
                         HopResult::Moved(new_free_virtual) => {
+                            phc_obs::probe!(count HopscotchHops);
                             // The hole moved backwards to src.
                             fv = new_free_virtual;
                             fd = self.dist(home, fv & self.mask);
@@ -369,11 +372,20 @@ enum HopResult {
 }
 
 /// Insert-phase handle.
-pub struct HopscotchInserter<'t, E: HashEntry>(&'t HopscotchHashTable<E>);
+pub struct HopscotchInserter<'t, E: HashEntry>(
+    &'t HopscotchHashTable<E>,
+    #[allow(dead_code)] PhaseSpan,
+);
 /// Delete-phase handle.
-pub struct HopscotchDeleter<'t, E: HashEntry>(&'t HopscotchHashTable<E>);
+pub struct HopscotchDeleter<'t, E: HashEntry>(
+    &'t HopscotchHashTable<E>,
+    #[allow(dead_code)] PhaseSpan,
+);
 /// Read-phase handle.
-pub struct HopscotchReader<'t, E: HashEntry>(&'t HopscotchHashTable<E>);
+pub struct HopscotchReader<'t, E: HashEntry>(
+    &'t HopscotchHashTable<E>,
+    #[allow(dead_code)] PhaseSpan,
+);
 
 impl<E: HashEntry> ConcurrentInsert<E> for HopscotchInserter<'_, E> {
     #[inline]
@@ -419,15 +431,15 @@ impl<E: HashEntry> PhaseHashTable<E> for HopscotchHashTable<E> {
     }
 
     fn begin_insert(&mut self) -> HopscotchInserter<'_, E> {
-        HopscotchInserter(self)
+        HopscotchInserter(self, PhaseSpan::begin(PhaseKind::Insert))
     }
 
     fn begin_delete(&mut self) -> HopscotchDeleter<'_, E> {
-        HopscotchDeleter(self)
+        HopscotchDeleter(self, PhaseSpan::begin(PhaseKind::Delete))
     }
 
     fn begin_read(&mut self) -> HopscotchReader<'_, E> {
-        HopscotchReader(self)
+        HopscotchReader(self, PhaseSpan::begin(PhaseKind::Read))
     }
 
     fn elements(&mut self) -> Vec<E> {

@@ -12,6 +12,7 @@
 use std::cmp::Ordering;
 
 use crate::entry::HashEntry;
+use crate::stats::{cell_occupied, home_slot};
 
 /// Verifies the ordering invariant (Definition 2) over a snapshot of
 /// the cell array. Returns `Err` with a human-readable description of
@@ -22,10 +23,10 @@ pub fn check_ordering_invariant<E: HashEntry>(cells: &[u64]) -> Result<(), Strin
     let mask = n - 1;
     for j in 0..n {
         let v = cells[j];
-        if v == E::EMPTY {
+        if !cell_occupied::<E>(v) {
             continue;
         }
-        let i = (E::hash(v) as usize) & mask;
+        let i = home_slot::<E>(v, mask);
         // Walk the cyclic range [i, j).
         let mut k = i;
         let mut guard = 0usize;
@@ -65,7 +66,7 @@ pub fn check_canonical_capacity<E: HashEntry>(
 ) -> Result<(), String> {
     let cap = cells.len();
     assert!(cap.is_power_of_two(), "table sizes are powers of two");
-    let entries = cells.iter().filter(|&&c| c != E::EMPTY).count();
+    let entries = cells.iter().filter(|&&c| cell_occupied::<E>(c)).count();
     if entries * 4 >= cap * 3 {
         return Err(format!(
             "load {entries}/{cap} is at or above the 3/4 growth threshold; a migration was missed"
@@ -82,7 +83,11 @@ pub fn check_canonical_capacity<E: HashEntry>(
 
 /// Verifies that no key occupies two cells (quiescent uniqueness).
 pub fn check_no_duplicate_keys<E: HashEntry>(cells: &[u64]) -> Result<(), String> {
-    let mut live: Vec<u64> = cells.iter().copied().filter(|&c| c != E::EMPTY).collect();
+    let mut live: Vec<u64> = cells
+        .iter()
+        .copied()
+        .filter(|&c| cell_occupied::<E>(c))
+        .collect();
     live.sort_unstable_by(|&a, &b| E::cmp_priority(a, b).then(a.cmp(&b)));
     for w in live.windows(2) {
         if E::same_key(w[0], w[1]) {

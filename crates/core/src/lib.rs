@@ -46,7 +46,9 @@ pub use entry::{
 };
 pub use hopscotch::HopscotchHashTable;
 pub use nd::NdHashTable;
-pub use phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
+pub use phase::{
+    ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable, PhaseKind, PhaseSpan,
+};
 pub use priority_write::{
     write_max, write_max_u32, write_max_usize, write_min, write_min_u32, write_min_usize,
 };

@@ -15,7 +15,21 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::entry::HashEntry;
-use crate::phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
+use crate::phase::{
+    ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable, PhaseKind, PhaseSpan,
+};
+
+/// Debug-build phase-discipline check shared by every ND operation:
+/// asserts the probe is a real entry (matching the deterministic
+/// table's checks) and, with `obs` on, counts the check so debug runs
+/// can confirm the assertions actually executed.
+macro_rules! nd_phase_check {
+    ($probe:expr) => {
+        debug_assert_ne!($probe, E::EMPTY);
+        #[cfg(debug_assertions)]
+        phc_obs::probe!(count NdPhaseChecks);
+    };
+}
 
 /// Non-deterministic phase-concurrent linear probing hash table.
 ///
@@ -84,31 +98,34 @@ impl<E: HashEntry> NdHashTable<E> {
     /// Panics if the table is full.
     pub fn insert(&self, e: E) {
         let v = e.to_repr();
-        debug_assert_ne!(v, E::EMPTY);
+        nd_phase_check!(v);
         let mut i = self.slot(E::hash(v));
         let mut steps = 0usize;
-        loop {
+        let mut cas_fails = 0usize;
+        'done: loop {
             let c = self.cells[i].load(Ordering::Acquire);
             if c == E::EMPTY {
                 if self.cells[i]
                     .compare_exchange(E::EMPTY, v, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    return;
+                    break 'done;
                 }
+                cas_fails += 1;
                 continue; // lost the race; re-read this cell
             }
             if E::same_key(c, v) {
                 let merged = E::combine(c, v);
                 if merged == c {
-                    return;
+                    break 'done;
                 }
                 if self.cells[i]
                     .compare_exchange(c, merged, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    return;
+                    break 'done;
                 }
+                cas_fails += 1;
                 continue;
             }
             i = (i + 1) & self.mask;
@@ -118,6 +135,10 @@ impl<E: HashEntry> NdHashTable<E> {
                 "NdHashTable::insert: table is full"
             );
         }
+        phc_obs::probe!(count ProbeSteps, steps);
+        phc_obs::probe!(count InsertCasFail, cas_fails);
+        phc_obs::probe!(hist ProbeLen, steps);
+        phc_obs::probe!(hist CasRetries, cas_fails);
     }
 
     /// Inserts a key-value entry, accumulating the value field with a
@@ -133,17 +154,17 @@ impl<E: HashEntry> NdHashTable<E> {
             "entry type has no value field to accumulate"
         );
         let v = e.to_repr();
-        debug_assert_ne!(v, E::EMPTY);
+        nd_phase_check!(v);
         let mut i = self.slot(E::hash(v));
         let mut steps = 0usize;
-        loop {
+        'done: loop {
             let c = self.cells[i].load(Ordering::Acquire);
             if c == E::EMPTY {
                 if self.cells[i]
                     .compare_exchange(E::EMPTY, v, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    return;
+                    break 'done;
                 }
                 continue;
             }
@@ -151,7 +172,7 @@ impl<E: HashEntry> NdHashTable<E> {
                 // Entries never move in this table, so the key stays at
                 // cell i and the add cannot be lost.
                 self.cells[i].fetch_add(v & E::VALUE_MASK, Ordering::AcqRel);
-                return;
+                break 'done;
             }
             i = (i + 1) & self.mask;
             steps += 1;
@@ -160,24 +181,33 @@ impl<E: HashEntry> NdHashTable<E> {
                 "NdHashTable::insert_add_value: table is full"
             );
         }
+        phc_obs::probe!(count ProbeSteps, steps);
+        phc_obs::probe!(hist ProbeLen, steps);
     }
 
     /// Looks up the entry with `key`'s key part. Probes until an empty
     /// cell (no priority early-exit: the layout is unordered).
     pub fn find(&self, key: E) -> Option<E> {
         let probe = key.to_repr();
+        nd_phase_check!(probe);
         let mut i = self.slot(E::hash(probe));
-        for _ in 0..=self.cells.len() {
-            let c = self.cells[i].load(Ordering::Acquire);
-            if c == E::EMPTY {
-                return None;
+        let mut steps = 0usize;
+        let result = 'scan: {
+            for _ in 0..=self.cells.len() {
+                let c = self.cells[i].load(Ordering::Acquire);
+                if c == E::EMPTY {
+                    break 'scan None;
+                }
+                if E::same_key(c, probe) {
+                    break 'scan Some(E::from_repr(c));
+                }
+                i = (i + 1) & self.mask;
+                steps += 1;
             }
-            if E::same_key(c, probe) {
-                return Some(E::from_repr(c));
-            }
-            i = (i + 1) & self.mask;
-        }
-        None
+            None
+        };
+        phc_obs::probe!(count FindProbeSteps, steps);
+        result
     }
 
     /// Deletes the entry with `key`'s key part, shifting a following
@@ -188,6 +218,7 @@ impl<E: HashEntry> NdHashTable<E> {
     /// mirroring the deterministic table's copy-chasing argument.
     pub fn delete(&self, key: E) {
         let probe = key.to_repr();
+        nd_phase_check!(probe);
         let m = self.cells.len();
         // Walk to the end of the cluster (first empty cell) so the
         // downward scan starts at-or-past the rightmost copy of the key
@@ -203,7 +234,9 @@ impl<E: HashEntry> NdHashTable<E> {
         }
         k = k.saturating_sub(1).max(i);
         let mut v = probe;
-        while k >= i {
+        let mut steps = 0usize;
+        'done: while k >= i {
+            steps += 1;
             let c = self.load_at(k);
             if c == E::EMPTY || !E::same_key(c, v) {
                 k -= 1;
@@ -212,7 +245,7 @@ impl<E: HashEntry> NdHashTable<E> {
             let (j, replacement) = self.find_replacement(k);
             if self.cas_at(k, c, replacement) {
                 if replacement == E::EMPTY {
-                    return;
+                    break 'done;
                 }
                 // A second copy of `replacement` now exists at `k`; we
                 // are responsible for deleting the one at `j`.
@@ -224,6 +257,7 @@ impl<E: HashEntry> NdHashTable<E> {
                 k -= 1;
             }
         }
+        phc_obs::probe!(count DeleteProbeSteps, steps);
     }
 
     #[inline]
@@ -298,11 +332,11 @@ impl<E: HashEntry> NdHashTable<E> {
 }
 
 /// Insert-phase handle.
-pub struct NdInserter<'t, E: HashEntry>(&'t NdHashTable<E>);
+pub struct NdInserter<'t, E: HashEntry>(&'t NdHashTable<E>, #[allow(dead_code)] PhaseSpan);
 /// Delete-phase handle.
-pub struct NdDeleter<'t, E: HashEntry>(&'t NdHashTable<E>);
+pub struct NdDeleter<'t, E: HashEntry>(&'t NdHashTable<E>, #[allow(dead_code)] PhaseSpan);
 /// Read-phase handle.
-pub struct NdReader<'t, E: HashEntry>(&'t NdHashTable<E>);
+pub struct NdReader<'t, E: HashEntry>(&'t NdHashTable<E>, #[allow(dead_code)] PhaseSpan);
 
 impl<E: HashEntry> ConcurrentInsert<E> for NdInserter<'_, E> {
     #[inline]
@@ -348,15 +382,15 @@ impl<E: HashEntry> PhaseHashTable<E> for NdHashTable<E> {
     }
 
     fn begin_insert(&mut self) -> NdInserter<'_, E> {
-        NdInserter(self)
+        NdInserter(self, PhaseSpan::begin(PhaseKind::Insert))
     }
 
     fn begin_delete(&mut self) -> NdDeleter<'_, E> {
-        NdDeleter(self)
+        NdDeleter(self, PhaseSpan::begin(PhaseKind::Delete))
     }
 
     fn begin_read(&mut self) -> NdReader<'_, E> {
-        NdReader(self)
+        NdReader(self, PhaseSpan::begin(PhaseKind::Read))
     }
 
     fn elements(&mut self) -> Vec<E> {

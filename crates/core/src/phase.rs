@@ -24,6 +24,46 @@
 
 use crate::entry::HashEntry;
 
+/// The three operation subsets a phase can run (paper Definition 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PhaseKind {
+    /// Concurrent inserts.
+    Insert,
+    /// Concurrent deletes.
+    Delete,
+    /// Concurrent finds and `elements`.
+    Read,
+}
+
+/// RAII marker for one open phase: emits a begin record on the
+/// observability timeline when constructed and the matching end record
+/// when dropped. Phase handles embed one of these, so with the `obs`
+/// cargo feature every `begin_*`/drop pair shows up as a timeline
+/// cycle; without the feature both emissions are inline no-ops.
+pub struct PhaseSpan(PhaseKind);
+
+impl PhaseSpan {
+    /// Opens a span (emits the phase's begin event).
+    pub fn begin(kind: PhaseKind) -> Self {
+        match kind {
+            PhaseKind::Insert => phc_obs::probe!(phase InsertBegin),
+            PhaseKind::Delete => phc_obs::probe!(phase DeleteBegin),
+            PhaseKind::Read => phc_obs::probe!(phase ReadBegin),
+        }
+        PhaseSpan(kind)
+    }
+}
+
+impl Drop for PhaseSpan {
+    fn drop(&mut self) {
+        match self.0 {
+            PhaseKind::Insert => phc_obs::probe!(phase InsertEnd),
+            PhaseKind::Delete => phc_obs::probe!(phase DeleteEnd),
+            PhaseKind::Read => phc_obs::probe!(phase ReadEnd),
+        }
+    }
+}
+
 /// Concurrent insertion handle for one phase.
 pub trait ConcurrentInsert<E: HashEntry>: Sync {
     /// Inserts `e`; concurrent calls from any number of threads are

@@ -57,7 +57,9 @@ use std::sync::{Mutex, RwLock};
 
 use crate::det::DetHashTable;
 use crate::entry::HashEntry;
-use crate::phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
+use crate::phase::{
+    ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable, PhaseKind, PhaseSpan,
+};
 
 /// Grow when `items * DEN >= capacity * NUM` (keeps load < 3/4).
 const MAX_LOAD_NUM: usize = 3;
@@ -337,7 +339,11 @@ impl<E: HashEntry> ResizableTable<E> {
             .next
             .compare_exchange(ptr::null_mut(), fresh, Ordering::SeqCst, Ordering::SeqCst)
         {
-            Ok(_) => registry.push(fresh),
+            Ok(_) => {
+                phc_obs::probe!(count EpochsPublished);
+                phc_obs::probe!(phase EpochPublish);
+                registry.push(fresh);
+            }
             // Unreachable while publishers hold the lock, but keep the
             // lost-race path sound regardless.
             Err(_) => drop(unsafe { Box::from_raw(fresh) }),
@@ -352,16 +358,21 @@ impl<E: HashEntry> ResizableTable<E> {
         let next = self.next_of(ep).expect("help_migrate on unfrozen epoch");
         // Freeze: once every registered writer has retired, the old
         // cell array is immutable and block scans are exact.
+        if ep.state.load(Ordering::SeqCst) >= ACTIVE_ONE {
+            phc_obs::probe!(count FreezeWaits);
+        }
         let mut spins = 0u32;
         while ep.state.load(Ordering::SeqCst) >= ACTIVE_ONE {
             spin_wait(&mut spins);
         }
+        phc_obs::probe!(phase EpochFreeze);
         let nblocks = ep.blocks();
         loop {
             let b = ep.cursor.fetch_add(1, Ordering::Relaxed);
             if b >= nblocks {
                 break;
             }
+            phc_obs::probe!(count MigrationBlocksClaimed);
             let mut batch: Vec<u64> = Vec::with_capacity(MIGRATION_BLOCK);
             ep.table
                 .for_each_in_range(b * MIGRATION_BLOCK..(b + 1) * MIGRATION_BLOCK, |e| {
@@ -452,9 +463,13 @@ impl<E: HashEntry> ResizableTable<E> {
             }
             // On CAS failure another thread advanced for us; re-check
             // from the new head (a later epoch may also be drained).
-            let _ = self
+            if self
                 .current
-                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire);
+                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                phc_obs::probe!(phase MigrationFinish);
+            }
         }
     }
 }
@@ -471,11 +486,14 @@ impl<E: HashEntry> Drop for ResizableTable<E> {
 }
 
 /// Insert-phase handle for [`ResizableTable`] (see [`crate::phase`]).
-pub struct ResizableInserter<'t, E: HashEntry>(&'t ResizableTable<E>);
+pub struct ResizableInserter<'t, E: HashEntry>(
+    &'t ResizableTable<E>,
+    #[allow(dead_code)] PhaseSpan,
+);
 /// Delete-phase handle.
-pub struct ResizableDeleter<'t, E: HashEntry>(&'t ResizableTable<E>);
+pub struct ResizableDeleter<'t, E: HashEntry>(&'t ResizableTable<E>, #[allow(dead_code)] PhaseSpan);
 /// Read-phase handle.
-pub struct ResizableReader<'t, E: HashEntry>(&'t ResizableTable<E>);
+pub struct ResizableReader<'t, E: HashEntry>(&'t ResizableTable<E>, #[allow(dead_code)] PhaseSpan);
 
 impl<E: HashEntry> ConcurrentInsert<E> for ResizableInserter<'_, E> {
     #[inline]
@@ -531,17 +549,17 @@ impl<E: HashEntry> PhaseHashTable<E> for ResizableTable<E> {
     // generic phase-discipline code sees deterministic snapshots.
     fn begin_insert(&mut self) -> ResizableInserter<'_, E> {
         self.normalize();
-        ResizableInserter(self)
+        ResizableInserter(self, PhaseSpan::begin(PhaseKind::Insert))
     }
 
     fn begin_delete(&mut self) -> ResizableDeleter<'_, E> {
         self.normalize();
-        ResizableDeleter(self)
+        ResizableDeleter(self, PhaseSpan::begin(PhaseKind::Delete))
     }
 
     fn begin_read(&mut self) -> ResizableReader<'_, E> {
         self.normalize();
-        ResizableReader(self)
+        ResizableReader(self, PhaseSpan::begin(PhaseKind::Read))
     }
 
     fn elements(&mut self) -> Vec<E> {

@@ -66,6 +66,7 @@ impl RoomSync {
     pub fn enter(&self, room: Room) {
         let id = room as u64;
         let mut spins = 0u32;
+        let mut waited = false;
         loop {
             let s = self.state.load(Ordering::Acquire);
             let active = s >> 56;
@@ -77,11 +78,15 @@ impl RoomSync {
                     .compare_exchange_weak(s, next, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
+                    if waited {
+                        phc_obs::probe!(count RoomWaits);
+                    }
                     return;
                 }
                 continue; // CAS raced; retry immediately
             }
             // Another room is occupied: back off.
+            waited = true;
             spins += 1;
             if spins < 16 {
                 std::hint::spin_loop();

@@ -24,6 +24,22 @@ pub fn occupancy<E: HashEntry>(cells: &[u64]) -> Vec<bool> {
     cells.iter().map(|&c| cell_occupied::<E>(c)).collect()
 }
 
+/// Home bucket of a stored repr in a power-of-two table with
+/// `mask = capacity - 1`. The single definition of the home-slot
+/// arithmetic shared by snapshot statistics, the invariant checkers,
+/// and the observability histograms.
+#[inline]
+pub fn home_slot<E: HashEntry>(repr: u64, mask: usize) -> usize {
+    (E::hash(repr) as usize) & mask
+}
+
+/// Cyclic forward displacement of the repr observed at index `cell`
+/// from its home bucket (0 = stored at home).
+#[inline]
+pub fn displacement<E: HashEntry>(repr: u64, cell: usize, mask: usize) -> usize {
+    (cell.wrapping_sub(home_slot::<E>(repr, mask))) & mask
+}
+
 /// Displacement distribution of a snapshot: `histogram[d]` counts
 /// entries stored `d` cells past their hash bucket (cyclically).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -72,8 +88,7 @@ pub fn probe_stats<E: HashEntry>(cells: &[u64]) -> ProbeStats {
             continue;
         }
         entries += 1;
-        let home = (E::hash(c) as usize) & mask;
-        let d = (j.wrapping_sub(home)) & mask;
+        let d = displacement::<E>(c, j, mask);
         if d >= histogram.len() {
             histogram.resize(d + 1, 0);
         }
@@ -83,6 +98,21 @@ pub fn probe_stats<E: HashEntry>(cells: &[u64]) -> ProbeStats {
         histogram.push(0);
     }
     ProbeStats { histogram, entries }
+}
+
+/// Like [`probe_stats`], but also mirrors the displacement
+/// distribution into the global observability `probe_len` histogram
+/// (one bulk add per distance; a no-op without the `obs` feature).
+/// Benchmarks call this on a quiescent snapshot to embed the
+/// Figure-5-style curve in their JSON reports.
+pub fn record_probe_histogram<E: HashEntry>(cells: &[u64]) -> ProbeStats {
+    let stats = probe_stats::<E>(cells);
+    for (d, &count) in stats.histogram.iter().enumerate() {
+        if count > 0 {
+            phc_obs::probe!(hist ProbeLen, d, count);
+        }
+    }
+    stats
 }
 
 #[cfg(test)]

@@ -1,0 +1,166 @@
+//! Bounded lock-free ring buffer for phase-timeline records.
+//!
+//! Writers claim a slot with one `fetch_add` on the head cursor and
+//! stamp the slot with their sequence number once the fields are
+//! written, so concurrent emission never blocks and memory stays
+//! bounded: once the ring wraps, the oldest records are overwritten.
+//! [`Ring::dump`] is a *quiescent* read — with writers still running,
+//! a slot being overwritten can mix fields of two records, which is
+//! acceptable for a diagnostic timeline but means dumps belong at
+//! phase boundaries (where this repo takes them).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::PhaseEvent;
+
+/// One decoded timeline record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimelineRecord {
+    /// Global emission order (1-based; later = larger).
+    pub seq: u64,
+    /// Emitting thread's shard index.
+    pub thread: u64,
+    /// What happened.
+    pub event: PhaseEvent,
+    /// Monotonic nanoseconds (see [`crate::now_ns`]).
+    pub t_ns: u64,
+}
+
+struct Slot {
+    /// 0 = never written; otherwise the 1-based sequence number of the
+    /// record the data fields belong to. Written with `Release` after
+    /// the fields so a dump's `Acquire` read observes them.
+    seq: AtomicU64,
+    thread: AtomicU64,
+    event: AtomicU64,
+    t_ns: AtomicU64,
+}
+
+/// The bounded timeline ring. Capacity is rounded up to a power of
+/// two.
+pub struct Ring {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+impl Ring {
+    /// Creates a ring holding at least `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        let n = capacity.next_power_of_two().max(2);
+        Ring {
+            slots: (0..n)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    thread: AtomicU64::new(0),
+                    event: AtomicU64::new(0),
+                    t_ns: AtomicU64::new(0),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Appends a record (lock-free; overwrites the oldest record once
+    /// the ring is full).
+    #[inline]
+    pub fn push(&self, thread: u64, event: PhaseEvent, t_ns: u64) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq as usize) & (self.slots.len() - 1)];
+        slot.thread.store(thread, Ordering::Relaxed);
+        slot.event.store(event as u64, Ordering::Relaxed);
+        slot.t_ns.store(t_ns, Ordering::Relaxed);
+        slot.seq.store(seq + 1, Ordering::Release);
+    }
+
+    /// Returns the surviving records in emission order (quiescent
+    /// read; see the module docs). After wraparound only the newest
+    /// `capacity()` records survive.
+    pub fn dump(&self) -> Vec<TimelineRecord> {
+        let mut out: Vec<TimelineRecord> = self
+            .slots
+            .iter()
+            .filter_map(|slot| {
+                let seq = slot.seq.load(Ordering::Acquire);
+                if seq == 0 {
+                    return None;
+                }
+                let event = PhaseEvent::from_index(slot.event.load(Ordering::Relaxed))?;
+                Some(TimelineRecord {
+                    seq,
+                    thread: slot.thread.load(Ordering::Relaxed),
+                    event,
+                    t_ns: slot.t_ns.load(Ordering::Relaxed),
+                })
+            })
+            .collect();
+        out.sort_unstable_by_key(|r| r.seq);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_before_wrap() {
+        let ring = Ring::new(8);
+        ring.push(0, PhaseEvent::InsertBegin, 10);
+        ring.push(0, PhaseEvent::InsertEnd, 20);
+        ring.push(1, PhaseEvent::ReadBegin, 30);
+        let recs = ring.dump();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].event, PhaseEvent::InsertBegin);
+        assert_eq!(recs[1].event, PhaseEvent::InsertEnd);
+        assert_eq!(recs[2].event, PhaseEvent::ReadBegin);
+        assert_eq!(recs[2].thread, 1);
+        assert!(recs.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn wraparound_keeps_newest() {
+        let ring = Ring::new(8);
+        assert_eq!(ring.capacity(), 8);
+        for i in 0..20u64 {
+            ring.push(0, PhaseEvent::InsertBegin, i);
+        }
+        let recs = ring.dump();
+        assert_eq!(recs.len(), 8);
+        // The surviving records are exactly pushes 12..20, in order.
+        let times: Vec<u64> = recs.iter().map(|r| r.t_ns).collect();
+        assert_eq!(times, (12..20).collect::<Vec<_>>());
+        assert_eq!(ring.pushed(), 20);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_land() {
+        let ring = Ring::new(4096);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        ring.push(t, PhaseEvent::InsertBegin, i);
+                    }
+                });
+            }
+        });
+        let recs = ring.dump();
+        assert_eq!(recs.len(), 800);
+        // Sequence numbers are unique and dense.
+        assert!(recs.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        for t in 0..8u64 {
+            assert_eq!(recs.iter().filter(|r| r.thread == t).count(), 100);
+        }
+    }
+}

@@ -150,3 +150,65 @@ fn cooperative_resize_identical_across_thread_counts() {
         assert_eq!(one, run(threads), "threads = {threads}");
     }
 }
+
+/// Quiescent observability totals are schedule-independent: the
+/// deterministic layout is a pure function of the key set, so the
+/// displacement distribution scanned from the quiescent snapshot — the
+/// same numbers `record_probe_histogram` mirrors into the obs
+/// probe-length histogram — and the `elements()` count are identical
+/// across 1, 2, and 8 threads. (Live in-flight counters like CAS-fail
+/// totals are intentionally *not* asserted equal: they depend on the
+/// schedule, which is exactly why the reports are built from quiescent
+/// scans.)
+#[test]
+fn quiescent_probe_totals_identical_across_thread_counts() {
+    use phase_concurrent_hashing::tables::stats;
+    let ks = keys(30_000, 8);
+    let run = |threads: usize| {
+        phase_concurrent_hashing::parutil::run_with_threads(threads, || {
+            let mut t: DetHashTable<U64Key> = DetHashTable::new_pow2(16);
+            {
+                let ins = t.begin_insert();
+                ks.par_iter().for_each(|&k| ins.insert(U64Key::new(k)));
+            }
+            let st = stats::record_probe_histogram::<U64Key>(&t.snapshot());
+            (t.elements().len(), st)
+        })
+    };
+    let one = run(1);
+    assert!(one.1.entries > 0);
+    for threads in [2, 8] {
+        assert_eq!(one, run(threads), "threads = {threads}");
+    }
+}
+
+/// The observability counter shards themselves aggregate to exact,
+/// split-independent totals: distributing the same increments across
+/// different thread counts leaves an identical quiescent sum.
+#[test]
+fn obs_counter_totals_independent_of_thread_split() {
+    use phc_obs::{Counter, Registry};
+    const TOTAL: u64 = 10_000;
+    let total = |threads: u64| -> u64 {
+        let reg = Registry::new();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let reg = &reg;
+                s.spawn(move || {
+                    let shard = reg.register();
+                    let mut i = t;
+                    while i < TOTAL {
+                        shard.add(Counter::ProbeSteps, 1);
+                        i += threads;
+                    }
+                });
+            }
+        });
+        let (counters, _) = reg.aggregate();
+        counters[Counter::ProbeSteps as usize]
+    };
+    assert_eq!(total(1), TOTAL);
+    for threads in [2, 8] {
+        assert_eq!(total(threads), TOTAL, "threads = {threads}");
+    }
+}
