@@ -1,0 +1,185 @@
+//! Scheduler benchmark: per-call-spawn vs. the persistent
+//! work-stealing pool vs. pool + batched prefetching inserts.
+//!
+//! Two artifacts:
+//!
+//! 1. **Small-n loop overhead** — the per-call cost of a parallel loop
+//!    whose body is nearly free, where scheduling is the entire bill.
+//!    The `spawn` column reconstructs the pre-pool executor (fresh
+//!    `std::thread::scope` threads on every call, fixed contiguous
+//!    pieces); `pooled` runs the same loop on the persistent pool.
+//! 2. **Fig4-style insert throughput** — `linearHash-D` bulk inserts
+//!    of `randomSeq-int` at each thread count, via spawn-per-call,
+//!    the pooled iterator path, and the pooled batched prefetching
+//!    path (`par_insert_batched`).
+//!
+//! Run with `--json FILE` to dump the report envelope (meta + obs
+//! snapshot + reports) for EXPERIMENTS.md / CI bench-smoke.
+
+use phc_bench::{arg_or_env, datasets, default_threads, report, Report};
+use phc_core::entry::U64Key;
+use phc_core::DetHashTable;
+use phc_parutil::with_pool;
+use rayon::prelude::*;
+
+/// The nearly-free loop body: cheap enough that scheduling dominates.
+#[inline(always)]
+fn mix(x: u64) -> u64 {
+    x ^ (x >> 7)
+}
+
+/// One small-n loop call on the persistent pool.
+fn pooled_loop(data: &[u64]) -> u64 {
+    data.par_iter().with_min_len(64).map(|&x| mix(x)).sum()
+}
+
+/// One small-n loop call on the pre-pool executor, reconstructed: cut
+/// into `width` fixed contiguous pieces, spawn a fresh scoped thread
+/// per piece (all but the first, which runs inline) — exactly what the
+/// shim's `drive` did before the persistent pool.
+fn spawned_loop(data: &[u64], width: usize) -> u64 {
+    let pieces = width.min(data.len().div_ceil(64)).max(1);
+    if pieces <= 1 {
+        return data.iter().map(|&x| mix(x)).sum();
+    }
+    let chunk = data.len().div_ceil(pieces);
+    std::thread::scope(|s| {
+        let mut it = data.chunks(chunk);
+        let first = it.next().unwrap();
+        let handles: Vec<_> = it
+            .map(|c| s.spawn(move || c.iter().map(|&x| mix(x)).sum::<u64>()))
+            .collect();
+        let head: u64 = first.iter().map(|&x| mix(x)).sum();
+        head + handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+    })
+}
+
+/// Median-of-reps seconds for `calls` invocations of `f`, divided down
+/// to seconds per call.
+fn per_call_secs(calls: usize, reps: usize, mut f: impl FnMut() -> u64) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            let mut sink = 0u64;
+            for _ in 0..calls {
+                sink = sink.wrapping_add(f());
+            }
+            std::hint::black_box(sink);
+            t0.elapsed().as_secs_f64() / calls as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Best-of-reps seconds for a bulk insert of `entries` built by `f`.
+fn insert_secs(reps: usize, mut f: impl FnMut() -> usize) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Spawn-per-call bulk insert: `width` fixed chunks, fresh scoped
+/// threads — the pre-pool shape of `par_iter().for_each(insert)`.
+fn spawned_insert(table: &DetHashTable<U64Key>, entries: &[U64Key], width: usize) {
+    let pieces = width.max(1);
+    let chunk = entries.len().div_ceil(pieces);
+    std::thread::scope(|s| {
+        for c in entries.chunks(chunk) {
+            s.spawn(move || {
+                for &e in c {
+                    table.insert(e);
+                }
+            });
+        }
+    });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_or_env(&args, "--n", "PHC_N", 400_000);
+    let max_t = arg_or_env(&args, "--max-threads", "PHC_MAX_THREADS", default_threads());
+    let reps = arg_or_env(&args, "--reps", "PHC_REPS", 5);
+    let mut threads: Vec<usize> = vec![1];
+    while *threads.last().unwrap() * 2 <= max_t {
+        threads.push(threads.last().unwrap() * 2);
+    }
+    if *threads.last().unwrap() != max_t {
+        threads.push(max_t);
+    }
+    println!(
+        "# Scheduler bench: spawn-per-call vs persistent pool, n = {n}, threads = {threads:?}\n"
+    );
+
+    // -- Report 1: per-call overhead of small-n parallel loops. -------
+    // Width fixed at max(4, max_t): the pre-pool executor paid one
+    // thread spawn per piece per call regardless of core count, which
+    // is exactly the overhead the pool amortizes.
+    let width = max_t.max(4);
+    let mut overhead = Report::new(
+        format!("Scheduler overhead: seconds per call, width {width}"),
+        &["spawn", "pooled", "speedup"],
+    );
+    let calls = 200;
+    for small_n in [256usize, 1024, 4096] {
+        let data: Vec<u64> = (0..small_n as u64).collect();
+        let spawn = per_call_secs(calls, reps, || spawned_loop(&data, width));
+        let pooled = with_pool(width, |pool| {
+            pool.install(|| per_call_secs(calls, reps, || pooled_loop(&data)))
+        });
+        overhead.push(
+            format!("n={small_n}"),
+            vec![Some(spawn), Some(pooled), Some(spawn / pooled)],
+        );
+    }
+    overhead.print();
+    println!("(speedup = spawn / pooled, per parallel call)\n");
+
+    // -- Report 2: fig4-style insert throughput. ----------------------
+    let data = datasets::random_int(n, 1);
+    let entries = &data.inserted;
+    let log2 = (2 * n).next_power_of_two().trailing_zeros().max(4);
+    let mut inserts = Report::new(
+        format!("Figure 4-style insert seconds, n = {n}"),
+        &["spawn", "pooled", "pooled+batched"],
+    );
+    for &t in &threads {
+        let spawn = insert_secs(reps, || {
+            let table: DetHashTable<U64Key> = DetHashTable::new_pow2(log2);
+            spawned_insert(&table, entries, t);
+            table.capacity()
+        });
+        let (pooled, batched) = with_pool(t, |pool| {
+            let pooled = insert_secs(reps, || {
+                let table: DetHashTable<U64Key> = DetHashTable::new_pow2(log2);
+                pool.install(|| entries.par_iter().for_each(|&e| table.insert(e)));
+                table.capacity()
+            });
+            let batched = insert_secs(reps, || {
+                let table: DetHashTable<U64Key> = DetHashTable::new_pow2(log2);
+                pool.install(|| table.par_insert_batched(entries));
+                table.capacity()
+            });
+            (pooled, batched)
+        });
+        inserts.push(
+            format!("T={t}"),
+            vec![Some(spawn), Some(pooled), Some(batched)],
+        );
+    }
+    inserts.print();
+    println!("(seconds per bulk insert of {n} keys; lower is better)\n");
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("sched.json");
+        report::write_json(path, &[overhead, inserts]).expect("failed to write JSON");
+        println!("wrote {path}");
+    }
+}

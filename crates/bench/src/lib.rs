@@ -15,6 +15,7 @@
 //! | `table8` | Table 8 (spanning forest) |
 //! | `fig4`   | Figure 4 (speedup vs threads) |
 //! | `fig5`   | Figure 5 (time per op vs load factor) |
+//! | `sched`  | Scheduler ablation: per-call spawn vs persistent pool vs pool + batched prefetching (PR 4, not a paper artifact) |
 //!
 //! Sizes are scaled from the paper's `n = 10^8` to laptop scale; set
 //! `--n` (or env `PHC_N`) to push them up. Output is aligned text; add

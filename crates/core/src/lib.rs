@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod chained;
 pub mod cuckoo;
 pub mod det;

@@ -141,6 +141,28 @@ impl<E: HashEntry> NdHashTable<E> {
         phc_obs::probe!(hist CasRetries, cas_fails);
     }
 
+    /// Inserts a batch of entries with software prefetching of
+    /// upcoming home slots (see [`crate::batch`]); semantically
+    /// identical to inserting the entries one by one in slice order.
+    pub fn insert_batch(&self, entries: &[E]) {
+        use crate::batch::{prefetch_slot, PREFETCH_AHEAD};
+        let n = entries.len();
+        if n == 0 {
+            return;
+        }
+        for e in entries.iter().take(PREFETCH_AHEAD) {
+            prefetch_slot(&self.cells, self.slot(E::hash(e.to_repr())));
+        }
+        for i in 0..n {
+            if let Some(next) = entries.get(i + PREFETCH_AHEAD) {
+                prefetch_slot(&self.cells, self.slot(E::hash(next.to_repr())));
+            }
+            self.insert(entries[i]);
+        }
+        phc_obs::probe!(count PrefetchBatches);
+        phc_obs::probe!(hist BatchSize, n);
+    }
+
     /// Inserts a key-value entry, accumulating the value field with a
     /// hardware `fetch_add` when the key is already present — valid in
     /// this table because entries never move once inserted (the paper's
@@ -208,6 +230,29 @@ impl<E: HashEntry> NdHashTable<E> {
         };
         phc_obs::probe!(count FindProbeSteps, steps);
         result
+    }
+
+    /// Looks up a batch of keys with software prefetching, returning
+    /// results in key order: `out[i] == self.find(keys[i])`.
+    pub fn find_batch(&self, keys: &[E]) -> Vec<Option<E>> {
+        use crate::batch::{prefetch_slot, PREFETCH_AHEAD};
+        let n = keys.len();
+        let mut out = Vec::with_capacity(n);
+        if n == 0 {
+            return out;
+        }
+        for k in keys.iter().take(PREFETCH_AHEAD) {
+            prefetch_slot(&self.cells, self.slot(E::hash(k.to_repr())));
+        }
+        for i in 0..n {
+            if let Some(next) = keys.get(i + PREFETCH_AHEAD) {
+                prefetch_slot(&self.cells, self.slot(E::hash(next.to_repr())));
+            }
+            out.push(self.find(keys[i]));
+        }
+        phc_obs::probe!(count PrefetchBatches);
+        phc_obs::probe!(hist BatchSize, n);
+        out
     }
 
     /// Deletes the entry with `key`'s key part, shifting a following
@@ -419,6 +464,27 @@ mod tests {
         for k in 1..=100u64 {
             assert_eq!(t.find(U64Key::new(k)).is_some(), k % 3 != 0, "key {k}");
         }
+    }
+
+    #[test]
+    fn batched_ops_match_per_element() {
+        let keys: Vec<U64Key> = (1..=2000u64)
+            .map(|i| U64Key::new(phc_parutil::hash64(i) | 1))
+            .collect();
+        let seq: NdHashTable<U64Key> = NdHashTable::new_pow2(12);
+        for &k in &keys {
+            seq.insert(k);
+        }
+        let batched: NdHashTable<U64Key> = NdHashTable::new_pow2(12);
+        batched.insert_batch(&keys);
+        // The ND layout depends on insertion order, but both paths ran
+        // the same sequential order, so contents and lookups agree.
+        let probes: Vec<U64Key> = (1..=4000u64)
+            .map(|i| U64Key::new(phc_parutil::hash64(i) | 1))
+            .collect();
+        let expect: Vec<Option<U64Key>> = probes.iter().map(|&k| seq.find(k)).collect();
+        assert_eq!(batched.find_batch(&probes), expect);
+        assert_eq!(batched.snapshot(), seq.snapshot());
     }
 
     #[test]

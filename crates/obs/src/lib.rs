@@ -94,6 +94,16 @@ define_ids! {
         RoomWaits => "room_waits",
         /// Debug-build phase-discipline checks executed by `NdHashTable`.
         NdPhaseChecks => "nd_phase_checks",
+        /// Jobs submitted to the persistent work-stealing scheduler.
+        SchedJobs => "sched_jobs",
+        /// Chunks claimed from job cursors (by any participant).
+        SchedChunksClaimed => "sched_chunks_claimed",
+        /// Chunks executed by a pool worker other than the submitter.
+        SchedSteals => "sched_steals",
+        /// Cursor claim attempts that found the job already exhausted.
+        SchedStealAttempts => "sched_steal_attempts",
+        /// Prefetched batches processed by the batched table paths.
+        PrefetchBatches => "prefetch_batches",
     }
 }
 
@@ -106,6 +116,10 @@ define_ids! {
         CasRetries => "cas_retries",
         /// `elements()` pack sizes (entries returned per call).
         PackSize => "pack_size",
+        /// Chunks a single participant claimed from one job.
+        SchedChunksPerWorker => "sched_chunks_per_worker",
+        /// Batch sizes fed to the prefetching insert/find paths.
+        BatchSize => "batch_size",
     }
 }
 

@@ -28,12 +28,37 @@ pub use pool::{run_with_threads, with_pool};
 pub use rng::{hash64, hash64_pair, IndexRng};
 pub use scan::{scan_exclusive, scan_inclusive, scan_inplace_exclusive};
 
+#[cfg(test)]
+mod grain_tests {
+    #[test]
+    fn grain_defaults_without_env() {
+        // PHC_GRAIN is unset in the test environment, so the once-read
+        // value must be the compiled default.
+        assert_eq!(super::grain(), super::DEFAULT_GRAIN);
+    }
+}
+
 /// Default grain size for blocked parallel loops.
 ///
 /// Chosen so that per-block scheduling overhead is negligible relative to
 /// the work of a block while still exposing ample parallelism for tables
 /// of ≥ 2^20 cells.
 pub const DEFAULT_GRAIN: usize = 2048;
+
+/// Grain size for blocked parallel loops: the `PHC_GRAIN` environment
+/// variable (read **once**, at first use) or [`DEFAULT_GRAIN`]. Lets
+/// benchmarks sweep grain sizes without rebuilding; every blocked
+/// primitive in this crate (and the batched table paths) uses it.
+pub fn grain() -> usize {
+    static GRAIN: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *GRAIN.get_or_init(|| {
+        std::env::var("PHC_GRAIN")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&g: &usize| g > 0)
+            .unwrap_or(DEFAULT_GRAIN)
+    })
+}
 
 /// Splits `n` items into blocks of roughly `grain` items and returns the
 /// number of blocks. Zero items yield zero blocks.

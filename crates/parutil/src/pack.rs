@@ -8,8 +8,8 @@
 
 use rayon::prelude::*;
 
+use crate::grain;
 use crate::scan::scan_exclusive;
-use crate::{num_blocks, DEFAULT_GRAIN};
 
 /// Packs the elements of `input` satisfying `keep` into a new vector,
 /// preserving their relative order.
@@ -29,6 +29,12 @@ where
 /// Packs `f(x)` for every element where `f` returns `Some`, preserving
 /// order. This is a fused filter+map so callers can transform table cells
 /// (e.g. unpack an atomic word into an entry) in one pass.
+///
+/// `f` is evaluated **exactly once per element**: each block collects
+/// its survivors into a local buffer during the count pass, and the
+/// write pass just moves those buffers to their scanned offsets. (The
+/// obvious two-pass formulation re-evaluates `f` in the write pass —
+/// doubling the work for closures that do atomic loads + unpacking.)
 pub fn pack_with<T, U, F>(input: &[T], f: F) -> Vec<U>
 where
     T: Sync,
@@ -39,15 +45,12 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let grain = DEFAULT_GRAIN;
-    let nb = num_blocks(n, grain);
-    let mut counts = vec![0usize; nb];
-    input
+    let grain = grain();
+    let mut buffers: Vec<Vec<U>> = input
         .par_chunks(grain)
-        .zip(counts.par_iter_mut())
-        .for_each(|(chunk, count)| {
-            *count = chunk.iter().filter(|x| f(x).is_some()).count();
-        });
+        .map(|chunk| chunk.iter().filter_map(&f).collect())
+        .collect();
+    let counts: Vec<usize> = buffers.iter().map(Vec::len).collect();
     let (offsets, total) = scan_exclusive(&counts);
     let mut out: Vec<U> = Vec::with_capacity(total);
     // SAFETY: every slot in 0..total is written exactly once below —
@@ -58,26 +61,27 @@ where
         out.set_len(total);
     }
     let out_ptr = SendPtr(out.as_mut_ptr());
-    input
-        .par_chunks(grain)
+    buffers
+        .par_iter_mut()
         .zip(offsets.par_iter())
-        .for_each(|(chunk, &offset)| {
+        .for_each(|(buf, &offset)| {
             // Rebind to capture the SendPtr by value (Send, not Sync).
             #[allow(clippy::redundant_locals)]
             let out_ptr = out_ptr;
-            let mut k = offset;
-            for x in chunk {
-                if let Some(u) = f(x) {
-                    // SAFETY: see above; k stays within this block's range.
-                    unsafe { out_ptr.0.add(k).write(u) };
-                    k += 1;
-                }
+            // SAFETY: moves the buffer's elements into this block's
+            // disjoint range (see above); set_len(0) forgets the moved
+            // values so they are not dropped twice.
+            unsafe {
+                std::ptr::copy_nonoverlapping(buf.as_ptr(), out_ptr.0.add(offset), buf.len());
+                buf.set_len(0);
             }
         });
     out
 }
 
 /// Returns the indices `i` for which `keep(&input[i])` holds, in order.
+///
+/// Like [`pack_with`], `keep` is evaluated exactly once per element.
 pub fn pack_index<T, F>(input: &[T], keep: F) -> Vec<usize>
 where
     T: Sync,
@@ -87,15 +91,19 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let grain = DEFAULT_GRAIN;
-    let nb = num_blocks(n, grain);
-    let mut counts = vec![0usize; nb];
-    input
+    let grain = grain();
+    let mut buffers: Vec<Vec<usize>> = input
         .par_chunks(grain)
-        .zip(counts.par_iter_mut())
-        .for_each(|(chunk, count)| {
-            *count = chunk.iter().filter(|x| keep(x)).count();
-        });
+        .enumerate()
+        .map(|(b, chunk)| {
+            chunk
+                .iter()
+                .enumerate()
+                .filter_map(|(j, x)| keep(x).then_some(b * grain + j))
+                .collect()
+        })
+        .collect();
+    let counts: Vec<usize> = buffers.iter().map(Vec::len).collect();
     let (offsets, total) = scan_exclusive(&counts);
     let mut out: Vec<usize> = Vec::with_capacity(total);
     #[allow(clippy::uninit_vec)]
@@ -103,20 +111,17 @@ where
         out.set_len(total);
     }
     let out_ptr = SendPtr(out.as_mut_ptr());
-    input
-        .par_chunks(grain)
-        .enumerate()
+    buffers
+        .par_iter_mut()
         .zip(offsets.par_iter())
-        .for_each(|((b, chunk), &offset)| {
+        .for_each(|(buf, &offset)| {
             // Rebind to capture the SendPtr by value (Send, not Sync).
             #[allow(clippy::redundant_locals)]
             let out_ptr = out_ptr;
-            let mut k = offset;
-            for (j, x) in chunk.iter().enumerate() {
-                if keep(x) {
-                    unsafe { out_ptr.0.add(k).write(b * grain + j) };
-                    k += 1;
-                }
+            // SAFETY: disjoint ranges; usize is Copy so no double drop.
+            unsafe {
+                std::ptr::copy_nonoverlapping(buf.as_ptr(), out_ptr.0.add(offset), buf.len());
+                buf.set_len(0);
             }
         });
     out
@@ -180,6 +185,52 @@ mod tests {
         let idx = pack_index(&input, |&x| x == 0);
         let expect: Vec<usize> = (0..30_000).filter(|i| i % 7 == 0).collect();
         assert_eq!(idx, expect);
+    }
+
+    #[test]
+    fn pack_with_evaluates_closure_once_per_element() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let input: Vec<u32> = (0..100_000).collect();
+        let calls = AtomicUsize::new(0);
+        let out = pack_with(&input, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            (x % 4 == 0).then_some(x)
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), input.len());
+        assert_eq!(out.len(), 25_000);
+    }
+
+    #[test]
+    fn pack_index_evaluates_predicate_once_per_element() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let input: Vec<u32> = (0..100_000).collect();
+        let calls = AtomicUsize::new(0);
+        let idx = pack_index(&input, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x % 10 == 0
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), input.len());
+        assert_eq!(idx.len(), 10_000);
+    }
+
+    #[test]
+    fn pack_with_drops_no_survivors() {
+        // Moved (not re-evaluated, not leaked) values: every survivor
+        // is dropped exactly once by the caller of pack_with.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let input: Vec<u32> = (0..10_000).collect();
+        let out = pack_with(&input, |&x| (x % 2 == 0).then(|| D));
+        assert_eq!(out.len(), 5_000);
+        let before = DROPS.load(Ordering::Relaxed);
+        drop(out);
+        assert_eq!(DROPS.load(Ordering::Relaxed) - before, 5_000);
     }
 
     #[test]

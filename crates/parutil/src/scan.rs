@@ -9,7 +9,7 @@
 
 use rayon::prelude::*;
 
-use crate::{num_blocks, DEFAULT_GRAIN};
+use crate::{grain, num_blocks};
 
 /// Exclusive prefix sum of `input`; returns `(sums, total)` where
 /// `sums[i] = input[0] + … + input[i-1]` and `total` is the sum of all
@@ -25,7 +25,8 @@ pub fn scan_exclusive(input: &[usize]) -> (Vec<usize>, usize) {
     if n == 0 {
         return (Vec::new(), 0);
     }
-    if n <= DEFAULT_GRAIN {
+    let grain = grain();
+    if n <= grain {
         let mut out = Vec::with_capacity(n);
         let mut acc = 0usize;
         for &x in input {
@@ -34,7 +35,6 @@ pub fn scan_exclusive(input: &[usize]) -> (Vec<usize>, usize) {
         }
         return (out, acc);
     }
-    let grain = DEFAULT_GRAIN;
     let nb = num_blocks(n, grain);
     let mut block_sums: Vec<usize> = vec![0; nb];
     input
@@ -82,6 +82,7 @@ pub fn scan_inplace_exclusive(data: &mut [usize]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::DEFAULT_GRAIN;
 
     fn reference_exclusive(input: &[usize]) -> (Vec<usize>, usize) {
         let mut out = Vec::with_capacity(input.len());

@@ -16,14 +16,23 @@
 //!   order-sensitive terminals (`collect`) behave exactly like rayon's
 //!   indexed counterparts.
 //!
+//! Execution happens on a **persistent work-stealing worker pool**
+//! (see [`pool`]): workers are spawned once (lazily) and parked when
+//! idle; a parallel call publishes a job descriptor and participants
+//! claim over-partitioned chunks from a shared atomic cursor, so load
+//! imbalance is absorbed by stealing instead of blocking behind the
+//! slowest fixed share. Chunks write results by index, which keeps
+//! every order-sensitive terminal deterministic under stealing. The
+//! pool width defaults to the machine's parallelism and can be pinned
+//! once per process with the `PHC_THREADS` environment variable.
+//!
 //! Differences from real rayon, none observable by this workspace:
-//! threads are spawned per call instead of pooled (amortized by
-//! `with_min_len`, which every hot call site here already sets);
-//! `ThreadPool::install` sets a thread-local width instead of moving
-//! work to pool workers; reductions do not short-circuit across
-//! pieces.
+//! stealing is cursor-based rather than deque-based, and reductions do
+//! not short-circuit across pieces.
 
 use std::cell::Cell;
+
+pub mod pool;
 
 pub mod prelude {
     //! The traits needed to call parallel-iterator methods.
@@ -38,20 +47,35 @@ pub mod prelude {
 // ---------------------------------------------------------------------------
 
 thread_local! {
-    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    pub(crate) static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-/// Number of threads parallel iterators will use on this thread.
+/// Number of threads parallel iterators will use on this thread:
+/// the installed width, or the persistent pool's size (`PHC_THREADS`
+/// or the machine's available parallelism).
 pub fn current_num_threads() -> usize {
-    POOL_THREADS.with(|c| c.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
+    POOL_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(pool::configured_pool_size)
 }
 
-/// A "pool": records a width; [`ThreadPool::install`] applies it for
-/// the duration of a closure (threads are created per parallel call).
+/// Applies a pool width for the duration of `f`, restoring the
+/// previous width afterwards (also on unwind).
+fn with_width<R>(width: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            POOL_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(POOL_THREADS.with(|c| c.replace(Some(width))));
+    f()
+}
+
+/// A width-limited view of the persistent worker pool.
+/// [`ThreadPool::install`] runs a closure *on* a pool worker with the
+/// pool's width applied; parallel iterators under it claim chunks with
+/// at most `num_threads` concurrent participants.
 pub struct ThreadPool {
     threads: usize,
 }
@@ -62,12 +86,25 @@ impl ThreadPool {
         self.threads
     }
 
-    /// Runs `f` with parallel iterators using this pool's width.
-    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        let prev = POOL_THREADS.with(|c| c.replace(Some(self.threads)));
-        let r = f();
-        POOL_THREADS.with(|c| c.set(prev));
-        r
+    /// Runs `f` on one of the persistent pool's worker threads with
+    /// this pool's width installed, blocking until it completes.
+    /// Called from inside a pool worker (nested `install`), it runs in
+    /// place with the width swapped in and restored afterwards.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        let width = self.threads;
+        if pool::on_worker() {
+            return with_width(width, f);
+        }
+        let func = pool::SyncCell::new(Some(f));
+        let out = pool::SyncCell::new(None);
+        let chunk = |_i: usize| {
+            // SAFETY: a one-shot job runs its single chunk exactly once.
+            let f = unsafe { (*func.get()).take().expect("install closure ran twice") };
+            let r = f();
+            unsafe { *out.get() = Some(r) };
+        };
+        pool::run_oneshot(width, &chunk);
+        out.into_inner().expect("install closure did not run")
     }
 }
 
@@ -117,18 +154,31 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
+    let width = current_num_threads();
+    if width <= 1 {
         return (a(), b());
     }
-    let width = current_num_threads();
-    std::thread::scope(|s| {
-        let hb = s.spawn(move || {
-            POOL_THREADS.with(|c| c.set(Some(width)));
-            b()
-        });
-        let ra = a();
-        (ra, hb.join().unwrap())
-    })
+    let funcs = (pool::SyncCell::new(Some(a)), pool::SyncCell::new(Some(b)));
+    let ra = pool::SyncCell::new(None);
+    let rb = pool::SyncCell::new(None);
+    let chunk = |i: usize| {
+        // SAFETY: the cursor hands each chunk index to exactly one
+        // participant, so each cell pair is touched by one thread.
+        unsafe {
+            if i == 0 {
+                let f = (*funcs.0.get()).take().expect("join arm ran twice");
+                *ra.get() = Some(f());
+            } else {
+                let f = (*funcs.1.get()).take().expect("join arm ran twice");
+                *rb.get() = Some(f());
+            }
+        }
+    };
+    pool::run_job(2, width, &chunk);
+    (
+        ra.into_inner().expect("join arm did not run"),
+        rb.into_inner().expect("join arm did not run"),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -773,8 +823,17 @@ impl<P: Producer> ParallelIterator for ParIter<P> {
         C: for<'i> Fn(&mut (dyn Iterator<Item = Self::Item> + 'i)) -> R + Sync,
     {
         let len = self.producer.len();
-        let threads = current_num_threads();
-        let pieces = threads.min(len.div_ceil(self.min_len.max(1))).max(1);
+        let width = current_num_threads();
+        // Over-partition so participants that finish early steal the
+        // tail instead of idling. Piece boundaries depend only on
+        // (len, min_len, width) — never on scheduling — so per-piece
+        // results are reproducible across runs and pool states.
+        let max_pieces = len.div_ceil(self.min_len.max(1)).max(1);
+        let pieces = if width <= 1 {
+            1
+        } else {
+            (width * pool::OVERPARTITION).min(max_pieces)
+        };
         if pieces <= 1 {
             return vec![consumer(&mut self.producer.into_iter())];
         }
@@ -790,23 +849,26 @@ impl<P: Producer> ParallelIterator for ParIter<P> {
             remaining -= take;
         }
         parts.push(rest);
-        let width = threads;
-        std::thread::scope(|s| {
-            let last = parts.pop().expect("at least one piece");
-            let handles: Vec<_> = parts
-                .into_iter()
-                .map(|p| {
-                    s.spawn(move || {
-                        POOL_THREADS.with(|c| c.set(Some(width)));
-                        consumer(&mut p.into_iter())
-                    })
-                })
-                .collect();
-            let last_result = consumer(&mut last.into_iter());
-            let mut results: Vec<R> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-            results.push(last_result);
-            results
-        })
+        let parts: Vec<pool::SyncCell<Option<P>>> = parts
+            .into_iter()
+            .map(|p| pool::SyncCell::new(Some(p)))
+            .collect();
+        let results: Vec<pool::SyncCell<Option<R>>> =
+            (0..pieces).map(|_| pool::SyncCell::new(None)).collect();
+        let chunk = |i: usize| {
+            // SAFETY: the pool's cursor hands each chunk index to
+            // exactly one participant, so cell `i` is touched by one
+            // thread only; results land by index, making the output
+            // independent of which worker ran the chunk.
+            let part = unsafe { (*parts[i].get()).take().expect("piece ran twice") };
+            let r = consumer(&mut part.into_iter());
+            unsafe { *results[i].get() = Some(r) };
+        };
+        pool::run_job(pieces, width, &chunk);
+        results
+            .into_iter()
+            .map(|c| c.into_inner().expect("piece did not run"))
+            .collect()
     }
 
     fn set_min_len(&mut self, n: usize) {
@@ -1198,6 +1260,72 @@ mod tests {
             let pool = ThreadPoolBuilder::new().num_threads(t).build().unwrap();
             assert_eq!(pool.install(current_num_threads), t);
         }
+    }
+
+    #[test]
+    fn install_runs_on_pool_worker() {
+        let caller = std::thread::current().id();
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inside = pool.install(std::thread::current);
+        assert_ne!(
+            inside.id(),
+            caller,
+            "install must ship the closure to a pool worker"
+        );
+        assert!(
+            inside.name().unwrap_or("").starts_with("phc-pool-"),
+            "install ran on {:?}, not a pool worker",
+            inside.name()
+        );
+    }
+
+    #[test]
+    fn nested_install_restores_width() {
+        let outer = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (before, during, after) = outer.install(|| {
+            let before = current_num_threads();
+            let during = inner.install(current_num_threads);
+            (before, during, current_num_threads())
+        });
+        assert_eq!(before, 4);
+        assert_eq!(during, 2);
+        assert_eq!(after, 4, "nested install must restore the outer width");
+        // The installing thread's own width is untouched too.
+        let base = current_num_threads();
+        outer.install(|| ());
+        assert_eq!(current_num_threads(), base);
+    }
+
+    #[test]
+    fn chunk_panic_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..1000usize)
+                    .into_par_iter()
+                    .with_min_len(1)
+                    .for_each(|i| {
+                        if i == 517 {
+                            panic!("boom in chunk");
+                        }
+                    });
+            })
+        }));
+        assert!(caught.is_err(), "panic inside a chunk must propagate");
+        // The pool survives and runs the next job normally.
+        let s: usize = pool.install(|| (0..100usize).into_par_iter().sum());
+        assert_eq!(s, 4950);
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            join(|| (), || panic!("right arm"))
+        }));
+        assert!(caught.is_err());
     }
 
     #[test]

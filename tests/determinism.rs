@@ -102,6 +102,57 @@ fn elements_identical_across_thread_counts() {
     }
 }
 
+/// `pack` and `scan_exclusive` are byte-identical across thread counts
+/// *and* across repeated runs under the work-stealing pool: stealing
+/// moves chunks between workers run to run, but results land by chunk
+/// index, so the output never changes.
+#[test]
+fn pack_and_scan_identical_across_threads_and_runs() {
+    use phase_concurrent_hashing::parutil::{pack, run_with_threads, scan_exclusive};
+    let input: Vec<u64> = keys(200_000, 11);
+    let sizes: Vec<usize> = input.iter().map(|&k| (k % 13) as usize).collect();
+    let expect_pack = pack(&input, |&x| x % 3 == 0);
+    let expect_scan = scan_exclusive(&sizes);
+    for threads in [1, 2, 8] {
+        for run in 0..5 {
+            let (p, s) = run_with_threads(threads, || {
+                (pack(&input, |&x| x % 3 == 0), scan_exclusive(&sizes))
+            });
+            assert_eq!(p, expect_pack, "pack, threads = {threads}, run {run}");
+            assert_eq!(s, expect_scan, "scan, threads = {threads}, run {run}");
+        }
+    }
+}
+
+/// `elements()` is identical across repeated runs at a fixed thread
+/// count under the stealing scheduler (the cross-thread-count variant
+/// is `elements_identical_across_thread_counts` below), and the
+/// batched prefetching insert path lands in the identical layout.
+#[test]
+fn elements_identical_across_repeated_stealing_runs() {
+    let ks = keys(40_000, 12);
+    let entries: Vec<U64Key> = ks.iter().map(|&k| U64Key::new(k)).collect();
+    let build = |batched: bool| -> (Vec<u64>, Vec<U64Key>) {
+        phase_concurrent_hashing::parutil::run_with_threads(8, || {
+            let mut t: DetHashTable<U64Key> = DetHashTable::new_pow2(17);
+            {
+                let ins = t.begin_insert();
+                if batched {
+                    ins.par_insert_batched(&entries);
+                } else {
+                    entries.par_iter().for_each(|&e| ins.insert(e));
+                }
+            }
+            (t.snapshot(), t.elements())
+        })
+    };
+    let first = build(false);
+    for run in 0..4 {
+        assert_eq!(first, build(false), "per-element, run {run}");
+        assert_eq!(first, build(true), "batched, run {run}");
+    }
+}
+
 /// The growable wrapper preserves history independence across growth
 /// schedules.
 #[test]
