@@ -1,0 +1,167 @@
+//! Probe-layer benchmark: scalar vs SIMD scanning on the
+//! deterministic linear-probing table (`linearHash-D`).
+//!
+//! For each load factor (1/3, 1/2, 3/4 of a 2^`--log2` cell table) and
+//! thread count (1, 2, 8), measures find / insert / elements
+//! throughput twice: once with the dispatch pinned to the scalar
+//! reference loops (`SimdTier::Scalar`) and once with the widest tier
+//! the host supports (the `PHC_SIMD` auto default). The table layout
+//! is history-independent, so both configurations probe byte-identical
+//! cell arrays — the comparison isolates the scanning kernels.
+//!
+//! The find workload interleaves present and absent keys 50/50:
+//! unsuccessful searches scan to the end of a cluster, which is where
+//! wide scanning pays most, and successful ones pin the common case.
+//!
+//! Run with `--json FILE` to dump the report envelope (meta + obs
+//! snapshot + reports); CI's bench smoke and `BENCH_PR5.json` use
+//! `--json BENCH_PR5.json`.
+
+use phc_bench::{arg_or_env, datasets, report, Report};
+use phc_core::entry::U64Key;
+use phc_core::simd::{set_tier, tier, SimdTier};
+use phc_core::DetHashTable;
+use phc_parutil::with_pool;
+use rayon::prelude::*;
+
+/// Best-of-reps seconds for `f` (which must consume its work and
+/// return something sinkable).
+fn secs(reps: usize, mut f: impl FnMut() -> usize) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Million operations per second.
+fn mops(ops: usize, s: f64) -> f64 {
+    ops as f64 / s / 1e6
+}
+
+struct LoadCase {
+    label: &'static str,
+    n: usize,
+    entries: Vec<U64Key>,
+    /// 50/50 present/absent probe mix, `n` keys total.
+    probes: Vec<U64Key>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let log2 = arg_or_env(&args, "--log2", "PHC_LOG2", 16) as u32;
+    let reps = arg_or_env(&args, "--reps", "PHC_REPS", 5);
+    let cap = 1usize << log2;
+    let threads = [1usize, 2, 8];
+    let wide = tier(); // auto-dispatched tier on this host
+    println!(
+        "# Probe bench: scalar vs {} scanning, 2^{log2} cells, threads = {threads:?}\n",
+        wide.name()
+    );
+
+    let cases: Vec<LoadCase> = [("1/3", cap / 3), ("1/2", cap / 2), ("3/4", cap * 3 / 4)]
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, n))| {
+            let data = datasets::random_int(n, 1 + i as u64);
+            let probes = data
+                .inserted
+                .iter()
+                .zip(data.random.iter())
+                .flat_map(|(&p, &a)| [p, a])
+                .take(n)
+                .collect();
+            LoadCase {
+                label,
+                n,
+                entries: data.inserted,
+                probes,
+            }
+        })
+        .collect();
+
+    let cols = ["scalar Mops", "simd Mops", "speedup"];
+    let mut find = Report::new(format!("Find throughput, 2^{log2} cells"), &cols);
+    let mut insert = Report::new(format!("Insert throughput, 2^{log2} cells"), &cols);
+    let mut elements = Report::new(format!("Elements throughput, 2^{log2} cells"), &cols);
+
+    for case in &cases {
+        // One prebuilt table per load: history independence makes the
+        // layout identical no matter which tier built it.
+        let table: DetHashTable<U64Key> = DetHashTable::new_pow2(log2);
+        table.par_insert_batched(&case.entries);
+
+        for &t in &threads {
+            let by_tier = |pin: Option<SimdTier>| {
+                set_tier(pin);
+                let r = with_pool(t, |pool| {
+                    let f = secs(reps, || {
+                        pool.install(|| {
+                            // The production bulk-lookup path: batched
+                            // finds with software prefetching.
+                            case.probes
+                                .par_chunks(2048)
+                                .map(|c| table.find_batch(c).iter().flatten().count())
+                                .sum::<usize>()
+                        })
+                    });
+                    let i = secs(reps, || {
+                        let fresh: DetHashTable<U64Key> = DetHashTable::new_pow2(log2);
+                        pool.install(|| fresh.par_insert_batched(&case.entries));
+                        fresh.capacity()
+                    });
+                    let e = secs(reps, || pool.install(|| table.elements().len()));
+                    (f, i, e)
+                });
+                set_tier(None);
+                r
+            };
+            let (sf, si, se) = by_tier(Some(SimdTier::Scalar));
+            let (wf, wi, we) = by_tier(None);
+            let label = format!("load={} T={t}", case.label);
+            find.push(
+                label.clone(),
+                vec![
+                    Some(mops(case.probes.len(), sf)),
+                    Some(mops(case.probes.len(), wf)),
+                    Some(sf / wf),
+                ],
+            );
+            insert.push(
+                label.clone(),
+                vec![
+                    Some(mops(case.n, si)),
+                    Some(mops(case.n, wi)),
+                    Some(si / wi),
+                ],
+            );
+            elements.push(
+                label,
+                vec![
+                    Some(mops(case.n, se)),
+                    Some(mops(case.n, we)),
+                    Some(se / we),
+                ],
+            );
+        }
+    }
+
+    find.print();
+    insert.print();
+    elements.print();
+    println!(
+        "(speedup = scalar seconds / simd seconds; simd tier = {})\n",
+        wide.name()
+    );
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_PR5.json");
+        report::write_json(path, &[find, insert, elements]).expect("failed to write JSON");
+        println!("wrote {path}");
+    }
+}

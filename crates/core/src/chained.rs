@@ -43,6 +43,19 @@ struct Node {
 /// keep the comparison fair on large bucket arrays.
 const STRIPES: usize = 4096;
 
+/// A raw pointer wrapper asserting cross-thread transferability; sound
+/// in `elements()` because each bucket writes a disjoint output range
+/// derived from the exclusive scan of the per-bucket counts.
+struct SendPtr<U>(*mut U);
+impl<U> Clone for SendPtr<U> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<U> Copy for SendPtr<U> {}
+unsafe impl<U: Send> Send for SendPtr<U> {}
+unsafe impl<U: Send> Sync for SendPtr<U> {}
+
 /// Concurrent chained hash table with striped locks.
 ///
 /// ```
@@ -215,24 +228,92 @@ impl<E: HashEntry> ChainedHashTable<E> {
     }
 
     /// Packs all entries, bucket by bucket (paper §6: count per bucket,
-    /// prefix-sum the offsets, copy lists in parallel).
+    /// prefix-sum the offsets, copy lists in parallel). The count pass
+    /// measures every chain, a prefix sum turns the lengths into
+    /// disjoint output offsets, and the copy pass writes each chain
+    /// directly into its slice of one pre-sized allocation — no
+    /// per-bucket `Vec` (the old `flat_map_iter` formulation allocated
+    /// one per non-empty bucket and then copied everything again).
     pub fn elements(&self) -> Vec<E> {
         use rayon::prelude::*;
+        let counts: Vec<usize> = self
+            .buckets
+            .par_iter()
+            .with_min_len(512)
+            .map(|head| {
+                let mut n = 0usize;
+                let mut cur = head.load(Ordering::Acquire);
+                while !cur.is_null() {
+                    n += 1;
+                    // SAFETY: arena-owned.
+                    cur = unsafe { &*cur }.next.load(Ordering::Acquire);
+                }
+                n
+            })
+            .collect();
+        let (offsets, total) = phc_parutil::scan_exclusive(&counts);
+        let mut out: Vec<E> = Vec::with_capacity(total);
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let mismatch = std::sync::atomic::AtomicBool::new(false);
         self.buckets
             .par_iter()
             .with_min_len(512)
-            .flat_map_iter(|head| {
-                let mut out = Vec::new();
+            .zip(offsets.par_iter())
+            .zip(counts.par_iter())
+            .for_each(|((head, &offset), &count)| {
+                // Rebind to capture the SendPtr by value.
+                #[allow(clippy::redundant_locals)]
+                let out_ptr = out_ptr;
+                let mut written = 0usize;
                 let mut cur = head.load(Ordering::Acquire);
-                while !cur.is_null() {
-                    // SAFETY: arena-owned.
+                while !cur.is_null() && written < count {
+                    // SAFETY: arena-owned node; the write lands in this
+                    // bucket's disjoint range [offset, offset + count),
+                    // capped below count so it can never spill into a
+                    // neighbour's range.
                     let node = unsafe { &*cur };
-                    out.push(E::from_repr(node.repr.load(Ordering::Acquire)));
+                    unsafe {
+                        out_ptr
+                            .0
+                            .add(offset + written)
+                            .write(E::from_repr(node.repr.load(Ordering::Acquire)));
+                    }
+                    written += 1;
                     cur = node.next.load(Ordering::Acquire);
                 }
-                out
-            })
-            .collect()
+                if written != count || !cur.is_null() {
+                    mismatch.store(true, Ordering::Relaxed);
+                }
+            });
+        if mismatch.load(Ordering::Relaxed) {
+            // A chain changed length between the passes — someone broke
+            // the phase discipline. The pre-sized buffer may have gaps,
+            // so discard it (entries are `Copy`; nothing to drop) and
+            // take the race-tolerant per-bucket path instead.
+            return self
+                .buckets
+                .par_iter()
+                .with_min_len(512)
+                .flat_map_iter(|head| {
+                    let mut chain = Vec::new();
+                    let mut cur = head.load(Ordering::Acquire);
+                    while !cur.is_null() {
+                        // SAFETY: arena-owned.
+                        let node = unsafe { &*cur };
+                        chain.push(E::from_repr(node.repr.load(Ordering::Acquire)));
+                        cur = node.next.load(Ordering::Acquire);
+                    }
+                    chain
+                })
+                .collect();
+        }
+        // SAFETY: every bucket wrote exactly counts[b] entries at
+        // [offsets[b], offsets[b] + counts[b]), and those ranges
+        // partition 0..total (verified by the mismatch flag).
+        unsafe {
+            out.set_len(total);
+        }
+        out
     }
 
     /// Number of stored entries (walks every list).

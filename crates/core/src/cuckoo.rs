@@ -212,24 +212,16 @@ impl<E: HashEntry> CuckooHashTable<E> {
 
     /// Packs the non-empty cells in cell order (parallel).
     pub fn elements(&self) -> Vec<E> {
-        phc_parutil::pack_with(&self.cells, |c| {
-            let v = c.load(Ordering::Acquire);
-            if v == E::EMPTY {
-                None
-            } else {
-                Some(E::from_repr(v))
-            }
-        })
+        phc_parutil::pack_with_mask(
+            &self.cells,
+            |win| crate::simd::scan_nonempty_mask(win, E::EMPTY),
+            |c| E::from_repr(c.load(Ordering::Acquire)),
+        )
     }
 
     /// Number of occupied cells.
     pub fn len(&self) -> usize {
-        use rayon::prelude::*;
-        self.cells
-            .par_iter()
-            .with_min_len(4096)
-            .filter(|c| c.load(Ordering::Relaxed) != E::EMPTY)
-            .count()
+        crate::stats::occupied_len::<E>(&self.cells)
     }
 
     /// Whether the table is empty.

@@ -189,6 +189,12 @@ impl<E: HashEntry> DetHashTable<E> {
     /// table).
     pub(crate) fn try_insert_repr(&self, mut v: u64) -> Result<bool, u64> {
         debug_assert_ne!(v, E::EMPTY);
+        if crate::simd::tier() != crate::simd::SimdTier::Scalar {
+            if let Some(key_mask) = E::SIMD_KEY_MASK {
+                return self.try_insert_repr_wide(v, key_mask);
+            }
+            phc_obs::probe!(count SimdFallbacks);
+        }
         let mut i = self.slot(E::hash(v));
         let mut steps = 0usize;
         let mut cas_fails = 0usize;
@@ -248,6 +254,121 @@ impl<E: HashEntry> DetHashTable<E> {
         result
     }
 
+    /// Wide-scan insert: a speculative [`crate::simd::scan_le`] skips
+    /// the cells that outrank `v` in one compare per lane, then the
+    /// candidate is confirmed with the exact per-cell atomic loop of
+    /// the scalar path. Skipping on a racy wide load is sound because
+    /// cell priorities only *rise* during an insert phase (an insert
+    /// CAS replaces a cell with a higher-priority key; `combine` keeps
+    /// the key), so "this lane outranks `v`" can never be invalidated.
+    /// The converse can: a candidate whose priority rose after the scan
+    /// sampled it is a counted misspeculation that re-scans one cell
+    /// further on — which is also exactly what the scalar loop would do
+    /// on its next look at that cell.
+    fn try_insert_repr_wide(&self, mut v: u64, key_mask: u64) -> Result<bool, u64> {
+        let n = self.cells.len();
+        let mut i = self.slot(E::hash(v));
+        let mut steps = 0usize;
+        let mut cas_fails = 0usize;
+        let mut swaps = 0usize;
+        let mut lanes_total = 0usize;
+        let mut misspecs = 0usize;
+        let result = 'outer: loop {
+            let thr = v & key_mask;
+            // Fast path: at moderate loads the cell under the cursor
+            // usually decides the insert by itself (empty, same key, or
+            // lower priority), so peek it scalar before paying for the
+            // wide-scan setup. The peek is also what makes the
+            // post-displacement `continue 'outer` cheap.
+            let peek = self.cells[i].load(Ordering::Acquire);
+            let j = if peek & key_mask <= thr {
+                lanes_total += 1;
+                i
+            } else {
+                let (hit, lanes) = crate::simd::scan_le(&self.cells, i, n, key_mask, thr);
+                let (hit, lanes) = match hit {
+                    Some(_) => (hit, lanes),
+                    None => {
+                        let (wrapped, more) =
+                            crate::simd::scan_le(&self.cells, 0, i, key_mask, thr);
+                        (wrapped, lanes + more)
+                    }
+                };
+                lanes_total += lanes;
+                match hit {
+                    Some(j) => j,
+                    None => {
+                        // Every cell outranks `v`: the table is full of
+                        // higher-priority keys.
+                        steps = n + 1;
+                        break 'outer Err(v);
+                    }
+                }
+            };
+            steps += self.dist(i, j);
+            if steps > n {
+                break 'outer Err(v);
+            }
+            i = j;
+            // Per-cell atomic confirm — the scalar probe body pinned at
+            // the candidate cell.
+            loop {
+                let c = self.cells[i].load(Ordering::Acquire);
+                if E::same_key(c, v) {
+                    let merged = E::combine(c, v);
+                    if merged == c {
+                        break 'outer Ok(false);
+                    }
+                    if self.cells[i]
+                        .compare_exchange(c, merged, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        break 'outer Ok(false);
+                    }
+                    cas_fails += 1;
+                    continue; // cell changed under us; re-read
+                }
+                if E::cmp_priority(c, v) == CmpOrdering::Greater {
+                    // Misspeculation: a concurrent insert raised this
+                    // cell above `v` after the wide scan sampled it.
+                    misspecs += 1;
+                    i = (i + 1) & self.mask;
+                    steps += 1;
+                    if steps > n {
+                        break 'outer Err(v);
+                    }
+                    continue 'outer;
+                }
+                if self.cells[i]
+                    .compare_exchange(c, v, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    if c == E::EMPTY {
+                        break 'outer Ok(true);
+                    }
+                    swaps += 1;
+                    v = c;
+                    i = (i + 1) & self.mask;
+                    steps += 1;
+                    if steps > n {
+                        break 'outer Err(v);
+                    }
+                    continue 'outer;
+                }
+                cas_fails += 1;
+            }
+        };
+        phc_obs::probe!(count ProbeSteps, steps);
+        phc_obs::probe!(count InsertCasFail, cas_fails);
+        phc_obs::probe!(count PrioritySwap, swaps);
+        phc_obs::probe!(count SimdLanesScanned, lanes_total);
+        phc_obs::probe!(count SimdMisspeculations, misspecs);
+        phc_obs::probe!(hist ProbeLen, steps);
+        phc_obs::probe!(hist CasRetries, cas_fails);
+        phc_obs::probe!(hist SimdLanesPerProbe, lanes_total);
+        result
+    }
+
     /// Inserts a batch of entries with software prefetching: before
     /// probing entry `i`, the home slot of entry `i + PREFETCH_AHEAD`
     /// is prefetched (see [`crate::batch`]), keeping several cache
@@ -301,6 +422,30 @@ impl<E: HashEntry> DetHashTable<E> {
         if n == 0 {
             return out;
         }
+        // Batch-level tier dispatch: resolve the tier once for the
+        // whole batch and bind the matching kernel, so the vector scan
+        // inlines into the prefetching loop instead of paying dispatch
+        // plus call overhead on every key.
+        #[cfg(target_arch = "x86_64")]
+        if let Some(key_mask) = E::SIMD_KEY_MASK {
+            match crate::simd::tier() {
+                crate::simd::SimdTier::Avx2 => {
+                    // SAFETY: `tier()` reports Avx2 only when the CPU
+                    // supports it.
+                    unsafe { self.find_batch_avx2(keys, key_mask, &mut out) };
+                    phc_obs::probe!(count PrefetchBatches);
+                    phc_obs::probe!(hist BatchSize, n);
+                    return out;
+                }
+                crate::simd::SimdTier::Sse2 => {
+                    self.find_batch_sse2(keys, key_mask, &mut out);
+                    phc_obs::probe!(count PrefetchBatches);
+                    phc_obs::probe!(hist BatchSize, n);
+                    return out;
+                }
+                crate::simd::SimdTier::Scalar => {}
+            }
+        }
         for k in keys.iter().take(PREFETCH_AHEAD) {
             prefetch_slot(&self.cells, self.slot(E::hash(k.to_repr())));
         }
@@ -315,6 +460,52 @@ impl<E: HashEntry> DetHashTable<E> {
         out
     }
 
+    /// AVX2 instantiation of the batched wide find: compiled with the
+    /// feature enabled so the kernel closure (and the `scan_le` AVX2
+    /// kernel it wraps) inlines into the whole loop.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn find_batch_avx2(&self, keys: &[E], key_mask: u64, out: &mut Vec<Option<E>>) {
+        self.find_batch_wide_body(keys, key_mask, out, &|cells, start, end, thr| unsafe {
+            crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+        });
+    }
+
+    /// SSE2 instantiation of the batched wide find (SSE2 is baseline on
+    /// x86_64, so no `target_feature` gate is needed).
+    #[cfg(target_arch = "x86_64")]
+    fn find_batch_sse2(&self, keys: &[E], key_mask: u64, out: &mut Vec<Option<E>>) {
+        self.find_batch_wide_body(keys, key_mask, out, &|cells, start, end, thr| unsafe {
+            crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
+        });
+    }
+
+    /// The prefetching lookup loop shared by the per-tier batch entry
+    /// points, generic over the bound scan kernel.
+    #[cfg(target_arch = "x86_64")]
+    #[inline(always)]
+    fn find_batch_wide_body(
+        &self,
+        keys: &[E],
+        key_mask: u64,
+        out: &mut Vec<Option<E>>,
+        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+    ) {
+        use crate::batch::{prefetch_slot, PREFETCH_AHEAD};
+        for k in keys.iter().take(PREFETCH_AHEAD) {
+            prefetch_slot(&self.cells, self.slot(E::hash(k.to_repr())));
+        }
+        for i in 0..keys.len() {
+            if let Some(next) = keys.get(i + PREFETCH_AHEAD) {
+                prefetch_slot(&self.cells, self.slot(E::hash(next.to_repr())));
+            }
+            out.push(
+                self.find_repr_wide_with(keys[i].to_repr(), key_mask, scan)
+                    .map(E::from_repr),
+            );
+        }
+    }
+
     /// Parallel batched lookup: results in key order, computed in
     /// grain-sized prefetching chunks on the scheduler.
     pub fn par_find_batched(&self, keys: &[E]) -> Vec<Option<E>> {
@@ -326,6 +517,14 @@ impl<E: HashEntry> DetHashTable<E> {
 
     pub(crate) fn find_repr(&self, probe: u64) -> Option<u64> {
         debug_assert_ne!(probe, E::EMPTY);
+        if crate::simd::tier() != crate::simd::SimdTier::Scalar {
+            if let Some(key_mask) = E::SIMD_KEY_MASK {
+                return self.find_repr_wide(probe, key_mask);
+            }
+            // Entry type without a maskable key (pointer entries):
+            // only the scalar probe understands it.
+            phc_obs::probe!(count SimdFallbacks);
+        }
         let mut i = self.slot(E::hash(probe));
         let mut steps = 0usize;
         let result = 'scan: {
@@ -354,6 +553,65 @@ impl<E: HashEntry> DetHashTable<E> {
         result
     }
 
+    /// Wide-scan find. Under the
+    /// [`SIMD_KEY_MASK`](HashEntry::SIMD_KEY_MASK) contract the whole
+    /// prioritized stop condition collapses to one unsigned compare:
+    /// the first cell whose masked repr is `<=` the probe's masked repr
+    /// is either an exact key match (equal) or proof of absence (empty
+    /// or lower priority) — exactly where the scalar loop stops. Find
+    /// phases are quiescent, so the wide loads race with nothing and
+    /// the result is byte-identical to the scalar path.
+    fn find_repr_wide(&self, probe: u64, key_mask: u64) -> Option<u64> {
+        self.find_repr_wide_with(probe, key_mask, &|cells, start, end, thr| {
+            crate::simd::scan_le(cells, start, end, key_mask, thr)
+        })
+    }
+
+    /// [`find_repr_wide`] with the scan kernel abstracted out, so the
+    /// batch paths can bind a tier-specific kernel once per batch (and
+    /// have it inline into the whole prefetching loop) while the
+    /// single-key path keeps per-call dispatch. `scan` must implement
+    /// the [`scan_le`](crate::simd::scan_le) stop condition on
+    /// `(cells, start, end, threshold)`.
+    #[inline(always)]
+    fn find_repr_wide_with(
+        &self,
+        probe: u64,
+        key_mask: u64,
+        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+    ) -> Option<u64> {
+        let n = self.cells.len();
+        let home = self.slot(E::hash(probe));
+        let thr = probe & key_mask;
+        let (hit, lanes) = scan(&self.cells, home, n, thr);
+        let (hit, lanes) = match hit {
+            Some(_) => (hit, lanes),
+            None => {
+                let (wrapped, more) = scan(&self.cells, 0, home, thr);
+                (wrapped, lanes + more)
+            }
+        };
+        phc_obs::probe!(count SimdLanesScanned, lanes);
+        phc_obs::probe!(hist SimdLanesPerProbe, lanes);
+        match hit {
+            Some(j) => {
+                phc_obs::probe!(count FindProbeSteps, self.dist(home, j));
+                let c = self.cells[j].load(Ordering::Acquire);
+                if E::same_key(c, probe) {
+                    Some(c)
+                } else {
+                    None
+                }
+            }
+            None => {
+                // No cell anywhere is <= the probe: a (mis-used) full
+                // table of higher-priority keys, the scalar guard case.
+                phc_obs::probe!(count FindProbeSteps, n + 1);
+                None
+            }
+        }
+    }
+
     /// Deletes the entry whose key equals `key`'s key part (Figure 1,
     /// `DELETE`). A no-op if absent. Safe to call from any number of
     /// threads during a delete phase.
@@ -368,6 +626,42 @@ impl<E: HashEntry> DetHashTable<E> {
     /// [`insert_counted`](Self::insert_counted).
     pub fn delete_counted(&self, key: E) -> bool {
         self.delete_repr(key.to_repr())
+    }
+
+    /// Deletes a batch of keys with software prefetching of upcoming
+    /// home slots — the delete analogue of
+    /// [`insert_batch`](Self::insert_batch) /
+    /// [`find_batch`](Self::find_batch). Semantically identical to
+    /// deleting the keys one by one in slice order, and since the final
+    /// layout is history-independent, identical to any other deletion
+    /// of the same key set.
+    pub fn delete_batch(&self, keys: &[E]) {
+        use crate::batch::{prefetch_slot, PREFETCH_AHEAD};
+        let n = keys.len();
+        if n == 0 {
+            return;
+        }
+        for k in keys.iter().take(PREFETCH_AHEAD) {
+            prefetch_slot(&self.cells, self.slot(E::hash(k.to_repr())));
+        }
+        for i in 0..n {
+            if let Some(next) = keys.get(i + PREFETCH_AHEAD) {
+                prefetch_slot(&self.cells, self.slot(E::hash(next.to_repr())));
+            }
+            self.delete_repr(keys[i].to_repr());
+        }
+        phc_obs::probe!(count PrefetchBatches);
+        phc_obs::probe!(hist BatchSize, n);
+    }
+
+    /// Deletes a slice in parallel through the batched prefetching
+    /// path: scheduler chunks of [`phc_parutil::grain`] keys, each
+    /// processed by [`delete_batch`](Self::delete_batch). The final
+    /// layout equals that of any other deletion of the same set.
+    pub fn par_delete_batched(&self, keys: &[E]) {
+        use rayon::prelude::*;
+        keys.par_chunks(phc_parutil::grain())
+            .for_each(|chunk| self.delete_batch(chunk));
     }
 
     pub(crate) fn delete_repr(&self, probe: u64) -> bool {
@@ -430,16 +724,34 @@ impl<E: HashEntry> DetHashTable<E> {
     /// (or ⊥), and `j` is its (virtual) location.
     fn find_replacement(&self, i: usize) -> (usize, u64) {
         // Scan up past entries that hash strictly after `i` (those may
-        // not move back to `i`).
-        let mut j = i;
-        let mut v;
-        loop {
-            j += 1;
-            v = self.load_at(j);
-            if v == E::EMPTY || self.lift_hash(v, j) <= i {
-                break;
+        // not move back to `i`). The per-cell predicate hashes the
+        // entry, so it cannot be a vector compare; instead the loads
+        // come in wide windows ([`crate::simd::load_window`]) and the
+        // predicate runs on the buffered lanes. Each lane is a valid
+        // (non-torn) cell value, which is all this scan ever relied on:
+        // concurrent deletes can move the candidate down after *any*
+        // load, wide or scalar, and the downward re-scan below plus the
+        // caller's CAS already recover from that.
+        let n = self.cells.len();
+        let mut buf = [0u64; crate::simd::MAX_WINDOW];
+        let mut next = i + 1;
+        let (mut j, mut v) = 'up: loop {
+            let real = next & self.mask;
+            let k = crate::simd::load_window(
+                &self.cells,
+                real,
+                n.min(real + crate::simd::MAX_WINDOW),
+                &mut buf,
+            );
+            phc_obs::probe!(count SimdLanesScanned, k);
+            for (lane, &val) in buf[..k].iter().enumerate() {
+                let jj = next + lane;
+                if val == E::EMPTY || self.lift_hash(val, jj) <= i {
+                    break 'up (jj, val);
+                }
             }
-        }
+            next += k;
+        };
         // The candidate may have been shifted down by a concurrent
         // delete while we scanned; walk back down to find its current
         // position. (The paper notes this second, downward loop is
@@ -460,14 +772,16 @@ impl<E: HashEntry> DetHashTable<E> {
     /// `ELEMENTS`). Runs in parallel via a prefix sum, so the output is
     /// deterministic. Safe to call concurrently with finds.
     pub fn elements(&self) -> Vec<E> {
-        let packed = phc_parutil::pack_with(&self.cells, |c| {
-            let v = c.load(Ordering::Acquire);
-            if v == E::EMPTY {
-                None
-            } else {
-                Some(E::from_repr(v))
-            }
-        });
+        // Mask-based pack: the count pass popcounts wide-scan occupancy
+        // masks instead of testing cells one by one, and only the
+        // surviving cells are decoded. The offsets still come from the
+        // same deterministic prefix sum, so the output is identical to
+        // the per-cell path at every dispatch tier.
+        let packed = phc_parutil::pack_with_mask(
+            &self.cells,
+            |win| crate::simd::scan_nonempty_mask(win, E::EMPTY),
+            |c| E::from_repr(c.load(Ordering::Acquire)),
+        );
         phc_obs::probe!(hist PackSize, packed.len());
         packed
     }
@@ -482,11 +796,19 @@ impl<E: HashEntry> DetHashTable<E> {
     /// cells; with that guarantee the visit is exact.
     pub fn for_each_in_range(&self, range: std::ops::Range<usize>, mut f: impl FnMut(E)) {
         let end = range.end.min(self.cells.len());
-        for cell in &self.cells[range.start.min(end)..end] {
-            let v = cell.load(Ordering::Acquire);
-            if v != E::EMPTY {
-                f(E::from_repr(v));
+        let start = range.start.min(end);
+        // Wide occupancy mask per 64-cell window, then visit only the
+        // set bits (ascending, preserving cell order). The range is
+        // quiescent per the caller's contract, so the masks are exact.
+        let mut base = start;
+        for win in self.cells[start..end].chunks(64) {
+            let mut bits = crate::simd::scan_nonempty_mask(win, E::EMPTY);
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(E::from_repr(self.cells[base + j].load(Ordering::Acquire)));
             }
+            base += win.len();
         }
     }
 
@@ -508,12 +830,7 @@ impl<E: HashEntry> DetHashTable<E> {
 
     /// Number of occupied cells.
     pub fn len(&self) -> usize {
-        use rayon::prelude::*;
-        self.cells
-            .par_iter()
-            .with_min_len(4096)
-            .filter(|c| c.load(Ordering::Relaxed) != E::EMPTY)
-            .count()
+        crate::stats::occupied_len::<E>(&self.cells)
     }
 
     /// Whether the table is empty.
@@ -559,6 +876,16 @@ impl<E: HashEntry> ConcurrentDelete<E> for DetDeleter<'_, E> {
     #[inline]
     fn delete(&self, key: E) {
         self.0.delete(key);
+    }
+}
+impl<E: HashEntry> DetDeleter<'_, E> {
+    /// Batched prefetching delete (see [`DetHashTable::delete_batch`]).
+    pub fn delete_batch(&self, keys: &[E]) {
+        self.0.delete_batch(keys);
+    }
+    /// Parallel batched delete (see [`DetHashTable::par_delete_batched`]).
+    pub fn par_delete_batched(&self, keys: &[E]) {
+        self.0.par_delete_batched(keys);
     }
 }
 impl<E: HashEntry> ConcurrentRead<E> for DetReader<'_, E> {
@@ -827,6 +1154,27 @@ mod tests {
         let expect: Vec<Option<U64Key>> = probes.iter().map(|&k| t.find(k)).collect();
         assert_eq!(t.find_batch(&probes), expect);
         assert_eq!(t.par_find_batched(&probes), expect);
+    }
+
+    #[test]
+    fn batched_delete_matches_per_element_snapshot() {
+        let keys: Vec<U64Key> = (1..=4000u64)
+            .map(|i| U64Key::new(phc_parutil::hash64(i) | 1))
+            .collect();
+        let (dels, _) = keys.split_at(2500);
+        let expect: DetHashTable<U64Key> = DetHashTable::new_pow2(13);
+        expect.insert_batch(&keys);
+        for &k in dels {
+            expect.delete(k);
+        }
+        let batched: DetHashTable<U64Key> = DetHashTable::new_pow2(13);
+        batched.insert_batch(&keys);
+        batched.delete_batch(dels);
+        assert_eq!(batched.snapshot(), expect.snapshot());
+        let par: DetHashTable<U64Key> = DetHashTable::new_pow2(13);
+        par.insert_batch(&keys);
+        par.par_delete_batched(dels);
+        assert_eq!(par.snapshot(), expect.snapshot());
     }
 
     #[test]

@@ -44,6 +44,21 @@ pub trait HashEntry: Copy + Eq + Send + Sync + std::fmt::Debug {
     /// must never carry into key bits.
     const VALUE_MASK: u64 = 0;
 
+    /// When `Some(mask)`, declares that this entry type's key semantics
+    /// are a pure function of the masked representation, enabling the
+    /// wide-scan (SIMD) probe paths in [`crate::simd`]:
+    ///
+    /// * `same_key(a, b)  ⇔  a & mask == b & mask` for non-empty `a`,
+    ///   `b`, and `EMPTY & mask` differs from every non-empty masked
+    ///   repr;
+    /// * `cmp_priority(a, b) == (a & mask).cmp(&(b & mask))` as
+    ///   **unsigned** integers (so `EMPTY` masks to the smallest value).
+    ///
+    /// Entry types whose key lives behind a pointer (e.g.
+    /// [`StrRef`]) cannot satisfy this and keep the default `None`,
+    /// which routes every probe through the scalar paths.
+    const SIMD_KEY_MASK: Option<u64> = None;
+
     /// Encodes the entry. Must differ from `EMPTY`.
     fn to_repr(self) -> u64;
 
@@ -87,6 +102,9 @@ impl U64Key {
 
 impl HashEntry for U64Key {
     const EMPTY: u64 = 0;
+    // The repr *is* the key: raw equality and unsigned numeric order
+    // coincide with `same_key` / `cmp_priority`, with `⊥ = 0` lowest.
+    const SIMD_KEY_MASK: Option<u64> = Some(u64::MAX);
 
     #[inline]
     fn to_repr(self) -> u64 {
@@ -190,6 +208,10 @@ impl<C: Combine> KvPair<C> {
 impl<C: Combine> HashEntry for KvPair<C> {
     const EMPTY: u64 = 0;
     const VALUE_MASK: u64 = 0xFFFF_FFFF;
+    // The key occupies the high half, so the masked repr is `key << 32`:
+    // masked equality is key equality and unsigned masked order is the
+    // key order used by `cmp_priority`, with `⊥ = 0` masking lowest.
+    const SIMD_KEY_MASK: Option<u64> = Some(0xFFFF_FFFF_0000_0000);
 
     #[inline]
     fn to_repr(self) -> u64 {

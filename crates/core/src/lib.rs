@@ -37,6 +37,7 @@ pub mod priority_write;
 pub mod resize;
 pub mod rooms;
 pub mod serial;
+pub mod simd;
 pub mod stats;
 
 pub use chained::ChainedHashTable;
@@ -56,3 +57,4 @@ pub use priority_write::{
 pub use resize::{ResizableTable, StwResizableTable};
 pub use rooms::{AutoPhaseGrowTable, AutoPhaseTable, Room, RoomSync};
 pub use serial::{SerialHashHD, SerialHashHI};
+pub use simd::SimdTier;

@@ -99,6 +99,12 @@ impl<E: HashEntry> NdHashTable<E> {
     pub fn insert(&self, e: E) {
         let v = e.to_repr();
         nd_phase_check!(v);
+        if crate::simd::tier() != crate::simd::SimdTier::Scalar {
+            if let Some(key_mask) = E::SIMD_KEY_MASK {
+                return self.insert_wide(v, key_mask);
+            }
+            phc_obs::probe!(count SimdFallbacks);
+        }
         let mut i = self.slot(E::hash(v));
         let mut steps = 0usize;
         let mut cas_fails = 0usize;
@@ -139,6 +145,98 @@ impl<E: HashEntry> NdHashTable<E> {
         phc_obs::probe!(count InsertCasFail, cas_fails);
         phc_obs::probe!(hist ProbeLen, steps);
         phc_obs::probe!(hist CasRetries, cas_fails);
+    }
+
+    /// Wide-scan first-fit insert: [`crate::simd::scan_for_key`] skips
+    /// occupied cells holding other keys in one compare per lane, then
+    /// the candidate (an empty cell or this key) is confirmed by the
+    /// scalar path's atomic load + CAS. Skipping is sound because in an
+    /// ND insert phase a cell never returns to empty and its key never
+    /// changes once set; a candidate that was grabbed by a concurrent
+    /// insert between scan and confirm is a counted misspeculation
+    /// that re-scans from the next cell — as the scalar loop would.
+    fn insert_wide(&self, v: u64, key_mask: u64) {
+        let n = self.cells.len();
+        let mut i = self.slot(E::hash(v));
+        let mut steps = 0usize;
+        let mut cas_fails = 0usize;
+        let mut lanes_total = 0usize;
+        let mut misspecs = 0usize;
+        'done: loop {
+            // Fast path: at moderate loads the cell under the cursor
+            // is usually empty or holds the key already — peek it
+            // scalar before paying for the wide-scan setup.
+            let peek = self.cells[i].load(Ordering::Acquire);
+            let j = if peek == E::EMPTY || (peek & key_mask) == (v & key_mask) {
+                lanes_total += 1;
+                i
+            } else {
+                let (hit, lanes) =
+                    crate::simd::scan_for_key(&self.cells, i, n, E::EMPTY, key_mask, v);
+                let (hit, lanes) = match hit {
+                    Some(_) => (hit, lanes),
+                    None => {
+                        let (wrapped, more) =
+                            crate::simd::scan_for_key(&self.cells, 0, i, E::EMPTY, key_mask, v);
+                        (wrapped, lanes + more)
+                    }
+                };
+                lanes_total += lanes;
+                match hit {
+                    Some(j) => j,
+                    None => {
+                        // No empty cell and no copy of this key anywhere.
+                        panic!("NdHashTable::insert: table is full");
+                    }
+                }
+            };
+            steps += self.dist(i, j);
+            assert!(steps <= n, "NdHashTable::insert: table is full");
+            i = j;
+            // Per-cell atomic confirm — the scalar probe body pinned at
+            // the candidate cell.
+            loop {
+                let c = self.cells[i].load(Ordering::Acquire);
+                if c == E::EMPTY {
+                    if self.cells[i]
+                        .compare_exchange(E::EMPTY, v, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        break 'done;
+                    }
+                    cas_fails += 1;
+                    continue; // lost the race; re-read this cell
+                }
+                if E::same_key(c, v) {
+                    let merged = E::combine(c, v);
+                    if merged == c {
+                        break 'done;
+                    }
+                    if self.cells[i]
+                        .compare_exchange(c, merged, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        break 'done;
+                    }
+                    cas_fails += 1;
+                    continue;
+                }
+                // Misspeculation: a concurrent insert claimed the cell
+                // for another key after the wide scan sampled it.
+                misspecs += 1;
+                i = (i + 1) & self.mask;
+                steps += 1;
+                assert!(steps <= n, "NdHashTable::insert: table is full");
+                continue 'done;
+            }
+        }
+        phc_obs::probe!(count ProbeSteps, steps);
+        phc_obs::probe!(count InsertCasFail, cas_fails);
+        phc_obs::probe!(count SimdLanesScanned, lanes_total);
+        phc_obs::probe!(count SimdMisspeculations, misspecs);
+        phc_obs::probe!(hist ProbeLen, steps);
+        phc_obs::probe!(hist CasRetries, cas_fails);
+        phc_obs::probe!(hist SimdLanesPerProbe, lanes_total);
     }
 
     /// Inserts a batch of entries with software prefetching of
@@ -212,6 +310,12 @@ impl<E: HashEntry> NdHashTable<E> {
     pub fn find(&self, key: E) -> Option<E> {
         let probe = key.to_repr();
         nd_phase_check!(probe);
+        if crate::simd::tier() != crate::simd::SimdTier::Scalar {
+            if let Some(key_mask) = E::SIMD_KEY_MASK {
+                return self.find_wide(probe, key_mask);
+            }
+            phc_obs::probe!(count SimdFallbacks);
+        }
         let mut i = self.slot(E::hash(probe));
         let mut steps = 0usize;
         let result = 'scan: {
@@ -230,6 +334,43 @@ impl<E: HashEntry> NdHashTable<E> {
         };
         phc_obs::probe!(count FindProbeSteps, steps);
         result
+    }
+
+    /// Wide-scan find: the first-fit probe stops at the first empty
+    /// cell or copy of the key — exactly [`crate::simd::scan_for_key`].
+    /// Find phases are quiescent, so the result is byte-identical to
+    /// the scalar loop at every tier.
+    fn find_wide(&self, probe: u64, key_mask: u64) -> Option<E> {
+        let n = self.cells.len();
+        let home = self.slot(E::hash(probe));
+        let (hit, lanes) =
+            crate::simd::scan_for_key(&self.cells, home, n, E::EMPTY, key_mask, probe);
+        let (hit, lanes) = match hit {
+            Some(_) => (hit, lanes),
+            None => {
+                let (wrapped, more) =
+                    crate::simd::scan_for_key(&self.cells, 0, home, E::EMPTY, key_mask, probe);
+                (wrapped, lanes + more)
+            }
+        };
+        phc_obs::probe!(count SimdLanesScanned, lanes);
+        phc_obs::probe!(hist SimdLanesPerProbe, lanes);
+        match hit {
+            Some(j) => {
+                phc_obs::probe!(count FindProbeSteps, self.dist(home, j));
+                let c = self.cells[j].load(Ordering::Acquire);
+                if c == E::EMPTY {
+                    None
+                } else {
+                    Some(E::from_repr(c))
+                }
+            }
+            None => {
+                // Full table without the key (the scalar guard case).
+                phc_obs::probe!(count FindProbeSteps, n + 1);
+                None
+            }
+        }
     }
 
     /// Looks up a batch of keys with software prefetching, returning
@@ -268,15 +409,22 @@ impl<E: HashEntry> NdHashTable<E> {
         // Walk to the end of the cluster (first empty cell) so the
         // downward scan starts at-or-past the rightmost copy of the key
         // — the same structure as the deterministic table's delete,
-        // whose copy-counting proof carries over.
-        let mut i = m + self.slot(E::hash(probe));
-        let mut k = i;
-        for _ in 0..m {
-            if self.load_at(k) == E::EMPTY {
-                break;
-            }
-            k += 1;
-        }
+        // whose copy-counting proof carries over. The walk is one wide
+        // empty-scan: in a delete phase cells never go back from empty
+        // to occupied, so a racy "occupied" lane is as valid here as
+        // the scalar loop's one-shot racy read, and the downward loop
+        // revalidates every cell it acts on anyway.
+        let home = self.slot(E::hash(probe));
+        let mut i = m + home;
+        let (hit, _) = crate::simd::scan_for_empty(&self.cells, home, m, E::EMPTY);
+        let hit = match hit {
+            Some(_) => hit,
+            None => crate::simd::scan_for_empty(&self.cells, 0, home, E::EMPTY).0,
+        };
+        let mut k = match hit {
+            Some(j) => i + self.dist(home, j),
+            None => i + m, // no empty cell: scan the whole wrap
+        };
         k = k.saturating_sub(1).max(i);
         let mut v = probe;
         let mut steps = 0usize;
@@ -303,6 +451,39 @@ impl<E: HashEntry> NdHashTable<E> {
             }
         }
         phc_obs::probe!(count DeleteProbeSteps, steps);
+    }
+
+    /// Deletes a batch of keys with software prefetching of upcoming
+    /// home slots — the delete analogue of
+    /// [`insert_batch`](Self::insert_batch). Semantically identical to
+    /// deleting the keys one by one in slice order.
+    pub fn delete_batch(&self, keys: &[E]) {
+        use crate::batch::{prefetch_slot, PREFETCH_AHEAD};
+        let n = keys.len();
+        if n == 0 {
+            return;
+        }
+        for k in keys.iter().take(PREFETCH_AHEAD) {
+            prefetch_slot(&self.cells, self.slot(E::hash(k.to_repr())));
+        }
+        for i in 0..n {
+            if let Some(next) = keys.get(i + PREFETCH_AHEAD) {
+                prefetch_slot(&self.cells, self.slot(E::hash(next.to_repr())));
+            }
+            self.delete(keys[i]);
+        }
+        phc_obs::probe!(count PrefetchBatches);
+        phc_obs::probe!(hist BatchSize, n);
+    }
+
+    /// Deletes a slice in parallel through the batched prefetching
+    /// path (cf. [`DetHashTable::par_delete_batched`](crate::DetHashTable::par_delete_batched)).
+    /// Unlike the deterministic table's, the surviving *layout* depends
+    /// on delete interleaving; the surviving *key set* does not.
+    pub fn par_delete_batched(&self, keys: &[E]) {
+        use rayon::prelude::*;
+        keys.par_chunks(phc_parutil::grain())
+            .for_each(|chunk| self.delete_batch(chunk));
     }
 
     #[inline]
@@ -338,14 +519,13 @@ impl<E: HashEntry> NdHashTable<E> {
     /// Packs the non-empty cells in cell order (parallel). The order is
     /// *not* history-independent for this table.
     pub fn elements(&self) -> Vec<E> {
-        phc_parutil::pack_with(&self.cells, |c| {
-            let v = c.load(Ordering::Acquire);
-            if v == E::EMPTY {
-                None
-            } else {
-                Some(E::from_repr(v))
-            }
-        })
+        // Mask-based pack (see
+        // [`DetHashTable::elements`](crate::DetHashTable::elements)).
+        phc_parutil::pack_with_mask(
+            &self.cells,
+            |win| crate::simd::scan_nonempty_mask(win, E::EMPTY),
+            |c| E::from_repr(c.load(Ordering::Acquire)),
+        )
     }
 
     /// Applies `f` to every stored entry in parallel without packing
@@ -362,12 +542,7 @@ impl<E: HashEntry> NdHashTable<E> {
 
     /// Number of occupied cells.
     pub fn len(&self) -> usize {
-        use rayon::prelude::*;
-        self.cells
-            .par_iter()
-            .with_min_len(4096)
-            .filter(|c| c.load(Ordering::Relaxed) != E::EMPTY)
-            .count()
+        crate::stats::occupied_len::<E>(&self.cells)
     }
 
     /// Whether the table is empty.
@@ -393,6 +568,16 @@ impl<E: HashEntry> ConcurrentDelete<E> for NdDeleter<'_, E> {
     #[inline]
     fn delete(&self, key: E) {
         self.0.delete(key);
+    }
+}
+impl<E: HashEntry> NdDeleter<'_, E> {
+    /// Batched prefetching delete (see [`NdHashTable::delete_batch`]).
+    pub fn delete_batch(&self, keys: &[E]) {
+        self.0.delete_batch(keys);
+    }
+    /// Parallel batched delete (see [`NdHashTable::par_delete_batched`]).
+    pub fn par_delete_batched(&self, keys: &[E]) {
+        self.0.par_delete_batched(keys);
     }
 }
 impl<E: HashEntry> ConcurrentRead<E> for NdReader<'_, E> {
@@ -485,6 +670,31 @@ mod tests {
         let expect: Vec<Option<U64Key>> = probes.iter().map(|&k| seq.find(k)).collect();
         assert_eq!(batched.find_batch(&probes), expect);
         assert_eq!(batched.snapshot(), seq.snapshot());
+    }
+
+    #[test]
+    fn batched_delete_matches_per_element() {
+        let keys: Vec<U64Key> = (1..=2000u64)
+            .map(|i| U64Key::new(phc_parutil::hash64(i) | 1))
+            .collect();
+        let (dels, keeps) = keys.split_at(1200);
+        let expect: NdHashTable<U64Key> = NdHashTable::new_pow2(12);
+        expect.insert_batch(&keys);
+        for &k in dels {
+            expect.delete(k);
+        }
+        let batched: NdHashTable<U64Key> = NdHashTable::new_pow2(12);
+        batched.insert_batch(&keys);
+        batched.delete_batch(dels);
+        // Same sequential delete order ⇒ identical layout here; the
+        // parallel path guarantees only the surviving key set.
+        assert_eq!(batched.snapshot(), expect.snapshot());
+        let par: NdHashTable<U64Key> = NdHashTable::new_pow2(12);
+        par.insert_batch(&keys);
+        par.par_delete_batched(dels);
+        let got: BTreeSet<u64> = par.elements().iter().map(|k| k.0).collect();
+        let want: BTreeSet<u64> = keeps.iter().map(|k| k.0).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

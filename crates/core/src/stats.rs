@@ -8,7 +8,28 @@
 //! tests and ablation benches can assert the mechanism, not just the
 //! wall-clock symptom.
 
+use std::sync::atomic::AtomicU64;
+
 use crate::entry::HashEntry;
+
+/// Number of occupied cells in a live cell array: the single occupancy
+/// counter behind every open-addressing table's `len()`. Parallel over
+/// blocks; each block popcounts the wide-scan occupancy masks of its
+/// 64-cell windows ([`crate::simd::scan_nonempty_mask`]), so at the
+/// SSE2/AVX2 tiers the count never materializes per-cell booleans.
+/// Quiescent use only (like `len()` always was).
+pub fn occupied_len<E: HashEntry>(cells: &[AtomicU64]) -> usize {
+    use rayon::prelude::*;
+    cells
+        .par_chunks(4096)
+        .map(|block| {
+            block
+                .chunks(64)
+                .map(|w| crate::simd::scan_nonempty_mask(w, E::EMPTY).count_ones() as usize)
+                .sum::<usize>()
+        })
+        .sum()
+}
 
 /// Whether a raw cell holds an entry. This is the single definition of
 /// "occupied" for snapshot analysis: `E::EMPTY` is an entry-type

@@ -104,6 +104,14 @@ define_ids! {
         SchedStealAttempts => "sched_steal_attempts",
         /// Prefetched batches processed by the batched table paths.
         PrefetchBatches => "prefetch_batches",
+        /// Cell lanes examined by the wide-scan (SIMD) probe paths.
+        SimdLanesScanned => "simd_lanes_scanned",
+        /// Operations that declined the wide path (entry type without a
+        /// SIMD key mask, or a forced tier unavailable on this CPU).
+        SimdFallbacks => "simd_fallbacks",
+        /// Speculative wide-scan candidates invalidated by a concurrent
+        /// writer before the per-cell atomic confirm.
+        SimdMisspeculations => "simd_misspeculations",
     }
 }
 
@@ -120,6 +128,8 @@ define_ids! {
         SchedChunksPerWorker => "sched_chunks_per_worker",
         /// Batch sizes fed to the prefetching insert/find paths.
         BatchSize => "batch_size",
+        /// Cell lanes examined per wide-scan probe (find or insert).
+        SimdLanesPerProbe => "simd_lanes_per_probe",
     }
 }
 

@@ -127,6 +127,98 @@ where
     out
 }
 
+/// Packs `decode(x)` for every element whose bit is set in the
+/// occupancy masks produced by `mask_of`, preserving index order.
+///
+/// This is the wide-scan (SIMD) counterpart of [`pack_with`]: instead
+/// of evaluating a per-element predicate, the count pass asks `mask_of`
+/// for a **bitmask per window of up to 64 elements** (bit `j` set ⇔
+/// `window[j]` survives) — the shape produced by
+/// `phc_core::simd::scan_nonempty_mask` — and popcounts it. The masks
+/// are computed once, kept per block, and the write pass decodes just
+/// the set bits into each block's disjoint output range, so `decode`
+/// runs exactly once per survivor and never on a dropped element.
+///
+/// Like [`pack_with`], the output is a pure function of the input:
+/// offsets come from a deterministic prefix sum over the per-block
+/// popcounts, independent of thread count or scheduling.
+pub fn pack_with_mask<T, U, M, F>(input: &[T], mask_of: M, decode: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    M: Fn(&[T]) -> u64 + Send + Sync,
+    F: Fn(&T) -> U + Send + Sync,
+{
+    pack_with_mask_impl(input, mask_of, |_, x| decode(x))
+}
+
+/// Returns the indices of the set bits of the occupancy masks produced
+/// by `mask_of`, in ascending order — the index-only counterpart of
+/// [`pack_with_mask`] (cf. [`pack_index`]).
+pub fn pack_index_with_mask<T, M>(input: &[T], mask_of: M) -> Vec<usize>
+where
+    T: Sync,
+    M: Fn(&[T]) -> u64 + Send + Sync,
+{
+    pack_with_mask_impl(input, mask_of, |i, _| i)
+}
+
+/// Shared engine: packs `decode(index, element)` for each set bit of
+/// the per-window masks, in ascending index order.
+fn pack_with_mask_impl<T, U, M, F>(input: &[T], mask_of: M, decode: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    M: Fn(&[T]) -> u64 + Send + Sync,
+    F: Fn(usize, &T) -> U + Send + Sync,
+{
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let block = grain().next_multiple_of(64);
+    let blocks: Vec<(usize, Vec<u64>)> = input
+        .par_chunks(block)
+        .enumerate()
+        .map(|(b, chunk)| (b * block, chunk.chunks(64).map(&mask_of).collect()))
+        .collect();
+    let counts: Vec<usize> = blocks
+        .iter()
+        .map(|(_, masks)| masks.iter().map(|m| m.count_ones() as usize).sum())
+        .collect();
+    let (offsets, total) = scan_exclusive(&counts);
+    let mut out: Vec<U> = Vec::with_capacity(total);
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(total);
+    }
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    blocks
+        .par_iter()
+        .zip(offsets.par_iter())
+        .for_each(|((base, masks), &offset)| {
+            #[allow(clippy::redundant_locals)]
+            let out_ptr = out_ptr;
+            let mut cursor = offset;
+            for (w, &m) in masks.iter().enumerate() {
+                let win_base = base + w * 64;
+                let mut bits = m;
+                while bits != 0 {
+                    let j = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let idx = win_base + j;
+                    // SAFETY: disjoint range per block (see
+                    // `pack_with_mask`).
+                    unsafe {
+                        out_ptr.0.add(cursor).write(decode(idx, &input[idx]));
+                    }
+                    cursor += 1;
+                }
+            }
+        });
+    out
+}
+
 /// A raw pointer wrapper that asserts cross-thread transferability.
 ///
 /// Sound only because each thread writes a disjoint range (guaranteed by
@@ -231,6 +323,43 @@ mod tests {
         let before = DROPS.load(Ordering::Relaxed);
         drop(out);
         assert_eq!(DROPS.load(Ordering::Relaxed) - before, 5_000);
+    }
+
+    /// Reference mask closure: bit j set ⇔ window[j] is odd.
+    fn odd_mask(win: &[u64]) -> u64 {
+        win.iter()
+            .enumerate()
+            .fold(0, |m, (j, &x)| m | (u64::from(x % 2 == 1) << j))
+    }
+
+    #[test]
+    fn pack_with_mask_matches_pack_with() {
+        for n in [0usize, 1, 63, 64, 65, 4096, 100_000] {
+            let input: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+            let expect = pack_with(&input, |&x| (x % 2 == 1).then_some(x * 3));
+            let got = pack_with_mask(&input, odd_mask, |&x| x * 3);
+            assert_eq!(got, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn pack_index_with_mask_matches_pack_index() {
+        let input: Vec<u64> = (0..70_000u64).map(|i| i.wrapping_mul(31)).collect();
+        let expect = pack_index(&input, |&x| x % 2 == 1);
+        assert_eq!(pack_index_with_mask(&input, odd_mask), expect);
+    }
+
+    #[test]
+    fn pack_with_mask_decodes_survivors_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let input: Vec<u64> = (0..50_000).collect();
+        let calls = AtomicUsize::new(0);
+        let out = pack_with_mask(&input, odd_mask, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 25_000);
+        assert_eq!(calls.load(Ordering::Relaxed), 25_000);
     }
 
     #[test]
