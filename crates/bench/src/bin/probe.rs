@@ -1,26 +1,39 @@
 //! Probe-layer benchmark: scalar vs SIMD scanning on the
-//! deterministic linear-probing table (`linearHash-D`).
+//! deterministic linear-probing table (`linearHash-D`) and on the
+//! SIMD-native Robin Hood contender (`robinHood`).
 //!
 //! For each load factor (1/3, 1/2, 3/4 of a 2^`--log2` cell table) and
 //! thread count (1, 2, 8), measures find / insert / elements
-//! throughput twice: once with the dispatch pinned to the scalar
-//! reference loops (`SimdTier::Scalar`) and once with the widest tier
-//! the host supports (the `PHC_SIMD` auto default). The table layout
-//! is history-independent, so both configurations probe byte-identical
-//! cell arrays — the comparison isolates the scanning kernels.
+//! throughput twice per table: once with the dispatch pinned to the
+//! scalar reference loops (`SimdTier::Scalar`) and once with the
+//! widest tier the host supports (the `PHC_SIMD` auto default). Both
+//! layouts are history-independent, so each pair of configurations
+//! probes byte-identical cell arrays — the comparison isolates the
+//! scanning kernels. Comparing the two tables' rows against each other
+//! (same loads, same keys) is the det-vs-robinHood contender ablation.
 //!
 //! The find workload interleaves present and absent keys 50/50:
 //! unsuccessful searches scan to the end of a cluster, which is where
 //! wide scanning pays most, and successful ones pin the common case.
 //!
+//! The insert workload times inserts *at* the labeled load: each rep
+//! prefills a fresh table (untimed) with two thirds of the keys and
+//! times only the final third, so the measured ops probe clusters of
+//! the labeled density instead of averaging over the whole fill from
+//! empty (which is dominated by short early-fill probes).
+//!
 //! Run with `--json FILE` to dump the report envelope (meta + obs
-//! snapshot + reports); CI's bench smoke and `BENCH_PR5.json` use
-//! `--json BENCH_PR5.json`.
+//! snapshot + six reports: find/insert/elements × det/robinHood).
+//! With `--features obs` the envelope's obs snapshot carries the
+//! wide-path counters (`simd_redispatches`, `simd_misspeculations`,
+//! `robinhood_shifts`) and both displacement histograms (`probe_len`
+//! for det homes, `rh_displacement` for complement-homes). CI's bench
+//! smoke and `BENCH_PR6.json` use `--json BENCH_PR6.json`.
 
 use phc_bench::{arg_or_env, datasets, report, Report};
 use phc_core::entry::U64Key;
 use phc_core::simd::{set_tier, tier, SimdTier};
-use phc_core::DetHashTable;
+use phc_core::{DetHashTable, RobinHoodHashTable};
 use phc_parutil::with_pool;
 use rayon::prelude::*;
 
@@ -47,6 +60,159 @@ struct LoadCase {
     entries: Vec<U64Key>,
     /// 50/50 present/absent probe mix, `n` keys total.
     probes: Vec<U64Key>,
+}
+
+/// The shared benchmark surface of the two contenders. Both tables
+/// expose identical batched production paths; this local trait only
+/// exists so one measurement loop drives both.
+trait BenchTable: Sync + Sized {
+    const LABEL: &'static str;
+    fn build(log2: u32) -> Self;
+    fn bulk_insert(&self, entries: &[U64Key]);
+    fn bulk_find(&self, probes: &[U64Key]) -> usize;
+    fn elements_len(&self) -> usize;
+    /// Mirrors the quiescent displacement distribution into the obs
+    /// histograms (no-op without `--features obs`).
+    fn record_displacements(&self);
+}
+
+impl BenchTable for DetHashTable<U64Key> {
+    const LABEL: &'static str = "linearHash-D";
+    fn build(log2: u32) -> Self {
+        DetHashTable::new_pow2(log2)
+    }
+    fn bulk_insert(&self, entries: &[U64Key]) {
+        self.par_insert_batched(entries);
+    }
+    fn bulk_find(&self, probes: &[U64Key]) -> usize {
+        probes
+            .par_chunks(2048)
+            .map(|c| self.find_batch(c).iter().flatten().count())
+            .sum()
+    }
+    fn elements_len(&self) -> usize {
+        self.elements().len()
+    }
+    fn record_displacements(&self) {
+        phc_core::stats::record_probe_histogram::<U64Key>(&self.snapshot());
+    }
+}
+
+impl BenchTable for RobinHoodHashTable<U64Key> {
+    const LABEL: &'static str = "robinHood";
+    fn build(log2: u32) -> Self {
+        RobinHoodHashTable::new_pow2(log2)
+    }
+    fn bulk_insert(&self, entries: &[U64Key]) {
+        self.par_insert_batched(entries);
+    }
+    fn bulk_find(&self, probes: &[U64Key]) -> usize {
+        probes
+            .par_chunks(2048)
+            .map(|c| self.find_batch(c).iter().flatten().count())
+            .sum()
+    }
+    fn elements_len(&self) -> usize {
+        self.elements().len()
+    }
+    fn record_displacements(&self) {
+        self.record_displacement_histogram();
+    }
+}
+
+/// Runs the full load × thread × tier sweep for one table kind,
+/// returning `[find, insert, elements]` reports.
+fn sweep<T: BenchTable>(
+    cases: &[LoadCase],
+    log2: u32,
+    reps: usize,
+    threads: &[usize],
+) -> [Report; 3] {
+    let cols = ["scalar Mops", "simd Mops", "speedup"];
+    let name = T::LABEL;
+    let mut find = Report::new(format!("Find throughput ({name}), 2^{log2} cells"), &cols);
+    let mut insert = Report::new(format!("Insert throughput ({name}), 2^{log2} cells"), &cols);
+    let mut elements = Report::new(
+        format!("Elements throughput ({name}), 2^{log2} cells"),
+        &cols,
+    );
+
+    for case in cases {
+        // One prebuilt table per load: history independence makes the
+        // layout identical no matter which tier built it.
+        let table = T::build(log2);
+        table.bulk_insert(&case.entries);
+        table.record_displacements();
+
+        // Insert is measured *at* the labeled load, not on the way to
+        // it: each rep gets a table prefilled (untimed) with the first
+        // two thirds of the keys, and the timed region inserts the
+        // final third — the ops that actually land in clusters of the
+        // labeled density.
+        let split = case.entries.len() * 2 / 3;
+        let (base, tail) = case.entries.split_at(split);
+
+        for &t in threads {
+            let by_tier = |pin: Option<SimdTier>| {
+                set_tier(pin);
+                let r = with_pool(t, |pool| {
+                    let f = secs(reps, || {
+                        // The production bulk-lookup path: batched
+                        // finds with software prefetching.
+                        pool.install(|| table.bulk_find(&case.probes))
+                    });
+                    // Pre-allocating the per-rep tables also keeps
+                    // page-faulting the fresh zeroed array out of the
+                    // timing (it costs the same in both tiers and only
+                    // dilutes the comparison).
+                    let mut prefilled: Vec<T> = (0..reps)
+                        .map(|_| {
+                            let fresh = T::build(log2);
+                            pool.install(|| fresh.bulk_insert(base));
+                            fresh
+                        })
+                        .collect();
+                    let i = secs(reps, || {
+                        let fresh = prefilled.pop().expect("one table per rep");
+                        pool.install(|| fresh.bulk_insert(tail));
+                        tail.len()
+                    });
+                    let e = secs(reps, || pool.install(|| table.elements_len()));
+                    (f, i, e)
+                });
+                set_tier(None);
+                r
+            };
+            let (sf, si, se) = by_tier(Some(SimdTier::Scalar));
+            let (wf, wi, we) = by_tier(None);
+            let label = format!("load={} T={t}", case.label);
+            find.push(
+                label.clone(),
+                vec![
+                    Some(mops(case.probes.len(), sf)),
+                    Some(mops(case.probes.len(), wf)),
+                    Some(sf / wf),
+                ],
+            );
+            insert.push(
+                label.clone(),
+                vec![
+                    Some(mops(tail.len(), si)),
+                    Some(mops(tail.len(), wi)),
+                    Some(si / wi),
+                ],
+            );
+            elements.push(
+                label,
+                vec![
+                    Some(mops(case.n, se)),
+                    Some(mops(case.n, we)),
+                    Some(se / we),
+                ],
+            );
+        }
+    }
+    [find, insert, elements]
 }
 
 fn main() {
@@ -82,75 +248,12 @@ fn main() {
         })
         .collect();
 
-    let cols = ["scalar Mops", "simd Mops", "speedup"];
-    let mut find = Report::new(format!("Find throughput, 2^{log2} cells"), &cols);
-    let mut insert = Report::new(format!("Insert throughput, 2^{log2} cells"), &cols);
-    let mut elements = Report::new(format!("Elements throughput, 2^{log2} cells"), &cols);
+    let det = sweep::<DetHashTable<U64Key>>(&cases, log2, reps, &threads);
+    let rh = sweep::<RobinHoodHashTable<U64Key>>(&cases, log2, reps, &threads);
 
-    for case in &cases {
-        // One prebuilt table per load: history independence makes the
-        // layout identical no matter which tier built it.
-        let table: DetHashTable<U64Key> = DetHashTable::new_pow2(log2);
-        table.par_insert_batched(&case.entries);
-
-        for &t in &threads {
-            let by_tier = |pin: Option<SimdTier>| {
-                set_tier(pin);
-                let r = with_pool(t, |pool| {
-                    let f = secs(reps, || {
-                        pool.install(|| {
-                            // The production bulk-lookup path: batched
-                            // finds with software prefetching.
-                            case.probes
-                                .par_chunks(2048)
-                                .map(|c| table.find_batch(c).iter().flatten().count())
-                                .sum::<usize>()
-                        })
-                    });
-                    let i = secs(reps, || {
-                        let fresh: DetHashTable<U64Key> = DetHashTable::new_pow2(log2);
-                        pool.install(|| fresh.par_insert_batched(&case.entries));
-                        fresh.capacity()
-                    });
-                    let e = secs(reps, || pool.install(|| table.elements().len()));
-                    (f, i, e)
-                });
-                set_tier(None);
-                r
-            };
-            let (sf, si, se) = by_tier(Some(SimdTier::Scalar));
-            let (wf, wi, we) = by_tier(None);
-            let label = format!("load={} T={t}", case.label);
-            find.push(
-                label.clone(),
-                vec![
-                    Some(mops(case.probes.len(), sf)),
-                    Some(mops(case.probes.len(), wf)),
-                    Some(sf / wf),
-                ],
-            );
-            insert.push(
-                label.clone(),
-                vec![
-                    Some(mops(case.n, si)),
-                    Some(mops(case.n, wi)),
-                    Some(si / wi),
-                ],
-            );
-            elements.push(
-                label,
-                vec![
-                    Some(mops(case.n, se)),
-                    Some(mops(case.n, we)),
-                    Some(se / we),
-                ],
-            );
-        }
+    for r in det.iter().chain(rh.iter()) {
+        r.print();
     }
-
-    find.print();
-    insert.print();
-    elements.print();
     println!(
         "(speedup = scalar seconds / simd seconds; simd tier = {})\n",
         wide.name()
@@ -160,8 +263,10 @@ fn main() {
         let path = args
             .get(pos + 1)
             .map(String::as_str)
-            .unwrap_or("BENCH_PR5.json");
-        report::write_json(path, &[find, insert, elements]).expect("failed to write JSON");
+            .unwrap_or("BENCH_PR6.json");
+        let [df, di, de] = det;
+        let [rf, ri, re] = rh;
+        report::write_json(path, &[df, di, de, rf, ri, re]).expect("failed to write JSON");
         println!("wrote {path}");
     }
 }

@@ -21,6 +21,29 @@ use std::sync::atomic::AtomicU64;
 /// prefetched lines are still resident when their probe starts.
 pub const PREFETCH_AHEAD: usize = 8;
 
+/// Insert prefetch distance when more than one pool worker is active.
+/// Writers dirty the lines they prefetch, so a deep lookahead under
+/// concurrency keeps pulling lines that another writer is about to
+/// steal back (and competes with the hardware prefetcher for the same
+/// fill buffers); a shallow pipeline keeps only the next miss or two in
+/// flight.
+const INSERT_PREFETCH_AHEAD_MT: usize = 2;
+
+/// Prefetch distance for the batched **insert** paths: the full
+/// [`PREFETCH_AHEAD`] pipeline on a single-worker pool, clamped to
+/// [`INSERT_PREFETCH_AHEAD_MT`] when the current rayon pool runs more
+/// than one worker (T≥2). Find batches keep the deep pipeline — reads
+/// never invalidate each other's lines. Purely a performance hint; the
+/// distance never changes which cells are read or written.
+#[inline]
+pub fn insert_prefetch_ahead() -> usize {
+    if rayon::current_num_threads() > 1 {
+        INSERT_PREFETCH_AHEAD_MT
+    } else {
+        PREFETCH_AHEAD
+    }
+}
+
 /// Hints the memory system to pull `cells[idx]`'s cache line toward
 /// the core. On x86_64 this is `prefetcht0`; elsewhere it degrades to
 /// a plain relaxed load (which also brings the line in, at the cost of

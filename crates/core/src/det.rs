@@ -254,18 +254,66 @@ impl<E: HashEntry> DetHashTable<E> {
         result
     }
 
-    /// Wide-scan insert: a speculative [`crate::simd::scan_le`] skips
-    /// the cells that outrank `v` in one compare per lane, then the
-    /// candidate is confirmed with the exact per-cell atomic loop of
-    /// the scalar path. Skipping on a racy wide load is sound because
-    /// cell priorities only *rise* during an insert phase (an insert
-    /// CAS replaces a cell with a higher-priority key; `combine` keeps
-    /// the key), so "this lane outranks `v`" can never be invalidated.
-    /// The converse can: a candidate whose priority rose after the scan
+    /// Wide-scan insert: a speculative `scan_le` skips the cells that
+    /// outrank `v` in one compare per lane, then the candidate is
+    /// confirmed with the exact per-cell atomic loop of the scalar
+    /// path. Skipping on a racy wide load is sound because cell
+    /// priorities only *rise* during an insert phase (an insert CAS
+    /// replaces a cell with a higher-priority key; `combine` keeps the
+    /// key), so "this lane outranks `v`" can never be invalidated. The
+    /// converse can: a candidate whose priority rose after the scan
     /// sampled it is a counted misspeculation that re-scans one cell
     /// further on — which is also exactly what the scalar loop would do
     /// on its next look at that cell.
-    fn try_insert_repr_wide(&self, mut v: u64, key_mask: u64) -> Result<bool, u64> {
+    ///
+    /// The tier is resolved *once* here and a concrete kernel bound
+    /// inside a `#[target_feature]` body (mirroring `find_batch`), so
+    /// the probe loop pays no per-window dispatch.
+    fn try_insert_repr_wide(&self, v: u64, key_mask: u64) -> Result<bool, u64> {
+        phc_obs::probe!(count SimdRedispatches);
+        #[cfg(target_arch = "x86_64")]
+        {
+            match crate::simd::tier() {
+                // SAFETY: `tier()` reports Avx2 only when the CPU
+                // supports it.
+                crate::simd::SimdTier::Avx2 => unsafe { self.try_insert_wide_avx2(v, key_mask) },
+                _ => self.try_insert_wide_sse2(v, key_mask),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            self.try_insert_repr_wide_with(v, key_mask, &|cells, start, end, thr| {
+                crate::simd::scan_le(cells, start, end, key_mask, thr)
+            })
+        }
+    }
+
+    /// AVX2 instantiation of the wide insert (see `find_batch_avx2` for
+    /// the pattern: the kernel closure inlines into the probe loop).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn try_insert_wide_avx2(&self, v: u64, key_mask: u64) -> Result<bool, u64> {
+        self.try_insert_repr_wide_with(v, key_mask, &|cells, start, end, thr| unsafe {
+            crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+        })
+    }
+
+    /// SSE2 instantiation (baseline on x86_64; no feature gate needed).
+    #[cfg(target_arch = "x86_64")]
+    fn try_insert_wide_sse2(&self, v: u64, key_mask: u64) -> Result<bool, u64> {
+        self.try_insert_repr_wide_with(v, key_mask, &|cells, start, end, thr| unsafe {
+            crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
+        })
+    }
+
+    /// The wide insert body, generic over the bound scan kernel.
+    #[inline(always)]
+    fn try_insert_repr_wide_with(
+        &self,
+        mut v: u64,
+        key_mask: u64,
+        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+    ) -> Result<bool, u64> {
         let n = self.cells.len();
         let mut i = self.slot(E::hash(v));
         let mut steps = 0usize;
@@ -281,22 +329,21 @@ impl<E: HashEntry> DetHashTable<E> {
             // wide-scan setup. The peek is also what makes the
             // post-displacement `continue 'outer` cheap.
             let peek = self.cells[i].load(Ordering::Acquire);
-            let j = if peek & key_mask <= thr {
+            let (j, mut c) = if peek & key_mask <= thr {
                 lanes_total += 1;
-                i
+                (i, peek)
             } else {
-                let (hit, lanes) = crate::simd::scan_le(&self.cells, i, n, key_mask, thr);
+                let (hit, lanes) = scan(&self.cells, i, n, thr);
                 let (hit, lanes) = match hit {
                     Some(_) => (hit, lanes),
                     None => {
-                        let (wrapped, more) =
-                            crate::simd::scan_le(&self.cells, 0, i, key_mask, thr);
+                        let (wrapped, more) = scan(&self.cells, 0, i, thr);
                         (wrapped, lanes + more)
                     }
                 };
                 lanes_total += lanes;
                 match hit {
-                    Some(j) => j,
+                    Some(h) => h,
                     None => {
                         // Every cell outranks `v`: the table is full of
                         // higher-priority keys.
@@ -311,22 +358,30 @@ impl<E: HashEntry> DetHashTable<E> {
             }
             i = j;
             // Per-cell atomic confirm — the scalar probe body pinned at
-            // the candidate cell.
+            // the candidate cell, seeded with the value the scan already
+            // observed there: the first CAS attempt reuses the loaded
+            // window instead of re-loading the cell, and a failed CAS
+            // hands back the current value, so the loop never issues a
+            // separate re-load either.
             loop {
-                let c = self.cells[i].load(Ordering::Acquire);
                 if E::same_key(c, v) {
                     let merged = E::combine(c, v);
                     if merged == c {
                         break 'outer Ok(false);
                     }
-                    if self.cells[i]
-                        .compare_exchange(c, merged, Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok()
-                    {
-                        break 'outer Ok(false);
+                    match self.cells[i].compare_exchange(
+                        c,
+                        merged,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => break 'outer Ok(false),
+                        Err(cur) => {
+                            cas_fails += 1;
+                            c = cur; // cell changed under us; re-check
+                            continue;
+                        }
                     }
-                    cas_fails += 1;
-                    continue; // cell changed under us; re-read
                 }
                 if E::cmp_priority(c, v) == CmpOrdering::Greater {
                     // Misspeculation: a concurrent insert raised this
@@ -339,23 +394,25 @@ impl<E: HashEntry> DetHashTable<E> {
                     }
                     continue 'outer;
                 }
-                if self.cells[i]
-                    .compare_exchange(c, v, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-                {
-                    if c == E::EMPTY {
-                        break 'outer Ok(true);
+                match self.cells[i].compare_exchange(c, v, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => {
+                        if c == E::EMPTY {
+                            break 'outer Ok(true);
+                        }
+                        swaps += 1;
+                        v = c;
+                        i = (i + 1) & self.mask;
+                        steps += 1;
+                        if steps > n {
+                            break 'outer Err(v);
+                        }
+                        continue 'outer;
                     }
-                    swaps += 1;
-                    v = c;
-                    i = (i + 1) & self.mask;
-                    steps += 1;
-                    if steps > n {
-                        break 'outer Err(v);
+                    Err(cur) => {
+                        cas_fails += 1;
+                        c = cur;
                     }
-                    continue 'outer;
                 }
-                cas_fails += 1;
             }
         };
         phc_obs::probe!(count ProbeSteps, steps);
@@ -377,22 +434,101 @@ impl<E: HashEntry> DetHashTable<E> {
     /// and since insertion order never affects the layout (history
     /// independence), identical to *any* insertion of the same set.
     pub fn insert_batch(&self, entries: &[E]) {
-        use crate::batch::{prefetch_slot, PREFETCH_AHEAD};
+        use crate::batch::{insert_prefetch_ahead, prefetch_slot};
         let n = entries.len();
         if n == 0 {
             return;
         }
-        for e in entries.iter().take(PREFETCH_AHEAD) {
+        // Batch-level tier dispatch, as in `find_batch`: resolve the
+        // tier once per batch, bind the matching kernel, and run the
+        // whole prefetching insert loop inside one `#[target_feature]`
+        // body.
+        #[cfg(target_arch = "x86_64")]
+        if let Some(key_mask) = E::SIMD_KEY_MASK {
+            match crate::simd::tier() {
+                crate::simd::SimdTier::Avx2 => {
+                    phc_obs::probe!(count SimdRedispatches);
+                    // SAFETY: `tier()` reports Avx2 only when the CPU
+                    // supports it.
+                    unsafe { self.insert_batch_avx2(entries, key_mask) };
+                    phc_obs::probe!(count PrefetchBatches);
+                    phc_obs::probe!(hist BatchSize, n);
+                    return;
+                }
+                crate::simd::SimdTier::Sse2 => {
+                    phc_obs::probe!(count SimdRedispatches);
+                    self.insert_batch_sse2(entries, key_mask);
+                    phc_obs::probe!(count PrefetchBatches);
+                    phc_obs::probe!(hist BatchSize, n);
+                    return;
+                }
+                crate::simd::SimdTier::Scalar => {}
+            }
+        }
+        let ahead = insert_prefetch_ahead();
+        for e in entries.iter().take(ahead) {
             prefetch_slot(&self.cells, self.slot(E::hash(e.to_repr())));
         }
         for i in 0..n {
-            if let Some(next) = entries.get(i + PREFETCH_AHEAD) {
+            if let Some(next) = entries.get(i + ahead) {
                 prefetch_slot(&self.cells, self.slot(E::hash(next.to_repr())));
             }
             self.insert_repr(entries[i].to_repr());
         }
         phc_obs::probe!(count PrefetchBatches);
         phc_obs::probe!(hist BatchSize, n);
+    }
+
+    /// AVX2 instantiation of the batched wide insert.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn insert_batch_avx2(&self, entries: &[E], key_mask: u64) {
+        self.insert_batch_wide_body(entries, key_mask, &|cells, start, end, thr| unsafe {
+            crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+        });
+    }
+
+    /// SSE2 instantiation of the batched wide insert.
+    #[cfg(target_arch = "x86_64")]
+    fn insert_batch_sse2(&self, entries: &[E], key_mask: u64) {
+        self.insert_batch_wide_body(entries, key_mask, &|cells, start, end, thr| unsafe {
+            crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
+        });
+    }
+
+    /// The prefetching insert loop shared by the per-tier batch entry
+    /// points. Uses the *gated* insert prefetch distance: on a
+    /// multi-worker pool, deep write-side prefetch pipelines fight both
+    /// the hardware prefetcher and other writers' in-flight lines (the
+    /// slots are about to be dirtied), so the lookahead shrinks when
+    /// more than one pool worker is active.
+    #[cfg(target_arch = "x86_64")]
+    #[inline(always)]
+    fn insert_batch_wide_body(
+        &self,
+        entries: &[E],
+        key_mask: u64,
+        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+    ) {
+        use crate::batch::{insert_prefetch_ahead, prefetch_slot};
+        let ahead = insert_prefetch_ahead();
+        for e in entries.iter().take(ahead) {
+            prefetch_slot(&self.cells, self.slot(E::hash(e.to_repr())));
+        }
+        for i in 0..entries.len() {
+            if let Some(next) = entries.get(i + ahead) {
+                prefetch_slot(&self.cells, self.slot(E::hash(next.to_repr())));
+            }
+            if self
+                .try_insert_repr_wide_with(entries[i].to_repr(), key_mask, scan)
+                .is_err()
+            {
+                panic!(
+                    "DetHashTable::insert: table is full (capacity {})",
+                    self.cells.len()
+                );
+            }
+        }
     }
 
     /// Inserts a slice in parallel through the batched prefetching
@@ -430,6 +566,7 @@ impl<E: HashEntry> DetHashTable<E> {
         if let Some(key_mask) = E::SIMD_KEY_MASK {
             match crate::simd::tier() {
                 crate::simd::SimdTier::Avx2 => {
+                    phc_obs::probe!(count SimdRedispatches);
                     // SAFETY: `tier()` reports Avx2 only when the CPU
                     // supports it.
                     unsafe { self.find_batch_avx2(keys, key_mask, &mut out) };
@@ -438,6 +575,7 @@ impl<E: HashEntry> DetHashTable<E> {
                     return out;
                 }
                 crate::simd::SimdTier::Sse2 => {
+                    phc_obs::probe!(count SimdRedispatches);
                     self.find_batch_sse2(keys, key_mask, &mut out);
                     phc_obs::probe!(count PrefetchBatches);
                     phc_obs::probe!(hist BatchSize, n);
@@ -562,8 +700,39 @@ impl<E: HashEntry> DetHashTable<E> {
     /// phases are quiescent, so the wide loads race with nothing and
     /// the result is byte-identical to the scalar path.
     fn find_repr_wide(&self, probe: u64, key_mask: u64) -> Option<u64> {
-        self.find_repr_wide_with(probe, key_mask, &|cells, start, end, thr| {
-            crate::simd::scan_le(cells, start, end, key_mask, thr)
+        phc_obs::probe!(count SimdRedispatches);
+        #[cfg(target_arch = "x86_64")]
+        {
+            match crate::simd::tier() {
+                // SAFETY: `tier()` reports Avx2 only when the CPU
+                // supports it.
+                crate::simd::SimdTier::Avx2 => unsafe { self.find_wide_avx2(probe, key_mask) },
+                _ => self.find_wide_sse2(probe, key_mask),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            self.find_repr_wide_with(probe, key_mask, &|cells, start, end, thr| {
+                crate::simd::scan_le(cells, start, end, key_mask, thr)
+            })
+        }
+    }
+
+    /// AVX2 instantiation of the single-key wide find: binds the kernel
+    /// once per operation instead of once per probe window.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn find_wide_avx2(&self, probe: u64, key_mask: u64) -> Option<u64> {
+        self.find_repr_wide_with(probe, key_mask, &|cells, start, end, thr| unsafe {
+            crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+        })
+    }
+
+    /// SSE2 instantiation of the single-key wide find.
+    #[cfg(target_arch = "x86_64")]
+    fn find_wide_sse2(&self, probe: u64, key_mask: u64) -> Option<u64> {
+        self.find_repr_wide_with(probe, key_mask, &|cells, start, end, thr| unsafe {
+            crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
         })
     }
 
@@ -594,9 +763,11 @@ impl<E: HashEntry> DetHashTable<E> {
         phc_obs::probe!(count SimdLanesScanned, lanes);
         phc_obs::probe!(hist SimdLanesPerProbe, lanes);
         match hit {
-            Some(j) => {
+            // The kernel hands back the stop lane's value from its
+            // already-loaded window; read phases are quiescent, so it
+            // equals what a re-load would return.
+            Some((j, c)) => {
                 phc_obs::probe!(count FindProbeSteps, self.dist(home, j));
-                let c = self.cells[j].load(Ordering::Acquire);
                 if E::same_key(c, probe) {
                     Some(c)
                 } else {

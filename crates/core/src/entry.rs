@@ -57,6 +57,13 @@ pub trait HashEntry: Copy + Eq + Send + Sync + std::fmt::Debug {
     /// Entry types whose key lives behind a pointer (e.g.
     /// [`StrRef`]) cannot satisfy this and keep the default `None`,
     /// which routes every probe through the scalar paths.
+    ///
+    /// The Robin Hood table ([`crate::robinhood`]) additionally
+    /// requires the mask to be *top-aligned and contiguous*
+    /// (`mask == u64::MAX << mask.trailing_zeros()`) with `EMPTY == 0`,
+    /// because it derives home buckets from the high bits of a
+    /// bijectively remixed key field. Both built-in masked entry types
+    /// ([`U64Key`], [`KvPair`]) satisfy this.
     const SIMD_KEY_MASK: Option<u64> = None;
 
     /// Encodes the entry. Must differ from `EMPTY`.

@@ -19,6 +19,7 @@
 //! | [`HopscotchHashTable`] | `hopscotchHash(-PC)` | neighborhood hashing with segment locks |
 //! | [`ChainedHashTable`] | `chainedHash(-CR)` | Lea-style striped-lock chaining |
 //! | [`SerialHashHI`] / [`SerialHashHD`] | `serialHash-HI/HD` | sequential baselines |
+//! | [`RobinHoodHashTable`] | `robinHood` | SIMD-native displacement-ordered contender (see [`robinhood`]) |
 //!
 //! Phase discipline is enforced by the type system: see [`phase`].
 
@@ -35,6 +36,7 @@ pub mod nd;
 pub mod phase;
 pub mod priority_write;
 pub mod resize;
+pub mod robinhood;
 pub mod rooms;
 pub mod serial;
 pub mod simd;
@@ -54,7 +56,8 @@ pub use phase::{
 pub use priority_write::{
     write_max, write_max_u32, write_max_usize, write_min, write_min_u32, write_min_usize,
 };
-pub use resize::{ResizableTable, StwResizableTable};
+pub use resize::{FlatTableCore, ResizableTable, StwResizableTable};
+pub use robinhood::RobinHoodHashTable;
 pub use rooms::{AutoPhaseGrowTable, AutoPhaseTable, Room, RoomSync};
 pub use serial::{SerialHashHD, SerialHashHI};
 pub use simd::SimdTier;

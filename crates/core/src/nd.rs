@@ -149,13 +149,87 @@ impl<E: HashEntry> NdHashTable<E> {
 
     /// Wide-scan first-fit insert: [`crate::simd::scan_for_key`] skips
     /// occupied cells holding other keys in one compare per lane, then
-    /// the candidate (an empty cell or this key) is confirmed by the
-    /// scalar path's atomic load + CAS. Skipping is sound because in an
-    /// ND insert phase a cell never returns to empty and its key never
-    /// changes once set; a candidate that was grabbed by a concurrent
-    /// insert between scan and confirm is a counted misspeculation
-    /// that re-scans from the next cell — as the scalar loop would.
+    /// the candidate (an empty cell or this key) is confirmed by CAS
+    /// against the value the scan already loaded. Skipping is sound
+    /// because in an ND insert phase a cell never returns to empty and
+    /// its key never changes once set; a candidate that was grabbed by
+    /// a concurrent insert between scan and confirm fails its CAS
+    /// (yielding the true current value) and is a counted
+    /// misspeculation that re-scans from the next cell — as the scalar
+    /// loop would. The dispatch tier is bound **once per operation**
+    /// here; the probe loop itself runs inside one `#[target_feature]`
+    /// body with the kernel statically selected.
     fn insert_wide(&self, v: u64, key_mask: u64) {
+        phc_obs::probe!(count SimdRedispatches);
+        #[cfg(target_arch = "x86_64")]
+        {
+            match crate::simd::tier() {
+                crate::simd::SimdTier::Avx2 => unsafe { self.insert_wide_avx2(v, key_mask) },
+                _ => self.insert_wide_sse2(v, key_mask),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        self.insert_wide_body(
+            v,
+            key_mask,
+            &|cells: &[AtomicU64], start: usize, end: usize| {
+                crate::simd::scan_for_key(cells, start, end, E::EMPTY, key_mask, v)
+            },
+        );
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn insert_wide_avx2(&self, v: u64, key_mask: u64) {
+        self.insert_wide_body(
+            v,
+            key_mask,
+            &|cells: &[AtomicU64], start: usize, end: usize| {
+                // SAFETY: AVX2 was verified by the dispatch site binding
+                // this kernel; range is in bounds (see `crate::simd::x86`).
+                unsafe {
+                    crate::simd::x86::scan_for_key_avx2(
+                        cells.as_ptr().cast(),
+                        start,
+                        end,
+                        E::EMPTY,
+                        key_mask,
+                        v & key_mask,
+                    )
+                }
+            },
+        );
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn insert_wide_sse2(&self, v: u64, key_mask: u64) {
+        self.insert_wide_body(
+            v,
+            key_mask,
+            &|cells: &[AtomicU64], start: usize, end: usize| {
+                // SAFETY: SSE2 is the x86-64 baseline; range is in bounds.
+                unsafe {
+                    crate::simd::x86::scan_for_key_sse2(
+                        cells.as_ptr().cast(),
+                        start,
+                        end,
+                        E::EMPTY,
+                        key_mask,
+                        v & key_mask,
+                    )
+                }
+            },
+        );
+    }
+
+    /// The wide insert probe loop, generic over the bound scan kernel.
+    #[inline(always)]
+    fn insert_wide_body(
+        &self,
+        v: u64,
+        key_mask: u64,
+        scan: &impl Fn(&[AtomicU64], usize, usize) -> crate::simd::ScanHit,
+    ) {
         let n = self.cells.len();
         let mut i = self.slot(E::hash(v));
         let mut steps = 0usize;
@@ -167,23 +241,21 @@ impl<E: HashEntry> NdHashTable<E> {
             // is usually empty or holds the key already — peek it
             // scalar before paying for the wide-scan setup.
             let peek = self.cells[i].load(Ordering::Acquire);
-            let j = if peek == E::EMPTY || (peek & key_mask) == (v & key_mask) {
+            let (j, mut c) = if peek == E::EMPTY || (peek & key_mask) == (v & key_mask) {
                 lanes_total += 1;
-                i
+                (i, peek)
             } else {
-                let (hit, lanes) =
-                    crate::simd::scan_for_key(&self.cells, i, n, E::EMPTY, key_mask, v);
+                let (hit, lanes) = scan(&self.cells, i, n);
                 let (hit, lanes) = match hit {
                     Some(_) => (hit, lanes),
                     None => {
-                        let (wrapped, more) =
-                            crate::simd::scan_for_key(&self.cells, 0, i, E::EMPTY, key_mask, v);
+                        let (wrapped, more) = scan(&self.cells, 0, i);
                         (wrapped, lanes + more)
                     }
                 };
                 lanes_total += lanes;
                 match hit {
-                    Some(j) => j,
+                    Some(hit) => hit,
                     None => {
                         // No empty cell and no copy of this key anywhere.
                         panic!("NdHashTable::insert: table is full");
@@ -193,33 +265,44 @@ impl<E: HashEntry> NdHashTable<E> {
             steps += self.dist(i, j);
             assert!(steps <= n, "NdHashTable::insert: table is full");
             i = j;
-            // Per-cell atomic confirm — the scalar probe body pinned at
-            // the candidate cell.
+            // Confirm loop seeded with the value the scan observed in
+            // its loaded window: every write still goes through a CAS
+            // against the cell's true contents, and a failed CAS hands
+            // back the current value, so the cell is never re-loaded.
             loop {
-                let c = self.cells[i].load(Ordering::Acquire);
                 if c == E::EMPTY {
-                    if self.cells[i]
-                        .compare_exchange(E::EMPTY, v, Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok()
-                    {
-                        break 'done;
+                    match self.cells[i].compare_exchange(
+                        E::EMPTY,
+                        v,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => break 'done,
+                        Err(cur) => {
+                            cas_fails += 1;
+                            c = cur; // lost the race; retry on the fresh value
+                            continue;
+                        }
                     }
-                    cas_fails += 1;
-                    continue; // lost the race; re-read this cell
                 }
                 if E::same_key(c, v) {
                     let merged = E::combine(c, v);
                     if merged == c {
                         break 'done;
                     }
-                    if self.cells[i]
-                        .compare_exchange(c, merged, Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok()
-                    {
-                        break 'done;
+                    match self.cells[i].compare_exchange(
+                        c,
+                        merged,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => break 'done,
+                        Err(cur) => {
+                            cas_fails += 1;
+                            c = cur;
+                            continue;
+                        }
                     }
-                    cas_fails += 1;
-                    continue;
                 }
                 // Misspeculation: a concurrent insert claimed the cell
                 // for another key after the wide scan sampled it.
@@ -243,16 +326,20 @@ impl<E: HashEntry> NdHashTable<E> {
     /// upcoming home slots (see [`crate::batch`]); semantically
     /// identical to inserting the entries one by one in slice order.
     pub fn insert_batch(&self, entries: &[E]) {
-        use crate::batch::{prefetch_slot, PREFETCH_AHEAD};
+        use crate::batch::{insert_prefetch_ahead, prefetch_slot};
         let n = entries.len();
         if n == 0 {
             return;
         }
-        for e in entries.iter().take(PREFETCH_AHEAD) {
+        // Writers dirty the lines they prefetch, so the insert pipeline
+        // is shallower when the pool runs more than one worker (see
+        // `crate::batch::insert_prefetch_ahead`).
+        let ahead = insert_prefetch_ahead();
+        for e in entries.iter().take(ahead) {
             prefetch_slot(&self.cells, self.slot(E::hash(e.to_repr())));
         }
         for i in 0..n {
-            if let Some(next) = entries.get(i + PREFETCH_AHEAD) {
+            if let Some(next) = entries.get(i + ahead) {
                 prefetch_slot(&self.cells, self.slot(E::hash(next.to_repr())));
             }
             self.insert(entries[i]);
@@ -339,26 +426,83 @@ impl<E: HashEntry> NdHashTable<E> {
     /// Wide-scan find: the first-fit probe stops at the first empty
     /// cell or copy of the key — exactly [`crate::simd::scan_for_key`].
     /// Find phases are quiescent, so the result is byte-identical to
-    /// the scalar loop at every tier.
+    /// the scalar loop at every tier. The dispatch tier is bound once
+    /// per operation, mirroring [`Self::insert_wide`].
     fn find_wide(&self, probe: u64, key_mask: u64) -> Option<E> {
+        phc_obs::probe!(count SimdRedispatches);
+        #[cfg(target_arch = "x86_64")]
+        {
+            match crate::simd::tier() {
+                crate::simd::SimdTier::Avx2 => unsafe { self.find_wide_avx2(probe, key_mask) },
+                _ => self.find_wide_sse2(probe, key_mask),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        self.find_wide_body(probe, &|cells: &[AtomicU64], start: usize, end: usize| {
+            crate::simd::scan_for_key(cells, start, end, E::EMPTY, key_mask, probe)
+        })
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn find_wide_avx2(&self, probe: u64, key_mask: u64) -> Option<E> {
+        self.find_wide_body(probe, &|cells: &[AtomicU64], start: usize, end: usize| {
+            // SAFETY: AVX2 verified by the dispatch site; in-bounds range.
+            unsafe {
+                crate::simd::x86::scan_for_key_avx2(
+                    cells.as_ptr().cast(),
+                    start,
+                    end,
+                    E::EMPTY,
+                    key_mask,
+                    probe & key_mask,
+                )
+            }
+        })
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn find_wide_sse2(&self, probe: u64, key_mask: u64) -> Option<E> {
+        self.find_wide_body(probe, &|cells: &[AtomicU64], start: usize, end: usize| {
+            // SAFETY: SSE2 is the x86-64 baseline; in-bounds range.
+            unsafe {
+                crate::simd::x86::scan_for_key_sse2(
+                    cells.as_ptr().cast(),
+                    start,
+                    end,
+                    E::EMPTY,
+                    key_mask,
+                    probe & key_mask,
+                )
+            }
+        })
+    }
+
+    /// The wide find probe, generic over the bound scan kernel.
+    #[inline(always)]
+    fn find_wide_body(
+        &self,
+        probe: u64,
+        scan: &impl Fn(&[AtomicU64], usize, usize) -> crate::simd::ScanHit,
+    ) -> Option<E> {
         let n = self.cells.len();
         let home = self.slot(E::hash(probe));
-        let (hit, lanes) =
-            crate::simd::scan_for_key(&self.cells, home, n, E::EMPTY, key_mask, probe);
+        let (hit, lanes) = scan(&self.cells, home, n);
         let (hit, lanes) = match hit {
             Some(_) => (hit, lanes),
             None => {
-                let (wrapped, more) =
-                    crate::simd::scan_for_key(&self.cells, 0, home, E::EMPTY, key_mask, probe);
+                let (wrapped, more) = scan(&self.cells, 0, home);
                 (wrapped, lanes + more)
             }
         };
         phc_obs::probe!(count SimdLanesScanned, lanes);
         phc_obs::probe!(hist SimdLanesPerProbe, lanes);
         match hit {
-            Some(j) => {
+            Some((j, c)) => {
                 phc_obs::probe!(count FindProbeSteps, self.dist(home, j));
-                let c = self.cells[j].load(Ordering::Acquire);
+                // Find phases are quiescent, so the value the kernel
+                // loaded at the stop lane equals what a re-load would
+                // return — use it directly.
                 if c == E::EMPTY {
                     None
                 } else {
@@ -422,7 +566,7 @@ impl<E: HashEntry> NdHashTable<E> {
             None => crate::simd::scan_for_empty(&self.cells, 0, home, E::EMPTY).0,
         };
         let mut k = match hit {
-            Some(j) => i + self.dist(home, j),
+            Some((j, _)) => i + self.dist(home, j),
             None => i + m, // no empty cell: scan the whole wrap
         };
         k = k.saturating_sub(1).max(i);

@@ -51,8 +51,9 @@
 //! `snapshot()` is equal across thread counts and schedules. The table
 //! never shrinks, matching the paper.
 
+use std::marker::PhantomData;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
 use crate::det::DetHashTable;
@@ -60,6 +61,90 @@ use crate::entry::HashEntry;
 use crate::phase::{
     ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable, PhaseKind, PhaseSpan,
 };
+
+/// The fixed-capacity flat-table surface the growth machinery builds
+/// on: everything an [`Epoch`] (cooperative migration), the
+/// stop-the-world rebuilder, and the room wrappers
+/// ([`crate::rooms::AutoPhaseTable`]) need from a backing table. Both
+/// phase-concurrent open-addressing cores — the deterministic
+/// linear-probing table and the Robin Hood table
+/// ([`crate::robinhood::RobinHoodHashTable`]) — implement it, so every
+/// wrapper in this crate is generic over the core (with
+/// `DetHashTable` as the default type parameter everywhere, keeping
+/// existing code source-compatible).
+///
+/// Reprs cross this boundary **untransformed** (`HashEntry::to_repr`
+/// form): a core that stores an internal encoding (the Robin Hood
+/// table mixes the key field) must decode on the way out — including
+/// the `Err` carry of [`try_insert_repr`](Self::try_insert_repr) —
+/// because migration re-inserts reprs into a *different* table
+/// instance.
+pub trait FlatTableCore<E: HashEntry>: Send + Sync {
+    /// `PhaseHashTable::NAME` for the growable wrapper over this core
+    /// (e.g. `"linearHash-D-grow"`).
+    const GROW_NAME: &'static str;
+
+    /// Creates a table with `2^log2_size` cells, all empty.
+    fn new_pow2(log2_size: u32) -> Self;
+    /// Number of cells.
+    fn capacity(&self) -> usize;
+    /// Inserts, returning the global net-new-element fill credit (see
+    /// `DetHashTable::insert_counted`). Panics if the table is full.
+    fn insert_counted(&self, e: E) -> bool;
+    /// Fallible insert of a repr: `Ok(filled)` as in
+    /// [`insert_counted`](Self::insert_counted), or `Err(carried)`
+    /// handing back the (untransformed) repr left homeless by a
+    /// hard-full probe; displacements performed before the wrap stand.
+    fn try_insert_repr(&self, v: u64) -> Result<bool, u64>;
+    /// Deletes, returning the global net-removed-element credit.
+    fn delete_counted(&self, key: E) -> bool;
+    /// Looks up the entry with `key`'s key part.
+    fn find(&self, key: E) -> Option<E>;
+    /// Packs the stored entries in cell order (deterministic).
+    fn elements(&self) -> Vec<E>;
+    /// Raw snapshot of the cell array (the core's canonical layout).
+    fn snapshot(&self) -> Vec<u64>;
+    /// Raw view of the cell array.
+    fn raw_cells(&self) -> &[AtomicU64];
+    /// Applies `f` to every entry in the (quiescent) cell range, in
+    /// cell order — the migration primitive.
+    fn for_each_in_range(&self, range: std::ops::Range<usize>, f: impl FnMut(E));
+}
+
+impl<E: HashEntry> FlatTableCore<E> for DetHashTable<E> {
+    const GROW_NAME: &'static str = "linearHash-D-grow";
+
+    fn new_pow2(log2_size: u32) -> Self {
+        DetHashTable::new_pow2(log2_size)
+    }
+    fn capacity(&self) -> usize {
+        DetHashTable::capacity(self)
+    }
+    fn insert_counted(&self, e: E) -> bool {
+        DetHashTable::insert_counted(self, e)
+    }
+    fn try_insert_repr(&self, v: u64) -> Result<bool, u64> {
+        DetHashTable::try_insert_repr(self, v)
+    }
+    fn delete_counted(&self, key: E) -> bool {
+        DetHashTable::delete_counted(self, key)
+    }
+    fn find(&self, key: E) -> Option<E> {
+        DetHashTable::find(self, key)
+    }
+    fn elements(&self) -> Vec<E> {
+        DetHashTable::elements(self)
+    }
+    fn snapshot(&self) -> Vec<u64> {
+        DetHashTable::snapshot(self)
+    }
+    fn raw_cells(&self) -> &[AtomicU64] {
+        DetHashTable::raw_cells(self)
+    }
+    fn for_each_in_range(&self, range: std::ops::Range<usize>, f: impl FnMut(E)) {
+        DetHashTable::for_each_in_range(self, range, f)
+    }
+}
 
 /// Grow when `items * DEN >= capacity * NUM` (keeps load < 3/4).
 const MAX_LOAD_NUM: usize = 3;
@@ -85,8 +170,8 @@ const MIGRATION_BLOCK: usize = 512;
 
 /// One link in the growth chain: a fixed-capacity table plus the
 /// coordination state for freezing and migrating it.
-struct Epoch<E: HashEntry> {
-    table: DetHashTable<E>,
+struct Epoch<E: HashEntry, T: FlatTableCore<E>> {
+    table: T,
     /// Packed coordination word: writer count in the high 32 bits
     /// (`ACTIVE_ONE` units), empty-cell fill credits in the low 32.
     /// Packing lets an insert register, credit its fill, and retire
@@ -97,11 +182,12 @@ struct Epoch<E: HashEntry> {
     /// so the halves cannot carry into each other.
     state: AtomicUsize,
     /// Successor epoch; non-null marks this epoch frozen.
-    next: AtomicPtr<Epoch<E>>,
+    next: AtomicPtr<Epoch<E, T>>,
     /// Next migration block index to claim.
     cursor: AtomicUsize,
     /// Migration blocks fully drained.
     done: AtomicUsize,
+    _entry: PhantomData<E>,
 }
 
 /// One registered writer in `Epoch::state`'s high half.
@@ -109,15 +195,16 @@ const ACTIVE_ONE: usize = 1 << 32;
 /// Mask of the fill-credit (items) half of `Epoch::state`.
 const ITEMS_MASK: usize = ACTIVE_ONE - 1;
 
-impl<E: HashEntry> Epoch<E> {
+impl<E: HashEntry, T: FlatTableCore<E>> Epoch<E, T> {
     fn new_pow2(log2_size: u32) -> Self {
         assert!(log2_size < 31, "epoch capacity must stay below 2^31 cells");
         Epoch {
-            table: DetHashTable::new_pow2(log2_size),
+            table: T::new_pow2(log2_size),
             state: AtomicUsize::new(0),
             next: AtomicPtr::new(ptr::null_mut()),
             cursor: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
+            _entry: PhantomData,
         }
     }
 
@@ -142,22 +229,30 @@ impl<E: HashEntry> Epoch<E> {
 /// array when the load factor reaches 3/4 — including in the middle of
 /// an insert phase, with all inserting threads sharing the migration
 /// work (see the [module docs](self)).
-pub struct ResizableTable<E: HashEntry> {
+///
+/// Generic over the fixed-capacity core `T` (default: the
+/// deterministic linear-probing table); `ResizableTable<E,
+/// RobinHoodHashTable<E>>` is the growable Robin Hood table. The
+/// growth machinery only talks to the core through [`FlatTableCore`],
+/// so every determinism argument in the module docs applies verbatim
+/// to any core whose fixed-capacity layout is a pure function of its
+/// contents.
+pub struct ResizableTable<E: HashEntry, T: FlatTableCore<E> = DetHashTable<E>> {
     /// Oldest epoch that may still hold entries; advances as epochs
     /// drain. Its `next` chain ends at the live tail.
-    current: AtomicPtr<Epoch<E>>,
+    current: AtomicPtr<Epoch<E, T>>,
     /// Every epoch ever published, freed in `Drop`. Chain memory is at
     /// most 2x the tail table (capacities are geometric).
-    allocated: Mutex<Vec<*mut Epoch<E>>>,
+    allocated: Mutex<Vec<*mut Epoch<E, T>>>,
 }
 
 // SAFETY: epochs are only mutated through atomics and the interior
-// `DetHashTable` (itself Sync); raw epoch pointers are freed only in
-// `Drop`, which requires exclusive access.
-unsafe impl<E: HashEntry> Send for ResizableTable<E> {}
-unsafe impl<E: HashEntry> Sync for ResizableTable<E> {}
+// core table (Sync per the `FlatTableCore` supertraits); raw epoch
+// pointers are freed only in `Drop`, which requires exclusive access.
+unsafe impl<E: HashEntry, T: FlatTableCore<E>> Send for ResizableTable<E, T> {}
+unsafe impl<E: HashEntry, T: FlatTableCore<E>> Sync for ResizableTable<E, T> {}
 
-impl<E: HashEntry> ResizableTable<E> {
+impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
     /// Creates a table with `2^log2_size` initial cells.
     pub fn new_pow2(log2_size: u32) -> Self {
         let first = Box::into_raw(Box::new(Epoch::new_pow2(log2_size)));
@@ -167,13 +262,13 @@ impl<E: HashEntry> ResizableTable<E> {
         }
     }
 
-    fn current_epoch(&self) -> &Epoch<E> {
+    fn current_epoch(&self) -> &Epoch<E, T> {
         // SAFETY: `current` always points into `allocated`, whose
         // entries outlive `&self` (freed only in Drop).
         unsafe { &*self.current.load(Ordering::Acquire) }
     }
 
-    fn next_of<'t>(&'t self, ep: &Epoch<E>) -> Option<&'t Epoch<E>> {
+    fn next_of<'t>(&'t self, ep: &Epoch<E, T>) -> Option<&'t Epoch<E, T>> {
         let p = ep.next.load(Ordering::SeqCst);
         // SAFETY: as in `current_epoch`.
         (!p.is_null()).then(|| unsafe { &*p })
@@ -260,7 +355,7 @@ impl<E: HashEntry> ResizableTable<E> {
                 ep.state.fetch_sub(ACTIVE_ONE, Ordering::SeqCst);
                 continue;
             }
-            if Epoch::<E>::items_over_threshold(prev & ITEMS_MASK, ep.table.capacity()) {
+            if Epoch::<E, T>::items_over_threshold(prev & ITEMS_MASK, ep.table.capacity()) {
                 ep.state.fetch_sub(ACTIVE_ONE, Ordering::SeqCst);
                 self.publish_successor(ep);
                 self.help_migrate(ep);
@@ -325,7 +420,7 @@ impl<E: HashEntry> ResizableTable<E> {
     /// Publishes a doubled successor for `ep` (freezing it) unless one
     /// already exists.
     #[cold]
-    fn publish_successor(&self, ep: &Epoch<E>) {
+    fn publish_successor(&self, ep: &Epoch<E, T>) {
         // Serialize publishers on the registry lock: racing threads
         // would otherwise each allocate (and fault in) a table-sized
         // epoch only to lose the CAS and free it.
@@ -354,7 +449,7 @@ impl<E: HashEntry> ResizableTable<E> {
     /// waits out in-flight writers, claims blocks from the shared
     /// cursor, re-inserts each block's entries down the chain, and
     /// advances `current` once the epoch is fully drained.
-    fn help_migrate(&self, ep: &Epoch<E>) {
+    fn help_migrate(&self, ep: &Epoch<E, T>) {
         let next = self.next_of(ep).expect("help_migrate on unfrozen epoch");
         // Freeze: once every registered writer has retired, the old
         // cell array is immutable and block scans are exact.
@@ -399,7 +494,7 @@ impl<E: HashEntry> ResizableTable<E> {
     /// counter is amortized over the whole batch: migration moves
     /// hundreds of entries per block, and a `SeqCst` RMW pair per entry
     /// would dominate the copy cost.
-    fn insert_batch_into_chain(&self, start: &Epoch<E>, batch: &[u64]) {
+    fn insert_batch_into_chain(&self, start: &Epoch<E, T>, batch: &[u64]) {
         let mut i = 0;
         // A repr displaced by a hard-full insert; takes precedence over
         // `batch[i]` until it lands.
@@ -425,7 +520,7 @@ impl<E: HashEntry> ResizableTable<E> {
             let mut fills = 0usize;
             let mut publish = false;
             while i < batch.len() || carry.is_some() {
-                if Epoch::<E>::items_over_threshold((prev & ITEMS_MASK) + fills, cap) {
+                if Epoch::<E, T>::items_over_threshold((prev & ITEMS_MASK) + fills, cap) {
                     publish = true;
                     break;
                 }
@@ -474,7 +569,7 @@ impl<E: HashEntry> ResizableTable<E> {
     }
 }
 
-impl<E: HashEntry> Drop for ResizableTable<E> {
+impl<E: HashEntry, T: FlatTableCore<E>> Drop for ResizableTable<E, T> {
     fn drop(&mut self) {
         let epochs = std::mem::take(&mut *self.allocated.lock().expect("epoch registry poisoned"));
         for p in epochs {
@@ -486,55 +581,64 @@ impl<E: HashEntry> Drop for ResizableTable<E> {
 }
 
 /// Insert-phase handle for [`ResizableTable`] (see [`crate::phase`]).
-pub struct ResizableInserter<'t, E: HashEntry>(
-    &'t ResizableTable<E>,
+pub struct ResizableInserter<'t, E: HashEntry, T: FlatTableCore<E> = DetHashTable<E>>(
+    &'t ResizableTable<E, T>,
     #[allow(dead_code)] PhaseSpan,
 );
 /// Delete-phase handle.
-pub struct ResizableDeleter<'t, E: HashEntry>(&'t ResizableTable<E>, #[allow(dead_code)] PhaseSpan);
+pub struct ResizableDeleter<'t, E: HashEntry, T: FlatTableCore<E> = DetHashTable<E>>(
+    &'t ResizableTable<E, T>,
+    #[allow(dead_code)] PhaseSpan,
+);
 /// Read-phase handle.
-pub struct ResizableReader<'t, E: HashEntry>(&'t ResizableTable<E>, #[allow(dead_code)] PhaseSpan);
+pub struct ResizableReader<'t, E: HashEntry, T: FlatTableCore<E> = DetHashTable<E>>(
+    &'t ResizableTable<E, T>,
+    #[allow(dead_code)] PhaseSpan,
+);
 
-impl<E: HashEntry> ConcurrentInsert<E> for ResizableInserter<'_, E> {
+impl<E: HashEntry, T: FlatTableCore<E>> ConcurrentInsert<E> for ResizableInserter<'_, E, T> {
     #[inline]
     fn insert(&self, e: E) {
         self.0.insert(e);
     }
 }
-impl<E: HashEntry> ConcurrentDelete<E> for ResizableDeleter<'_, E> {
+impl<E: HashEntry, T: FlatTableCore<E>> ConcurrentDelete<E> for ResizableDeleter<'_, E, T> {
     #[inline]
     fn delete(&self, key: E) {
         self.0.delete(key);
     }
 }
-impl<E: HashEntry> ConcurrentRead<E> for ResizableReader<'_, E> {
+impl<E: HashEntry, T: FlatTableCore<E>> ConcurrentRead<E> for ResizableReader<'_, E, T> {
     #[inline]
     fn find(&self, key: E) -> Option<E> {
         self.0.find(key)
     }
 }
-impl<E: HashEntry> ResizableReader<'_, E> {
+impl<E: HashEntry, T: FlatTableCore<E>> ResizableReader<'_, E, T> {
     /// Packs the table contents (allowed in the read phase).
     pub fn elements(&self) -> Vec<E> {
         self.0.elements()
     }
 }
 
-impl<E: HashEntry> PhaseHashTable<E> for ResizableTable<E> {
+impl<E: HashEntry, T: FlatTableCore<E>> PhaseHashTable<E> for ResizableTable<E, T> {
     type Inserter<'t>
-        = ResizableInserter<'t, E>
+        = ResizableInserter<'t, E, T>
     where
-        E: 't;
+        E: 't,
+        T: 't;
     type Deleter<'t>
-        = ResizableDeleter<'t, E>
+        = ResizableDeleter<'t, E, T>
     where
-        E: 't;
+        E: 't,
+        T: 't;
     type Reader<'t>
-        = ResizableReader<'t, E>
+        = ResizableReader<'t, E, T>
     where
-        E: 't;
+        E: 't,
+        T: 't;
 
-    const NAME: &'static str = "linearHash-D-grow";
+    const NAME: &'static str = T::GROW_NAME;
 
     fn new_pow2(log2_size: u32) -> Self {
         ResizableTable::new_pow2(log2_size)
@@ -547,17 +651,17 @@ impl<E: HashEntry> PhaseHashTable<E> for ResizableTable<E> {
     // Every phase transition normalizes: leaving an insert phase
     // through `begin_*`/`elements` lands on the canonical capacity, so
     // generic phase-discipline code sees deterministic snapshots.
-    fn begin_insert(&mut self) -> ResizableInserter<'_, E> {
+    fn begin_insert(&mut self) -> ResizableInserter<'_, E, T> {
         self.normalize();
         ResizableInserter(self, PhaseSpan::begin(PhaseKind::Insert))
     }
 
-    fn begin_delete(&mut self) -> ResizableDeleter<'_, E> {
+    fn begin_delete(&mut self) -> ResizableDeleter<'_, E, T> {
         self.normalize();
         ResizableDeleter(self, PhaseSpan::begin(PhaseKind::Delete))
     }
 
-    fn begin_read(&mut self) -> ResizableReader<'_, E> {
+    fn begin_read(&mut self) -> ResizableReader<'_, E, T> {
         self.normalize();
         ResizableReader(self, PhaseSpan::begin(PhaseKind::Read))
     }
@@ -573,18 +677,21 @@ impl<E: HashEntry> PhaseHashTable<E> for ResizableTable<E> {
 /// rebuilds into a doubled table while every other inserter blocks.
 ///
 /// Kept as the baseline arm of the `resize` benchmark ablation; new
-/// code should use [`ResizableTable`].
-pub struct StwResizableTable<E: HashEntry> {
-    inner: RwLock<DetHashTable<E>>,
+/// code should use [`ResizableTable`]. Generic over the same
+/// [`FlatTableCore`] as the cooperative resizer.
+pub struct StwResizableTable<E: HashEntry, T: FlatTableCore<E> = DetHashTable<E>> {
+    inner: RwLock<T>,
     items: AtomicUsize,
+    _entry: PhantomData<E>,
 }
 
-impl<E: HashEntry> StwResizableTable<E> {
+impl<E: HashEntry, T: FlatTableCore<E>> StwResizableTable<E, T> {
     /// Creates a table with `2^log2_size` initial cells.
     pub fn new_pow2(log2_size: u32) -> Self {
         StwResizableTable {
-            inner: RwLock::new(DetHashTable::new_pow2(log2_size)),
+            inner: RwLock::new(T::new_pow2(log2_size)),
             items: AtomicUsize::new(0),
+            _entry: PhantomData,
         }
     }
 
@@ -661,12 +768,11 @@ impl<E: HashEntry> StwResizableTable<E> {
             return;
         }
         let log2 = w.capacity().trailing_zeros() + 1;
-        let bigger: DetHashTable<E> = DetHashTable::new_pow2(log2);
+        let bigger = T::new_pow2(log2);
         let elems = w.elements();
-        elems
-            .par_iter()
-            .with_min_len(1024)
-            .for_each(|&e| bigger.insert(e));
+        elems.par_iter().with_min_len(1024).for_each(|&e| {
+            bigger.insert_counted(e);
+        });
         *w = bigger;
     }
 }

@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::det::DetHashTable;
 use crate::entry::HashEntry;
-use crate::resize::ResizableTable;
+use crate::resize::{FlatTableCore, ResizableTable};
 
 /// The three rooms of a phase-concurrent hash table.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -148,17 +148,22 @@ impl RoomSync {
 /// *which* inserts land before which deletes depends on the room
 /// schedule (timing). Use the phased API when you need end-to-end
 /// determinism; use this when you need drop-in concurrency.
-pub struct AutoPhaseTable<E: HashEntry> {
-    table: DetHashTable<E>,
+/// Generic over the fixed-capacity core `T` (default: the
+/// deterministic linear-probing table); `AutoPhaseTable<E,
+/// RobinHoodHashTable<E>>` is the room-synchronized Robin Hood table.
+pub struct AutoPhaseTable<E: HashEntry, T: FlatTableCore<E> = DetHashTable<E>> {
+    table: T,
     rooms: RoomSync,
+    _entry: std::marker::PhantomData<E>,
 }
 
-impl<E: HashEntry> AutoPhaseTable<E> {
+impl<E: HashEntry, T: FlatTableCore<E>> AutoPhaseTable<E, T> {
     /// Creates a table with `2^log2_size` cells.
     pub fn new_pow2(log2_size: u32) -> Self {
         AutoPhaseTable {
-            table: DetHashTable::new_pow2(log2_size),
+            table: T::new_pow2(log2_size),
             rooms: RoomSync::new(),
+            _entry: std::marker::PhantomData,
         }
     }
 
@@ -169,12 +174,16 @@ impl<E: HashEntry> AutoPhaseTable<E> {
 
     /// Inserts an entry (enters the insert room).
     pub fn insert(&self, e: E) {
-        self.rooms.with(Room::Insert, || self.table.insert(e));
+        self.rooms.with(Room::Insert, || {
+            self.table.insert_counted(e);
+        });
     }
 
     /// Deletes by key (enters the delete room).
     pub fn delete(&self, key: E) {
-        self.rooms.with(Room::Delete, || self.table.delete(key));
+        self.rooms.with(Room::Delete, || {
+            self.table.delete_counted(key);
+        });
     }
 
     /// Looks up a key (enters the read room).
@@ -189,7 +198,7 @@ impl<E: HashEntry> AutoPhaseTable<E> {
 
     /// Grants direct phased access when the caller has `&mut`
     /// (no synchronization needed — the borrow is exclusive).
-    pub fn raw_mut(&mut self) -> &mut DetHashTable<E> {
+    pub fn raw_mut(&mut self) -> &mut T {
         &mut self.table
     }
 }
@@ -206,12 +215,12 @@ impl<E: HashEntry> AutoPhaseTable<E> {
 /// migrated table because every `ResizableTable` accessor drains
 /// pending migrations before touching the contents. No extra "resize
 /// room" is needed.
-pub struct AutoPhaseGrowTable<E: HashEntry> {
-    table: ResizableTable<E>,
+pub struct AutoPhaseGrowTable<E: HashEntry, T: FlatTableCore<E> = DetHashTable<E>> {
+    table: ResizableTable<E, T>,
     rooms: RoomSync,
 }
 
-impl<E: HashEntry> AutoPhaseGrowTable<E> {
+impl<E: HashEntry, T: FlatTableCore<E>> AutoPhaseGrowTable<E, T> {
     /// Creates a table seeded with `2^log2_size` cells; it grows as
     /// needed.
     pub fn new_pow2(log2_size: u32) -> Self {
@@ -249,7 +258,7 @@ impl<E: HashEntry> AutoPhaseGrowTable<E> {
 
     /// Grants direct phased access when the caller has `&mut`
     /// (no synchronization needed — the borrow is exclusive).
-    pub fn raw_mut(&mut self) -> &mut ResizableTable<E> {
+    pub fn raw_mut(&mut self) -> &mut ResizableTable<E, T> {
         &mut self.table
     }
 }

@@ -153,11 +153,15 @@ pub fn set_tier(tier: Option<SimdTier>) {
     OVERRIDE.store(code, Ordering::Relaxed);
 }
 
-/// Outcome of a forward stop-scan: the index where the probe loop must
-/// stop (if any lane in `[start, end)` stopped it) plus the number of
-/// cell lanes the kernel examined (for the `SimdLanesScanned` counter
-/// and `SimdLanesPerProbe` histogram).
-pub type ScanHit = (Option<usize>, usize);
+/// Outcome of a forward stop-scan: the stop lane — its index in the
+/// cell array *and the value the kernel observed there*, extracted from
+/// the already-loaded vector window — plus the number of cell lanes the
+/// kernel examined (for the `SimdLanesScanned` counter and
+/// `SimdLanesPerProbe` histogram). Returning the observed value lets
+/// the speculative insert path seed its per-cell CAS confirm from the
+/// same loaded window instead of re-loading the cell, and lets
+/// quiescent readers skip the re-load entirely.
+pub type ScanHit = (Option<(usize, u64)>, usize);
 
 // ---------------------------------------------------------------------
 // Dispatch wrappers
@@ -179,6 +183,9 @@ pub fn scan_le(
     threshold: u64,
 ) -> ScanHit {
     debug_assert!(start <= end && end <= cells.len());
+    // Each call resolves the tier at runtime; hot loops should bind a
+    // kernel once per operation/batch instead (see `det::find_batch`).
+    phc_obs::probe!(count SimdRedispatches);
     match tier() {
         #[cfg(target_arch = "x86_64")]
         SimdTier::Avx2 => unsafe {
@@ -205,6 +212,7 @@ pub fn scan_for_key(
     probe: u64,
 ) -> ScanHit {
     debug_assert!(start <= end && end <= cells.len());
+    phc_obs::probe!(count SimdRedispatches);
     match tier() {
         #[cfg(target_arch = "x86_64")]
         SimdTier::Avx2 => unsafe {
@@ -328,8 +336,9 @@ fn scan_le_scalar(
     threshold: u64,
 ) -> ScanHit {
     for (i, cell) in cells.iter().enumerate().take(end).skip(start) {
-        if cell.load(Ordering::Acquire) & key_mask <= threshold {
-            return (Some(i), i - start + 1);
+        let c = cell.load(Ordering::Acquire);
+        if c & key_mask <= threshold {
+            return (Some((i, c)), i - start + 1);
         }
     }
     (None, end - start)
@@ -346,7 +355,7 @@ fn scan_for_key_scalar(
     for (i, cell) in cells.iter().enumerate().take(end).skip(start) {
         let c = cell.load(Ordering::Acquire);
         if c == empty || c & key_mask == probe_masked {
-            return (Some(i), i - start + 1);
+            return (Some((i, c)), i - start + 1);
         }
     }
     (None, end - start)
@@ -400,7 +409,10 @@ pub(crate) mod x86 {
             let gt = _mm256_cmpgt_epi64(m, thr);
             let le = !(_mm256_movemask_pd(_mm256_castsi256_pd(gt)) as u32) & 0xF;
             if le != 0 {
-                return (Some(i + le.trailing_zeros() as usize), i + 4 - start);
+                let lane = le.trailing_zeros() as usize;
+                let mut lanes = [0u64; 4];
+                _mm256_storeu_si256(lanes.as_mut_ptr().cast(), w);
+                return (Some((i + lane, lanes[lane])), i + 4 - start);
             }
             i += 4;
         }
@@ -429,7 +441,10 @@ pub(crate) mod x86 {
             );
             let bits = _mm256_movemask_pd(_mm256_castsi256_pd(stop)) as u32;
             if bits != 0 {
-                return (Some(i + bits.trailing_zeros() as usize), i + 4 - start);
+                let lane = bits.trailing_zeros() as usize;
+                let mut lanes = [0u64; 4];
+                _mm256_storeu_si256(lanes.as_mut_ptr().cast(), w);
+                return (Some((i + lane, lanes[lane])), i + 4 - start);
             }
             i += 4;
         }
@@ -494,7 +509,10 @@ pub(crate) mod x86 {
             let gt = ugt64_sse2(_mm_and_si128(w, maskv), thr);
             let le = !(_mm_movemask_pd(_mm_castsi128_pd(gt)) as u32) & 0x3;
             if le != 0 {
-                return (Some(i + le.trailing_zeros() as usize), i + 2 - start);
+                let lane = le.trailing_zeros() as usize;
+                let mut lanes = [0u64; 2];
+                _mm_storeu_si128(lanes.as_mut_ptr().cast(), w);
+                return (Some((i + lane, lanes[lane])), i + 2 - start);
             }
             i += 2;
         }
@@ -522,7 +540,10 @@ pub(crate) mod x86 {
             );
             let bits = _mm_movemask_pd(_mm_castsi128_pd(stop)) as u32;
             if bits != 0 {
-                return (Some(i + bits.trailing_zeros() as usize), i + 2 - start);
+                let lane = bits.trailing_zeros() as usize;
+                let mut lanes = [0u64; 2];
+                _mm_storeu_si128(lanes.as_mut_ptr().cast(), w);
+                return (Some((i + lane, lanes[lane])), i + 2 - start);
             }
             i += 2;
         }
@@ -569,8 +590,9 @@ pub(crate) mod x86 {
         threshold: u64,
     ) -> ScanHit {
         while i < end {
-            if ptr.add(i).read() & key_mask <= threshold {
-                return (Some(i), i - start + 1);
+            let c = ptr.add(i).read();
+            if c & key_mask <= threshold {
+                return (Some((i, c)), i - start + 1);
             }
             i += 1;
         }
@@ -591,7 +613,7 @@ pub(crate) mod x86 {
         while i < end {
             let c = ptr.add(i).read();
             if c == empty || c & key_mask == probe_masked {
-                return (Some(i), i - start + 1);
+                return (Some((i, c)), i - start + 1);
             }
             i += 1;
         }
@@ -675,9 +697,17 @@ mod tests {
                         let expect = scan_le_ref(&cells, start, end, mask, thr);
                         let (got, lanes) = scan_le(&cells, start, end, mask, thr);
                         assert_eq!(
-                            got, expect,
+                            got.map(|(i, _)| i),
+                            expect,
                             "tier {t:?} [{start},{end}) thr {thr:#x} mask {mask:#x}"
                         );
+                        if let Some((i, v)) = got {
+                            assert_eq!(
+                                v,
+                                cells[i].load(Ordering::Relaxed),
+                                "hit value, tier {t:?}"
+                            );
+                        }
                         assert!(lanes <= end - start + 3, "lane count sane");
                     }
                 }
@@ -703,9 +733,17 @@ mod tests {
                         let expect = scan_key_ref(&cells, start, end, 0, mask, probe);
                         let (got, _) = scan_for_key(&cells, start, end, 0, mask, probe);
                         assert_eq!(
-                            got, expect,
+                            got.map(|(i, _)| i),
+                            expect,
                             "tier {t:?} [{start},{end}) probe {probe:#x} mask {mask:#x}"
                         );
+                        if let Some((i, v)) = got {
+                            assert_eq!(
+                                v,
+                                cells[i].load(Ordering::Relaxed),
+                                "hit value, tier {t:?}"
+                            );
+                        }
                     }
                 }
             }
@@ -756,7 +794,7 @@ mod tests {
         let cells = cells_of(&[empty, 5, empty, 9, 1, empty]);
         for_each_tier(|t| {
             let (hit, _) = scan_for_empty(&cells, 1, 6, empty);
-            assert_eq!(hit, Some(2), "tier {t:?}");
+            assert_eq!(hit, Some((2, empty)), "tier {t:?}");
             assert_eq!(scan_nonempty_mask(&cells, empty), 0b011010, "tier {t:?}");
         });
     }
@@ -769,7 +807,7 @@ mod tests {
         let cells = cells_of(&[1 << 63, (1 << 63) | 7, 42]);
         for_each_tier(|t| {
             let (hit, _) = scan_le(&cells, 0, 3, u64::MAX, 1000);
-            assert_eq!(hit, Some(2), "tier {t:?}");
+            assert_eq!(hit, Some((2, 42)), "tier {t:?}");
         });
     }
 

@@ -95,21 +95,29 @@ impl ProbeStats {
     }
 }
 
-/// Measures displacement over a snapshot of any linear-probing layout
-/// (works for both the deterministic and ND tables; `cells.len()` must
-/// be a power of two).
-pub fn probe_stats<E: HashEntry>(cells: &[u64]) -> ProbeStats {
+/// Measures displacement over a snapshot of any open-addressing layout
+/// whose home-slot rule is supplied by the caller: `occupied` decides
+/// whether a raw cell holds an entry and `home_of` maps a stored repr
+/// to its home bucket. This is the single histogram kernel behind
+/// [`probe_stats`] (hash-based homes) and the Robin Hood table's
+/// displacement statistics (complement-of-mixed-key homes, see
+/// [`crate::robinhood`]). `cells.len()` must be a power of two.
+pub fn probe_stats_with(
+    cells: &[u64],
+    occupied: impl Fn(u64) -> bool,
+    home_of: impl Fn(u64) -> usize,
+) -> ProbeStats {
     let n = cells.len();
     assert!(n.is_power_of_two());
     let mask = n - 1;
     let mut histogram = Vec::new();
     let mut entries = 0usize;
     for (j, &c) in cells.iter().enumerate() {
-        if !cell_occupied::<E>(c) {
+        if !occupied(c) {
             continue;
         }
         entries += 1;
-        let d = displacement::<E>(c, j, mask);
+        let d = j.wrapping_sub(home_of(c)) & mask;
         if d >= histogram.len() {
             histogram.resize(d + 1, 0);
         }
@@ -119,6 +127,14 @@ pub fn probe_stats<E: HashEntry>(cells: &[u64]) -> ProbeStats {
         histogram.push(0);
     }
     ProbeStats { histogram, entries }
+}
+
+/// Measures displacement over a snapshot of any linear-probing layout
+/// (works for both the deterministic and ND tables; `cells.len()` must
+/// be a power of two).
+pub fn probe_stats<E: HashEntry>(cells: &[u64]) -> ProbeStats {
+    let mask = cells.len() - 1;
+    probe_stats_with(cells, cell_occupied::<E>, |c| home_slot::<E>(c, mask))
 }
 
 /// Like [`probe_stats`], but also mirrors the displacement

@@ -16,7 +16,10 @@ use std::collections::BTreeSet;
 use std::sync::{Mutex, MutexGuard};
 
 use phc_core::simd::{set_tier, SimdTier};
-use phc_core::{DetHashTable, HashEntry, KvPair, NdHashTable, ResizableTable, U64Key};
+use phc_core::{
+    ConcurrentDelete, DetHashTable, HashEntry, KvPair, NdHashTable, PhaseHashTable, ResizableTable,
+    RobinHoodHashTable, U64Key,
+};
 use phc_parutil::hash64;
 use rayon::prelude::*;
 
@@ -133,6 +136,46 @@ fn run_nd<E: HashEntry>(entries: &[E], probes: &[E], dels: &[E]) -> Observed {
     }
 }
 
+/// Robin Hood twin of [`run_det`]: same mixed batched/plain insert and
+/// delete traffic, same observables. The displacement-ordered layout is
+/// history-independent by the same argument as the det table, so the
+/// raw snapshot is again a hard cross-tier equality target — and here
+/// the wide path is the *native* probe loop, not a retrofit.
+fn run_rh<E: HashEntry>(entries: &[E], probes: &[E], dels: &[E]) -> Observed {
+    let mut t = RobinHoodHashTable::<E>::new_pow2(LOG2);
+    let (batched, rest) = entries.split_at(entries.len() / 2);
+    t.insert_batch(batched);
+    rest.par_iter().for_each(|&e| t.insert(e));
+
+    let snapshot = t.snapshot();
+    let finds = t
+        .find_batch(probes)
+        .into_iter()
+        .map(|o| o.map(E::to_repr))
+        .collect();
+    let elements = sorted_reprs(t.elements());
+    let len = t.len();
+
+    let (batched, rest) = dels.split_at(dels.len() / 2);
+    {
+        // Route half the deletes through the phase handle's batched
+        // path so the handle surface is exercised differentially too.
+        let del = t.begin_delete();
+        del.delete_batch(batched);
+        rest.par_iter().for_each(|&e| del.delete(e));
+    }
+
+    Observed {
+        snapshot,
+        finds,
+        elements,
+        len,
+        snapshot_after_delete: t.snapshot(),
+        elements_after_delete: sorted_reprs(t.elements()),
+        len_after_delete: t.len(),
+    }
+}
+
 fn assert_tiers_agree<E: HashEntry>(
     label: &str,
     run: impl Fn(&[E], &[E], &[E]) -> Observed,
@@ -209,6 +252,56 @@ fn nd_kv_identical_across_tiers_at_all_loads() {
     }
 }
 
+#[test]
+fn rh_u64_identical_across_tiers_at_all_loads() {
+    let _g = lock();
+    for &n in &LOADS {
+        let keys = keys_u64(n, 0x40B1);
+        let entries: Vec<U64Key> = keys.iter().map(|&k| U64Key::new(k)).collect();
+        let mut probes = entries.clone();
+        probes.extend((0..256u64).map(|i| U64Key::new((1 << 50) + i)));
+        let dels: Vec<U64Key> = entries.iter().copied().step_by(3).collect();
+        assert_tiers_agree("rh/u64", run_rh::<U64Key>, &entries, &probes, &dels);
+    }
+}
+
+#[test]
+fn rh_kv_identical_across_tiers_at_all_loads() {
+    let _g = lock();
+    for &n in &LOADS {
+        let entries: Vec<KvPair> = (0..n as u64)
+            .map(|i| KvPair::new(1 + (hash64(i ^ 0xCAFE) as u32 >> 1), i as u32))
+            .collect();
+        let mut probes = entries.clone();
+        probes.extend((0..256u32).map(|i| KvPair::new(u32::MAX - i, 0)));
+        let dels: Vec<KvPair> = entries.iter().copied().step_by(3).collect();
+        assert_tiers_agree("rh/kv", run_rh::<KvPair>, &entries, &probes, &dels);
+    }
+}
+
+/// The Robin Hood layout must agree with the det table on *membership*
+/// (same element multiset under combining), tier by tier — a
+/// cross-table differential on top of the cross-tier one.
+#[test]
+fn rh_membership_matches_det_across_tiers() {
+    let _g = lock();
+    let n = 4096 * 3 / 4;
+    let keys = keys_u64(n, 0x0DD5);
+    let entries: Vec<U64Key> = keys.iter().map(|&k| U64Key::new(k)).collect();
+    for tier in TIERS {
+        let (rh_elems, det_elems) = with_tier(tier, || {
+            let rh = RobinHoodHashTable::<U64Key>::new_pow2(LOG2);
+            let det = DetHashTable::<U64Key>::new_pow2(LOG2);
+            entries.par_iter().for_each(|&e| {
+                rh.insert(e);
+                det.insert(e);
+            });
+            (sorted_reprs(rh.elements()), sorted_reprs(det.elements()))
+        });
+        assert_eq!(rh_elems, det_elems, "rh vs det membership at {tier:?}");
+    }
+}
+
 /// Cooperative resizing walks the old cells with the nonempty-mask
 /// kernel (`for_each_in_range`); migration must move exactly the same
 /// element set no matter which tier scanned the cells.
@@ -231,5 +324,33 @@ fn migration_identical_across_tiers() {
     for tier in TIERS {
         let got = with_tier(tier, run);
         assert_eq!(got, reference, "migration: {tier:?} diverged from Scalar");
+    }
+}
+
+/// Same cooperative-resize differential, but with the Robin Hood core
+/// under the growable wrapper: migration crosses epochs as raw
+/// (untransformed) reprs, and each epoch re-mixes for its own width, so
+/// the final element set must be tier- and history-independent.
+#[test]
+fn rh_migration_identical_across_tiers() {
+    let _g = lock();
+    let keys = keys_u64(20_000, 0x617B);
+    let run = || {
+        let mut t = ResizableTable::<U64Key, RobinHoodHashTable<U64Key>>::new_pow2(8);
+        t.insert_phase(|t| {
+            keys.par_iter().for_each(|&k| t.insert(U64Key::new(k)));
+        });
+        let elements = sorted_reprs(t.elements());
+        (elements, t.len(), t.capacity())
+    };
+    let reference = with_tier(SimdTier::Scalar, run);
+    let expect: BTreeSet<u64> = keys.iter().copied().collect();
+    assert_eq!(reference.0.len(), expect.len());
+    for tier in TIERS {
+        let got = with_tier(tier, run);
+        assert_eq!(
+            got, reference,
+            "rh migration: {tier:?} diverged from Scalar"
+        );
     }
 }

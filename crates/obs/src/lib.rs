@@ -112,6 +112,16 @@ define_ids! {
         /// Speculative wide-scan candidates invalidated by a concurrent
         /// writer before the per-cell atomic confirm.
         SimdMisspeculations => "simd_misspeculations",
+        /// Runtime kernel-dispatch resolutions on probe scans. Each
+        /// per-window `scan_le`/`scan_for_key` wrapper call counts one;
+        /// the batch paths count one per bound batch instead, so the
+        /// redispatches-per-operation ratio measures how well kernel
+        /// binding is hoisted out of the probe loop.
+        SimdRedispatches => "simd_redispatches",
+        /// Robin Hood displacement swaps: occupied cells whose entry
+        /// was evicted and carried forward by a richer (higher
+        /// priority) insert.
+        RobinHoodShifts => "robinhood_shifts",
     }
 }
 
@@ -130,6 +140,9 @@ define_ids! {
         BatchSize => "batch_size",
         /// Cell lanes examined per wide-scan probe (find or insert).
         SimdLanesPerProbe => "simd_lanes_per_probe",
+        /// Robin Hood displacement (cells past home) per stored entry,
+        /// mirrored from quiescent snapshots.
+        RhDisplacement => "rh_displacement",
     }
 }
 

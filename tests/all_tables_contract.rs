@@ -8,7 +8,8 @@ use std::collections::BTreeSet;
 
 use phase_concurrent_hashing::tables::{
     AddValues, ChainedHashTable, ConcurrentDelete, ConcurrentInsert, ConcurrentRead,
-    CuckooHashTable, DetHashTable, HopscotchHashTable, KvPair, NdHashTable, PhaseHashTable, U64Key,
+    CuckooHashTable, DetHashTable, HopscotchHashTable, KvPair, NdHashTable, PhaseHashTable,
+    RobinHoodHashTable, U64Key,
 };
 use rayon::prelude::*;
 
@@ -66,6 +67,7 @@ fn set_semantics_all_tables() {
         HopscotchHashTable::<U64Key>::new_pow2_pc(16),
         "hopscotchHash-PC",
     );
+    check_set_semantics(RobinHoodHashTable::<U64Key>::new_pow2(16), "robinHood");
 }
 
 fn check_combining<T: PhaseHashTable<KvPair<AddValues>>>(mut table: T, label: &str) {
@@ -109,6 +111,10 @@ fn additive_combining_all_tables() {
         HopscotchHashTable::<KvPair<AddValues>>::new_pow2(10),
         "hopscotchHash",
     );
+    check_combining(
+        RobinHoodHashTable::<KvPair<AddValues>>::new_pow2(10),
+        "robinHood",
+    );
 }
 
 /// High-duplication parallel insert storm (the chainedHash collapse
@@ -134,4 +140,5 @@ fn duplicate_storm_all_tables() {
         "chainedHash-CR",
     );
     storm(HopscotchHashTable::<U64Key>::new_pow2(17), "hopscotchHash");
+    storm(RobinHoodHashTable::<U64Key>::new_pow2(17), "robinHood");
 }

@@ -202,6 +202,69 @@ fn cooperative_resize_identical_across_thread_counts() {
     }
 }
 
+/// The Robin Hood table makes the same determinism promise as the det
+/// table — its displacement-ordered clusters are sorted by (home
+/// bucket, mixed key), so the raw snapshot is a pure function of the
+/// key set. Checked across 1, 2, and 8 threads, through a delete phase.
+#[test]
+fn robinhood_snapshot_identical_across_thread_counts() {
+    use phase_concurrent_hashing::tables::RobinHoodHashTable;
+    let ks = keys(40_000, 9);
+    let (dels, _) = ks.split_at(12_000);
+    let run = |threads: usize| -> (Vec<u64>, Vec<u64>, usize) {
+        phase_concurrent_hashing::parutil::run_with_threads(threads, || {
+            let mut t: RobinHoodHashTable<U64Key> = RobinHoodHashTable::new_pow2(17);
+            {
+                let ins = t.begin_insert();
+                ks.par_iter().for_each(|&k| ins.insert(U64Key::new(k)));
+            }
+            let full = t.snapshot();
+            {
+                let del = t.begin_delete();
+                dels.par_iter().for_each(|&k| del.delete(U64Key::new(k)));
+            }
+            (full, t.snapshot(), t.elements().len())
+        })
+    };
+    let one = run(1);
+    assert!(one.2 > 0);
+    for threads in [2, 8] {
+        assert_eq!(one, run(threads), "threads = {threads}");
+    }
+}
+
+/// Robin Hood `elements()` (decoded back to original keys) returns the
+/// same key set the det table returns for the same inserts, across
+/// thread counts — membership equivalence of the two layouts.
+#[test]
+fn robinhood_elements_match_det_across_thread_counts() {
+    use phase_concurrent_hashing::tables::RobinHoodHashTable;
+    let ks = keys(30_000, 10);
+    let det_elems = {
+        let mut t: DetHashTable<U64Key> = DetHashTable::new_pow2(16);
+        {
+            let ins = t.begin_insert();
+            ks.par_iter().for_each(|&k| ins.insert(U64Key::new(k)));
+        }
+        let mut v = t.elements();
+        v.sort_unstable();
+        v
+    };
+    for threads in [1, 2, 8] {
+        let rh_elems = phase_concurrent_hashing::parutil::run_with_threads(threads, || {
+            let mut t: RobinHoodHashTable<U64Key> = RobinHoodHashTable::new_pow2(16);
+            {
+                let ins = t.begin_insert();
+                ks.par_iter().for_each(|&k| ins.insert(U64Key::new(k)));
+            }
+            let mut v = t.elements();
+            v.sort_unstable();
+            v
+        });
+        assert_eq!(rh_elems, det_elems, "threads = {threads}");
+    }
+}
+
 /// Quiescent observability totals are schedule-independent: the
 /// deterministic layout is a pure function of the key set, so the
 /// displacement distribution scanned from the quiescent snapshot — the
