@@ -287,25 +287,22 @@ impl<E: HashEntry> ChainedHashTable<E> {
             });
         if mismatch.load(Ordering::Relaxed) {
             // A chain changed length between the passes — someone broke
-            // the phase discipline. The pre-sized buffer may have gaps,
-            // so discard it (entries are `Copy`; nothing to drop) and
-            // take the race-tolerant per-bucket path instead.
-            return self
-                .buckets
-                .par_iter()
-                .with_min_len(512)
-                .flat_map_iter(|head| {
-                    let mut chain = Vec::new();
-                    let mut cur = head.load(Ordering::Acquire);
-                    while !cur.is_null() {
-                        // SAFETY: arena-owned.
-                        let node = unsafe { &*cur };
-                        chain.push(E::from_repr(node.repr.load(Ordering::Acquire)));
-                        cur = node.next.load(Ordering::Acquire);
-                    }
-                    chain
-                })
-                .collect();
+            // the phase discipline (an insert or delete raced this read
+            // phase). Count it so the cliff shows up in obs snapshots,
+            // and fail loudly in debug builds: in release the fallback
+            // silently costs an extra allocation per non-empty bucket,
+            // which is exactly the kind of perf regression that should
+            // surface as a test failure instead.
+            phc_obs::probe!(count ChainedElementsFallbacks);
+            debug_assert!(
+                false,
+                "chained elements(): bucket chains changed between the count and copy \
+                 passes — an insert/delete phase raced this read phase"
+            );
+            // The pre-sized buffer may have gaps, so discard it
+            // (entries are `Copy`; nothing to drop) and take the
+            // race-tolerant per-bucket path instead.
+            return self.elements_slow();
         }
         // SAFETY: every bucket wrote exactly counts[b] entries at
         // [offsets[b], offsets[b] + counts[b]), and those ranges
@@ -314,6 +311,34 @@ impl<E: HashEntry> ChainedHashTable<E> {
             out.set_len(total);
         }
         out
+    }
+
+    /// The race-tolerant `elements` fallback: one `Vec` per non-empty
+    /// bucket, re-walked and re-copied. Correct even while chains are
+    /// being mutated (each chain is walked exactly once, and unlinked
+    /// nodes stay allocated), but allocation-heavy — the fast path
+    /// only diverts here on a phase violation, which
+    /// [`elements`](Self::elements) counts and debug-asserts on.
+    /// Factored out so tests can exercise the fallback directly
+    /// (triggering it through a real race would be nondeterministic
+    /// and would trip the debug assertion).
+    fn elements_slow(&self) -> Vec<E> {
+        use rayon::prelude::*;
+        self.buckets
+            .par_iter()
+            .with_min_len(512)
+            .flat_map_iter(|head| {
+                let mut chain = Vec::new();
+                let mut cur = head.load(Ordering::Acquire);
+                while !cur.is_null() {
+                    // SAFETY: arena-owned.
+                    let node = unsafe { &*cur };
+                    chain.push(E::from_repr(node.repr.load(Ordering::Acquire)));
+                    cur = node.next.load(Ordering::Acquire);
+                }
+                chain
+            })
+            .collect()
     }
 
     /// Number of stored entries (walks every list).
@@ -421,6 +446,23 @@ mod tests {
             ChainedHashTable::new_pow2(8),
             ChainedHashTable::new_pow2_cr(8),
         ]
+    }
+
+    #[test]
+    fn elements_slow_matches_fast_path_when_quiescent() {
+        // The phase-violation fallback must agree with the packed fast
+        // path on a quiescent table (same multiset of entries; the
+        // fallback's per-bucket order is the same chain walk, so the
+        // sequences are in fact identical).
+        for t in both_modes() {
+            for k in 1..=500u64 {
+                t.insert(U64Key::new(k * 3));
+            }
+            for k in (1..=500u64).step_by(5) {
+                t.delete(U64Key::new(k * 3));
+            }
+            assert_eq!(t.elements(), t.elements_slow());
+        }
     }
 
     #[test]

@@ -548,6 +548,15 @@ impl<E: HashEntry> DetHashTable<E> {
         self.find_repr(key.to_repr()).map(E::from_repr)
     }
 
+    /// Prefetches `v`'s home-slot cache line (see [`crate::batch`]) so
+    /// external batch loops — the growable wrapper's threshold-counting
+    /// insert, for one — can pipeline their misses like the in-core
+    /// batch kernels do.
+    #[inline]
+    pub(crate) fn prefetch_repr(&self, v: u64) {
+        crate::batch::prefetch_slot(&self.cells, self.slot(E::hash(v)));
+    }
+
     /// Looks up a batch of keys with software prefetching (the read
     /// analogue of [`insert_batch`](Self::insert_batch)), returning
     /// results in key order: `out[i] == self.find(keys[i])`.

@@ -100,6 +100,22 @@ pub trait FlatTableCore<E: HashEntry>: Send + Sync {
     fn delete_counted(&self, key: E) -> bool;
     /// Looks up the entry with `key`'s key part.
     fn find(&self, key: E) -> Option<E>;
+    /// Batched lookup, one result per key in key order. The default is
+    /// a per-key loop; the flat cores override it with their
+    /// prefetching, tier-bound batch kernels so growable wrappers and
+    /// the server's shards get the same lookup fast path as the
+    /// fixed-capacity tables.
+    fn find_batch(&self, keys: &[E]) -> Vec<Option<E>> {
+        keys.iter().map(|&k| self.find(k)).collect()
+    }
+    /// Hints the memory system to pull `v`'s home-slot cache line in
+    /// ahead of a probe (see [`crate::batch`]). A pure performance
+    /// hint — the default is a no-op; the flat cores prefetch their
+    /// cell arrays so the growable batch loops get the same
+    /// miss-overlapping pipeline as the fixed-capacity batch kernels.
+    fn prefetch_repr(&self, v: u64) {
+        let _ = v;
+    }
     /// Packs the stored entries in cell order (deterministic).
     fn elements(&self) -> Vec<E>;
     /// Raw snapshot of the cell array (the core's canonical layout).
@@ -131,6 +147,12 @@ impl<E: HashEntry> FlatTableCore<E> for DetHashTable<E> {
     }
     fn find(&self, key: E) -> Option<E> {
         DetHashTable::find(self, key)
+    }
+    fn find_batch(&self, keys: &[E]) -> Vec<Option<E>> {
+        DetHashTable::find_batch(self, keys)
+    }
+    fn prefetch_repr(&self, v: u64) {
+        DetHashTable::prefetch_repr(self, v)
     }
     fn elements(&self) -> Vec<E> {
         DetHashTable::elements(self)
@@ -309,8 +331,9 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
 
     /// Drains pending migration and grows until the load is below the
     /// threshold. Called between phases (`&self` methods quiesce but do
-    /// not normalize).
-    fn normalize(&self) {
+    /// not normalize). Exposed crate-internally so room wrappers can
+    /// normalize at batch boundaries without taking `&mut self`.
+    pub(crate) fn normalize(&self) {
         loop {
             self.quiesce();
             let ep = self.current_epoch();
@@ -383,6 +406,90 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
         }
     }
 
+    /// Inserts a batch of entries, amortizing the epoch-registration
+    /// RMWs over runs of consecutive entries. The per-entry `SeqCst`
+    /// register/retire pair is the dominant overhead of growability
+    /// (see [`insert_batch_into_chain`](Self::insert_batch_into_chain),
+    /// which this mirrors); a batch pays it once per registration
+    /// window instead of once per entry. Unlike the migration
+    /// re-insert path, this *does* help migration — it is an entry
+    /// point for inserting threads, so growth cost stays cooperative.
+    ///
+    /// The threshold check inside a window uses the registration read
+    /// plus local fills (exact for this thread, approximate across
+    /// threads), which only shifts *when* growth triggers mid-phase,
+    /// never the canonical capacity — callers that rely on snapshot
+    /// determinism normalize at phase end exactly as with per-op
+    /// [`insert`](Self::insert).
+    pub fn insert_batch(&self, entries: &[E]) {
+        let mut i = 0;
+        // A repr displaced by a hard-full insert; takes precedence
+        // over `entries[i]` until it lands.
+        let mut carry: Option<u64> = None;
+        while i < entries.len() || carry.is_some() {
+            let ep = self.current_epoch();
+            if !ep.next.load(Ordering::SeqCst).is_null() {
+                self.help_migrate(ep);
+                continue;
+            }
+            let prev = ep.state.fetch_add(ACTIVE_ONE, Ordering::SeqCst);
+            if !ep.next.load(Ordering::SeqCst).is_null() {
+                ep.state.fetch_sub(ACTIVE_ONE, Ordering::SeqCst);
+                continue;
+            }
+            let cap = ep.table.capacity();
+            let mut fills = 0usize;
+            let mut publish = false;
+            let ahead = crate::batch::insert_prefetch_ahead();
+            for e in entries.iter().skip(i).take(ahead) {
+                ep.table.prefetch_repr(e.to_repr());
+            }
+            while i < entries.len() || carry.is_some() {
+                if Epoch::<E, T>::items_over_threshold((prev & ITEMS_MASK) + fills, cap) {
+                    publish = true;
+                    break;
+                }
+                if let Some(next) = entries.get(i + ahead) {
+                    ep.table.prefetch_repr(next.to_repr());
+                }
+                let v = carry.unwrap_or_else(|| entries[i].to_repr());
+                match ep.table.try_insert_repr(v) {
+                    Ok(filled) => {
+                        fills += filled as usize;
+                        if carry.take().is_none() {
+                            i += 1;
+                        }
+                    }
+                    Err(displaced) => {
+                        carry = Some(displaced);
+                        publish = true;
+                        break;
+                    }
+                }
+            }
+            ep.state.fetch_sub(ACTIVE_ONE - fills, Ordering::SeqCst);
+            if publish {
+                self.publish_successor(ep);
+                self.help_migrate(ep);
+            }
+        }
+    }
+
+    /// Parallel batched insert: chunks by [`phc_parutil::grain`] and
+    /// drives [`insert_batch`](Self::insert_batch) per chunk.
+    pub fn par_insert_batched(&self, entries: &[E]) {
+        use rayon::prelude::*;
+        // A single-chunk batch gains nothing from the pool; skip the
+        // dispatch (the server's per-shard sub-batches are usually
+        // well under one grain).
+        if entries.len() <= phc_parutil::grain() {
+            return self.insert_batch(entries);
+        }
+        entries
+            .par_chunks(phc_parutil::grain())
+            .for_each(|chunk| self.insert_batch(chunk));
+    }
+
     /// Deletes by key. Callable from any number of threads during a
     /// delete phase. The table never shrinks (as in the paper).
     pub fn delete(&self, key: E) {
@@ -393,10 +500,63 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
         }
     }
 
+    /// Deletes a batch of keys, crediting the removals with a single
+    /// RMW per batch instead of one per key.
+    pub fn delete_batch(&self, keys: &[E]) {
+        use crate::batch::PREFETCH_AHEAD;
+        self.quiesce();
+        let ep = self.current_epoch();
+        let mut removed = 0usize;
+        for k in keys.iter().take(PREFETCH_AHEAD) {
+            ep.table.prefetch_repr(k.to_repr());
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            if let Some(next) = keys.get(i + PREFETCH_AHEAD) {
+                ep.table.prefetch_repr(next.to_repr());
+            }
+            removed += ep.table.delete_counted(k) as usize;
+        }
+        if removed > 0 {
+            ep.state.fetch_sub(removed, Ordering::Relaxed);
+        }
+    }
+
+    /// Parallel batched delete: chunks by [`phc_parutil::grain`].
+    pub fn par_delete_batched(&self, keys: &[E]) {
+        use rayon::prelude::*;
+        if keys.len() <= phc_parutil::grain() {
+            return self.delete_batch(keys);
+        }
+        self.quiesce();
+        keys.par_chunks(phc_parutil::grain())
+            .for_each(|chunk| self.delete_batch(chunk));
+    }
+
     /// Looks up a key (find/elements phase).
     pub fn find(&self, key: E) -> Option<E> {
         self.quiesce();
         self.current_epoch().table.find(key)
+    }
+
+    /// Batched lookup through the core's prefetching batch kernel
+    /// (one result per key, in key order).
+    pub fn find_batch(&self, keys: &[E]) -> Vec<Option<E>> {
+        self.quiesce();
+        self.current_epoch().table.find_batch(keys)
+    }
+
+    /// Parallel batched lookup: chunks by [`phc_parutil::grain`];
+    /// results stay in key order (`flat_map_iter` over ordered
+    /// chunks).
+    pub fn par_find_batched(&self, keys: &[E]) -> Vec<Option<E>> {
+        use rayon::prelude::*;
+        if keys.len() <= phc_parutil::grain() {
+            return self.find_batch(keys);
+        }
+        self.quiesce();
+        keys.par_chunks(phc_parutil::grain())
+            .flat_map_iter(|chunk| self.find_batch(chunk))
+            .collect()
     }
 
     /// Packs the contents (deterministic sequence).

@@ -743,6 +743,14 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
             .map(|c| E::from_repr(self.recover(r, c)))
     }
 
+    /// Prefetches `v`'s home-slot cache line (see [`crate::batch`])
+    /// for external batch loops (the growable wrapper's
+    /// threshold-counting insert).
+    #[inline]
+    pub(crate) fn prefetch_repr(&self, v: u64) {
+        crate::batch::prefetch_slot(&self.cells, self.slot(self.transform(v)));
+    }
+
     /// Looks up a batch of keys with software prefetching and
     /// batch-level tier dispatch, returning results in key order:
     /// `out[i] == self.find(keys[i])`.
@@ -1320,6 +1328,12 @@ impl<E: HashEntry> crate::resize::FlatTableCore<E> for RobinHoodHashTable<E> {
     }
     fn find(&self, key: E) -> Option<E> {
         RobinHoodHashTable::find(self, key)
+    }
+    fn find_batch(&self, keys: &[E]) -> Vec<Option<E>> {
+        RobinHoodHashTable::find_batch(self, keys)
+    }
+    fn prefetch_repr(&self, v: u64) {
+        RobinHoodHashTable::prefetch_repr(self, v)
     }
     fn elements(&self) -> Vec<E> {
         RobinHoodHashTable::elements(self)

@@ -256,6 +256,67 @@ impl<E: HashEntry, T: FlatTableCore<E>> AutoPhaseGrowTable<E, T> {
         self.rooms.with(Room::Read, || self.table.elements())
     }
 
+    /// Batched parallel insert: enters the insert room **once** for the
+    /// whole batch (per-op calls pay a room CAS pair per entry), drives
+    /// the resize layer's amortized-registration batch path, and
+    /// normalizes the capacity before leaving the room.
+    ///
+    /// Normalizing inside the room is what makes the batch boundary a
+    /// deterministic cut: when this call returns, the capacity is the
+    /// canonical one for the current key set and the layout is a pure
+    /// function of the contents — so a server shard driven exclusively
+    /// through the batched calls has schedule-independent quiescent
+    /// snapshots at every batch boundary, which the per-op room calls
+    /// (that never normalize) cannot promise.
+    ///
+    /// The rayon workers that execute the inner chunks do not enter the
+    /// room themselves: they act on behalf of this caller, which blocks
+    /// inside the room until the parallel call completes, so every
+    /// worker access is ordered before the room exit.
+    pub fn par_insert_batched(&self, entries: &[E]) {
+        self.rooms.with(Room::Insert, || {
+            self.table.par_insert_batched(entries);
+            self.table.normalize();
+        });
+    }
+
+    /// Batched parallel delete: one delete-room entry for the batch.
+    pub fn par_delete_batched(&self, keys: &[E]) {
+        self.rooms
+            .with(Room::Delete, || self.table.par_delete_batched(keys));
+    }
+
+    /// Batched parallel lookup: one read-room entry for the batch;
+    /// results are in key order.
+    pub fn par_find_batched(&self, keys: &[E]) -> Vec<Option<E>> {
+        self.rooms
+            .with(Room::Read, || self.table.par_find_batched(keys))
+    }
+
+    /// Drains pending migration and grows to the canonical capacity
+    /// (enters the insert room — normalization is insert work). Call
+    /// after a burst of per-op [`insert`](Self::insert)s when you need
+    /// the snapshot-determinism guarantee the batched path provides.
+    pub fn normalize(&self) {
+        self.rooms.with(Room::Insert, || self.table.normalize());
+    }
+
+    /// Number of stored entries (enters the read room; exact once the
+    /// room is granted, since granting quiesces migration).
+    pub fn len(&self) -> usize {
+        self.rooms.with(Room::Read, || self.table.len())
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Raw snapshot of the live backing array (enters the read room).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.rooms.with(Room::Read, || self.table.snapshot())
+    }
+
     /// Grants direct phased access when the caller has `&mut`
     /// (no synchronization needed — the borrow is exclusive).
     pub fn raw_mut(&mut self) -> &mut ResizableTable<E, T> {

@@ -122,6 +122,15 @@ define_ids! {
         /// was evicted and carried forward by a richer (higher
         /// priority) insert.
         RobinHoodShifts => "robinhood_shifts",
+        /// Chained `elements()` diverted to the allocation-heavy
+        /// race-tolerant fallback: a bucket chain changed length
+        /// between the count and copy passes, i.e. a write phase raced
+        /// a read phase. Nonzero means a phase violation somewhere.
+        ChainedElementsFallbacks => "chained_elements_fallbacks",
+        /// Request batches applied by the sharded KV server.
+        ServerBatches => "server_batches",
+        /// Operations routed to shards by the KV server's partitioner.
+        ServerOpsRouted => "server_ops_routed",
     }
 }
 
@@ -143,6 +152,9 @@ define_ids! {
         /// Robin Hood displacement (cells past home) per stored entry,
         /// mirrored from quiescent snapshots.
         RhDisplacement => "rh_displacement",
+        /// Ops landing on one shard in one server batch (the router's
+        /// per-shard fan-out distribution).
+        ServerShardOps => "server_shard_ops",
     }
 }
 

@@ -1,0 +1,56 @@
+//! Seeded load-generator smoke: builds a deterministic Zipfian
+//! request log, replays it through the sharded server, and prints the
+//! response-log hash plus per-shard stats.
+//!
+//! CI runs this twice with different `PHC_THREADS` values and
+//! different shard counts and asserts the printed
+//! `response_log_hash` lines are identical — the end-to-end
+//! determinism guarantee as a shell one-liner.
+//!
+//! ```text
+//! smoke [--ops N] [--shards S] [--batch B] [--seed X]
+//! ```
+
+use phc_server::{response_log_hash, KvServer};
+use phc_workloads::{kv_request_log, KvWorkload};
+
+fn arg(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ops = arg(&args, "--ops", 200_000) as usize;
+    let shards = arg(&args, "--shards", 4) as usize;
+    let batch = arg(&args, "--batch", 1024) as usize;
+    let seed = arg(&args, "--seed", 7);
+
+    let workload = KvWorkload {
+        clients: 1 << 20,
+        key_space: 1 << 15,
+        zipf_s: 0.99,
+        get_frac: 0.60,
+        del_frac: 0.05,
+    };
+    let log = kv_request_log(ops, &workload, seed);
+    let server: KvServer = KvServer::new(shards, 10);
+    let resps = server.apply_log(&log, batch);
+
+    println!("ops={ops} shards={shards} batch={batch} seed={seed}");
+    println!("response_log_hash=0x{:016x}", response_log_hash(&resps));
+    for (s, st) in server.shard_stats().iter().enumerate() {
+        println!(
+            "shard[{s}] ops={} puts={} gets={} hits={} dels={} len={}",
+            st.ops(),
+            st.puts,
+            st.gets,
+            st.hits,
+            st.dels,
+            server.shard_lens()[s]
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! A deterministic sharded KV service layer over the phase-concurrent
+//! hash tables (ROADMAP item 1; see `DESIGN.md` §5.6).
+//!
+//! The paper's tables promise deterministic results at any thread
+//! count *within* a phase; this crate composes that guarantee across
+//! `N` independent shards into an end-to-end service property:
+//!
+//! > the response log is a pure function of the request log —
+//! > byte-identical across thread counts **and** shard counts.
+//!
+//! Three pieces make that hold:
+//!
+//! * a deterministic hash [`router`] (stable partition, decorrelated
+//!   from the tables' probe hash);
+//! * per-shard [`AutoPhaseGrowTable`]s whose room synchronizers let
+//!   shards sit in *different* phases simultaneously (a get-heavy
+//!   shard never blocks a put-heavy one), driven through the batched
+//!   `par_insert_batched` / `par_find_batched` / `par_delete_batched`
+//!   paths with one room entry per sub-batch;
+//! * a fixed within-batch sub-phase order (puts → deletes → gets) plus
+//!   response re-assembly at submission indices, so neither routing
+//!   nor scheduling can reorder what a client observes.
+//!
+//! [`AutoPhaseGrowTable`]: phc_core::AutoPhaseGrowTable
+
+#![warn(missing_docs)]
+
+pub mod router;
+pub mod server;
+
+pub use router::shard_of;
+pub use server::{
+    resp_hit, response_log_bytes, response_log_hash, KvServer, ShardStats, ShardStatsSnapshot,
+    RESP_DEL_ACK, RESP_HIT_TAG, RESP_MISS, RESP_PUT_ACK,
+};

@@ -1,0 +1,57 @@
+//! Deterministic hash routing: which shard owns a key. The server's
+//! routing pass ([`crate::KvServer::apply_batch`]) applies this map to
+//! every op of a batch, stably, so each shard sees exactly the
+//! subsequence of the request log it owns.
+//!
+//! Routing must satisfy two properties:
+//!
+//! * **Determinism.** The shard assignment is a pure function of
+//!   `(key, shard_count)` — no load balancing, no affinity state — so
+//!   replaying a request log routes every op identically.
+//! * **Decorrelation from the tables' home slots.** Shards are picked
+//!   by a *different* mix of the key than the one the in-shard tables
+//!   use for probe homes ([`phc_parutil::hash64_pair`] with a fixed
+//!   salt stream vs. the entries' own `HashEntry::hash`). If the two
+//!   shared bits, every shard's table would see keys pre-filtered to
+//!   one slice of its home-slot range and cluster pathologically.
+
+/// Salt stream separating the router's key mix from the tables' probe
+/// mix (any fixed constant works; this one spells "shard").
+const ROUTER_STREAM: u64 = 0x73_6861_7264;
+
+/// Shard index owning `key` among `shards` shards (`shards` must be a
+/// power of two).
+#[inline]
+pub fn shard_of(key: u32, shards: usize) -> usize {
+    debug_assert!(shards.is_power_of_two(), "shard count must be 2^k");
+    (phc_parutil::hash64_pair(key as u64, ROUTER_STREAM) as usize) & (shards - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for shards in [1usize, 4, 16] {
+            for key in 1..=1000u32 {
+                let s = shard_of(key, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(key, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn routing_spreads_keys() {
+        // 10k sequential keys over 16 shards: no shard should be
+        // starved or hot by more than ~2x the mean.
+        let mut counts = [0usize; 16];
+        for key in 1..=10_000u32 {
+            counts[shard_of(key, 16)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!((300..=1250).contains(&c), "shard {s} got {c} of 10000");
+        }
+    }
+}

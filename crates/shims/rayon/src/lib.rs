@@ -34,6 +34,8 @@ use std::cell::Cell;
 
 pub mod pool;
 
+pub use pool::set_threads_for_test;
+
 pub mod prelude {
     //! The traits needed to call parallel-iterator methods.
     pub use crate::{
@@ -1252,6 +1254,32 @@ mod tests {
                 o.copy_from_slice(i);
             });
         assert_eq!(out, v);
+    }
+
+    // One test covers the env latch *and* the override because they
+    // share process-global state; sequencing the assertions inside one
+    // test avoids ordering races with sibling tests.
+    #[test]
+    fn threads_env_is_latched_but_override_is_live() {
+        // Force the once-read default, whatever it is on this host.
+        let latched = current_num_threads();
+        // The documented footgun: writing the env var after the first
+        // parallel touch has no effect — the value is latched.
+        std::env::set_var("PHC_THREADS", "17");
+        assert_eq!(
+            current_num_threads(),
+            latched,
+            "env writes after first touch must be stale"
+        );
+        std::env::remove_var("PHC_THREADS");
+        // The in-process override takes effect immediately...
+        set_threads_for_test(Some(3));
+        assert_eq!(current_num_threads(), 3);
+        // ...but an explicitly installed width still wins.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 2);
+        set_threads_for_test(None);
+        assert_eq!(current_num_threads(), latched);
     }
 
     #[test]

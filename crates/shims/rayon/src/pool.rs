@@ -119,10 +119,31 @@ pub(crate) fn on_worker() -> bool {
     IS_WORKER.with(|c| c.get())
 }
 
-/// The configured pool size: `PHC_THREADS` (read once at pool init) or
-/// the machine's available parallelism. This is both the number of
-/// initially spawned workers and the default width of parallel calls.
+/// In-process override for [`configured_pool_size`] (0 = none).
+static WIDTH_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the default parallel width for the current process
+/// (`None` restores the `PHC_THREADS`/auto-detected value). The env
+/// knob is read once and latched — setting `PHC_THREADS` after the
+/// first parallel call silently does nothing — so this is the
+/// supported way to change the default width after startup. An
+/// explicitly installed width (`ThreadPool::install`,
+/// `with_pool`) still takes precedence; the pool grows workers on
+/// demand if the override raises the width.
+pub fn set_threads_for_test(width: Option<usize>) {
+    WIDTH_OVERRIDE.store(width.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The configured pool size: the in-process override
+/// ([`set_threads_for_test`]) if one is set, else `PHC_THREADS` (read
+/// once at pool init), else the machine's available parallelism. This
+/// is both the number of initially spawned workers and the default
+/// width of parallel calls.
 pub(crate) fn configured_pool_size() -> usize {
+    let o = WIDTH_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
     static SIZE: OnceLock<usize> = OnceLock::new();
     *SIZE.get_or_init(|| {
         std::env::var("PHC_THREADS")

@@ -1,0 +1,190 @@
+//! Closed-loop KV request-log generation for the sharded server
+//! (`crates/server`).
+//!
+//! Simulates `clients` logical closed-loop clients: each client issues
+//! its next request only after the previous one completed, and the
+//! server admits one request per client per scheduling round
+//! (round-robin). That makes the interleaving — and therefore the
+//! whole request log — a pure function of the generator parameters:
+//! operation `j` belongs to client `j % clients` and is that client's
+//! request number `j / clients`. All randomness is drawn by hashing
+//! the `(client, request#)` pair, so a given client's request stream
+//! is identical no matter how many other clients exist or how many
+//! threads generate the log. Millions of logical clients cost nothing:
+//! client state is implicit in the index arithmetic.
+
+use crate::zipf::Zipf;
+use phc_parutil::IndexRng;
+use rayon::prelude::*;
+
+/// One KV request. Keys are nonzero `u32`s (the server stores them in
+/// the key half of a `KvPair`); values are nonzero `u32`s.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KvOp {
+    /// Store `val` under `key` (combining on duplicates — see the
+    /// server's semantics).
+    Put {
+        /// Nonzero key.
+        key: u32,
+        /// Nonzero value.
+        val: u32,
+    },
+    /// Look up `key`.
+    Get {
+        /// Nonzero key.
+        key: u32,
+    },
+    /// Remove `key`.
+    Del {
+        /// Nonzero key.
+        key: u32,
+    },
+}
+
+impl KvOp {
+    /// The key this operation touches.
+    pub fn key(&self) -> u32 {
+        match *self {
+            KvOp::Put { key, .. } | KvOp::Get { key } | KvOp::Del { key } => key,
+        }
+    }
+}
+
+/// Workload shape for [`kv_request_log`]: operation mix and key skew.
+#[derive(Clone, Copy, Debug)]
+pub struct KvWorkload {
+    /// Number of logical closed-loop clients (≥ 1).
+    pub clients: usize,
+    /// Distinct keys; draws are Zipf-skewed over `1..=key_space`.
+    pub key_space: usize,
+    /// Zipf exponent (0 = uniform; 0.99 = YCSB-like skew).
+    pub zipf_s: f64,
+    /// Fraction of operations that are gets, in `[0, 1]`.
+    pub get_frac: f64,
+    /// Fraction of operations that are deletes, in `[0, 1]`
+    /// (`get_frac + del_frac ≤ 1`; the rest are puts).
+    pub del_frac: f64,
+}
+
+impl Default for KvWorkload {
+    /// YCSB-B-ish: 95% gets, 5% puts, no deletes, Zipf 0.99.
+    fn default() -> Self {
+        KvWorkload {
+            clients: 1 << 20,
+            key_space: 1 << 16,
+            zipf_s: 0.99,
+            get_frac: 0.95,
+            del_frac: 0.0,
+        }
+    }
+}
+
+/// Generates the deterministic request log of `n_ops` operations for
+/// `w` (see the [module docs](self) for the closed-loop model).
+pub fn kv_request_log(n_ops: usize, w: &KvWorkload, seed: u64) -> Vec<KvOp> {
+    assert!(w.clients >= 1, "need at least one client");
+    assert!(
+        w.get_frac + w.del_frac <= 1.0 + 1e-9,
+        "op-mix fractions exceed 1"
+    );
+    let zipf = Zipf::new(w.key_space, w.zipf_s);
+    let kind_rng = IndexRng::new(seed);
+    let key_rng = kind_rng.stream(1);
+    let val_rng = kind_rng.stream(2);
+    // Per-mille thresholds keep the mix integral and exact.
+    let get_lim = (w.get_frac * 1000.0) as u64;
+    let del_lim = get_lim + (w.del_frac * 1000.0) as u64;
+    let clients = w.clients as u64;
+    (0..n_ops)
+        .into_par_iter()
+        .with_min_len(4096)
+        .map(|j| {
+            let j = j as u64;
+            // Round-robin closed loop: client c's q-th request.
+            let (c, q) = (j % clients, j / clients);
+            // Hash the (client, request#) pair into one draw index so
+            // a client's stream is independent of the client count's
+            // interleaving.
+            let idx = phc_parutil::hash64_pair(c, q);
+            let key = zipf.key(key_rng.gen(idx)) as u32;
+            match kind_rng.gen_range(idx, 1000) {
+                r if r < get_lim => KvOp::Get { key },
+                r if r < del_lim => KvOp::Del { key },
+                _ => KvOp::Put {
+                    key,
+                    val: (val_rng.gen_range(idx, u32::MAX as u64 - 1) + 1) as u32,
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> KvWorkload {
+        KvWorkload {
+            clients: 8,
+            key_space: 1000,
+            zipf_s: 0.99,
+            get_frac: 0.5,
+            del_frac: 0.1,
+        }
+    }
+
+    #[test]
+    fn log_is_reproducible_and_in_range() {
+        let a = kv_request_log(20_000, &mix(), 42);
+        assert_eq!(a, kv_request_log(20_000, &mix(), 42));
+        assert_ne!(a, kv_request_log(20_000, &mix(), 43));
+        for op in &a {
+            assert!((1..=1000).contains(&op.key()));
+            if let KvOp::Put { val, .. } = op {
+                assert!(*val >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn op_mix_is_roughly_requested() {
+        let a = kv_request_log(100_000, &mix(), 7);
+        let gets = a.iter().filter(|o| matches!(o, KvOp::Get { .. })).count();
+        let dels = a.iter().filter(|o| matches!(o, KvOp::Del { .. })).count();
+        assert!((48_000..52_000).contains(&gets), "gets = {gets}");
+        assert!((9_000..11_000).contains(&dels), "dels = {dels}");
+    }
+
+    #[test]
+    fn client_streams_are_schedule_independent() {
+        // Client 1's request stream must not depend on how many other
+        // clients it is interleaved with: with 4 clients its requests
+        // sit at indices 1, 5, 9, …; with 8 clients at 1, 9, 17, … —
+        // same stream either way.
+        let w4 = KvWorkload {
+            clients: 4,
+            ..mix()
+        };
+        let w8 = KvWorkload {
+            clients: 8,
+            ..mix()
+        };
+        let a = kv_request_log(4_000, &w4, 9);
+        let b = kv_request_log(8_000, &w8, 9);
+        let stream_a: Vec<KvOp> = a.iter().skip(1).step_by(4).copied().collect();
+        let stream_b: Vec<KvOp> = b.iter().skip(1).step_by(8).copied().collect();
+        assert_eq!(stream_a[..500], stream_b[..500]);
+    }
+
+    #[test]
+    fn millions_of_clients_cost_nothing() {
+        // Client state is implicit: a million-client log generates as
+        // fast as an 8-client one and stays deterministic.
+        let w = KvWorkload {
+            clients: 1 << 20,
+            ..mix()
+        };
+        let a = kv_request_log(10_000, &w, 3);
+        assert_eq!(a, kv_request_log(10_000, &w, 3));
+    }
+}

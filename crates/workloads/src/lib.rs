@@ -9,8 +9,13 @@
 //! * [`random_seq_int`] / [`random_seq_pair_int`] — uniform in `[1, n]`;
 //! * [`expt_seq_int`] / [`expt_seq_pair_int`] — exponential (heavy
 //!   duplication, stress-tests collision handling);
+//! * [`zipf::zipf_seq_int`] — Zipf(s) key skew (YCSB-style KV
+//!   traffic; feeds the sharded server's load generator);
 //! * [`trigram::words`] — English-like strings from a letter trigram
 //!   model (many duplicates, string comparisons);
+//!
+//! and the closed-loop KV request-log generator ([`kv`]) that drives
+//! the deterministic sharded server in `crates/server`.
 //!
 //! plus the graph inputs (`3D-grid`, `random`, `rMat`), the point
 //! distributions (`2DinCube`, `2Dkuzmin`), and synthetic stand-ins for
@@ -19,11 +24,15 @@
 #![warn(missing_docs)]
 
 pub mod graphs;
+pub mod kv;
 pub mod points;
 pub mod sequences;
 pub mod text;
 pub mod trigram;
+pub mod zipf;
 
 pub use graphs::{grid3d, random_graph, rmat};
+pub use kv::{kv_request_log, KvOp, KvWorkload};
 pub use points::{in_cube_2d, kuzmin_2d, Point2d};
 pub use sequences::{expt_seq_int, expt_seq_pair_int, random_seq_int, random_seq_pair_int};
+pub use zipf::{zipf_seq_int, Zipf};

@@ -1,0 +1,113 @@
+//! Zipfian key-skew sequences.
+//!
+//! [`sequences`](crate::sequences) covers the paper's distributions
+//! (uniform and the PBBS geometric/exponential skew); high-traffic KV
+//! workloads are conventionally modeled as Zipf(s) over the key space
+//! instead (YCSB's default, and the regime Maier et al. evaluate
+//! concurrent tables under). `P(k) ∝ 1/k^s`, so key 1 is the hottest
+//! and the tail is long: at `s = 0.99` roughly 10% of the keys draw
+//! ~90% of the traffic.
+//!
+//! Draws go through a precomputed CDF and a binary search, which makes
+//! each sample a pure function of its uniform input — combined with
+//! [`IndexRng`]'s hash-by-index generation, a Zipfian sequence is
+//! deterministic and thread-count independent like every other
+//! workload in this crate.
+
+use phc_parutil::IndexRng;
+use rayon::prelude::*;
+
+/// A sampled Zipf(s) distribution over keys `1..=key_space`.
+pub struct Zipf {
+    /// `cdf[k-1]` = P(key ≤ k), normalized to end at 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precomputes the CDF for `key_space` keys with exponent `s`.
+    /// O(key_space) time and 8 bytes per key — fine up to tens of
+    /// millions of keys.
+    pub fn new(key_space: usize, s: f64) -> Self {
+        assert!(key_space > 0, "empty key space");
+        let mut cdf = Vec::with_capacity(key_space);
+        let mut acc = 0.0f64;
+        for k in 1..=key_space {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of keys in the distribution's support.
+    pub fn key_space(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Maps one uniform `u64` draw to a key in `1..=key_space` by
+    /// inverse-CDF binary search.
+    pub fn key(&self, uniform: u64) -> u64 {
+        // Top 53 bits → f64 in [0, 1).
+        let u = (uniform >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1) + 1) as u64
+    }
+}
+
+/// `zipfSeq-int`: `n` keys Zipf(`s`)-distributed over
+/// `[1, key_space]`, deterministic per index.
+pub fn zipf_seq_int(n: usize, key_space: usize, s: f64, seed: u64) -> Vec<u64> {
+    let z = Zipf::new(key_space, s);
+    let rng = IndexRng::new(seed);
+    (0..n)
+        .into_par_iter()
+        .with_min_len(4096)
+        .map(|i| z.key(rng.gen(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn zipf_in_range_and_reproducible() {
+        let a = zipf_seq_int(50_000, 10_000, 0.99, 11);
+        let b = zipf_seq_int(50_000, 10_000, 0.99, 11);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&k| (1..=10_000).contains(&k)));
+        assert_ne!(a, zipf_seq_int(50_000, 10_000, 0.99, 12));
+    }
+
+    #[test]
+    fn zipf_is_rank_skewed() {
+        let a = zipf_seq_int(100_000, 10_000, 1.0, 3);
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for &k in &a {
+            *counts.entry(k).or_insert(0) += 1;
+        }
+        // P(1) = 1/H(10000) ≈ 1/9.79: the hottest key alone draws ~10%
+        // of the traffic (uniform would give each key 0.01%).
+        let hot = counts.get(&1).copied().unwrap_or(0);
+        assert!(hot > 5_000, "key 1 drew {hot} of 100k draws");
+        // Frequency decays with rank.
+        let mid = counts.get(&100).copied().unwrap_or(0);
+        assert!(hot > 10 * mid.max(1), "hot={hot} rank-100={mid}");
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniformish() {
+        // s = 0 degenerates to uniform: the hottest key should be
+        // close to the mean frequency, not a hot spot.
+        let a = zipf_seq_int(100_000, 100, 0.0, 5);
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for &k in &a {
+            *counts.entry(k).or_insert(0) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max < 1600, "max bucket {max} vs mean 1000");
+    }
+}

@@ -6,8 +6,11 @@
 //!
 //! * [`tables`] (from `phc-core`) — the deterministic phase-concurrent
 //!   hash table and every baseline the paper compares against;
+//! * [`server`] (from `phc-server`) — the deterministic sharded KV
+//!   service composing phase-concurrent shards;
 //! * [`parutil`] — PBBS-style parallel primitives (scan, pack, arenas);
-//! * [`workloads`] — the paper's input distributions;
+//! * [`workloads`] — the paper's input distributions plus the Zipfian
+//!   closed-loop KV load generator;
 //! * [`graphs`] — BFS, spanning forest, edge contraction;
 //! * [`geometry`] — Delaunay triangulation + deterministic refinement;
 //! * [`strings`] — suffix trees over phase-concurrent tables;
@@ -34,6 +37,7 @@ pub use phc_core as tables;
 pub use phc_geometry as geometry;
 pub use phc_graphs as graphs;
 pub use phc_parutil as parutil;
+pub use phc_server as server;
 pub use phc_strings as strings;
 pub use phc_workloads as workloads;
 

@@ -117,6 +117,49 @@ fn additive_combining_all_tables() {
     );
 }
 
+/// Server-layer row of the contract: composing tables into an
+/// `S`-shard [`KvServer`] must not change any per-shard snapshot —
+/// shard `i`'s quiescent layout equals a standalone single-shard
+/// replay of exactly the ops the router assigns to shard `i`, for
+/// every shard count.
+#[test]
+fn server_shard_count_preserves_per_shard_snapshots() {
+    use phase_concurrent_hashing::server::{shard_of, KvServer};
+    use phase_concurrent_hashing::workloads::{kv_request_log, KvOp, KvWorkload};
+
+    let workload = KvWorkload {
+        clients: 1 << 14,
+        key_space: 1 << 10,
+        zipf_s: 0.8,
+        get_frac: 0.30,
+        del_frac: 0.15,
+    };
+    let log = kv_request_log(6_000, &workload, 77);
+    let batch = 256usize;
+
+    for shards in [1usize, 2, 8] {
+        let server: KvServer = KvServer::new(shards, 7);
+        server.apply_log(&log, batch);
+        let composed = server.quiescent_snapshots();
+        for (shard, composed_snap) in composed.iter().enumerate() {
+            let standalone: KvServer = KvServer::new(1, 7);
+            for chunk in log.chunks(batch) {
+                let routed: Vec<KvOp> = chunk
+                    .iter()
+                    .copied()
+                    .filter(|op| shard_of(op.key(), shards) == shard)
+                    .collect();
+                standalone.apply_batch(&routed);
+            }
+            assert_eq!(
+                &standalone.quiescent_snapshots()[0],
+                composed_snap,
+                "shards={shards}: shard {shard} snapshot changed under composition"
+            );
+        }
+    }
+}
+
 /// High-duplication parallel insert storm (the chainedHash collapse
 /// scenario from Table 1) must stay correct on every table.
 #[test]
