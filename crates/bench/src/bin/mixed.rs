@@ -1,0 +1,282 @@
+//! Mixed read-modify-write bench (PR 8, not a paper artifact): the
+//! op-mix regime the phase discipline is structurally worst at —
+//! per-key put → get → del triplets from [`kv_rmw_log`], where every
+//! adjacent operation changes type — replayed through both shard
+//! cores of the KV server:
+//!
+//! * **rooms** — [`KvServer`] over the phase-separated det core: each
+//!   mixed batch pays room switches between its put, del, and get
+//!   sub-phases;
+//! * **fc** — [`FcKvServer`] over the fully concurrent core: the same
+//!   sub-batches run as one fused room-free pass (identical response
+//!   bytes — see `tests/server_replay.rs`).
+//!
+//! ```text
+//! mixed [--ops N] [--shards S] [--threads T] [--seed X] [--keys K] [--json FILE]
+//! ```
+//!
+//! The headline table sweeps batch size on the balanced 1:1:1 mix
+//! (`del_frac = 1.0`). Both modes' repetitions are interleaved
+//! ([`replay_pair`]) so host steal-time drift cannot land on one side
+//! of the ratio. A second table sweeps the del fraction at a fixed
+//! batch, and a third compares the per-op paths, where rooms pays a
+//! room transition at essentially *every* call — the regime the phase
+//! discipline is structurally worst at, and where fc's win is
+//! largest. At large batches on a single core the two converge: the
+//! server amortizes the (uncontended) room switches across the batch,
+//! while fc still pays its per-operation overlap checks — see the
+//! 1-core caveat in EXPERIMENTS.md. With the `obs` feature, a final
+//! table shows the mechanism: room switches all but vanish in fc
+//! mode, replaced by a small number of displacement repairs.
+
+use phc_bench::{arg_or_env, default_threads, Report};
+use phc_core::KeepMin;
+use phc_server::{FcKvServer, KvServer, ShardTable};
+use phc_workloads::{kv_rmw_log, KvOp, KvWorkload};
+
+/// Replay repetitions per row; the best total wins (the box the
+/// archived numbers come from is 1-core and noisy).
+const REPS: usize = 5;
+
+/// Per-shard table seed size (grows as needed during replay).
+const LOG2_CELLS: u32 = 10;
+
+/// Replays `log` in batches of `batch`, timing each batch. Returns
+/// (total seconds, sorted per-batch latencies in seconds).
+fn replay_timed_once<T: ShardTable<KeepMin>>(
+    server: &KvServer<KeepMin, T>,
+    log: &[KvOp],
+    batch: usize,
+) -> (f64, Vec<f64>) {
+    let mut lats = Vec::with_capacity(log.len() / batch + 1);
+    let t0 = std::time::Instant::now();
+    for chunk in log.chunks(batch) {
+        let b0 = std::time::Instant::now();
+        server.apply_batch(chunk);
+        lats.push(b0.elapsed().as_secs_f64());
+    }
+    let total = t0.elapsed().as_secs_f64();
+    lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (total, lats)
+}
+
+/// Best-of-[`REPS`] batched replay of *both* modes with the
+/// repetitions interleaved (A rep, B rep, A rep, ...), each on a fresh
+/// server scoped to drop before the other side's timed block. On a
+/// noisy shared host, timing all of one mode and then all of the other
+/// lets steal-time drift land on one side of the ratio; interleaving
+/// plus best-of makes the pairing drift-robust.
+fn replay_pair<A: ShardTable<KeepMin>, B: ShardTable<KeepMin>>(
+    shards: usize,
+    log: &[KvOp],
+    batch: usize,
+) -> ((f64, Vec<f64>), (f64, Vec<f64>)) {
+    let mut best_a: Option<(f64, Vec<f64>)> = None;
+    let mut best_b: Option<(f64, Vec<f64>)> = None;
+    for _ in 0..REPS {
+        {
+            let server: KvServer<KeepMin, A> = KvServer::new(shards, LOG2_CELLS);
+            let run = replay_timed_once(&server, log, batch);
+            if best_a.as_ref().is_none_or(|b| run.0 < b.0) {
+                best_a = Some(run);
+            }
+        }
+        {
+            let server: KvServer<KeepMin, B> = KvServer::new(shards, LOG2_CELLS);
+            let run = replay_timed_once(&server, log, batch);
+            if best_b.as_ref().is_none_or(|b| run.0 < b.0) {
+                best_b = Some(run);
+            }
+        }
+    }
+    (best_a.unwrap(), best_b.unwrap())
+}
+
+/// Best-of-[`REPS`] per-op replay of both modes, interleaved like
+/// [`replay_pair`] (no batching: rooms mode pays a room transition per
+/// call; fc mode pays only its epoch registration).
+fn per_op_pair<A: ShardTable<KeepMin>, B: ShardTable<KeepMin>>(
+    shards: usize,
+    log: &[KvOp],
+) -> (f64, f64) {
+    fn one<T: ShardTable<KeepMin>>(shards: usize, log: &[KvOp]) -> f64 {
+        let server: KvServer<KeepMin, T> = KvServer::new(shards, LOG2_CELLS);
+        let t0 = std::time::Instant::now();
+        for &op in log {
+            server.apply_op(op);
+        }
+        t0.elapsed().as_secs_f64()
+    }
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPS {
+        best_a = best_a.min(one::<A>(shards, log));
+        best_b = best_b.min(one::<B>(shards, log));
+    }
+    (best_a, best_b)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn rmw_workload(key_space: usize, del_frac: f64) -> KvWorkload {
+    KvWorkload {
+        clients: 1,
+        key_space,
+        zipf_s: 0.99,
+        get_frac: 0.0, // ignored by the triplet generator
+        del_frac,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ops = arg_or_env(&args, "--ops", "PHC_N", 600_000);
+    let shards = arg_or_env(&args, "--shards", "PHC_SHARDS", 4);
+    let threads = arg_or_env(&args, "--threads", "PHC_THREADS", default_threads());
+    let seed = arg_or_env(&args, "--seed", "PHC_SEED", 8) as u64;
+    let keys = arg_or_env(&args, "--keys", "PHC_KEYS", 1 << 20);
+    let json = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let balanced = kv_rmw_log(ops, &rmw_workload(keys, 1.0), seed);
+    println!(
+        "mixed rmw bench: ops={ops} shards={shards} threads={threads} seed={seed} \
+         (put/get/del triplets, Zipf s=0.99, {keys} keys)"
+    );
+
+    phc_parutil::with_pool(threads, |pool| {
+        pool.install(|| {
+            let mut reports: Vec<Report> = Vec::new();
+
+            // Headline: balanced 1:1:1 mix, batch sweep, both cores.
+            let mut sweep = Report::new(
+                format!("rmw 1:1:1 batch sweep, {shards} shards, T={threads}"),
+                &["rooms Mops", "fc Mops", "fc/rooms", "fc p99 batch us"],
+            );
+            for batch in [64usize, 256, 1024, 4096] {
+                let ((rooms_total, _), (fc_total, fc_lats)) =
+                    replay_pair::<
+                        phc_core::AutoPhaseGrowTable<phc_core::KvPair>,
+                        phc_core::FcAutoGrowTable<phc_core::KvPair>,
+                    >(shards, &balanced, batch);
+                let rooms_mops = ops as f64 / rooms_total / 1e6;
+                let fc_mops = ops as f64 / fc_total / 1e6;
+                sweep.push(
+                    format!("batch={batch}"),
+                    vec![
+                        Some(rooms_mops),
+                        Some(fc_mops),
+                        Some(fc_mops / rooms_mops),
+                        Some(percentile(&fc_lats, 0.99) * 1e6),
+                    ],
+                );
+            }
+            sweep.print();
+            reports.push(sweep);
+
+            // Mix-ratio sweep at a fixed batch: as the del fraction
+            // falls the third slot becomes a get and the room pattern
+            // shrinks from put|del|get to put|get — the rooms penalty
+            // shrinks with it.
+            let mut mix = Report::new(
+                format!("rmw del-fraction sweep, batch=1024, {shards} shards, T={threads}"),
+                &["rooms Mops", "fc Mops", "fc/rooms"],
+            );
+            for del_frac in [0.0f64, 0.25, 0.5, 1.0] {
+                let log = kv_rmw_log(ops, &rmw_workload(keys, del_frac), seed);
+                let ((rooms_total, _), (fc_total, _)) = replay_pair::<
+                    phc_core::AutoPhaseGrowTable<phc_core::KvPair>,
+                    phc_core::FcAutoGrowTable<phc_core::KvPair>,
+                >(shards, &log, 1024);
+                let rooms_mops = ops as f64 / rooms_total / 1e6;
+                let fc_mops = ops as f64 / fc_total / 1e6;
+                mix.push(
+                    format!("del_frac={del_frac}"),
+                    vec![Some(rooms_mops), Some(fc_mops), Some(fc_mops / rooms_mops)],
+                );
+            }
+            mix.print();
+            reports.push(mix);
+
+            // Per-op paths on a trimmed log (the unbatched path is an
+            // order of magnitude slower; keep the wall time sane).
+            let per_op_log = &balanced[..balanced.len().min(120_000)];
+            let (rooms_s, fc_s) = per_op_pair::<
+                phc_core::AutoPhaseGrowTable<phc_core::KvPair>,
+                phc_core::FcAutoGrowTable<phc_core::KvPair>,
+            >(shards, per_op_log);
+            let mut per_op = Report::new(
+                format!(
+                    "rmw 1:1:1 per-op path, {} ops, {shards} shards",
+                    per_op_log.len()
+                ),
+                &["Mops", "vs rooms"],
+            );
+            let rooms_mops = per_op_log.len() as f64 / rooms_s / 1e6;
+            let fc_mops = per_op_log.len() as f64 / fc_s / 1e6;
+            per_op.push("rooms", vec![Some(rooms_mops), Some(1.0)]);
+            per_op.push("fc", vec![Some(fc_mops), Some(fc_mops / rooms_mops)]);
+            per_op.print();
+            reports.push(per_op);
+
+            // Mechanism, when the obs feature is on: one more replay
+            // per mode with counter deltas around it. Room switches
+            // drop to zero in fc mode; the fc repair machinery's
+            // displacements/helps take their place (and are far
+            // rarer).
+            if phc_obs::Recorder::ENABLED {
+                use phc_obs::{Counter, Recorder};
+                let count = |f: &dyn Fn()| {
+                    let before = Recorder::global().snapshot();
+                    f();
+                    Recorder::global().snapshot().since(&before)
+                };
+                let rooms_d = count(&|| {
+                    let s: KvServer = KvServer::new(shards, LOG2_CELLS);
+                    s.apply_log(&balanced, 1024);
+                });
+                let fc_d = count(&|| {
+                    let s: FcKvServer = FcKvServer::new(shards, LOG2_CELLS);
+                    s.apply_log(&balanced, 1024);
+                });
+                let mut obs = Report::new(
+                    "obs: mechanism counters, one replay at batch=1024",
+                    &[
+                        "room switches",
+                        "room switch ns",
+                        "fc displacements",
+                        "fc helps",
+                        "fc repair scans",
+                    ],
+                );
+                for (name, d) in [("rooms", rooms_d), ("fc", fc_d)] {
+                    obs.push(
+                        name,
+                        vec![
+                            Some(d.counter(Counter::RoomSwitches) as f64),
+                            Some(d.counter(Counter::RoomSwitchNanos) as f64),
+                            Some(d.counter(Counter::FcDisplacements) as f64),
+                            Some(d.counter(Counter::FcHelps) as f64),
+                            Some(d.counter(Counter::FcRepairScans) as f64),
+                        ],
+                    );
+                }
+                obs.print();
+                reports.push(obs);
+            }
+
+            if let Some(path) = json {
+                phc_bench::report::write_json(&path, &reports).expect("write json");
+                println!("wrote {path}");
+            }
+        })
+    });
+}

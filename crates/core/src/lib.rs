@@ -20,6 +20,7 @@
 //! | [`ChainedHashTable`] | `chainedHash(-CR)` | Lea-style striped-lock chaining |
 //! | [`SerialHashHI`] / [`SerialHashHD`] | `serialHash-HI/HD` | sequential baselines |
 //! | [`RobinHoodHashTable`] | `robinHood` | SIMD-native displacement-ordered contender (see [`robinhood`]) |
+//! | [`FcHashTable`] | `linearHash-FC` | fully concurrent, history-independent at quiescence (see [`fc`]) |
 //!
 //! Phase discipline is enforced by the type system: see [`phase`].
 
@@ -30,6 +31,7 @@ pub mod chained;
 pub mod cuckoo;
 pub mod det;
 pub mod entry;
+pub mod fc;
 pub mod hopscotch;
 pub mod invariant;
 pub mod nd;
@@ -48,6 +50,7 @@ pub use det::DetHashTable;
 pub use entry::{
     AddValues, Combine, HashEntry, KeepMax, KeepMin, KvPair, StrPayload, StrRef, U64Key,
 };
+pub use fc::FcHashTable;
 pub use hopscotch::HopscotchHashTable;
 pub use nd::NdHashTable;
 pub use phase::{
@@ -58,6 +61,6 @@ pub use priority_write::{
 };
 pub use resize::{FlatTableCore, ResizableTable, StwResizableTable};
 pub use robinhood::RobinHoodHashTable;
-pub use rooms::{AutoPhaseGrowTable, AutoPhaseTable, Room, RoomSync};
+pub use rooms::{AutoPhaseGrowTable, AutoPhaseTable, FcAutoGrowTable, FcAutoTable, Room, RoomSync};
 pub use serial::{SerialHashHD, SerialHashHI};
 pub use simd::SimdTier;

@@ -98,6 +98,42 @@ pub trait FlatTableCore<E: HashEntry>: Send + Sync {
     fn try_insert_repr(&self, v: u64) -> Result<bool, u64>;
     /// Deletes, returning the global net-removed-element credit.
     fn delete_counted(&self, key: E) -> bool;
+    /// Opens a bulk-insert window, returning an opaque token for
+    /// [`try_insert_repr_in`](Self::try_insert_repr_in). Cores that
+    /// track live writer overlap (the fc core) register once per
+    /// window here instead of once per insert — the per-op `SeqCst`
+    /// register/retire pair would otherwise dominate batched inserts.
+    /// Phase-disciplined cores need nothing and keep the no-op
+    /// default.
+    fn open_insert_window(&self) -> u64 {
+        0
+    }
+    /// Closes a window opened by
+    /// [`open_insert_window`](Self::open_insert_window).
+    fn close_insert_window(&self, token: u64) {
+        let _ = token;
+    }
+    /// [`try_insert_repr`](Self::try_insert_repr) inside an open
+    /// insert window (the default ignores the token).
+    fn try_insert_repr_in(&self, v: u64, token: u64) -> Result<bool, u64> {
+        let _ = token;
+        self.try_insert_repr(v)
+    }
+    /// Opens a bulk-delete window (the delete analogue of
+    /// [`open_insert_window`](Self::open_insert_window)).
+    fn open_delete_window(&self) -> u64 {
+        0
+    }
+    /// Closes a bulk-delete window.
+    fn close_delete_window(&self, token: u64) {
+        let _ = token;
+    }
+    /// [`delete_counted`](Self::delete_counted) inside an open delete
+    /// window (the default ignores the token).
+    fn delete_counted_in(&self, key: E, token: u64) -> bool {
+        let _ = token;
+        self.delete_counted(key)
+    }
     /// Looks up the entry with `key`'s key part.
     fn find(&self, key: E) -> Option<E>;
     /// Batched lookup, one result per key in key order. The default is
@@ -441,6 +477,7 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
             let mut fills = 0usize;
             let mut publish = false;
             let ahead = crate::batch::insert_prefetch_ahead();
+            let tok = ep.table.open_insert_window();
             for e in entries.iter().skip(i).take(ahead) {
                 ep.table.prefetch_repr(e.to_repr());
             }
@@ -453,7 +490,7 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
                     ep.table.prefetch_repr(next.to_repr());
                 }
                 let v = carry.unwrap_or_else(|| entries[i].to_repr());
-                match ep.table.try_insert_repr(v) {
+                match ep.table.try_insert_repr_in(v, tok) {
                     Ok(filled) => {
                         fills += filled as usize;
                         if carry.take().is_none() {
@@ -467,6 +504,7 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
                     }
                 }
             }
+            ep.table.close_insert_window(tok);
             ep.state.fetch_sub(ACTIVE_ONE - fills, Ordering::SeqCst);
             if publish {
                 self.publish_successor(ep);
@@ -490,23 +528,49 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
             .for_each(|chunk| self.insert_batch(chunk));
     }
 
-    /// Deletes by key. Callable from any number of threads during a
-    /// delete phase. The table never shrinks (as in the paper).
-    pub fn delete(&self, key: E) {
-        self.quiesce();
-        let ep = self.current_epoch();
-        if ep.table.delete_counted(key) {
-            ep.state.fetch_sub(1, Ordering::Relaxed);
+    /// Registers the caller as an epoch writer for a delete, helping
+    /// any in-progress migration first. Returns the registered epoch;
+    /// the caller must retire with `fetch_sub(ACTIVE_ONE + removed)`.
+    ///
+    /// Deletes did not originally register (phase discipline meant a
+    /// delete phase could never overlap a growth-triggering insert),
+    /// but the room-free fc wrapper runs deletes concurrently with
+    /// inserts, so an unregistered delete could mutate a table that a
+    /// migration is concurrently freezing and copying out of.
+    fn register_for_delete(&self) -> &Epoch<E, T> {
+        loop {
+            let ep = self.current_epoch();
+            if !ep.next.load(Ordering::SeqCst).is_null() {
+                self.help_migrate(ep);
+                continue;
+            }
+            ep.state.fetch_add(ACTIVE_ONE, Ordering::SeqCst);
+            if !ep.next.load(Ordering::SeqCst).is_null() {
+                // Froze between the null-check and registration.
+                ep.state.fetch_sub(ACTIVE_ONE, Ordering::SeqCst);
+                continue;
+            }
+            return ep;
         }
+    }
+
+    /// Deletes by key. Callable from any number of threads during a
+    /// delete phase — or, for cores like `FcHashTable`, concurrently
+    /// with inserts. The table never shrinks (as in the paper).
+    pub fn delete(&self, key: E) {
+        let ep = self.register_for_delete();
+        let removed = ep.table.delete_counted(key) as usize;
+        // Retire and debit the removal in a single RMW.
+        ep.state.fetch_sub(ACTIVE_ONE + removed, Ordering::SeqCst);
     }
 
     /// Deletes a batch of keys, crediting the removals with a single
     /// RMW per batch instead of one per key.
     pub fn delete_batch(&self, keys: &[E]) {
         use crate::batch::PREFETCH_AHEAD;
-        self.quiesce();
-        let ep = self.current_epoch();
+        let ep = self.register_for_delete();
         let mut removed = 0usize;
+        let tok = ep.table.open_delete_window();
         for k in keys.iter().take(PREFETCH_AHEAD) {
             ep.table.prefetch_repr(k.to_repr());
         }
@@ -514,11 +578,10 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
             if let Some(next) = keys.get(i + PREFETCH_AHEAD) {
                 ep.table.prefetch_repr(next.to_repr());
             }
-            removed += ep.table.delete_counted(k) as usize;
+            removed += ep.table.delete_counted_in(k, tok) as usize;
         }
-        if removed > 0 {
-            ep.state.fetch_sub(removed, Ordering::Relaxed);
-        }
+        ep.table.close_delete_window(tok);
+        ep.state.fetch_sub(ACTIVE_ONE + removed, Ordering::SeqCst);
     }
 
     /// Parallel batched delete: chunks by [`phc_parutil::grain`].
@@ -679,13 +742,14 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
             let cap = ep.table.capacity();
             let mut fills = 0usize;
             let mut publish = false;
+            let tok = ep.table.open_insert_window();
             while i < batch.len() || carry.is_some() {
                 if Epoch::<E, T>::items_over_threshold((prev & ITEMS_MASK) + fills, cap) {
                     publish = true;
                     break;
                 }
                 let v = carry.unwrap_or_else(|| batch[i]);
-                match ep.table.try_insert_repr(v) {
+                match ep.table.try_insert_repr_in(v, tok) {
                     Ok(filled) => {
                         fills += filled as usize;
                         if carry.take().is_none() {
@@ -699,6 +763,7 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
                     }
                 }
             }
+            ep.table.close_insert_window(tok);
             ep.state.fetch_sub(ACTIVE_ONE - fills, Ordering::SeqCst);
             if publish {
                 self.publish_successor(ep);

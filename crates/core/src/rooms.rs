@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::det::DetHashTable;
 use crate::entry::HashEntry;
+use crate::fc::FcHashTable;
 use crate::resize::{FlatTableCore, ResizableTable};
 
 /// The three rooms of a phase-concurrent hash table.
@@ -44,6 +45,10 @@ pub enum Room {
 /// occupancy count.
 pub struct RoomSync {
     state: AtomicU64,
+    /// Id of the last room to hold the synchronizer (0 before any
+    /// entry) — only used to count room *switches*, the metric the fc
+    /// table eliminates structurally.
+    last: AtomicU64,
 }
 
 const COUNT_MASK: u64 = (1 << 56) - 1;
@@ -59,14 +64,22 @@ impl RoomSync {
     pub fn new() -> Self {
         RoomSync {
             state: AtomicU64::new(0),
+            last: AtomicU64::new(0),
         }
     }
 
     /// Enters `room`, waiting until no other room is occupied.
+    ///
+    /// Instrumentation: a *wait* is any entry that spun on a different
+    /// occupied room (`RoomWaits` + the wait duration in
+    /// `RoomSwitchNanos`); a *switch* is an entry that claimed an idle
+    /// synchronizer last held by a different room (`RoomSwitches`) —
+    /// exactly the op-kind boundary crossings a mixed workload pays for
+    /// and the fc table eliminates.
     pub fn enter(&self, room: Room) {
         let id = room as u64;
         let mut spins = 0u32;
-        let mut waited = false;
+        let mut wait_start: Option<std::time::Instant> = None;
         loop {
             let s = self.state.load(Ordering::Acquire);
             let active = s >> 56;
@@ -78,15 +91,24 @@ impl RoomSync {
                     .compare_exchange_weak(s, next, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    if waited {
+                    if active == 0 {
+                        // Fresh occupancy: count a switch if the last
+                        // holder was a different room.
+                        let prev = self.last.swap(id, Ordering::Relaxed);
+                        if prev != 0 && prev != id {
+                            phc_obs::probe!(count RoomSwitches);
+                        }
+                    }
+                    if let Some(t0) = wait_start {
                         phc_obs::probe!(count RoomWaits);
+                        phc_obs::probe!(count RoomSwitchNanos, t0.elapsed().as_nanos() as u64);
                     }
                     return;
                 }
                 continue; // CAS raced; retry immediately
             }
             // Another room is occupied: back off.
-            waited = true;
+            wait_start.get_or_insert_with(std::time::Instant::now);
             spins += 1;
             if spins < 16 {
                 std::hint::spin_loop();
@@ -324,6 +346,146 @@ impl<E: HashEntry, T: FlatTableCore<E>> AutoPhaseGrowTable<E, T> {
     }
 }
 
+/// The fc migration path for [`AutoPhaseTable`]: the same drop-in API,
+/// served by the fully-concurrent table ([`FcHashTable`]) — every room
+/// switch becomes a no-op because there are no rooms. Operations go
+/// straight to the table; overlap detection and online repair replace
+/// the synchronizer (see [`crate::fc`]).
+pub struct FcAutoTable<E: HashEntry> {
+    table: FcHashTable<E>,
+}
+
+impl<E: HashEntry> FcAutoTable<E> {
+    /// Creates a table with `2^log2_size` cells.
+    pub fn new_pow2(log2_size: u32) -> Self {
+        FcAutoTable {
+            table: FcHashTable::new_pow2(log2_size),
+        }
+    }
+
+    /// Number of cells.
+    pub fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
+    /// Inserts an entry (no room entry — fully concurrent).
+    pub fn insert(&self, e: E) {
+        self.table.insert(e);
+    }
+
+    /// Deletes by key (no room entry).
+    pub fn delete(&self, key: E) {
+        self.table.delete(key);
+    }
+
+    /// Looks up a key (no room entry; a lookup racing an in-flight
+    /// displacement of its key may transiently miss — see
+    /// [`crate::fc`]).
+    pub fn find(&self, key: E) -> Option<E> {
+        self.table.find(key)
+    }
+
+    /// Packs the contents (deterministic at quiescence).
+    pub fn elements(&self) -> Vec<E> {
+        self.table.elements()
+    }
+
+    /// Direct access to the fc table.
+    pub fn raw_mut(&mut self) -> &mut FcHashTable<E> {
+        &mut self.table
+    }
+}
+
+/// The fc migration path for [`AutoPhaseGrowTable`]: the growable
+/// drop-in API without a room synchronizer, over
+/// `ResizableTable<E, FcHashTable<E>>`. The resize layer registers
+/// every writer (inserts *and* deletes) in the epoch's active count, so
+/// cooperative migration composes with fully-concurrent mutation the
+/// same way it composed with room-serialized phases.
+pub struct FcAutoGrowTable<E: HashEntry> {
+    table: ResizableTable<E, FcHashTable<E>>,
+}
+
+impl<E: HashEntry> FcAutoGrowTable<E> {
+    /// Creates a table seeded with `2^log2_size` cells; it grows as
+    /// needed.
+    pub fn new_pow2(log2_size: u32) -> Self {
+        FcAutoGrowTable {
+            table: ResizableTable::new_pow2(log2_size),
+        }
+    }
+
+    /// Current number of cells (grows over time, never shrinks).
+    pub fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
+    /// Inserts an entry (may trigger or join a cooperative migration).
+    pub fn insert(&self, e: E) {
+        self.table.insert(e);
+    }
+
+    /// Deletes by key.
+    pub fn delete(&self, key: E) {
+        self.table.delete(key);
+    }
+
+    /// Looks up a key (transient misses possible under concurrent
+    /// displacement, as for [`FcAutoTable::find`]).
+    pub fn find(&self, key: E) -> Option<E> {
+        self.table.find(key)
+    }
+
+    /// Packs the contents (deterministic at quiescence).
+    pub fn elements(&self) -> Vec<E> {
+        self.table.elements()
+    }
+
+    /// Batched parallel insert; normalizes the capacity afterwards so
+    /// batch boundaries stay deterministic cuts, exactly as
+    /// [`AutoPhaseGrowTable::par_insert_batched`] does — minus the room
+    /// entry.
+    pub fn par_insert_batched(&self, entries: &[E]) {
+        self.table.par_insert_batched(entries);
+        self.table.normalize();
+    }
+
+    /// Batched parallel delete.
+    pub fn par_delete_batched(&self, keys: &[E]) {
+        self.table.par_delete_batched(keys);
+    }
+
+    /// Batched parallel lookup; results are in key order.
+    pub fn par_find_batched(&self, keys: &[E]) -> Vec<Option<E>> {
+        self.table.par_find_batched(keys)
+    }
+
+    /// Drains pending migration and grows to the canonical capacity.
+    pub fn normalize(&self) {
+        self.table.normalize();
+    }
+
+    /// Number of stored entries (exact at quiescence).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Raw snapshot of the live backing array.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.table.snapshot()
+    }
+
+    /// Direct access to the growable fc table.
+    pub fn raw_mut(&mut self) -> &mut ResizableTable<E, FcHashTable<E>> {
+        &mut self.table
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,5 +643,93 @@ mod tests {
         let snap: Vec<u64> = t.raw_mut().snapshot();
         crate::invariant::check_ordering_invariant::<U64Key>(&snap).unwrap();
         crate::invariant::check_no_duplicate_keys::<U64Key>(&snap).unwrap();
+    }
+
+    #[test]
+    fn fc_auto_mixed_calls_stay_a_set() {
+        // The fc migration path under the same mixed workload as
+        // `concurrent_mixed_calls_stay_a_set` — no rooms, so inserts,
+        // deletes, and finds genuinely overlap.
+        let mut t: FcAutoTable<U64Key> = FcAutoTable::new_pow2(12);
+        let never_deleted: Vec<u64> = (1000..1100).collect();
+        std::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let k = tid * 1000 + 2000 + i;
+                        t.insert(U64Key::new(k));
+                        if i % 3 == 0 {
+                            t.delete(U64Key::new(k));
+                        }
+                        let _ = t.find(U64Key::new(k));
+                    }
+                });
+            }
+            let t = &t;
+            s.spawn(move || {
+                for &k in &(1000..1100).collect::<Vec<u64>>() {
+                    t.insert(U64Key::new(k));
+                }
+            });
+        });
+        let contents: BTreeSet<u64> = t.elements().iter().map(|k| k.0).collect();
+        for &k in &never_deleted {
+            assert!(contents.contains(&k), "lost never-deleted key {k}");
+        }
+        let snap: Vec<u64> = t.raw_mut().snapshot();
+        crate::invariant::check_ordering_invariant::<U64Key>(&snap).unwrap();
+        crate::invariant::check_no_duplicate_keys::<U64Key>(&snap).unwrap();
+    }
+
+    #[test]
+    fn fc_grow_table_mixed_calls_from_tiny_seed() {
+        // Mixed calls against a 16-cell seed force cooperative
+        // migrations to interleave with fully-concurrent mutation. No
+        // concurrent find assertions: a lookup racing a displacement or
+        // a migration of its key may transiently miss (see fc docs) —
+        // all assertions are quiescent.
+        let mut t: FcAutoGrowTable<U64Key> = FcAutoGrowTable::new_pow2(4);
+        std::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..800u64 {
+                        let k = tid * 10_000 + i + 1;
+                        t.insert(U64Key::new(k));
+                        if i % 4 == 0 {
+                            t.delete(U64Key::new(k));
+                        } else {
+                            let _ = t.find(U64Key::new(k));
+                        }
+                    }
+                });
+            }
+        });
+        t.normalize();
+        let elems = t.elements();
+        assert_eq!(elems.len(), 4 * 600);
+        assert!(t.capacity() > 16, "table must have grown");
+        let snap: Vec<u64> = t.raw_mut().snapshot();
+        crate::invariant::check_ordering_invariant::<U64Key>(&snap).unwrap();
+        crate::invariant::check_no_duplicate_keys::<U64Key>(&snap).unwrap();
+    }
+
+    #[test]
+    fn fc_auto_quiescent_snapshot_matches_room_table() {
+        // Phase-separated usage: both wrappers must produce the same
+        // canonical layout.
+        let rooms: AutoPhaseTable<U64Key> = AutoPhaseTable::new_pow2(10);
+        let mut fc: FcAutoTable<U64Key> = FcAutoTable::new_pow2(10);
+        for k in 1..=500u64 {
+            rooms.insert(U64Key::new(k));
+            fc.insert(U64Key::new(k));
+        }
+        for k in (1..=500u64).step_by(3) {
+            rooms.delete(U64Key::new(k));
+            fc.delete(U64Key::new(k));
+        }
+        let mut rooms = rooms;
+        assert_eq!(rooms.raw_mut().snapshot(), fc.raw_mut().snapshot());
     }
 }

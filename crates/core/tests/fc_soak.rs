@@ -1,0 +1,79 @@
+//! Long-running soak for the fc table's rarest repair window: the
+//! lost-delete race. A concurrent inserter's displacement chain holds
+//! its displaced victim in private hands between the displacing CAS
+//! and the re-placement CAS; a delete walking the probe sequence in
+//! that window finds nothing, and the re-placed copy may violate no
+//! invariant the inserter's own validation could catch (e.g. it lands
+//! back on its home cell). The fix is on the delete side: a miss is
+//! only final once a full walk overlaps no insert. This soak drove the
+//! bug out at ~1/100 iterations in debug builds before the fix.
+//!
+//! `#[ignore]`d: ~10 s in debug. Run explicitly with
+//! `cargo test -p phc-core --test fc_soak -- --ignored`.
+
+use std::collections::BTreeSet;
+
+use phc_core::{DetHashTable, FcHashTable, HashEntry, KvPair};
+use phc_parutil::hash64;
+use rayon::prelude::*;
+
+const LOG2: u32 = 12;
+const ROUNDS: usize = 10_000;
+
+fn det_snapshot(entries: &[KvPair]) -> Vec<u64> {
+    let t = DetHashTable::<KvPair>::new_pow2(LOG2);
+    for &e in entries {
+        t.insert(e);
+    }
+    t.snapshot()
+}
+
+#[test]
+#[ignore = "soak; ~10s in debug — run with --ignored"]
+fn fc_lost_delete_soak() {
+    let n = 2048usize;
+    let base: Vec<KvPair> = (0..n as u32)
+        .map(|i| KvPair::new(1 + i * 7, (hash64(i as u64) & 0xFFFF) as u32))
+        .collect();
+    let extras: Vec<KvPair> = (0..n as u32 / 8)
+        .map(|i| KvPair::new(1 + (n as u32 * 7) + i * 7, i))
+        .collect();
+    let dels: Vec<KvPair> = base.iter().copied().step_by(3).collect();
+    let probes: Vec<KvPair> = base.iter().copied().step_by(7).collect();
+
+    let del_reprs: BTreeSet<u64> = dels.iter().map(|e| e.to_repr()).collect();
+    let survivors: Vec<KvPair> = base
+        .iter()
+        .copied()
+        .filter(|e| !del_reprs.contains(&e.to_repr()))
+        .chain(extras.iter().copied())
+        .collect();
+    let expect = det_snapshot(&survivors);
+
+    for round in 0..ROUNDS {
+        let t = FcHashTable::<KvPair>::new_pow2(LOG2);
+        let (batched, rest) = base.split_at(base.len() / 2);
+        t.insert_batch(batched);
+        rest.par_iter().for_each(|&e| t.insert(e));
+
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for &e in &extras {
+                    t.insert(e);
+                }
+            });
+            s.spawn(|| {
+                for &e in &dels {
+                    t.delete(e);
+                }
+            });
+            s.spawn(|| {
+                for &p in &probes {
+                    let _ = t.find(p);
+                }
+            });
+        });
+
+        assert_eq!(t.snapshot(), expect, "diverged from det at round {round}");
+    }
+}

@@ -131,6 +131,24 @@ define_ids! {
         ServerBatches => "server_batches",
         /// Operations routed to shards by the KV server's partitioner.
         ServerOpsRouted => "server_ops_routed",
+        /// Room-synchronizer transitions to a different room (each one
+        /// is a full drain of the previous room's occupants).
+        RoomSwitches => "room_switches",
+        /// Nanoseconds spent waiting for room transitions to drain.
+        RoomSwitchNanos => "room_switch_nanos",
+        /// Fully-concurrent table inserts that displaced an incumbent
+        /// entry (priority swap with the displaced entry carried
+        /// forward under an announcement).
+        FcDisplacements => "fc_displacements",
+        /// Fully-concurrent operations that retried a probe because an
+        /// in-flight displacement could have hidden their key.
+        FcHelps => "fc_helps",
+        /// Post-operation validation scans run by the fully-concurrent
+        /// table (insert span checks, delete hole re-checks, repairs).
+        FcRepairScans => "fc_repair_scans",
+        /// Debug-build confirmations that a speculative wide-scan hint
+        /// was re-read through a per-cell atomic before use (fc).
+        FcSpecChecks => "fc_spec_checks",
     }
 }
 
@@ -155,6 +173,9 @@ define_ids! {
         /// Ops landing on one shard in one server batch (the router's
         /// per-shard fan-out distribution).
         ServerShardOps => "server_shard_ops",
+        /// Displacement-chain length per fully-concurrent insert (cells
+        /// the carried entry moved before landing).
+        FcDisplacementChain => "fc_displacement_chain",
     }
 }
 

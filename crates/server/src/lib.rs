@@ -12,14 +12,21 @@
 //!
 //! * a deterministic hash [`router`] (stable partition, decorrelated
 //!   from the tables' probe hash);
-//! * per-shard [`AutoPhaseGrowTable`]s whose room synchronizers let
-//!   shards sit in *different* phases simultaneously (a get-heavy
-//!   shard never blocks a put-heavy one), driven through the batched
-//!   `par_insert_batched` / `par_find_batched` / `par_delete_batched`
-//!   paths with one room entry per sub-batch;
+//! * per-shard [`ShardTable`]s — by default [`AutoPhaseGrowTable`]s
+//!   whose room synchronizers let shards sit in *different* phases
+//!   simultaneously (a get-heavy shard never blocks a put-heavy one),
+//!   driven through the batched `par_insert_batched` /
+//!   `par_find_batched` / `par_delete_batched` paths with one room
+//!   entry per sub-batch;
 //! * a fixed within-batch sub-phase order (puts → deletes → gets) plus
 //!   response re-assembly at submission indices, so neither routing
 //!   nor scheduling can reorder what a client observes.
+//!
+//! The [`FcKvServer`] mode swaps each shard's table for the fully
+//! concurrent [`FcAutoGrowTable`](phc_core::FcAutoGrowTable): same
+//! response log byte-for-byte, but the sub-phase boundaries inside a
+//! batch stop costing room switches entirely (see
+//! [`shard_table`]).
 //!
 //! [`AutoPhaseGrowTable`]: phc_core::AutoPhaseGrowTable
 
@@ -27,9 +34,11 @@
 
 pub mod router;
 pub mod server;
+pub mod shard_table;
 
 pub use router::shard_of;
 pub use server::{
-    resp_hit, response_log_bytes, response_log_hash, KvServer, ShardStats, ShardStatsSnapshot,
-    RESP_DEL_ACK, RESP_HIT_TAG, RESP_MISS, RESP_PUT_ACK,
+    resp_hit, response_log_bytes, response_log_hash, FcKvServer, KvServer, ShardStats,
+    ShardStatsSnapshot, RESP_DEL_ACK, RESP_HIT_TAG, RESP_MISS, RESP_PUT_ACK,
 };
+pub use shard_table::ShardTable;

@@ -25,20 +25,33 @@
 //!
 //! ## Pipelining
 //!
-//! Each shard owns an [`AutoPhaseGrowTable`] with its own room
-//! synchronizer, so shards sit in different phases simultaneously: a
-//! get-heavy shard runs its read room while a put-heavy neighbour is
-//! mid-insert (or mid-migration) — composing per-shard phase
-//! concurrency without any global phase barrier.
+//! Each shard owns a [`ShardTable`] — by default an
+//! [`AutoPhaseGrowTable`] with its own room synchronizer, so shards
+//! sit in different phases simultaneously: a get-heavy shard runs its
+//! read room while a put-heavy neighbour is mid-insert (or
+//! mid-migration) — composing per-shard phase concurrency without any
+//! global phase barrier.
+//!
+//! ## The fc mode
+//!
+//! [`FcKvServer`] swaps the shard table for the fully concurrent
+//! [`FcAutoGrowTable`](phc_core::FcAutoGrowTable): the three sub-phase
+//! calls inside a shard fuse into one pass with no room entry, exit,
+//! or switch between them. Responses are byte-identical to the rooms
+//! mode — both cores produce the same canonical layout for the same
+//! key set, and the sub-phase *order* (program order, here) still
+//! pins what every get observes. Quiescence at each batch boundary is
+//! the linearization point, exactly as in the rooms mode.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use phc_core::entry::{Combine, KeepMin, KvPair};
-use phc_core::AutoPhaseGrowTable;
+use phc_core::{AutoPhaseGrowTable, FcAutoGrowTable};
 use phc_workloads::KvOp;
 
 use crate::router;
+use crate::shard_table::ShardTable;
 
 /// Response word for an acknowledged put (`'P'` tag byte).
 pub const RESP_PUT_ACK: u64 = (b'P' as u64) << 56;
@@ -88,9 +101,10 @@ impl ShardStatsSnapshot {
     }
 }
 
-struct Shard<C: Combine> {
-    table: AutoPhaseGrowTable<KvPair<C>>,
+struct Shard<C: Combine, T: ShardTable<C>> {
+    table: T,
     stats: ShardStats,
+    _combine: std::marker::PhantomData<C>,
 }
 
 /// One shard's slice of a batch, already grouped into the sub-phases
@@ -127,9 +141,11 @@ impl<C: Combine> ShardBatch<C> {
 }
 
 /// A deterministic KV service over `N` phase-concurrent shards (see
-/// the [module docs](self) for semantics).
-pub struct KvServer<C: Combine = KeepMin> {
-    shards: Vec<Shard<C>>,
+/// the [module docs](self) for semantics). The second type parameter
+/// picks each shard's synchronization discipline; the default is the
+/// room-synchronized table, [`FcKvServer`] is the room-free mode.
+pub struct KvServer<C: Combine = KeepMin, T: ShardTable<C> = AutoPhaseGrowTable<KvPair<C>>> {
+    shards: Vec<Shard<C, T>>,
     /// Routing scratch, reused across batches (the vecs keep their
     /// high-water capacity, so steady-state batches allocate nothing
     /// for routing). Holding the lock for the whole of `apply_batch`
@@ -139,7 +155,13 @@ pub struct KvServer<C: Combine = KeepMin> {
     scratch: Mutex<Vec<ShardBatch<C>>>,
 }
 
-impl<C: Combine> KvServer<C> {
+/// The fc-backed server mode: every shard is a room-free
+/// [`FcAutoGrowTable`], so `apply_batch` runs each shard's
+/// puts→deletes→gets as one fused pass with zero room switches.
+/// Response logs are byte-identical to the default [`KvServer`].
+pub type FcKvServer<C = KeepMin> = KvServer<C, FcAutoGrowTable<KvPair<C>>>;
+
+impl<C: Combine, T: ShardTable<C>> KvServer<C, T> {
     /// Creates a server with `shards` shards (a power of two), each
     /// seeded with `2^log2_cells_per_shard` cells and growing
     /// independently as needed.
@@ -151,8 +173,9 @@ impl<C: Combine> KvServer<C> {
         KvServer {
             shards: (0..shards)
                 .map(|_| Shard {
-                    table: AutoPhaseGrowTable::new_pow2(log2_cells_per_shard),
+                    table: T::new_pow2(log2_cells_per_shard),
                     stats: ShardStats::default(),
+                    _combine: std::marker::PhantomData,
                 })
                 .collect(),
             scratch: Mutex::new((0..shards).map(|_| ShardBatch::new()).collect()),
@@ -162,6 +185,11 @@ impl<C: Combine> KvServer<C> {
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The shard synchronization mode label (`"rooms"` or `"fc"`).
+    pub fn mode() -> &'static str {
+        T::MODE
     }
 
     /// The shard that owns `key`.
@@ -247,11 +275,14 @@ impl<C: Combine> KvServer<C> {
     /// parallelism is cheap in the shim — chunks of both levels share
     /// the pool).
     ///
-    /// Fixed sub-phase order: puts, deletes, gets. Each batched call
-    /// enters the shard's room once; the insert path normalizes
-    /// capacity before leaving its room, making the shard's layout a
-    /// pure function of its key set at every batch boundary.
-    fn apply_shard(shard: &Shard<C>, batch: &ShardBatch<C>) -> Vec<u64> {
+    /// Fixed sub-phase order: puts, deletes, gets. In the rooms mode
+    /// each batched call enters the shard's room once (two switches
+    /// per mixed sub-batch); in the fc mode the three calls fuse into
+    /// one room-free pass, ordered by program order alone. Either way
+    /// the insert path normalizes capacity before returning, making
+    /// the shard's layout a pure function of its key set at every
+    /// batch boundary.
+    fn apply_shard(shard: &Shard<C, T>, batch: &ShardBatch<C>) -> Vec<u64> {
         if !batch.puts.is_empty() {
             shard.table.par_insert_batched(&batch.puts);
             shard
@@ -382,7 +413,7 @@ pub fn response_log_hash(resps: &[u64]) -> u64 {
 mod tests {
     use super::*;
 
-    fn ops_roundtrip(server: &KvServer) {
+    fn ops_roundtrip<T: ShardTable<KeepMin>>(server: &KvServer<KeepMin, T>) {
         let puts: Vec<KvOp> = (1..=100u32)
             .map(|k| KvOp::Put { key: k, val: k * 7 })
             .collect();
@@ -408,7 +439,8 @@ mod tests {
     #[test]
     fn roundtrip_across_shard_counts() {
         for shards in [1, 2, 8] {
-            ops_roundtrip(&KvServer::new(shards, 6));
+            let server: KvServer = KvServer::new(shards, 6);
+            ops_roundtrip(&server);
         }
     }
 
@@ -477,6 +509,58 @@ mod tests {
         let ra: Vec<u64> = ops.iter().map(|&op| server_a.apply_op(op)).collect();
         let rb = server_b.apply_log(&ops, 1);
         assert_eq!(ra, rb, "batch=1 must equal the per-op path");
+    }
+
+    /// A small mixed log with heavy key reuse, so puts, deletes, and
+    /// gets all land on overlapping keys within and across batches.
+    fn mixed_log(n: u32) -> Vec<KvOp> {
+        (0..n)
+            .map(|i| {
+                let key = i.wrapping_mul(2654435761) % 97 + 1;
+                match i % 3 {
+                    0 => KvOp::Put { key, val: i },
+                    1 => KvOp::Get { key },
+                    _ => KvOp::Del { key },
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fc_mode_roundtrip() {
+        for shards in [1, 2, 8] {
+            let server: FcKvServer = FcKvServer::new(shards, 6);
+            ops_roundtrip(&server);
+        }
+    }
+
+    #[test]
+    fn fc_mode_matches_rooms_mode_byte_for_byte() {
+        let log = mixed_log(3000);
+        for shards in [1, 4] {
+            for batch in [1, 64, 512] {
+                let rooms: KvServer = KvServer::new(shards, 6);
+                let fc: FcKvServer = FcKvServer::new(shards, 6);
+                let ra = rooms.apply_log(&log, batch);
+                let rb = fc.apply_log(&log, batch);
+                assert_eq!(
+                    response_log_bytes(&ra),
+                    response_log_bytes(&rb),
+                    "shards={shards} batch={batch}"
+                );
+                assert_eq!(
+                    rooms.quiescent_snapshots(),
+                    fc.quiescent_snapshots(),
+                    "canonical shard layouts must agree (shards={shards} batch={batch})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(KvServer::<KeepMin>::mode(), "rooms");
+        assert_eq!(FcKvServer::<KeepMin>::mode(), "fc");
     }
 
     #[test]

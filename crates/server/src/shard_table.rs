@@ -1,0 +1,142 @@
+//! The table interface a [`KvServer`](crate::KvServer) shard drives,
+//! abstracting over the synchronization discipline.
+//!
+//! Two implementations ship:
+//!
+//! * [`AutoPhaseGrowTable`] — the PR 7 path: a room synchronizer turns
+//!   each batched call into a phase, so every put→delete→get sub-phase
+//!   boundary inside [`apply_batch`](crate::KvServer::apply_batch)
+//!   pays a room switch (entry CAS + drain wait).
+//! * [`FcAutoGrowTable`] — the fc path: the fully concurrent core
+//!   needs no rooms at all, so a shard's three sub-batches run
+//!   back-to-back as one fused pass with no synchronizer traffic
+//!   between them. The sub-phase *order* is kept (it is what makes
+//!   get responses a pure function of the batch), but ordering now
+//!   costs only program order, not a room handshake.
+//!
+//! Both cores produce byte-identical canonical layouts for the same
+//! key set (the fc differential suite's invariant), so swapping the
+//! parameter never changes a response log — only what synchronization
+//! the shard pays.
+
+use phc_core::entry::{Combine, KvPair};
+use phc_core::{AutoPhaseGrowTable, FcAutoGrowTable};
+
+/// One shard's table: growable, combining, deterministic at batch
+/// boundaries. See the [module docs](self) for the two disciplines.
+pub trait ShardTable<C: Combine>: Send + Sync {
+    /// Short mode label for benches and logs (`"rooms"` / `"fc"`).
+    const MODE: &'static str;
+
+    /// Creates a table seeded with `2^log2_cells` cells.
+    fn new_pow2(log2_cells: u32) -> Self;
+
+    /// Inserts (combining on duplicate keys) through the per-op path.
+    fn insert(&self, e: KvPair<C>);
+
+    /// Deletes by key through the per-op path.
+    fn delete(&self, key: KvPair<C>);
+
+    /// Looks up by key through the per-op path.
+    fn find(&self, key: KvPair<C>) -> Option<KvPair<C>>;
+
+    /// Parallel batched insert; capacity is canonical on return.
+    fn par_insert_batched(&self, entries: &[KvPair<C>]);
+
+    /// Parallel batched delete.
+    fn par_delete_batched(&self, keys: &[KvPair<C>]);
+
+    /// Parallel batched lookup, results in key order.
+    fn par_find_batched(&self, keys: &[KvPair<C>]) -> Vec<Option<KvPair<C>>>;
+
+    /// Quiescent raw cell snapshot (canonical layout witness).
+    fn snapshot(&self) -> Vec<u64>;
+
+    /// Stored-entry count.
+    fn len(&self) -> usize;
+
+    /// Whether the table is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<C: Combine> ShardTable<C> for AutoPhaseGrowTable<KvPair<C>> {
+    const MODE: &'static str = "rooms";
+
+    fn new_pow2(log2_cells: u32) -> Self {
+        AutoPhaseGrowTable::new_pow2(log2_cells)
+    }
+
+    fn insert(&self, e: KvPair<C>) {
+        AutoPhaseGrowTable::insert(self, e);
+    }
+
+    fn delete(&self, key: KvPair<C>) {
+        AutoPhaseGrowTable::delete(self, key);
+    }
+
+    fn find(&self, key: KvPair<C>) -> Option<KvPair<C>> {
+        AutoPhaseGrowTable::find(self, key)
+    }
+
+    fn par_insert_batched(&self, entries: &[KvPair<C>]) {
+        AutoPhaseGrowTable::par_insert_batched(self, entries);
+    }
+
+    fn par_delete_batched(&self, keys: &[KvPair<C>]) {
+        AutoPhaseGrowTable::par_delete_batched(self, keys);
+    }
+
+    fn par_find_batched(&self, keys: &[KvPair<C>]) -> Vec<Option<KvPair<C>>> {
+        AutoPhaseGrowTable::par_find_batched(self, keys)
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        AutoPhaseGrowTable::snapshot(self)
+    }
+
+    fn len(&self) -> usize {
+        AutoPhaseGrowTable::len(self)
+    }
+}
+
+impl<C: Combine> ShardTable<C> for FcAutoGrowTable<KvPair<C>> {
+    const MODE: &'static str = "fc";
+
+    fn new_pow2(log2_cells: u32) -> Self {
+        FcAutoGrowTable::new_pow2(log2_cells)
+    }
+
+    fn insert(&self, e: KvPair<C>) {
+        FcAutoGrowTable::insert(self, e);
+    }
+
+    fn delete(&self, key: KvPair<C>) {
+        FcAutoGrowTable::delete(self, key);
+    }
+
+    fn find(&self, key: KvPair<C>) -> Option<KvPair<C>> {
+        FcAutoGrowTable::find(self, key)
+    }
+
+    fn par_insert_batched(&self, entries: &[KvPair<C>]) {
+        FcAutoGrowTable::par_insert_batched(self, entries);
+    }
+
+    fn par_delete_batched(&self, keys: &[KvPair<C>]) {
+        FcAutoGrowTable::par_delete_batched(self, keys);
+    }
+
+    fn par_find_batched(&self, keys: &[KvPair<C>]) -> Vec<Option<KvPair<C>>> {
+        FcAutoGrowTable::par_find_batched(self, keys)
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        FcAutoGrowTable::snapshot(self)
+    }
+
+    fn len(&self) -> usize {
+        FcAutoGrowTable::len(self)
+    }
+}

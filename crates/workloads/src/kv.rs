@@ -119,6 +119,50 @@ pub fn kv_request_log(n_ops: usize, w: &KvWorkload, seed: u64) -> Vec<KvOp> {
         .collect()
 }
 
+/// Generates a deterministic **read-modify-write** request log: the
+/// stream is a sequence of per-key triplets — op `j` belongs to group
+/// `g = j / 3`, and a group's three consecutive ops hit the *same*
+/// Zipf-drawn key in the order put → get → (del or get). The final
+/// slot is a delete with probability `w.del_frac`, otherwise a get
+/// (so `del_frac = 1.0` gives the balanced 1:1:1 put/get/del mix).
+///
+/// This is the mixed-op shape the phase discipline forbids outright —
+/// every adjacent op pair changes type, so a room-synchronized table
+/// pays a room switch at essentially every op on the per-op path —
+/// and the regime Maier et al. ("Concurrent Hash Tables: Fast and
+/// General?(!)") evaluate concurrent tables under. `w.get_frac` and
+/// `w.clients` are ignored: the mix is structural and the triplet
+/// order *is* the client's read-modify-write program order.
+///
+/// Like [`kv_request_log`], element `j` is a pure function of
+/// `(seed, j)`, so generation parallelizes and reproduces exactly.
+pub fn kv_rmw_log(n_ops: usize, w: &KvWorkload, seed: u64) -> Vec<KvOp> {
+    let zipf = Zipf::new(w.key_space, w.zipf_s);
+    let rng = IndexRng::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let key_rng = rng.stream(1);
+    let val_rng = rng.stream(2);
+    let del_rng = rng.stream(3);
+    let del_lim = (w.del_frac * 1000.0) as u64;
+    (0..n_ops)
+        .into_par_iter()
+        .with_min_len(4096)
+        .map(|j| {
+            let j = j as u64;
+            let g = j / 3;
+            let key = zipf.key(key_rng.gen(g)) as u32;
+            match j % 3 {
+                0 => KvOp::Put {
+                    key,
+                    val: (val_rng.gen_range(j, u32::MAX as u64 - 1) + 1) as u32,
+                },
+                1 => KvOp::Get { key },
+                _ if del_rng.gen_range(g, 1000) < del_lim => KvOp::Del { key },
+                _ => KvOp::Get { key },
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +218,47 @@ mod tests {
         let stream_a: Vec<KvOp> = a.iter().skip(1).step_by(4).copied().collect();
         let stream_b: Vec<KvOp> = b.iter().skip(1).step_by(8).copied().collect();
         assert_eq!(stream_a[..500], stream_b[..500]);
+    }
+
+    #[test]
+    fn rmw_log_is_structured_in_triplets() {
+        let w = KvWorkload {
+            del_frac: 0.5,
+            ..mix()
+        };
+        let a = kv_rmw_log(30_000, &w, 11);
+        assert_eq!(a, kv_rmw_log(30_000, &w, 11), "reproducible");
+        assert_ne!(a, kv_rmw_log(30_000, &w, 12));
+        let mut dels = 0usize;
+        for (g, t) in a.chunks(3).enumerate() {
+            let key = t[0].key();
+            assert!(
+                t.iter().all(|op| op.key() == key),
+                "group {g} must reuse one key"
+            );
+            assert!(matches!(t[0], KvOp::Put { .. }), "slot 0 is the put");
+            assert!(matches!(t[1], KvOp::Get { .. }), "slot 1 is the get");
+            match t[2] {
+                KvOp::Del { .. } => dels += 1,
+                KvOp::Get { .. } => {}
+                KvOp::Put { .. } => panic!("slot 2 is never a put"),
+            }
+        }
+        // 10_000 groups at del_frac = 0.5.
+        assert!((4_500..5_500).contains(&dels), "dels = {dels}");
+    }
+
+    #[test]
+    fn rmw_balanced_mix_at_full_del_frac() {
+        let w = KvWorkload {
+            del_frac: 1.0,
+            ..mix()
+        };
+        let a = kv_rmw_log(9_000, &w, 5);
+        let puts = a.iter().filter(|o| matches!(o, KvOp::Put { .. })).count();
+        let gets = a.iter().filter(|o| matches!(o, KvOp::Get { .. })).count();
+        let dels = a.iter().filter(|o| matches!(o, KvOp::Del { .. })).count();
+        assert_eq!((puts, gets, dels), (3_000, 3_000, 3_000));
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod trigram;
 pub mod zipf;
 
 pub use graphs::{grid3d, random_graph, rmat};
-pub use kv::{kv_request_log, KvOp, KvWorkload};
+pub use kv::{kv_request_log, kv_rmw_log, KvOp, KvWorkload};
 pub use points::{in_cube_2d, kuzmin_2d, Point2d};
 pub use sequences::{expt_seq_int, expt_seq_pair_int, random_seq_int, random_seq_pair_int};
 pub use zipf::{zipf_seq_int, Zipf};

@@ -8,8 +8,8 @@ use std::collections::BTreeSet;
 
 use phase_concurrent_hashing::tables::{
     AddValues, ChainedHashTable, ConcurrentDelete, ConcurrentInsert, ConcurrentRead,
-    CuckooHashTable, DetHashTable, HopscotchHashTable, KvPair, NdHashTable, PhaseHashTable,
-    RobinHoodHashTable, U64Key,
+    CuckooHashTable, DetHashTable, FcHashTable, HopscotchHashTable, KvPair, NdHashTable,
+    PhaseHashTable, RobinHoodHashTable, U64Key,
 };
 use rayon::prelude::*;
 
@@ -68,6 +68,9 @@ fn set_semantics_all_tables() {
         "hopscotchHash-PC",
     );
     check_set_semantics(RobinHoodHashTable::<U64Key>::new_pow2(16), "robinHood");
+    // The fully concurrent table needs no phases at all, but it must
+    // still satisfy the phased contract when driven through it.
+    check_set_semantics(FcHashTable::<U64Key>::new_pow2(16), "linearHash-FC");
 }
 
 fn check_combining<T: PhaseHashTable<KvPair<AddValues>>>(mut table: T, label: &str) {
@@ -114,6 +117,10 @@ fn additive_combining_all_tables() {
     check_combining(
         RobinHoodHashTable::<KvPair<AddValues>>::new_pow2(10),
         "robinHood",
+    );
+    check_combining(
+        FcHashTable::<KvPair<AddValues>>::new_pow2(10),
+        "linearHash-FC",
     );
 }
 
@@ -184,4 +191,5 @@ fn duplicate_storm_all_tables() {
     );
     storm(HopscotchHashTable::<U64Key>::new_pow2(17), "hopscotchHash");
     storm(RobinHoodHashTable::<U64Key>::new_pow2(17), "robinHood");
+    storm(FcHashTable::<U64Key>::new_pow2(17), "linearHash-FC");
 }

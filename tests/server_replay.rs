@@ -4,8 +4,8 @@
 //! snapshot must be a pure function of the ops routed to it.
 
 use phase_concurrent_hashing::parutil::run_with_threads;
-use phase_concurrent_hashing::server::{response_log_bytes, shard_of, KvServer};
-use phase_concurrent_hashing::workloads::{kv_request_log, KvOp, KvWorkload};
+use phase_concurrent_hashing::server::{response_log_bytes, shard_of, FcKvServer, KvServer};
+use phase_concurrent_hashing::workloads::{kv_request_log, kv_rmw_log, KvOp, KvWorkload};
 
 const BATCH: usize = 512;
 const LOG2_CELLS: u32 = 8;
@@ -52,6 +52,71 @@ fn response_log_identical_across_threads_and_shards() {
                     "per-shard snapshots diverged at T={threads} shards={shards}"
                 ),
             }
+        }
+    }
+}
+
+/// The fc-backed server makes the same headline promise with zero room
+/// synchronization inside a batch: every (thread count, shard count)
+/// combination replays to byte-identical response logs, identical
+/// per-shard snapshots across thread counts — and the bytes equal the
+/// room-synchronized server's, so swapping the shard core is invisible
+/// to clients.
+#[test]
+fn fc_response_log_identical_across_threads_and_shards() {
+    let log = test_log(20_000);
+    let (reference_bytes, _) = replay(&log, 1, 1);
+    let replay_fc = |threads: usize, shards: usize| {
+        run_with_threads(threads, || {
+            let server: FcKvServer = FcKvServer::new(shards, LOG2_CELLS);
+            let resps = server.apply_log(&log, BATCH);
+            (response_log_bytes(&resps), server.quiescent_snapshots())
+        })
+    };
+    for &shards in &[1usize, 4, 16] {
+        let mut reference_snaps: Option<Vec<Vec<u64>>> = None;
+        for &threads in &[1usize, 2, 8] {
+            let (bytes, snaps) = replay_fc(threads, shards);
+            assert_eq!(
+                bytes, reference_bytes,
+                "fc response log diverged at T={threads} shards={shards}"
+            );
+            match &reference_snaps {
+                None => reference_snaps = Some(snaps),
+                Some(r) => assert_eq!(
+                    &snaps, r,
+                    "fc per-shard snapshots diverged at T={threads} shards={shards}"
+                ),
+            }
+        }
+    }
+}
+
+/// The read-modify-write log is the adversarial case for the room
+/// discipline (every adjacent op changes type); the fc server must
+/// still replay it byte-identically to the rooms server across thread
+/// and shard counts, including at the balanced 1:1:1 mix.
+#[test]
+fn fc_replays_rmw_log_identically_to_rooms() {
+    let workload = KvWorkload {
+        clients: 1,
+        key_space: 1 << 12,
+        zipf_s: 0.99,
+        get_frac: 0.0,
+        del_frac: 1.0,
+    };
+    let log = kv_rmw_log(18_000, &workload, 2014);
+    let (reference_bytes, _) = replay(&log, 1, 1);
+    for &shards in &[1usize, 4, 16] {
+        for &threads in &[1usize, 8] {
+            let bytes = run_with_threads(threads, || {
+                let server: FcKvServer = FcKvServer::new(shards, LOG2_CELLS);
+                response_log_bytes(&server.apply_log(&log, BATCH))
+            });
+            assert_eq!(
+                bytes, reference_bytes,
+                "fc rmw replay diverged at T={threads} shards={shards}"
+            );
         }
     }
 }
