@@ -24,6 +24,7 @@ const LOG2: u32 = 17;
 struct WeakHashKey(u64);
 
 impl HashEntry for WeakHashKey {
+    type Repr = u64;
     const EMPTY: u64 = 0;
     fn to_repr(self) -> u64 {
         self.0

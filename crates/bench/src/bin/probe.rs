@@ -22,8 +22,17 @@
 //! the labeled density instead of averaging over the whole fill from
 //! empty (which is dominated by short early-fill probes).
 //!
+//! Each table's sweep also reports per-rep allocation stats: the
+//! table's own footprint (cells × cell width), bytes per stored key,
+//! and the *peak* resident cells across a rep loop (the insert
+//! measurement holds one prefilled table per rep, so its transient
+//! footprint is `reps + 1` tables — a shrinking or pre-allocation
+//! regression shows up here long before it shows up in timings).
+//!
 //! Run with `--json FILE` to dump the report envelope (meta + obs
-//! snapshot + six reports: find/insert/elements × det/robinHood).
+//! snapshot + eight reports: find/insert/elements/memory ×
+//! det/robinHood). The envelope's `meta.rss_bytes` records the
+//! process RSS at dump time.
 //! With `--features obs` the envelope's obs snapshot carries the
 //! wide-path counters (`simd_redispatches`, `simd_misspeculations`,
 //! `robinhood_shifts`) and both displacement histograms (`probe_len`
@@ -67,10 +76,14 @@ struct LoadCase {
 /// exists so one measurement loop drives both.
 trait BenchTable: Sync + Sized {
     const LABEL: &'static str;
+    /// Width of one storage cell in bytes (the footprint multiplier).
+    const CELL_BYTES: usize;
     fn build(log2: u32) -> Self;
     fn bulk_insert(&self, entries: &[U64Key]);
     fn bulk_find(&self, probes: &[U64Key]) -> usize;
     fn elements_len(&self) -> usize;
+    /// Cells currently held live by this table.
+    fn resident_cells(&self) -> usize;
     /// Mirrors the quiescent displacement distribution into the obs
     /// histograms (no-op without `--features obs`).
     fn record_displacements(&self);
@@ -78,6 +91,7 @@ trait BenchTable: Sync + Sized {
 
 impl BenchTable for DetHashTable<U64Key> {
     const LABEL: &'static str = "linearHash-D";
+    const CELL_BYTES: usize = phc_core::cell::cell_bytes::<u64>();
     fn build(log2: u32) -> Self {
         DetHashTable::new_pow2(log2)
     }
@@ -93,6 +107,9 @@ impl BenchTable for DetHashTable<U64Key> {
     fn elements_len(&self) -> usize {
         self.elements().len()
     }
+    fn resident_cells(&self) -> usize {
+        self.capacity()
+    }
     fn record_displacements(&self) {
         phc_core::stats::record_probe_histogram::<U64Key>(&self.snapshot());
     }
@@ -100,6 +117,7 @@ impl BenchTable for DetHashTable<U64Key> {
 
 impl BenchTable for RobinHoodHashTable<U64Key> {
     const LABEL: &'static str = "robinHood";
+    const CELL_BYTES: usize = phc_core::cell::cell_bytes::<u64>();
     fn build(log2: u32) -> Self {
         RobinHoodHashTable::new_pow2(log2)
     }
@@ -115,19 +133,22 @@ impl BenchTable for RobinHoodHashTable<U64Key> {
     fn elements_len(&self) -> usize {
         self.elements().len()
     }
+    fn resident_cells(&self) -> usize {
+        self.capacity()
+    }
     fn record_displacements(&self) {
         self.record_displacement_histogram();
     }
 }
 
 /// Runs the full load × thread × tier sweep for one table kind,
-/// returning `[find, insert, elements]` reports.
+/// returning `[find, insert, elements, memory]` reports.
 fn sweep<T: BenchTable>(
     cases: &[LoadCase],
     log2: u32,
     reps: usize,
     threads: &[usize],
-) -> [Report; 3] {
+) -> [Report; 4] {
     let cols = ["scalar Mops", "simd Mops", "speedup"];
     let name = T::LABEL;
     let mut find = Report::new(format!("Find throughput ({name}), 2^{log2} cells"), &cols);
@@ -136,8 +157,15 @@ fn sweep<T: BenchTable>(
         format!("Elements throughput ({name}), 2^{log2} cells"),
         &cols,
     );
+    let mut memory = Report::new(
+        format!("Memory ({name}), 2^{log2} cells"),
+        &["table MB", "bytes/key", "peak MB"],
+    );
 
     for case in cases {
+        // Per-rep allocation stats: the highest number of cells this
+        // case ever holds live at once (find table + per-rep prefills).
+        let mut peak_cells = 0usize;
         // One prebuilt table per load: history independence makes the
         // layout identical no matter which tier built it.
         let table = T::build(log2);
@@ -172,19 +200,24 @@ fn sweep<T: BenchTable>(
                             fresh
                         })
                         .collect();
+                    // High-water mark of the rep loop: every prefilled
+                    // table plus the shared find table are live here.
+                    let peak = table.resident_cells()
+                        + prefilled.iter().map(T::resident_cells).sum::<usize>();
                     let i = secs(reps, || {
                         let fresh = prefilled.pop().expect("one table per rep");
                         pool.install(|| fresh.bulk_insert(tail));
                         tail.len()
                     });
                     let e = secs(reps, || pool.install(|| table.elements_len()));
-                    (f, i, e)
+                    (f, i, e, peak)
                 });
                 set_tier(None);
                 r
             };
-            let (sf, si, se) = by_tier(Some(SimdTier::Scalar));
-            let (wf, wi, we) = by_tier(None);
+            let (sf, si, se, peak) = by_tier(Some(SimdTier::Scalar));
+            let (wf, wi, we, _) = by_tier(None);
+            peak_cells = peak_cells.max(peak);
             let label = format!("load={} T={t}", case.label);
             find.push(
                 label.clone(),
@@ -211,8 +244,18 @@ fn sweep<T: BenchTable>(
                 ],
             );
         }
+
+        let table_bytes = (table.resident_cells() * T::CELL_BYTES) as f64;
+        memory.push(
+            format!("load={}", case.label),
+            vec![
+                Some(table_bytes / 1e6),
+                Some(table_bytes / case.n as f64),
+                Some((peak_cells * T::CELL_BYTES) as f64 / 1e6),
+            ],
+        );
     }
-    [find, insert, elements]
+    [find, insert, elements, memory]
 }
 
 fn main() {
@@ -264,9 +307,9 @@ fn main() {
             .get(pos + 1)
             .map(String::as_str)
             .unwrap_or("BENCH_PR6.json");
-        let [df, di, de] = det;
-        let [rf, ri, re] = rh;
-        report::write_json(path, &[df, di, de, rf, ri, re]).expect("failed to write JSON");
+        let [df, di, de, dm] = det;
+        let [rf, ri, re, rm] = rh;
+        report::write_json(path, &[df, di, de, dm, rf, ri, re, rm]).expect("failed to write JSON");
         println!("wrote {path}");
     }
 }

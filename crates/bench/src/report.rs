@@ -102,6 +102,20 @@ pub struct RunMeta {
     pub git_sha: String,
     /// Cargo features that change what the dump contains.
     pub features: Vec<String>,
+    /// Resident set size of the process at dump time, in bytes
+    /// (`None` off Linux). Dumps are written after the measured
+    /// workloads, so this is effectively the run's memory footprint —
+    /// the denominator for bytes-per-key claims.
+    pub rss_bytes: Option<u64>,
+}
+
+/// Current resident set size in bytes, from `/proc/self/statm`
+/// (resident pages × the 4 KiB base page size). Returns `None` off
+/// Linux or if the file is unreadable; cheap enough to sample per rep.
+pub fn resident_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * 4096)
 }
 
 impl RunMeta {
@@ -119,7 +133,11 @@ impl RunMeta {
         if cfg!(feature = "obs") {
             features.push("obs".to_string());
         }
-        RunMeta { git_sha, features }
+        RunMeta {
+            git_sha,
+            features,
+            rss_bytes: resident_bytes(),
+        }
     }
 
     fn to_json(&self) -> String {
@@ -133,7 +151,12 @@ impl RunMeta {
             }
             out.push_str(&json_string(f));
         }
-        out.push_str("]}");
+        out.push_str("], \"rss_bytes\": ");
+        match self.rss_bytes {
+            Some(b) => out.push_str(&b.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
         out
     }
 }
@@ -282,6 +305,7 @@ mod tests {
         // Envelope keys.
         assert!(text.contains("\"meta\""), "{text}");
         assert!(text.contains("\"git_sha\""), "{text}");
+        assert!(text.contains("\"rss_bytes\""), "{text}");
         assert!(text.contains("\"obs\""), "{text}");
         assert!(text.contains("\"reports\""), "{text}");
     }
@@ -294,6 +318,10 @@ mod tests {
             meta.features.contains(&"obs".to_string()),
             cfg!(feature = "obs")
         );
+        if cfg!(target_os = "linux") {
+            // A running test binary is resident by definition.
+            assert!(meta.rss_bytes.expect("statm readable on Linux") > 0);
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! cells are read or written, so the deterministic layout and
 //! history-independence guarantees are untouched.
 
-use std::sync::atomic::AtomicU64;
+use crate::cell::CellAtomic;
 
 /// How many operations ahead the batched paths prefetch. Large enough
 /// to cover DRAM latency with independent misses, small enough that
@@ -47,9 +47,10 @@ pub fn insert_prefetch_ahead() -> usize {
 /// Hints the memory system to pull `cells[idx]`'s cache line toward
 /// the core. On x86_64 this is `prefetcht0`; elsewhere it degrades to
 /// a plain relaxed load (which also brings the line in, at the cost of
-/// occupying a load slot).
+/// occupying a load slot). Generic over the cell width: prefetching a
+/// 32-bit cell pulls the same cache line a 64-bit cell would.
 #[inline(always)]
-pub fn prefetch_slot(cells: &[AtomicU64], idx: usize) {
+pub fn prefetch_slot<A: CellAtomic>(cells: &[A], idx: usize) {
     debug_assert!(idx < cells.len());
     #[cfg(target_arch = "x86_64")]
     unsafe {
@@ -66,6 +67,7 @@ pub fn prefetch_slot(cells: &[AtomicU64], idx: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU64;
 
     #[test]
     fn prefetch_is_side_effect_free() {

@@ -221,7 +221,7 @@ impl<E: HashEntry> CuckooHashTable<E> {
 
     /// Number of occupied cells.
     pub fn len(&self) -> usize {
-        crate::stats::occupied_len::<E>(&self.cells)
+        crate::stats::occupied_len_u64::<E>(&self.cells)
     }
 
     /// Whether the table is empty.

@@ -33,8 +33,9 @@
 
 use std::cmp::Ordering as CmpOrdering;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
+use crate::cell::{AtomOf, CellAtomic};
 use crate::entry::HashEntry;
 use crate::phase::{
     ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable, PhaseKind, PhaseSpan,
@@ -59,7 +60,7 @@ use crate::phase::{
 /// assert_eq!(a.snapshot(), b.snapshot());
 /// ```
 pub struct DetHashTable<E: HashEntry> {
-    cells: Box<[AtomicU64]>,
+    cells: Box<[AtomOf<E::Repr>]>,
     mask: usize,
     _entry: PhantomData<E>,
 }
@@ -72,7 +73,7 @@ impl<E: HashEntry> DetHashTable<E> {
     /// Creates a table with `2^log2_size` cells, all empty.
     pub fn new_pow2(log2_size: u32) -> Self {
         let n = 1usize << log2_size;
-        let cells = (0..n).map(|_| AtomicU64::new(E::EMPTY)).collect();
+        let cells = crate::cell::new_cells::<E::Repr>(n, E::EMPTY);
         DetHashTable {
             cells,
             mask: n - 1,
@@ -95,7 +96,8 @@ impl<E: HashEntry> DetHashTable<E> {
     }
 
     /// Raw view of the cell array (for invariant checkers and tests).
-    pub fn raw_cells(&self) -> &[AtomicU64] {
+    /// Cell width follows the entry type's `Repr`.
+    pub fn raw_cells(&self) -> &[AtomOf<E::Repr>] {
         &self.cells
     }
 
@@ -294,7 +296,7 @@ impl<E: HashEntry> DetHashTable<E> {
     #[target_feature(enable = "avx2")]
     unsafe fn try_insert_wide_avx2(&self, v: u64, key_mask: u64) -> Result<bool, u64> {
         self.try_insert_repr_wide_with(v, key_mask, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_avx2_w(cells, start, end, key_mask, thr)
         })
     }
 
@@ -302,7 +304,7 @@ impl<E: HashEntry> DetHashTable<E> {
     #[cfg(target_arch = "x86_64")]
     fn try_insert_wide_sse2(&self, v: u64, key_mask: u64) -> Result<bool, u64> {
         self.try_insert_repr_wide_with(v, key_mask, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_sse2_w(cells, start, end, key_mask, thr)
         })
     }
 
@@ -312,7 +314,7 @@ impl<E: HashEntry> DetHashTable<E> {
         &self,
         mut v: u64,
         key_mask: u64,
-        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize, u64) -> crate::simd::ScanHit,
     ) -> Result<bool, u64> {
         let n = self.cells.len();
         let mut i = self.slot(E::hash(v));
@@ -484,7 +486,7 @@ impl<E: HashEntry> DetHashTable<E> {
     #[target_feature(enable = "avx2")]
     unsafe fn insert_batch_avx2(&self, entries: &[E], key_mask: u64) {
         self.insert_batch_wide_body(entries, key_mask, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_avx2_w(cells, start, end, key_mask, thr)
         });
     }
 
@@ -492,7 +494,7 @@ impl<E: HashEntry> DetHashTable<E> {
     #[cfg(target_arch = "x86_64")]
     fn insert_batch_sse2(&self, entries: &[E], key_mask: u64) {
         self.insert_batch_wide_body(entries, key_mask, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_sse2_w(cells, start, end, key_mask, thr)
         });
     }
 
@@ -508,7 +510,7 @@ impl<E: HashEntry> DetHashTable<E> {
         &self,
         entries: &[E],
         key_mask: u64,
-        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize, u64) -> crate::simd::ScanHit,
     ) {
         use crate::batch::{insert_prefetch_ahead, prefetch_slot};
         let ahead = insert_prefetch_ahead();
@@ -614,7 +616,7 @@ impl<E: HashEntry> DetHashTable<E> {
     #[target_feature(enable = "avx2")]
     unsafe fn find_batch_avx2(&self, keys: &[E], key_mask: u64, out: &mut Vec<Option<E>>) {
         self.find_batch_wide_body(keys, key_mask, out, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_avx2_w(cells, start, end, key_mask, thr)
         });
     }
 
@@ -623,7 +625,7 @@ impl<E: HashEntry> DetHashTable<E> {
     #[cfg(target_arch = "x86_64")]
     fn find_batch_sse2(&self, keys: &[E], key_mask: u64, out: &mut Vec<Option<E>>) {
         self.find_batch_wide_body(keys, key_mask, out, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_sse2_w(cells, start, end, key_mask, thr)
         });
     }
 
@@ -636,7 +638,7 @@ impl<E: HashEntry> DetHashTable<E> {
         keys: &[E],
         key_mask: u64,
         out: &mut Vec<Option<E>>,
-        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize, u64) -> crate::simd::ScanHit,
     ) {
         use crate::batch::{prefetch_slot, PREFETCH_AHEAD};
         for k in keys.iter().take(PREFETCH_AHEAD) {
@@ -733,7 +735,7 @@ impl<E: HashEntry> DetHashTable<E> {
     #[target_feature(enable = "avx2")]
     unsafe fn find_wide_avx2(&self, probe: u64, key_mask: u64) -> Option<u64> {
         self.find_repr_wide_with(probe, key_mask, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_avx2_w(cells, start, end, key_mask, thr)
         })
     }
 
@@ -741,7 +743,7 @@ impl<E: HashEntry> DetHashTable<E> {
     #[cfg(target_arch = "x86_64")]
     fn find_wide_sse2(&self, probe: u64, key_mask: u64) -> Option<u64> {
         self.find_repr_wide_with(probe, key_mask, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_sse2_w(cells, start, end, key_mask, thr)
         })
     }
 
@@ -756,7 +758,7 @@ impl<E: HashEntry> DetHashTable<E> {
         &self,
         probe: u64,
         key_mask: u64,
-        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize, u64) -> crate::simd::ScanHit,
     ) -> Option<u64> {
         let n = self.cells.len();
         let home = self.slot(E::hash(probe));
@@ -964,6 +966,21 @@ impl<E: HashEntry> DetHashTable<E> {
         );
         phc_obs::probe!(hist PackSize, packed.len());
         packed
+    }
+
+    /// [`elements`](Self::elements) into a caller-provided buffer:
+    /// `out` is cleared and refilled, reusing its allocation. Repeated
+    /// packers (the KV server's get path) call this once per batch with
+    /// a retained buffer instead of allocating a fresh `Vec` each time.
+    /// The contents are identical to what `elements()` returns.
+    pub fn elements_into(&self, out: &mut Vec<E>) {
+        phc_parutil::pack_with_mask_into(
+            &self.cells,
+            |win| crate::simd::scan_nonempty_mask(win, E::EMPTY),
+            |c| E::from_repr(c.load(Ordering::Acquire)),
+            out,
+        );
+        phc_obs::probe!(hist PackSize, out.len());
     }
 
     /// Applies `f` to every entry stored in the cell range (clamped to

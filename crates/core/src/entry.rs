@@ -22,11 +22,15 @@ use std::cmp::Ordering;
 
 use phc_parutil::hash64;
 
+use crate::cell::CellWord;
+
 /// A fixed-width entry storable in one atomic cell.
 ///
 /// # Contract
 ///
-/// * `to_repr` never returns [`HashEntry::EMPTY`];
+/// * `to_repr` never returns [`HashEntry::EMPTY`], and both `to_repr`
+///   and `EMPTY` fit in [`Repr::BITS`](crate::cell::CellWord::BITS)
+///   bits (narrow cells store the low bits and zero-extend on load);
 /// * `hash`, `cmp_priority` and `same_key` are pure functions of the
 ///   representations;
 /// * `cmp_priority` restricted to the key part is a total order and
@@ -36,6 +40,15 @@ use phc_parutil::hash64;
 ///   commutative and associative on the value part so that concurrent
 ///   duplicate inserts commute (paper §4, "Combining").
 pub trait HashEntry: Copy + Eq + Send + Sync + std::fmt::Debug {
+    /// Width of the atomic cell storing this entry's repr. `u64` is the
+    /// full-word default; entries whose packed repr fits 32 bits (e.g.
+    /// [`KvPair32`]) declare `u32` and halve the table's bytes-per-cell
+    /// — the flat tables allocate `Repr::Atomic` cells and the SIMD
+    /// kernels scan twice the lanes per vector. All trait methods stay
+    /// expressed on the zero-extended `u64` logical repr (lossless and
+    /// order-preserving for sub-word widths; see [`crate::cell`]).
+    type Repr: CellWord;
+
     /// Representation of the empty cell `⊥`.
     const EMPTY: u64;
 
@@ -108,6 +121,7 @@ impl U64Key {
 }
 
 impl HashEntry for U64Key {
+    type Repr = u64;
     const EMPTY: u64 = 0;
     // The repr *is* the key: raw equality and unsigned numeric order
     // coincide with `same_key` / `cmp_priority`, with `⊥ = 0` lowest.
@@ -213,6 +227,7 @@ impl<C: Combine> KvPair<C> {
 }
 
 impl<C: Combine> HashEntry for KvPair<C> {
+    type Repr = u64;
     const EMPTY: u64 = 0;
     const VALUE_MASK: u64 = 0xFFFF_FFFF;
     // The key occupies the high half, so the masked repr is `key << 32`:
@@ -253,6 +268,93 @@ impl<C: Combine> HashEntry for KvPair<C> {
     fn combine(current: u64, new: u64) -> u64 {
         debug_assert!(Self::same_key(current, new));
         (current & !0xFFFF_FFFF) | C::combine(current as u32, new as u32) as u64
+    }
+}
+
+/// A key-value pair packed into one **32-bit** cell: 16-bit key
+/// (nonzero) in the high half, 16-bit value in the low half — the
+/// sub-word counterpart of [`KvPair`].
+///
+/// Declaring `Repr = u32` stores this entry in `AtomicU32` cells:
+/// half the memory traffic per probe step and, on the wide-scan
+/// paths, 8 cells per AVX2 vector instead of 4. The logical-repr
+/// contract is identical to `KvPair`'s, scaled down: masked equality
+/// (`0xFFFF_0000`) is key equality, masked unsigned order is the key
+/// priority order, and `⊥ = 0` masks lowest. The same [`Combine`]
+/// policies apply, operating on the zero-extended 16-bit values
+/// (`AddValues` wraps at 16 bits, exactly as it wraps at 32 for
+/// `KvPair` — truncating the 32-bit sum is the mod-2^16 sum, so the
+/// policy stays commutative and associative).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct KvPair32<C: Combine = KeepMin> {
+    /// The key; must be nonzero.
+    pub key: u16,
+    /// The associated value.
+    pub value: u16,
+    _policy: std::marker::PhantomData<C>,
+}
+
+impl<C: Combine> KvPair32<C> {
+    /// Creates a pair; panics if `key == 0` (reserved for `⊥`).
+    #[inline]
+    pub fn new(key: u16, value: u16) -> Self {
+        assert_ne!(
+            key, 0,
+            "KvPair32 key cannot be 0 (reserved for the empty cell)"
+        );
+        KvPair32 {
+            key,
+            value,
+            _policy: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<C: Combine> HashEntry for KvPair32<C> {
+    type Repr = u32;
+    const EMPTY: u64 = 0;
+    const VALUE_MASK: u64 = 0xFFFF;
+    // Key in the high half of the 32-bit word: the masked repr is
+    // `key << 16`, so masked equality is key equality and masked
+    // unsigned order is key order, with `⊥ = 0` lowest. The mask is
+    // top-aligned and contiguous *within the 32-bit cell width*, which
+    // is what the Robin Hood layout requires of sub-word entries.
+    const SIMD_KEY_MASK: Option<u64> = Some(0xFFFF_0000);
+
+    #[inline]
+    fn to_repr(self) -> u64 {
+        ((self.key as u64) << 16) | self.value as u64
+    }
+
+    #[inline]
+    fn from_repr(repr: u64) -> Self {
+        KvPair32 {
+            key: (repr >> 16) as u16,
+            value: repr as u16,
+            _policy: std::marker::PhantomData,
+        }
+    }
+
+    #[inline]
+    fn hash(repr: u64) -> u64 {
+        hash64(repr >> 16)
+    }
+
+    #[inline]
+    fn cmp_priority(a: u64, b: u64) -> Ordering {
+        (a >> 16).cmp(&(b >> 16))
+    }
+
+    #[inline]
+    fn same_key(a: u64, b: u64) -> bool {
+        (a >> 16) == (b >> 16) && (a >> 16) != 0
+    }
+
+    #[inline]
+    fn combine(current: u64, new: u64) -> u64 {
+        debug_assert!(Self::same_key(current, new));
+        let v = C::combine(current as u16 as u32, new as u16 as u32) as u16;
+        (current & !0xFFFF) | v as u64
     }
 }
 
@@ -312,6 +414,7 @@ impl PartialEq for StrRef<'_> {
 impl Eq for StrRef<'_> {}
 
 impl<'a> HashEntry for StrRef<'a> {
+    type Repr = u64;
     const EMPTY: u64 = 0;
 
     #[inline]
@@ -493,6 +596,63 @@ mod tests {
             StrRef::hash(StrRef(&p1).to_repr()),
             StrRef::hash(StrRef(&p2).to_repr())
         );
+    }
+
+    #[test]
+    fn kvpair32_roundtrip_and_fits_cell() {
+        let p: KvPair32<KeepMin> = KvPair32::new(3, 99);
+        let r = p.to_repr();
+        assert!(r <= <u32 as crate::cell::CellWord>::MAX_REPR);
+        assert_eq!(<KvPair32<KeepMin>>::from_repr(r), p);
+        assert_ne!(r, <KvPair32<KeepMin>>::EMPTY);
+        let hi: KvPair32<KeepMin> = KvPair32::new(u16::MAX, u16::MAX);
+        assert!(hi.to_repr() <= u32::MAX as u64);
+        assert_eq!(<KvPair32<KeepMin>>::from_repr(hi.to_repr()), hi);
+    }
+
+    #[test]
+    fn kvpair32_priority_and_combine() {
+        let a: KvPair32<KeepMin> = KvPair32::new(5, 10);
+        let b: KvPair32<KeepMin> = KvPair32::new(5, 3);
+        assert_eq!(
+            <KvPair32<KeepMin>>::cmp_priority(a.to_repr(), b.to_repr()),
+            Ordering::Equal
+        );
+        assert!(<KvPair32<KeepMin>>::same_key(a.to_repr(), b.to_repr()));
+        let c = <KvPair32<KeepMin>>::combine(a.to_repr(), b.to_repr());
+        assert_eq!(<KvPair32<KeepMin>>::from_repr(c).value, 3);
+        assert_eq!(c, <KvPair32<KeepMin>>::combine(b.to_repr(), a.to_repr()));
+        // AddValues wraps at 16 bits without touching the key half.
+        let x: KvPair32<AddValues> = KvPair32::new(7, u16::MAX);
+        let y: KvPair32<AddValues> = KvPair32::new(7, 2);
+        let s = <KvPair32<AddValues>>::combine(x.to_repr(), y.to_repr());
+        let s = <KvPair32<AddValues>>::from_repr(s);
+        assert_eq!((s.key, s.value), (7, 1));
+    }
+
+    #[test]
+    fn kvpair32_masked_order_matches_priority() {
+        // The SIMD contract: masked unsigned order == cmp_priority, and
+        // EMPTY masks lowest — checked on the zero-extended u64 values
+        // the kernels actually compare.
+        let mask = <KvPair32<KeepMin>>::SIMD_KEY_MASK.unwrap();
+        let reprs: Vec<u64> = [(1u16, 0u16), (1, 9), (2, 0), (u16::MAX, 5)]
+            .iter()
+            .map(|&(k, v)| KvPair32::<KeepMin>::new(k, v).to_repr())
+            .collect();
+        for &a in &reprs {
+            assert!(<KvPair32<KeepMin>>::EMPTY & mask < a & mask);
+            for &b in &reprs {
+                assert_eq!(
+                    (a & mask).cmp(&(b & mask)),
+                    <KvPair32<KeepMin>>::cmp_priority(a, b)
+                );
+                assert_eq!(
+                    a & mask == b & mask,
+                    <KvPair32<KeepMin>>::same_key(a, b) || (a & mask == 0 && b & mask == 0)
+                );
+            }
+        }
     }
 
     #[test]

@@ -63,6 +63,7 @@ use std::cmp::Ordering as CmpOrdering;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::cell::{AtomOf, CellAtomic};
 use crate::entry::HashEntry;
 use crate::phase::{
     ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable, PhaseKind, PhaseSpan,
@@ -105,7 +106,7 @@ macro_rules! fc_spec_check {
 /// assert_eq!(t.find(U64Key::new(7)), None);
 /// ```
 pub struct FcHashTable<E: HashEntry> {
-    cells: Box<[AtomicU64]>,
+    cells: Box<[AtomOf<E::Repr>]>,
     mask: usize,
     /// `(insert starts << 32) | active inserts`.
     ins_state: AtomicU64,
@@ -122,7 +123,7 @@ impl<E: HashEntry> FcHashTable<E> {
     /// Creates a table with `2^log2_size` cells, all empty.
     pub fn new_pow2(log2_size: u32) -> Self {
         let n = 1usize << log2_size;
-        let cells = (0..n).map(|_| AtomicU64::new(E::EMPTY)).collect();
+        let cells = crate::cell::new_cells::<E::Repr>(n, E::EMPTY);
         FcHashTable {
             cells,
             mask: n - 1,
@@ -147,7 +148,7 @@ impl<E: HashEntry> FcHashTable<E> {
     }
 
     /// Raw view of the cell array (for invariant checkers and tests).
-    pub fn raw_cells(&self) -> &[AtomicU64] {
+    pub fn raw_cells(&self) -> &[AtomOf<E::Repr>] {
         &self.cells
     }
 
@@ -365,7 +366,7 @@ impl<E: HashEntry> FcHashTable<E> {
     #[target_feature(enable = "avx2")]
     unsafe fn try_insert_wide_avx2(&self, v: u64, key_mask: u64, del0: u64) -> Result<i64, u64> {
         self.try_insert_net_wide_with(v, key_mask, del0, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_avx2_w(cells, start, end, key_mask, thr)
         })
     }
 
@@ -373,7 +374,7 @@ impl<E: HashEntry> FcHashTable<E> {
     #[cfg(target_arch = "x86_64")]
     fn try_insert_wide_sse2(&self, v: u64, key_mask: u64, del0: u64) -> Result<i64, u64> {
         self.try_insert_net_wide_with(v, key_mask, del0, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_sse2_w(cells, start, end, key_mask, thr)
         })
     }
 
@@ -384,7 +385,7 @@ impl<E: HashEntry> FcHashTable<E> {
         mut v: u64,
         key_mask: u64,
         del0: u64,
-        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize, u64) -> crate::simd::ScanHit,
     ) -> Result<i64, u64> {
         let n = self.cells.len();
         let mut i = self.slot(E::hash(v));
@@ -588,7 +589,7 @@ impl<E: HashEntry> FcHashTable<E> {
     #[target_feature(enable = "avx2")]
     unsafe fn insert_batch_avx2(&self, entries: &[E], key_mask: u64, del0: u64) -> bool {
         self.insert_batch_wide_body(entries, key_mask, del0, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_avx2_w(cells, start, end, key_mask, thr)
         })
     }
 
@@ -596,7 +597,7 @@ impl<E: HashEntry> FcHashTable<E> {
     #[cfg(target_arch = "x86_64")]
     fn insert_batch_sse2(&self, entries: &[E], key_mask: u64, del0: u64) -> bool {
         self.insert_batch_wide_body(entries, key_mask, del0, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_sse2_w(cells, start, end, key_mask, thr)
         })
     }
 
@@ -609,7 +610,7 @@ impl<E: HashEntry> FcHashTable<E> {
         entries: &[E],
         key_mask: u64,
         del0: u64,
-        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize, u64) -> crate::simd::ScanHit,
     ) -> bool {
         use crate::batch::{insert_prefetch_ahead, prefetch_slot};
         let ahead = insert_prefetch_ahead();
@@ -740,7 +741,7 @@ impl<E: HashEntry> FcHashTable<E> {
     #[target_feature(enable = "avx2")]
     unsafe fn find_once_avx2(&self, probe: u64, key_mask: u64) -> Option<u64> {
         self.find_once_wide_with(probe, key_mask, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_avx2_w(cells, start, end, key_mask, thr)
         })
     }
 
@@ -748,7 +749,7 @@ impl<E: HashEntry> FcHashTable<E> {
     #[cfg(target_arch = "x86_64")]
     fn find_once_sse2(&self, probe: u64, key_mask: u64) -> Option<u64> {
         self.find_once_wide_with(probe, key_mask, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_sse2_w(cells, start, end, key_mask, thr)
         })
     }
 
@@ -758,7 +759,7 @@ impl<E: HashEntry> FcHashTable<E> {
         &self,
         probe: u64,
         key_mask: u64,
-        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize, u64) -> crate::simd::ScanHit,
     ) -> Option<u64> {
         let n = self.cells.len();
         let home = self.slot(E::hash(probe));
@@ -848,7 +849,7 @@ impl<E: HashEntry> FcHashTable<E> {
             self.find_spec_loop_avx2(keys, key_mask, out)
         }) {
             self.find_batch_careful_with(keys, key_mask, out, &|cells, start, end, thr| unsafe {
-                crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+                crate::simd::scan_le_avx2_w(cells, start, end, key_mask, thr)
             });
         }
     }
@@ -860,7 +861,7 @@ impl<E: HashEntry> FcHashTable<E> {
             self.find_spec_loop_sse2(keys, key_mask, out)
         }) {
             self.find_batch_careful_with(keys, key_mask, out, &|cells, start, end, thr| unsafe {
-                crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
+                crate::simd::scan_le_sse2_w(cells, start, end, key_mask, thr)
             });
         }
     }
@@ -922,7 +923,7 @@ impl<E: HashEntry> FcHashTable<E> {
     #[inline(never)]
     unsafe fn find_spec_loop_avx2(&self, keys: &[E], key_mask: u64, out: &mut Vec<Option<E>>) {
         self.find_spec_loop_body(keys, key_mask, out, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_avx2_w(cells, start, end, key_mask, thr)
         });
     }
 
@@ -931,7 +932,7 @@ impl<E: HashEntry> FcHashTable<E> {
     #[inline(never)]
     fn find_spec_loop_sse2(&self, keys: &[E], key_mask: u64, out: &mut Vec<Option<E>>) {
         self.find_spec_loop_body(keys, key_mask, out, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_sse2_w(cells, start, end, key_mask, thr)
         });
     }
 
@@ -945,7 +946,7 @@ impl<E: HashEntry> FcHashTable<E> {
         keys: &[E],
         key_mask: u64,
         out: &mut Vec<Option<E>>,
-        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize, u64) -> crate::simd::ScanHit,
     ) {
         use crate::batch::{prefetch_slot, PREFETCH_AHEAD};
         // Hoist the cell slice and mask into locals: with `self` live
@@ -953,7 +954,7 @@ impl<E: HashEntry> FcHashTable<E> {
         // (it will not CSE plain loads across the kernel's atomic
         // loads), which is exactly the per-key overhead the standalone
         // loop exists to avoid.
-        let cells: &[AtomicU64] = &self.cells;
+        let cells: &[AtomOf<E::Repr>] = &self.cells;
         let mask = self.mask;
         for k in keys.iter().take(PREFETCH_AHEAD) {
             prefetch_slot(cells, (E::hash(k.to_repr()) as usize) & mask);
@@ -982,7 +983,7 @@ impl<E: HashEntry> FcHashTable<E> {
         keys: &[E],
         key_mask: u64,
         out: &mut Vec<Option<E>>,
-        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize, u64) -> crate::simd::ScanHit,
     ) {
         use crate::batch::{prefetch_slot, PREFETCH_AHEAD};
         for k in keys.iter().take(PREFETCH_AHEAD) {
@@ -1008,11 +1009,11 @@ impl<E: HashEntry> FcHashTable<E> {
     #[cfg(target_arch = "x86_64")]
     #[inline(always)]
     fn find_quiescent_in(
-        cells: &[AtomicU64],
+        cells: &[AtomOf<E::Repr>],
         mask: usize,
         probe: u64,
         key_mask: u64,
-        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize, u64) -> crate::simd::ScanHit,
     ) -> Option<u64> {
         let n = cells.len();
         let home = (E::hash(probe) as usize) & mask;
@@ -1040,7 +1041,7 @@ impl<E: HashEntry> FcHashTable<E> {
         &self,
         probe: u64,
         key_mask: u64,
-        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize, u64) -> crate::simd::ScanHit,
     ) -> Option<u64> {
         debug_assert_ne!(probe, E::EMPTY);
         let mut retries = 0usize;
@@ -1341,6 +1342,19 @@ impl<E: HashEntry> FcHashTable<E> {
         packed
     }
 
+    /// Like [`elements`](Self::elements), packing into a caller-owned
+    /// buffer (cleared first) so steady-state readers reuse one
+    /// allocation across calls. Deterministic at quiescence.
+    pub fn elements_into(&self, out: &mut Vec<E>) {
+        phc_parutil::pack_with_mask_into(
+            &self.cells,
+            |win| crate::simd::scan_nonempty_mask(win, E::EMPTY),
+            |c| E::from_repr(c.load(Ordering::Acquire)),
+            out,
+        );
+        phc_obs::probe!(hist PackSize, out.len());
+    }
+
     /// Applies `f` to every entry in the cell range, sequentially in
     /// cell order — the migration primitive of
     /// [`crate::resize::ResizableTable`]. The caller must guarantee the
@@ -1558,10 +1572,13 @@ impl<E: HashEntry> crate::resize::FlatTableCore<E> for FcHashTable<E> {
     fn elements(&self) -> Vec<E> {
         FcHashTable::elements(self)
     }
+    fn elements_into(&self, out: &mut Vec<E>) {
+        FcHashTable::elements_into(self, out)
+    }
     fn snapshot(&self) -> Vec<u64> {
         FcHashTable::snapshot(self)
     }
-    fn raw_cells(&self) -> &[AtomicU64] {
+    fn raw_cells(&self) -> &[AtomOf<E::Repr>] {
         FcHashTable::raw_cells(self)
     }
     fn for_each_in_range(&self, range: std::ops::Range<usize>, f: impl FnMut(E)) {

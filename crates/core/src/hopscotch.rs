@@ -347,7 +347,7 @@ impl<E: HashEntry> HopscotchHashTable<E> {
 
     /// Number of occupied cells.
     pub fn len(&self) -> usize {
-        crate::stats::occupied_len::<E>(&self.cells)
+        crate::stats::occupied_len_u64::<E>(&self.cells)
     }
 
     /// Whether the table is empty.

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cell;
 pub mod chained;
 pub mod cuckoo;
 pub mod det;
@@ -44,11 +45,12 @@ pub mod serial;
 pub mod simd;
 pub mod stats;
 
+pub use cell::{AtomOf, CellAtomic, CellWord};
 pub use chained::ChainedHashTable;
 pub use cuckoo::CuckooHashTable;
 pub use det::DetHashTable;
 pub use entry::{
-    AddValues, Combine, HashEntry, KeepMax, KeepMin, KvPair, StrPayload, StrRef, U64Key,
+    AddValues, Combine, HashEntry, KeepMax, KeepMin, KvPair, KvPair32, StrPayload, StrRef, U64Key,
 };
 pub use fc::FcHashTable;
 pub use hopscotch::HopscotchHashTable;

@@ -12,8 +12,9 @@
 //! see [`NdHashTable::insert_add_value`].
 
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
+use crate::cell::{AtomOf, CellAtomic};
 use crate::entry::HashEntry;
 use crate::phase::{
     ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable, PhaseKind, PhaseSpan,
@@ -46,7 +47,7 @@ macro_rules! nd_phase_check {
 /// assert_eq!(t.find(U64Key::new(7)), None);
 /// ```
 pub struct NdHashTable<E: HashEntry> {
-    cells: Box<[AtomicU64]>,
+    cells: Box<[AtomOf<E::Repr>]>,
     mask: usize,
     _entry: PhantomData<E>,
 }
@@ -58,7 +59,7 @@ impl<E: HashEntry> NdHashTable<E> {
     /// Creates a table with `2^log2_size` cells.
     pub fn new_pow2(log2_size: u32) -> Self {
         let n = 1usize << log2_size;
-        let cells = (0..n).map(|_| AtomicU64::new(E::EMPTY)).collect();
+        let cells = crate::cell::new_cells::<E::Repr>(n, E::EMPTY);
         NdHashTable {
             cells,
             mask: n - 1,
@@ -172,7 +173,7 @@ impl<E: HashEntry> NdHashTable<E> {
         self.insert_wide_body(
             v,
             key_mask,
-            &|cells: &[AtomicU64], start: usize, end: usize| {
+            &|cells: &[AtomOf<E::Repr>], start: usize, end: usize| {
                 crate::simd::scan_for_key(cells, start, end, E::EMPTY, key_mask, v)
             },
         );
@@ -184,12 +185,12 @@ impl<E: HashEntry> NdHashTable<E> {
         self.insert_wide_body(
             v,
             key_mask,
-            &|cells: &[AtomicU64], start: usize, end: usize| {
+            &|cells: &[AtomOf<E::Repr>], start: usize, end: usize| {
                 // SAFETY: AVX2 was verified by the dispatch site binding
                 // this kernel; range is in bounds (see `crate::simd::x86`).
                 unsafe {
-                    crate::simd::x86::scan_for_key_avx2(
-                        cells.as_ptr().cast(),
+                    crate::simd::scan_for_key_avx2_w(
+                        cells,
                         start,
                         end,
                         E::EMPTY,
@@ -206,11 +207,11 @@ impl<E: HashEntry> NdHashTable<E> {
         self.insert_wide_body(
             v,
             key_mask,
-            &|cells: &[AtomicU64], start: usize, end: usize| {
+            &|cells: &[AtomOf<E::Repr>], start: usize, end: usize| {
                 // SAFETY: SSE2 is the x86-64 baseline; range is in bounds.
                 unsafe {
-                    crate::simd::x86::scan_for_key_sse2(
-                        cells.as_ptr().cast(),
+                    crate::simd::scan_for_key_sse2_w(
+                        cells,
                         start,
                         end,
                         E::EMPTY,
@@ -228,7 +229,7 @@ impl<E: HashEntry> NdHashTable<E> {
         &self,
         v: u64,
         key_mask: u64,
-        scan: &impl Fn(&[AtomicU64], usize, usize) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize) -> crate::simd::ScanHit,
     ) {
         let n = self.cells.len();
         let mut i = self.slot(E::hash(v));
@@ -438,7 +439,9 @@ impl<E: HashEntry> NdHashTable<E> {
             }
         }
         #[cfg(not(target_arch = "x86_64"))]
-        self.find_wide_body(probe, &|cells: &[AtomicU64], start: usize, end: usize| {
+        self.find_wide_body(probe, &|cells: &[AtomOf<E::Repr>],
+                                     start: usize,
+                                     end: usize| {
             crate::simd::scan_for_key(cells, start, end, E::EMPTY, key_mask, probe)
         })
     }
@@ -446,11 +449,13 @@ impl<E: HashEntry> NdHashTable<E> {
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
     unsafe fn find_wide_avx2(&self, probe: u64, key_mask: u64) -> Option<E> {
-        self.find_wide_body(probe, &|cells: &[AtomicU64], start: usize, end: usize| {
+        self.find_wide_body(probe, &|cells: &[AtomOf<E::Repr>],
+                                     start: usize,
+                                     end: usize| {
             // SAFETY: AVX2 verified by the dispatch site; in-bounds range.
             unsafe {
-                crate::simd::x86::scan_for_key_avx2(
-                    cells.as_ptr().cast(),
+                crate::simd::scan_for_key_avx2_w(
+                    cells,
                     start,
                     end,
                     E::EMPTY,
@@ -463,11 +468,13 @@ impl<E: HashEntry> NdHashTable<E> {
 
     #[cfg(target_arch = "x86_64")]
     fn find_wide_sse2(&self, probe: u64, key_mask: u64) -> Option<E> {
-        self.find_wide_body(probe, &|cells: &[AtomicU64], start: usize, end: usize| {
+        self.find_wide_body(probe, &|cells: &[AtomOf<E::Repr>],
+                                     start: usize,
+                                     end: usize| {
             // SAFETY: SSE2 is the x86-64 baseline; in-bounds range.
             unsafe {
-                crate::simd::x86::scan_for_key_sse2(
-                    cells.as_ptr().cast(),
+                crate::simd::scan_for_key_sse2_w(
+                    cells,
                     start,
                     end,
                     E::EMPTY,
@@ -483,7 +490,7 @@ impl<E: HashEntry> NdHashTable<E> {
     fn find_wide_body(
         &self,
         probe: u64,
-        scan: &impl Fn(&[AtomicU64], usize, usize) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize) -> crate::simd::ScanHit,
     ) -> Option<E> {
         let n = self.cells.len();
         let home = self.slot(E::hash(probe));
@@ -670,6 +677,18 @@ impl<E: HashEntry> NdHashTable<E> {
             |win| crate::simd::scan_nonempty_mask(win, E::EMPTY),
             |c| E::from_repr(c.load(Ordering::Acquire)),
         )
+    }
+
+    /// [`elements`](Self::elements) into a caller-provided buffer
+    /// (cleared and refilled; the allocation is reused — see
+    /// [`DetHashTable::elements_into`](crate::DetHashTable::elements_into)).
+    pub fn elements_into(&self, out: &mut Vec<E>) {
+        phc_parutil::pack_with_mask_into(
+            &self.cells,
+            |win| crate::simd::scan_nonempty_mask(win, E::EMPTY),
+            |c| E::from_repr(c.load(Ordering::Acquire)),
+            out,
+        );
     }
 
     /// Applies `f` to every stored entry in parallel without packing

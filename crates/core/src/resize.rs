@@ -48,14 +48,33 @@
 //! power of two (≥ the initial capacity) with load < 3/4 — a pure
 //! function of the final key set — and for a fixed capacity the
 //! deterministic table's layout is a pure function of its contents, so
-//! `snapshot()` is equal across thread counts and schedules. The table
-//! never shrinks, matching the paper.
+//! `snapshot()` is equal across thread counts and schedules.
+//!
+//! ## Shrinking
+//!
+//! The same epoch chain runs **downward**: a delete that drops the load
+//! below 1/8 publishes a *halved* successor (never below the seed
+//! capacity, the floor), and the usual cooperative block migration
+//! copies the survivors across. The 1/8 trigger against the 3/4 growth
+//! threshold leaves a wide hysteresis band — a freshly shrunk table
+//! sits at load < 1/4, so alternating inserts and deletes near a
+//! boundary cannot oscillate. Determinism mirrors the growth argument
+//! in reverse: during a delete phase the live count only falls, so the
+//! racy count that triggers a mid-phase shrink is an upper bound on the
+//! final count — every mid-phase shrink is one that normalization
+//! (which re-checks with exact counts) would also perform, and the
+//! halving sequence from a deterministic starting capacity is itself
+//! deterministic. The quiescent capacity is therefore a pure function
+//! of the phase history of key sets, independent of thread count, and
+//! for a fixed capacity the layout is canonical — so grow → delete →
+//! shrink → regrow cycles snapshot byte-identically across schedules.
 
 use std::marker::PhantomData;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
+use crate::cell::AtomOf;
 use crate::det::DetHashTable;
 use crate::entry::HashEntry;
 use crate::phase::{
@@ -154,10 +173,17 @@ pub trait FlatTableCore<E: HashEntry>: Send + Sync {
     }
     /// Packs the stored entries in cell order (deterministic).
     fn elements(&self) -> Vec<E>;
+    /// [`elements`](Self::elements) into a caller-supplied buffer:
+    /// appends the packed entries to `out` without allocating a fresh
+    /// `Vec` per call, so steady-state callers (the server's shard
+    /// loop) reuse one buffer's high-water capacity across batches.
+    fn elements_into(&self, out: &mut Vec<E>) {
+        out.extend(self.elements());
+    }
     /// Raw snapshot of the cell array (the core's canonical layout).
     fn snapshot(&self) -> Vec<u64>;
-    /// Raw view of the cell array.
-    fn raw_cells(&self) -> &[AtomicU64];
+    /// Raw view of the cell array (width follows the entry's `Repr`).
+    fn raw_cells(&self) -> &[AtomOf<E::Repr>];
     /// Applies `f` to every entry in the (quiescent) cell range, in
     /// cell order — the migration primitive.
     fn for_each_in_range(&self, range: std::ops::Range<usize>, f: impl FnMut(E));
@@ -193,10 +219,13 @@ impl<E: HashEntry> FlatTableCore<E> for DetHashTable<E> {
     fn elements(&self) -> Vec<E> {
         DetHashTable::elements(self)
     }
+    fn elements_into(&self, out: &mut Vec<E>) {
+        DetHashTable::elements_into(self, out)
+    }
     fn snapshot(&self) -> Vec<u64> {
         DetHashTable::snapshot(self)
     }
-    fn raw_cells(&self) -> &[AtomicU64] {
+    fn raw_cells(&self) -> &[AtomOf<E::Repr>] {
         DetHashTable::raw_cells(self)
     }
     fn for_each_in_range(&self, range: std::ops::Range<usize>, f: impl FnMut(E)) {
@@ -207,6 +236,13 @@ impl<E: HashEntry> FlatTableCore<E> for DetHashTable<E> {
 /// Grow when `items * DEN >= capacity * NUM` (keeps load < 3/4).
 const MAX_LOAD_NUM: usize = 3;
 const MAX_LOAD_DEN: usize = 4;
+
+/// Shrink when `items * SHRINK_FACTOR < capacity` (load < 1/8) and the
+/// capacity is above the seed floor. A halved table then sits at load
+/// < 1/4 — comfortably inside the (1/8, 3/4) hysteresis band, so a
+/// single insert or delete near either boundary cannot flip the
+/// capacity back.
+const SHRINK_FACTOR: usize = 8;
 
 /// Brief spin, then yield. The waits in migration are short in the
 /// common case, but when cores are oversubscribed the thread being
@@ -281,6 +317,10 @@ impl<E: HashEntry, T: FlatTableCore<E>> Epoch<E, T> {
     fn items_over_threshold(items: usize, capacity: usize) -> bool {
         items * MAX_LOAD_DEN >= capacity * MAX_LOAD_NUM
     }
+
+    fn items_under_shrink(items: usize, capacity: usize, floor: usize) -> bool {
+        capacity > floor && items * SHRINK_FACTOR < capacity
+    }
 }
 
 /// A deterministic phase-concurrent hash table that doubles its backing
@@ -302,6 +342,10 @@ pub struct ResizableTable<E: HashEntry, T: FlatTableCore<E> = DetHashTable<E>> {
     /// Every epoch ever published, freed in `Drop`. Chain memory is at
     /// most 2x the tail table (capacities are geometric).
     allocated: Mutex<Vec<*mut Epoch<E, T>>>,
+    /// Seed capacity exponent: shrinking never goes below `2^min_log2`,
+    /// which keeps the quiescent capacity a pure function of the phase
+    /// history (and bounds worst-case churn for tiny key sets).
+    min_log2: u32,
 }
 
 // SAFETY: epochs are only mutated through atomics and the interior
@@ -317,7 +361,14 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
         ResizableTable {
             current: AtomicPtr::new(first),
             allocated: Mutex::new(vec![first]),
+            min_log2: log2_size,
         }
+    }
+
+    /// The shrink floor in cells (the seed capacity).
+    #[inline]
+    fn floor_capacity(&self) -> usize {
+        1usize << self.min_log2
     }
 
     fn current_epoch(&self) -> &Epoch<E, T> {
@@ -365,19 +416,33 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
         r
     }
 
-    /// Drains pending migration and grows until the load is below the
-    /// threshold. Called between phases (`&self` methods quiesce but do
+    /// Drains pending migration, grows until the load is below the 3/4
+    /// threshold, and shrinks (down to the seed floor) while it is
+    /// below 1/8. Called between phases (`&self` methods quiesce but do
     /// not normalize). Exposed crate-internally so room wrappers can
-    /// normalize at batch boundaries without taking `&mut self`.
+    /// normalize at batch boundaries without taking `&mut self`. On
+    /// return the tail is quiescent and canonical, and the
+    /// `bytes_per_key_milli` gauge reflects its footprint.
     pub(crate) fn normalize(&self) {
         loop {
             self.quiesce();
             let ep = self.current_epoch();
-            if !ep.over_threshold() {
-                return;
+            if ep.over_threshold() {
+                self.publish_successor(ep);
+                self.help_migrate(ep);
+                continue;
             }
-            self.publish_successor(ep);
-            self.help_migrate(ep);
+            let (items, cap) = (ep.items(), ep.table.capacity());
+            if Epoch::<E, T>::items_under_shrink(items, cap, self.floor_capacity()) {
+                self.publish_shrunk(ep);
+                self.help_migrate(ep);
+                continue;
+            }
+            let bytes = cap * crate::cell::cell_bytes::<E::Repr>();
+            if let Some(milli) = (bytes * 1000).checked_div(items) {
+                phc_obs::probe!(gauge BytesPerKeyMilli, milli);
+            }
+            return;
         }
     }
 
@@ -556,12 +621,29 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
 
     /// Deletes by key. Callable from any number of threads during a
     /// delete phase — or, for cores like `FcHashTable`, concurrently
-    /// with inserts. The table never shrinks (as in the paper).
+    /// with inserts. A delete that drops the load below 1/8 publishes a
+    /// halved successor and helps migrate it, mirroring the insert
+    /// side's cooperative growth (see the module docs on why mid-phase
+    /// triggers preserve the canonical quiescent capacity).
     pub fn delete(&self, key: E) {
         let ep = self.register_for_delete();
         let removed = ep.table.delete_counted(key) as usize;
-        // Retire and debit the removal in a single RMW.
-        ep.state.fetch_sub(ACTIVE_ONE + removed, Ordering::SeqCst);
+        // Retire and debit the removal in a single RMW; the returned
+        // word carries the item count for the shrink check for free.
+        let prev = ep.state.fetch_sub(ACTIVE_ONE + removed, Ordering::SeqCst);
+        self.maybe_shrink(ep, (prev & ITEMS_MASK) - removed);
+    }
+
+    /// Publishes and helps migrate a halved successor when `items`
+    /// leaves `ep` under the shrink threshold. Called after the caller
+    /// has retired from the epoch (publishing freezes it).
+    fn maybe_shrink(&self, ep: &Epoch<E, T>, items: usize) {
+        if Epoch::<E, T>::items_under_shrink(items, ep.table.capacity(), self.floor_capacity())
+            && ep.next.load(Ordering::SeqCst).is_null()
+        {
+            self.publish_shrunk(ep);
+            self.help_migrate(ep);
+        }
     }
 
     /// Deletes a batch of keys, crediting the removals with a single
@@ -581,7 +663,8 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
             removed += ep.table.delete_counted_in(k, tok) as usize;
         }
         ep.table.close_delete_window(tok);
-        ep.state.fetch_sub(ACTIVE_ONE + removed, Ordering::SeqCst);
+        let prev = ep.state.fetch_sub(ACTIVE_ONE + removed, Ordering::SeqCst);
+        self.maybe_shrink(ep, (prev & ITEMS_MASK) - removed);
     }
 
     /// Parallel batched delete: chunks by [`phc_parutil::grain`].
@@ -628,6 +711,15 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
         self.current_epoch().table.elements()
     }
 
+    /// [`elements`](Self::elements) into a caller-supplied buffer
+    /// (appends; does not clear). Steady-state callers reuse one
+    /// buffer's high-water capacity instead of allocating a fresh
+    /// `Vec` per pack.
+    pub fn elements_into(&self, out: &mut Vec<E>) {
+        self.quiesce();
+        self.current_epoch().table.elements_into(out)
+    }
+
     /// Raw snapshot of the current backing array.
     pub fn snapshot(&self) -> Vec<u64> {
         self.quiesce();
@@ -635,7 +727,7 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
     }
 
     /// Raw view of the live cell array (for invariant checkers).
-    pub fn with_raw_cells<R>(&self, f: impl FnOnce(&[std::sync::atomic::AtomicU64]) -> R) -> R {
+    pub fn with_raw_cells<R>(&self, f: impl FnOnce(&[AtomOf<E::Repr>]) -> R) -> R {
         self.quiesce();
         f(self.current_epoch().table.raw_cells())
     }
@@ -644,6 +736,21 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
     /// already exists.
     #[cold]
     fn publish_successor(&self, ep: &Epoch<E, T>) {
+        self.publish_successor_log2(ep, ep.table.capacity().trailing_zeros() + 1);
+    }
+
+    /// Publishes a *halved* successor for `ep` — the downward epoch of
+    /// the cooperative shrinker. Same freeze-and-migrate machinery as
+    /// growth; only the target capacity differs.
+    #[cold]
+    fn publish_shrunk(&self, ep: &Epoch<E, T>) {
+        debug_assert!(ep.table.capacity() > self.floor_capacity());
+        self.publish_successor_log2(ep, ep.table.capacity().trailing_zeros() - 1);
+    }
+
+    /// Publishes a successor of `2^log2` cells for `ep` (freezing it)
+    /// unless one already exists.
+    fn publish_successor_log2(&self, ep: &Epoch<E, T>, log2: u32) {
         // Serialize publishers on the registry lock: racing threads
         // would otherwise each allocate (and fault in) a table-sized
         // epoch only to lose the CAS and free it.
@@ -651,7 +758,6 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
         if !ep.next.load(Ordering::SeqCst).is_null() {
             return;
         }
-        let log2 = ep.table.capacity().trailing_zeros() + 1;
         let fresh = Box::into_raw(Box::new(Epoch::new_pow2(log2)));
         match ep
             .next
@@ -659,6 +765,9 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
         {
             Ok(_) => {
                 phc_obs::probe!(count EpochsPublished);
+                if (1usize << log2) < ep.table.capacity() {
+                    phc_obs::probe!(count ShrinkEpochs);
+                }
                 phc_obs::probe!(phase EpochPublish);
                 registry.push(fresh);
             }
@@ -696,6 +805,9 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
                 .for_each_in_range(b * MIGRATION_BLOCK..(b + 1) * MIGRATION_BLOCK, |e| {
                     batch.push(e.to_repr())
                 });
+            if next.table.capacity() < ep.table.capacity() {
+                phc_obs::probe!(count ShrinkMigrations, batch.len());
+            }
             self.insert_batch_into_chain(next, &batch);
             ep.done.fetch_add(1, Ordering::Release);
         }

@@ -62,8 +62,9 @@
 //! equality remains the strongest determinism check.
 
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
+use crate::cell::{AtomOf, CellAtomic, CellWord};
 use crate::entry::HashEntry;
 use crate::phase::{
     ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable, PhaseKind, PhaseSpan,
@@ -122,9 +123,11 @@ struct Mixer {
 }
 
 impl Mixer {
-    fn for_key_mask(key_mask: u64) -> Self {
+    /// `word_bits` is the stored cell width (`E::Repr::BITS`): the key
+    /// field occupies bits `[tz, word_bits)` of the repr.
+    fn for_key_mask(key_mask: u64, word_bits: u32) -> Self {
         let tz = key_mask.trailing_zeros();
-        let w = 64 - tz;
+        let w = word_bits - tz;
         let wmask = key_mask >> tz;
         // fmix64-flavoured shifts scaled to the field width; the
         // multiplier constants stay odd after masking (both end in a
@@ -136,7 +139,7 @@ impl Mixer {
         Mixer {
             tz,
             wmask,
-            full: tz == 0,
+            full: wmask == u64::MAX,
             s1,
             s2,
             c1,
@@ -196,12 +199,12 @@ impl Mixer {
 /// assert_eq!(a.snapshot(), b.snapshot());
 /// ```
 pub struct RobinHoodHashTable<E: HashEntry> {
-    cells: Box<[AtomicU64]>,
+    cells: Box<[AtomOf<E::Repr>]>,
     mask: usize,
     /// `E::SIMD_KEY_MASK`, cached (construction proves it exists).
     key_mask: u64,
-    /// `64 - log2(capacity)`: the home bucket is
-    /// `!(t & key_mask) >> home_shift`.
+    /// `Repr::BITS - log2(capacity)`: the home bucket is
+    /// `(!t & key_mask) >> home_shift`.
     home_shift: u32,
     mixer: Mixer,
     _entry: PhantomData<E>,
@@ -223,29 +226,31 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
     pub fn new_pow2(log2_size: u32) -> Self {
         let key_mask = E::SIMD_KEY_MASK
             .expect("RobinHoodHashTable requires a maskable key field (SIMD_KEY_MASK)");
+        let bits = <E::Repr as CellWord>::BITS;
+        let max = <E::Repr as CellWord>::MAX_REPR;
         assert_eq!(
             key_mask,
-            u64::MAX << key_mask.trailing_zeros(),
-            "RobinHoodHashTable requires a top-aligned contiguous key mask"
+            (max << key_mask.trailing_zeros()) & max,
+            "RobinHoodHashTable requires a key mask top-aligned within the cell width"
         );
         assert_eq!(
             E::EMPTY,
             0,
             "RobinHoodHashTable requires EMPTY == 0 (the mixer fixes 0)"
         );
-        let width = 64 - key_mask.trailing_zeros();
+        let width = bits - key_mask.trailing_zeros();
         assert!(
             log2_size >= 1 && log2_size <= width,
             "RobinHoodHashTable requires 1 <= log2_size ({log2_size}) <= key width ({width})"
         );
         let n = 1usize << log2_size;
-        let cells = (0..n).map(|_| AtomicU64::new(E::EMPTY)).collect();
+        let cells = crate::cell::new_cells::<E::Repr>(n, E::EMPTY);
         RobinHoodHashTable {
             cells,
             mask: n - 1,
             key_mask,
-            home_shift: 64 - log2_size,
-            mixer: Mixer::for_key_mask(key_mask),
+            home_shift: bits - log2_size,
+            mixer: Mixer::for_key_mask(key_mask, bits),
             _entry: PhantomData,
         }
     }
@@ -266,7 +271,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
 
     /// Raw view of the cell array (for invariant checkers and tests).
     /// Cells hold *transformed* reprs (mixed key field).
-    pub fn raw_cells(&self) -> &[AtomicU64] {
+    pub fn raw_cells(&self) -> &[AtomOf<E::Repr>] {
         &self.cells
     }
 
@@ -302,12 +307,15 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
     }
 
     /// Home bucket of a transformed repr: the top `log2(capacity)` bits
-    /// of the complement of its masked value. Monotone non-increasing
-    /// in `t & key_mask`, which is what couples the priority order to
-    /// the Robin Hood displacement rule (see the module docs).
+    /// of the complement of its masked value, taken within the cell
+    /// width (`!t & key_mask` confines the complement to the key field,
+    /// so the shift is exact for sub-word reprs too). Monotone
+    /// non-increasing in `t & key_mask`, which is what couples the
+    /// priority order to the Robin Hood displacement rule (see the
+    /// module docs).
     #[inline]
     fn slot(&self, t: u64) -> usize {
-        (!(t & self.key_mask) >> self.home_shift) as usize
+        ((!t & self.key_mask) >> self.home_shift) as usize
     }
 
     #[inline]
@@ -491,7 +499,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
     #[target_feature(enable = "avx2")]
     unsafe fn try_insert_wide_avx2(&self, v: u64, key_mask: u64) -> Result<bool, u64> {
         self.try_insert_t_wide_with(v, key_mask, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_avx2_w(cells, start, end, key_mask, thr)
         })
     }
 
@@ -499,7 +507,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
     #[cfg(target_arch = "x86_64")]
     fn try_insert_wide_sse2(&self, v: u64, key_mask: u64) -> Result<bool, u64> {
         self.try_insert_t_wide_with(v, key_mask, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_sse2_w(cells, start, end, key_mask, thr)
         })
     }
 
@@ -513,7 +521,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
         &self,
         mut v: u64,
         key_mask: u64,
-        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize, u64) -> crate::simd::ScanHit,
     ) -> Result<bool, u64> {
         let n = self.cells.len();
         let mut i = self.slot(v);
@@ -672,7 +680,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
     unsafe fn insert_batch_avx2(&self, entries: &[E]) {
         let key_mask = self.key_mask;
         self.insert_batch_wide_body(entries, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_avx2_w(cells, start, end, key_mask, thr)
         });
     }
 
@@ -681,7 +689,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
     fn insert_batch_sse2(&self, entries: &[E]) {
         let key_mask = self.key_mask;
         self.insert_batch_wide_body(entries, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_sse2_w(cells, start, end, key_mask, thr)
         });
     }
 
@@ -693,7 +701,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
     fn insert_batch_wide_body(
         &self,
         entries: &[E],
-        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize, u64) -> crate::simd::ScanHit,
     ) {
         use crate::batch::{insert_prefetch_ahead, prefetch_slot};
         let ahead = insert_prefetch_ahead();
@@ -803,7 +811,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
     unsafe fn find_batch_avx2(&self, keys: &[E], out: &mut Vec<Option<E>>) {
         let key_mask = self.key_mask;
         self.find_batch_wide_body(keys, out, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_avx2_w(cells, start, end, key_mask, thr)
         });
     }
 
@@ -812,7 +820,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
     fn find_batch_sse2(&self, keys: &[E], out: &mut Vec<Option<E>>) {
         let key_mask = self.key_mask;
         self.find_batch_wide_body(keys, out, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_sse2_w(cells, start, end, key_mask, thr)
         });
     }
 
@@ -824,7 +832,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
         &self,
         keys: &[E],
         out: &mut Vec<Option<E>>,
-        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize, u64) -> crate::simd::ScanHit,
     ) {
         use crate::batch::{prefetch_slot, PREFETCH_AHEAD};
         for k in keys.iter().take(PREFETCH_AHEAD) {
@@ -915,7 +923,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
     unsafe fn find_wide_avx2(&self, t: u64) -> Option<u64> {
         let key_mask = self.key_mask;
         self.find_t_wide_with(t, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_avx2_w(cells, start, end, key_mask, thr)
         })
     }
 
@@ -924,7 +932,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
     fn find_wide_sse2(&self, t: u64) -> Option<u64> {
         let key_mask = self.key_mask;
         self.find_t_wide_with(t, &|cells, start, end, thr| unsafe {
-            crate::simd::x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, thr)
+            crate::simd::scan_le_sse2_w(cells, start, end, key_mask, thr)
         })
     }
 
@@ -935,7 +943,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
     fn find_t_wide_with(
         &self,
         t: u64,
-        scan: &impl Fn(&[AtomicU64], usize, usize, u64) -> crate::simd::ScanHit,
+        scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize, u64) -> crate::simd::ScanHit,
     ) -> Option<u64> {
         let n = self.cells.len();
         let home = self.slot(t);
@@ -1094,6 +1102,19 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
         packed
     }
 
+    /// Like [`elements`](Self::elements), packing into a caller-owned
+    /// buffer (cleared first) so steady-state readers reuse one
+    /// allocation across calls. Entries are un-mixed on the way out.
+    pub fn elements_into(&self, out: &mut Vec<E>) {
+        phc_parutil::pack_with_mask_into(
+            &self.cells,
+            |win| crate::simd::scan_nonempty_mask(win, E::EMPTY),
+            |c| E::from_repr(self.untransform(c.load(Ordering::Acquire))),
+            out,
+        );
+        phc_obs::probe!(hist PackSize, out.len());
+    }
+
     /// Applies `f` to every entry stored in the cell range (clamped to
     /// the capacity), sequentially and in cell order — the migration
     /// primitive of the cooperative resizer. The caller must guarantee
@@ -1161,7 +1182,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
         crate::stats::probe_stats_with(
             &snap,
             |c| c != E::EMPTY,
-            |c| (!(c & key_mask) >> shift) as usize,
+            |c| ((!c & key_mask) >> shift) as usize,
         )
     }
 
@@ -1338,10 +1359,13 @@ impl<E: HashEntry> crate::resize::FlatTableCore<E> for RobinHoodHashTable<E> {
     fn elements(&self) -> Vec<E> {
         RobinHoodHashTable::elements(self)
     }
+    fn elements_into(&self, out: &mut Vec<E>) {
+        RobinHoodHashTable::elements_into(self, out)
+    }
     fn snapshot(&self) -> Vec<u64> {
         RobinHoodHashTable::snapshot(self)
     }
-    fn raw_cells(&self) -> &[AtomicU64] {
+    fn raw_cells(&self) -> &[AtomOf<E::Repr>] {
         RobinHoodHashTable::raw_cells(self)
     }
     fn for_each_in_range(&self, range: std::ops::Range<usize>, f: impl FnMut(E)) {
@@ -1357,7 +1381,7 @@ mod tests {
 
     #[test]
     fn mixer_roundtrip_full_width() {
-        let m = Mixer::for_key_mask(u64::MAX);
+        let m = Mixer::for_key_mask(u64::MAX, 64);
         assert_eq!(m.mix(0), 0);
         for i in 0..2000u64 {
             let k = phc_parutil::hash64(i);
@@ -1369,7 +1393,7 @@ mod tests {
     #[test]
     fn mixer_roundtrip_half_width() {
         // KvPair's key field: top 32 bits.
-        let m = Mixer::for_key_mask(0xFFFF_FFFF_0000_0000);
+        let m = Mixer::for_key_mask(0xFFFF_FFFF_0000_0000, 64);
         assert_eq!(m.mix(0), 0);
         for i in 0..2000u64 {
             let k = phc_parutil::hash64(i) & m.wmask;

@@ -218,6 +218,13 @@ impl<E: HashEntry, T: FlatTableCore<E>> AutoPhaseTable<E, T> {
         self.rooms.with(Room::Read, || self.table.elements())
     }
 
+    /// Packs the contents into a caller-supplied buffer (enters the
+    /// read room; appends without allocating a fresh `Vec`).
+    pub fn elements_into(&self, out: &mut Vec<E>) {
+        self.rooms
+            .with(Room::Read, || self.table.elements_into(out));
+    }
+
     /// Grants direct phased access when the caller has `&mut`
     /// (no synchronization needed — the borrow is exclusive).
     pub fn raw_mut(&mut self) -> &mut T {
@@ -252,7 +259,9 @@ impl<E: HashEntry, T: FlatTableCore<E>> AutoPhaseGrowTable<E, T> {
         }
     }
 
-    /// Current number of cells (grows over time, never shrinks).
+    /// Current number of cells. Grows under insert load and shrinks
+    /// back toward the seed capacity when deletes empty the table out
+    /// (see the shrinking notes in [`crate::resize`]).
     pub fn capacity(&self) -> usize {
         self.rooms.with(Room::Read, || self.table.capacity())
     }
@@ -276,6 +285,13 @@ impl<E: HashEntry, T: FlatTableCore<E>> AutoPhaseGrowTable<E, T> {
     /// Packs the contents (enters the read room).
     pub fn elements(&self) -> Vec<E> {
         self.rooms.with(Room::Read, || self.table.elements())
+    }
+
+    /// Packs the contents into a caller-supplied buffer (enters the
+    /// read room; appends without allocating a fresh `Vec`).
+    pub fn elements_into(&self, out: &mut Vec<E>) {
+        self.rooms
+            .with(Room::Read, || self.table.elements_into(out));
     }
 
     /// Batched parallel insert: enters the insert room **once** for the
@@ -303,9 +319,16 @@ impl<E: HashEntry, T: FlatTableCore<E>> AutoPhaseGrowTable<E, T> {
     }
 
     /// Batched parallel delete: one delete-room entry for the batch.
+    /// Normalizes before leaving the room so a batch that empties the
+    /// table out lands on the canonical (possibly shrunk) capacity —
+    /// the delete-side mirror of
+    /// [`par_insert_batched`](Self::par_insert_batched)'s determinism
+    /// cut.
     pub fn par_delete_batched(&self, keys: &[E]) {
-        self.rooms
-            .with(Room::Delete, || self.table.par_delete_batched(keys));
+        self.rooms.with(Room::Delete, || {
+            self.table.par_delete_batched(keys);
+            self.table.normalize();
+        });
     }
 
     /// Batched parallel lookup: one read-room entry for the batch;
@@ -390,6 +413,11 @@ impl<E: HashEntry> FcAutoTable<E> {
         self.table.elements()
     }
 
+    /// Packs the contents into a caller-supplied buffer (appends).
+    pub fn elements_into(&self, out: &mut Vec<E>) {
+        self.table.elements_into(out)
+    }
+
     /// Direct access to the fc table.
     pub fn raw_mut(&mut self) -> &mut FcHashTable<E> {
         &mut self.table
@@ -415,7 +443,9 @@ impl<E: HashEntry> FcAutoGrowTable<E> {
         }
     }
 
-    /// Current number of cells (grows over time, never shrinks).
+    /// Current number of cells. Grows under insert load and shrinks
+    /// back toward the seed capacity when deletes empty the table out
+    /// (see the shrinking notes in [`crate::resize`]).
     pub fn capacity(&self) -> usize {
         self.table.capacity()
     }
@@ -441,6 +471,11 @@ impl<E: HashEntry> FcAutoGrowTable<E> {
         self.table.elements()
     }
 
+    /// Packs the contents into a caller-supplied buffer (appends).
+    pub fn elements_into(&self, out: &mut Vec<E>) {
+        self.table.elements_into(out)
+    }
+
     /// Batched parallel insert; normalizes the capacity afterwards so
     /// batch boundaries stay deterministic cuts, exactly as
     /// [`AutoPhaseGrowTable::par_insert_batched`] does — minus the room
@@ -450,9 +485,11 @@ impl<E: HashEntry> FcAutoGrowTable<E> {
         self.table.normalize();
     }
 
-    /// Batched parallel delete.
+    /// Batched parallel delete; normalizes afterwards so batch
+    /// boundaries land on the canonical (possibly shrunk) capacity.
     pub fn par_delete_batched(&self, keys: &[E]) {
         self.table.par_delete_batched(keys);
+        self.table.normalize();
     }
 
     /// Batched parallel lookup; results are in key order.

@@ -42,21 +42,30 @@
 //! atomic path first. Quiescent-phase results are byte-identical
 //! across tiers by construction; the differential suite asserts it.
 //!
-//! ## Tiers
+//! ## Tiers and cell widths
 //!
-//! | tier | vector width | lanes/probe window |
-//! |---|---|---|
-//! | `avx2` | 256-bit | 4 |
-//! | `sse2` | 128-bit | 2 (64-bit compares synthesized from 32-bit ops) |
-//! | `scalar` | — | 1 (per-cell atomic loads; the reference semantics) |
+//! | tier | vector width | 64-bit cells/probe window | 32-bit cells |
+//! |---|---|---|---|
+//! | `avx2` | 256-bit | 4 | 8 |
+//! | `sse2` | 128-bit | 2 (64-bit compares synthesized from 32-bit ops) | 4 (native `epi32` ops) |
+//! | `scalar` | — | 1 (per-cell atomic loads; the reference semantics) | 1 |
+//!
+//! Every kernel is instantiated per cell width (see [`crate::cell`]):
+//! the public scans are generic over the atomic cell type, dispatch on
+//! `A::BITS` (a constant, so the branch folds away), and always speak
+//! zero-extended `u64` values to callers. Sub-word cells double the
+//! lanes per vector *and* halve the bytes per examined cell — the two
+//! compounding wins of the compact-entry layout.
 //!
 //! SSE2 is the x86-64 baseline, so the `sse2` tier is always available
 //! there; `avx2` is used when `is_x86_feature_detected!` reports it (or
 //! falls back one tier, counted in `SimdFallbacks`, when `PHC_SIMD=avx2`
 //! is forced on hardware without it). Non-x86 targets always run scalar.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
+
+use crate::cell::CellAtomic;
 
 /// A dispatch tier for the wide-scan kernels.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -175,8 +184,8 @@ pub type ScanHit = (Option<(usize, u64)>, usize);
 /// stop lane is an exact key match iff its masked value *equals*
 /// `threshold`; anything below is empty or lower priority.
 #[inline]
-pub fn scan_le(
-    cells: &[AtomicU64],
+pub fn scan_le<A: CellAtomic>(
+    cells: &[A],
     start: usize,
     end: usize,
     key_mask: u64,
@@ -188,13 +197,9 @@ pub fn scan_le(
     phc_obs::probe!(count SimdRedispatches);
     match tier() {
         #[cfg(target_arch = "x86_64")]
-        SimdTier::Avx2 => unsafe {
-            scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, threshold)
-        },
+        SimdTier::Avx2 => unsafe { scan_le_avx2_w(cells, start, end, key_mask, threshold) },
         #[cfg(target_arch = "x86_64")]
-        SimdTier::Sse2 => unsafe {
-            scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, threshold)
-        },
+        SimdTier::Sse2 => unsafe { scan_le_sse2_w(cells, start, end, key_mask, threshold) },
         _ => scan_le_scalar(cells, start, end, key_mask, threshold),
     }
 }
@@ -203,8 +208,8 @@ pub fn scan_le(
 /// `cells[i] & key_mask == probe & key_mask`: the stop condition of the
 /// ND table's first-fit probe (an empty slot or the probe's own key).
 #[inline]
-pub fn scan_for_key(
-    cells: &[AtomicU64],
+pub fn scan_for_key<A: CellAtomic>(
+    cells: &[A],
     start: usize,
     end: usize,
     empty: u64,
@@ -216,25 +221,11 @@ pub fn scan_for_key(
     match tier() {
         #[cfg(target_arch = "x86_64")]
         SimdTier::Avx2 => unsafe {
-            scan_for_key_avx2(
-                cells.as_ptr().cast(),
-                start,
-                end,
-                empty,
-                key_mask,
-                probe & key_mask,
-            )
+            scan_for_key_avx2_w(cells, start, end, empty, key_mask, probe & key_mask)
         },
         #[cfg(target_arch = "x86_64")]
         SimdTier::Sse2 => unsafe {
-            scan_for_key_sse2(
-                cells.as_ptr().cast(),
-                start,
-                end,
-                empty,
-                key_mask,
-                probe & key_mask,
-            )
+            scan_for_key_sse2_w(cells, start, end, empty, key_mask, probe & key_mask)
         },
         _ => scan_for_key_scalar(cells, start, end, empty, key_mask, probe & key_mask),
     }
@@ -245,7 +236,7 @@ pub fn scan_for_key(
 /// key mask of 0... except that a zero mask would match every cell;
 /// this is the dedicated raw-equality form.
 #[inline]
-pub fn scan_for_empty(cells: &[AtomicU64], start: usize, end: usize, empty: u64) -> ScanHit {
+pub fn scan_for_empty<A: CellAtomic>(cells: &[A], start: usize, end: usize, empty: u64) -> ScanHit {
     // An empty lane is the only lane whose repr equals `empty`, so the
     // key-or-empty kernel with the probe pinned to `empty` under a full
     // mask degenerates to exactly this search.
@@ -264,8 +255,8 @@ pub const MAX_WINDOW: usize = 4;
 /// `find_replacement`): the win is batched cache traffic, with each
 /// lane still an individually valid (non-torn) cell value.
 #[inline]
-pub fn load_window(
-    cells: &[AtomicU64],
+pub fn load_window<A: CellAtomic>(
+    cells: &[A],
     start: usize,
     end: usize,
     out: &mut [u64; MAX_WINDOW],
@@ -274,28 +265,40 @@ pub fn load_window(
     let k = end.saturating_sub(start).min(MAX_WINDOW);
     #[cfg(target_arch = "x86_64")]
     {
-        match tier() {
-            SimdTier::Avx2 if k == MAX_WINDOW => {
-                // SAFETY: in-bounds, 8-byte-aligned; see module docs for
-                // the race argument.
+        if A::BITS == 32 {
+            // A full 4-cell window of 32-bit cells is one 128-bit load
+            // (zero-extended on store-out); partial windows fall through
+            // to the per-cell loads.
+            if k == MAX_WINDOW && tier() != SimdTier::Scalar {
                 unsafe {
-                    x86::load4_avx2(cells.as_ptr().cast::<u64>().add(start), out.as_mut_ptr())
+                    x86::load4_u32_sse2(cells.as_ptr().cast::<u32>().add(start), out.as_mut_ptr())
                 };
                 return k;
             }
-            SimdTier::Sse2 | SimdTier::Avx2 if k >= 2 => {
-                unsafe {
-                    let src = cells.as_ptr().cast::<u64>().add(start);
-                    x86::load2_sse2(src, out.as_mut_ptr());
-                    if k == 3 {
-                        out[2] = cells[start + 2].load(Ordering::Acquire);
-                    } else if k == 4 {
-                        x86::load2_sse2(src.add(2), out.as_mut_ptr().add(2));
-                    }
+        } else {
+            match tier() {
+                SimdTier::Avx2 if k == MAX_WINDOW => {
+                    // SAFETY: in-bounds, 8-byte-aligned; see module docs
+                    // for the race argument.
+                    unsafe {
+                        x86::load4_avx2(cells.as_ptr().cast::<u64>().add(start), out.as_mut_ptr())
+                    };
+                    return k;
                 }
-                return k;
+                SimdTier::Sse2 | SimdTier::Avx2 if k >= 2 => {
+                    unsafe {
+                        let src = cells.as_ptr().cast::<u64>().add(start);
+                        x86::load2_sse2(src, out.as_mut_ptr());
+                        if k == 3 {
+                            out[2] = cells[start + 2].load(Ordering::Acquire);
+                        } else if k == 4 {
+                            x86::load2_sse2(src.add(2), out.as_mut_ptr().add(2));
+                        }
+                    }
+                    return k;
+                }
+                _ => {}
             }
-            _ => {}
         }
     }
     for (lane, slot) in out.iter_mut().enumerate().take(k) {
@@ -309,27 +312,177 @@ pub fn load_window(
 /// zero. This is the count/pack primitive: `elements()` and `len()`
 /// popcount it, migration iterates its set bits.
 #[inline]
-pub fn scan_nonempty_mask(window: &[AtomicU64], empty: u64) -> u64 {
+pub fn scan_nonempty_mask<A: CellAtomic>(window: &[A], empty: u64) -> u64 {
     debug_assert!(window.len() <= 64);
     match tier() {
         #[cfg(target_arch = "x86_64")]
         SimdTier::Avx2 => unsafe {
-            nonempty_mask_avx2(window.as_ptr().cast(), window.len(), empty)
+            if A::BITS == 32 {
+                x86::nonempty_mask_avx2_u32(window.as_ptr().cast(), window.len(), empty)
+            } else {
+                nonempty_mask_avx2(window.as_ptr().cast(), window.len(), empty)
+            }
         },
         #[cfg(target_arch = "x86_64")]
         SimdTier::Sse2 => unsafe {
-            nonempty_mask_sse2(window.as_ptr().cast(), window.len(), empty)
+            if A::BITS == 32 {
+                x86::nonempty_mask_sse2_u32(window.as_ptr().cast(), window.len(), empty)
+            } else {
+                nonempty_mask_sse2(window.as_ptr().cast(), window.len(), empty)
+            }
         },
         _ => nonempty_mask_scalar(window, empty),
     }
 }
 
 // ---------------------------------------------------------------------
+// Width-dispatched per-tier kernels
+// ---------------------------------------------------------------------
+//
+// The batch paths bind one of these per operation/batch inside their
+// own `#[target_feature]` bodies (see `det::find_batch`): the width
+// branch folds on `A::BITS`, and — both wrapper and kernel carrying the
+// same feature gate — the intrinsics inline straight into the bound
+// probe loop. 32-bit instantiations feed the `Simd32LanesScanned`
+// counter here, so every caller of the sub-word kernels is counted
+// without touching the call sites.
+
+/// AVX2 `scan_le` over either cell width.
+///
+/// # Safety
+///
+/// AVX2 must be available, and `[start, end)` must be in bounds of
+/// `cells` (see the module docs for the wide-load race argument).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub unsafe fn scan_le_avx2_w<A: CellAtomic>(
+    cells: &[A],
+    start: usize,
+    end: usize,
+    key_mask: u64,
+    threshold: u64,
+) -> ScanHit {
+    let hit = if A::BITS == 32 {
+        x86::scan_le_avx2_u32(cells.as_ptr().cast(), start, end, key_mask, threshold)
+    } else {
+        x86::scan_le_avx2(cells.as_ptr().cast(), start, end, key_mask, threshold)
+    };
+    if A::BITS == 32 {
+        phc_obs::probe!(count Simd32LanesScanned, hit.1);
+    }
+    hit
+}
+
+/// SSE2 `scan_le` over either cell width.
+///
+/// # Safety
+///
+/// `[start, end)` must be in bounds of `cells`.
+#[cfg(target_arch = "x86_64")]
+pub unsafe fn scan_le_sse2_w<A: CellAtomic>(
+    cells: &[A],
+    start: usize,
+    end: usize,
+    key_mask: u64,
+    threshold: u64,
+) -> ScanHit {
+    let hit = if A::BITS == 32 {
+        x86::scan_le_sse2_u32(cells.as_ptr().cast(), start, end, key_mask, threshold)
+    } else {
+        x86::scan_le_sse2(cells.as_ptr().cast(), start, end, key_mask, threshold)
+    };
+    if A::BITS == 32 {
+        phc_obs::probe!(count Simd32LanesScanned, hit.1);
+    }
+    hit
+}
+
+/// AVX2 key-or-empty scan over either cell width.
+///
+/// # Safety
+///
+/// AVX2 must be available, and `[start, end)` must be in bounds of
+/// `cells`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub unsafe fn scan_for_key_avx2_w<A: CellAtomic>(
+    cells: &[A],
+    start: usize,
+    end: usize,
+    empty: u64,
+    key_mask: u64,
+    probe_masked: u64,
+) -> ScanHit {
+    let hit = if A::BITS == 32 {
+        x86::scan_for_key_avx2_u32(
+            cells.as_ptr().cast(),
+            start,
+            end,
+            empty,
+            key_mask,
+            probe_masked,
+        )
+    } else {
+        x86::scan_for_key_avx2(
+            cells.as_ptr().cast(),
+            start,
+            end,
+            empty,
+            key_mask,
+            probe_masked,
+        )
+    };
+    if A::BITS == 32 {
+        phc_obs::probe!(count Simd32LanesScanned, hit.1);
+    }
+    hit
+}
+
+/// SSE2 key-or-empty scan over either cell width.
+///
+/// # Safety
+///
+/// `[start, end)` must be in bounds of `cells`.
+#[cfg(target_arch = "x86_64")]
+pub unsafe fn scan_for_key_sse2_w<A: CellAtomic>(
+    cells: &[A],
+    start: usize,
+    end: usize,
+    empty: u64,
+    key_mask: u64,
+    probe_masked: u64,
+) -> ScanHit {
+    let hit = if A::BITS == 32 {
+        x86::scan_for_key_sse2_u32(
+            cells.as_ptr().cast(),
+            start,
+            end,
+            empty,
+            key_mask,
+            probe_masked,
+        )
+    } else {
+        x86::scan_for_key_sse2(
+            cells.as_ptr().cast(),
+            start,
+            end,
+            empty,
+            key_mask,
+            probe_masked,
+        )
+    };
+    if A::BITS == 32 {
+        phc_obs::probe!(count Simd32LanesScanned, hit.1);
+    }
+    hit
+}
+
+// ---------------------------------------------------------------------
 // Scalar kernels (reference semantics, atomic loads)
 // ---------------------------------------------------------------------
 
-fn scan_le_scalar(
-    cells: &[AtomicU64],
+fn scan_le_scalar<A: CellAtomic>(
+    cells: &[A],
     start: usize,
     end: usize,
     key_mask: u64,
@@ -344,8 +497,8 @@ fn scan_le_scalar(
     (None, end - start)
 }
 
-fn scan_for_key_scalar(
-    cells: &[AtomicU64],
+fn scan_for_key_scalar<A: CellAtomic>(
+    cells: &[A],
     start: usize,
     end: usize,
     empty: u64,
@@ -361,7 +514,7 @@ fn scan_for_key_scalar(
     (None, end - start)
 }
 
-fn nonempty_mask_scalar(window: &[AtomicU64], empty: u64) -> u64 {
+fn nonempty_mask_scalar<A: CellAtomic>(window: &[A], empty: u64) -> u64 {
     let mut mask = 0u64;
     for (j, c) in window.iter().enumerate() {
         if c.load(Ordering::Acquire) != empty {
@@ -578,6 +731,235 @@ pub(crate) mod x86 {
         _mm_storeu_si128(dst.cast(), _mm_loadu_si128(src.cast()));
     }
 
+    // -----------------------------------------------------------------
+    // 32-bit-cell kernels
+    // -----------------------------------------------------------------
+    //
+    // Same scans over `u32` cells: twice the lanes per vector, and the
+    // compare ops are *native* at this width (AVX2/SSE2 both have
+    // `cmpeq_epi32`/`cmpgt_epi32`, so no 64-bit synthesis is needed —
+    // the SSE2 tier stops paying the shuffle tax it pays on 64-bit
+    // cells). Masks/thresholds/sentinels arrive as widened `u64`s and
+    // truncate losslessly (sub-word reprs are `< 2^32`; the widened
+    // `u64::MAX` mask truncates to the all-ones 32-bit mask). Each
+    // 4-byte lane of an x86 vector load is individually non-tearing,
+    // exactly as for the 8-byte lanes.
+
+    /// 32-bit-cell [`scan_le_avx2`]: 8 lanes per 256-bit vector.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scan_le_avx2_u32(
+        ptr: *const u32,
+        start: usize,
+        end: usize,
+        key_mask: u64,
+        threshold: u64,
+    ) -> ScanHit {
+        let maskv = _mm256_set1_epi32(key_mask as u32 as i32);
+        let biasv = _mm256_set1_epi32(i32::MIN);
+        let thr = _mm256_xor_si256(_mm256_set1_epi32(threshold as u32 as i32), biasv);
+        let mut i = start;
+        while i + 8 <= end {
+            let w = _mm256_loadu_si256(ptr.add(i).cast());
+            let m = _mm256_xor_si256(_mm256_and_si256(w, maskv), biasv);
+            let gt = _mm256_cmpgt_epi32(m, thr);
+            let le = !(_mm256_movemask_ps(_mm256_castsi256_ps(gt)) as u32) & 0xFF;
+            if le != 0 {
+                let lane = le.trailing_zeros() as usize;
+                let mut lanes = [0u32; 8];
+                _mm256_storeu_si256(lanes.as_mut_ptr().cast(), w);
+                return (Some((i + lane, lanes[lane] as u64)), i + 8 - start);
+            }
+            i += 8;
+        }
+        tail_le_u32(ptr, i, start, end, key_mask, threshold)
+    }
+
+    /// 32-bit-cell [`scan_le_sse2`]: 4 lanes, native `epi32` compares.
+    #[inline]
+    pub unsafe fn scan_le_sse2_u32(
+        ptr: *const u32,
+        start: usize,
+        end: usize,
+        key_mask: u64,
+        threshold: u64,
+    ) -> ScanHit {
+        let maskv = _mm_set1_epi32(key_mask as u32 as i32);
+        let biasv = _mm_set1_epi32(i32::MIN);
+        let thr = _mm_xor_si128(_mm_set1_epi32(threshold as u32 as i32), biasv);
+        let mut i = start;
+        while i + 4 <= end {
+            let w = _mm_loadu_si128(ptr.add(i).cast());
+            let m = _mm_xor_si128(_mm_and_si128(w, maskv), biasv);
+            let gt = _mm_cmpgt_epi32(m, thr);
+            let le = !(_mm_movemask_ps(_mm_castsi128_ps(gt)) as u32) & 0xF;
+            if le != 0 {
+                let lane = le.trailing_zeros() as usize;
+                let mut lanes = [0u32; 4];
+                _mm_storeu_si128(lanes.as_mut_ptr().cast(), w);
+                return (Some((i + lane, lanes[lane] as u64)), i + 4 - start);
+            }
+            i += 4;
+        }
+        tail_le_u32(ptr, i, start, end, key_mask, threshold)
+    }
+
+    /// 32-bit-cell [`scan_for_key_avx2`]: 8 lanes per vector.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scan_for_key_avx2_u32(
+        ptr: *const u32,
+        start: usize,
+        end: usize,
+        empty: u64,
+        key_mask: u64,
+        probe_masked: u64,
+    ) -> ScanHit {
+        let maskv = _mm256_set1_epi32(key_mask as u32 as i32);
+        let emptyv = _mm256_set1_epi32(empty as u32 as i32);
+        let probev = _mm256_set1_epi32(probe_masked as u32 as i32);
+        let mut i = start;
+        while i + 8 <= end {
+            let w = _mm256_loadu_si256(ptr.add(i).cast());
+            let stop = _mm256_or_si256(
+                _mm256_cmpeq_epi32(w, emptyv),
+                _mm256_cmpeq_epi32(_mm256_and_si256(w, maskv), probev),
+            );
+            let bits = _mm256_movemask_ps(_mm256_castsi256_ps(stop)) as u32;
+            if bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                let mut lanes = [0u32; 8];
+                _mm256_storeu_si256(lanes.as_mut_ptr().cast(), w);
+                return (Some((i + lane, lanes[lane] as u64)), i + 8 - start);
+            }
+            i += 8;
+        }
+        tail_key_u32(ptr, i, start, end, empty, key_mask, probe_masked)
+    }
+
+    /// 32-bit-cell [`scan_for_key_sse2`]: 4 lanes, native compares.
+    #[inline]
+    pub unsafe fn scan_for_key_sse2_u32(
+        ptr: *const u32,
+        start: usize,
+        end: usize,
+        empty: u64,
+        key_mask: u64,
+        probe_masked: u64,
+    ) -> ScanHit {
+        let maskv = _mm_set1_epi32(key_mask as u32 as i32);
+        let emptyv = _mm_set1_epi32(empty as u32 as i32);
+        let probev = _mm_set1_epi32(probe_masked as u32 as i32);
+        let mut i = start;
+        while i + 4 <= end {
+            let w = _mm_loadu_si128(ptr.add(i).cast());
+            let stop = _mm_or_si128(
+                _mm_cmpeq_epi32(w, emptyv),
+                _mm_cmpeq_epi32(_mm_and_si128(w, maskv), probev),
+            );
+            let bits = _mm_movemask_ps(_mm_castsi128_ps(stop)) as u32;
+            if bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                let mut lanes = [0u32; 4];
+                _mm_storeu_si128(lanes.as_mut_ptr().cast(), w);
+                return (Some((i + lane, lanes[lane] as u64)), i + 4 - start);
+            }
+            i += 4;
+        }
+        tail_key_u32(ptr, i, start, end, empty, key_mask, probe_masked)
+    }
+
+    /// 32-bit-cell occupancy mask: 8 lanes per AVX2 vector.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn nonempty_mask_avx2_u32(ptr: *const u32, len: usize, empty: u64) -> u64 {
+        let emptyv = _mm256_set1_epi32(empty as u32 as i32);
+        let mut mask = 0u64;
+        let mut j = 0;
+        while j + 8 <= len {
+            let w = _mm256_loadu_si256(ptr.add(j).cast());
+            let eq = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(w, emptyv))) as u64;
+            mask |= (!eq & 0xFF) << j;
+            j += 8;
+        }
+        while j < len {
+            if ptr.add(j).read() as u64 != empty {
+                mask |= 1 << j;
+            }
+            j += 1;
+        }
+        mask
+    }
+
+    /// 32-bit-cell occupancy mask: 4 lanes per SSE2 vector.
+    pub unsafe fn nonempty_mask_sse2_u32(ptr: *const u32, len: usize, empty: u64) -> u64 {
+        let emptyv = _mm_set1_epi32(empty as u32 as i32);
+        let mut mask = 0u64;
+        let mut j = 0;
+        while j + 4 <= len {
+            let w = _mm_loadu_si128(ptr.add(j).cast());
+            let eq = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(w, emptyv))) as u64;
+            mask |= (!eq & 0xF) << j;
+            j += 4;
+        }
+        while j < len {
+            if ptr.add(j).read() as u64 != empty {
+                mask |= 1 << j;
+            }
+            j += 1;
+        }
+        mask
+    }
+
+    /// Loads 4 consecutive 32-bit cells and zero-extends them into 4
+    /// `u64` window lanes (one 128-bit load + two unpacks).
+    pub unsafe fn load4_u32_sse2(src: *const u32, dst: *mut u64) {
+        let w = _mm_loadu_si128(src.cast());
+        let z = _mm_setzero_si128();
+        _mm_storeu_si128(dst.cast(), _mm_unpacklo_epi32(w, z));
+        _mm_storeu_si128(dst.add(2).cast(), _mm_unpackhi_epi32(w, z));
+    }
+
+    /// Scalar tail of the 32-bit `<=` scan (widened compares).
+    #[inline(always)]
+    unsafe fn tail_le_u32(
+        ptr: *const u32,
+        mut i: usize,
+        start: usize,
+        end: usize,
+        key_mask: u64,
+        threshold: u64,
+    ) -> ScanHit {
+        while i < end {
+            let c = ptr.add(i).read() as u64;
+            if c & key_mask <= threshold {
+                return (Some((i, c)), i - start + 1);
+            }
+            i += 1;
+        }
+        (None, end - start)
+    }
+
+    /// Scalar tail of the 32-bit key-or-empty scan.
+    #[inline(always)]
+    unsafe fn tail_key_u32(
+        ptr: *const u32,
+        mut i: usize,
+        start: usize,
+        end: usize,
+        empty: u64,
+        key_mask: u64,
+        probe_masked: u64,
+    ) -> ScanHit {
+        while i < end {
+            let c = ptr.add(i).read() as u64;
+            if c == empty || c & key_mask == probe_masked {
+                return (Some((i, c)), i - start + 1);
+            }
+            i += 1;
+        }
+        (None, end - start)
+    }
+
     /// Scalar tail of the `<=` scan over `[i, end)` (raw loads — same
     /// lanes the vector body would have examined).
     #[inline(always)]
@@ -622,14 +1004,12 @@ pub(crate) mod x86 {
 }
 
 #[cfg(target_arch = "x86_64")]
-use x86::{
-    nonempty_mask_avx2, nonempty_mask_sse2, scan_for_key_avx2, scan_for_key_sse2, scan_le_avx2,
-    scan_le_sse2,
-};
+use x86::{nonempty_mask_avx2, nonempty_mask_sse2};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU32, AtomicU64};
 
     /// Runs `f` under every tier this machine can execute, restoring
     /// the default afterwards. Serialized so concurrently running tier
@@ -805,6 +1185,124 @@ mod tests {
         // threshold under unsigned order — a signed compare would stop
         // on it. All tiers must skip it.
         let cells = cells_of(&[1 << 63, (1 << 63) | 7, 42]);
+        for_each_tier(|t| {
+            let (hit, _) = scan_le(&cells, 0, 3, u64::MAX, 1000);
+            assert_eq!(hit, Some((2, 42)), "tier {t:?}");
+        });
+    }
+
+    /// Pseudorandom 32-bit cell array (empties, values straddling the
+    /// 32-bit sign bit) for the sub-word kernel differentials.
+    fn random_cells_u32(n: usize, seed: u64) -> Vec<AtomicU32> {
+        (0..n as u64)
+            .map(|i| {
+                let h = phc_parutil::hash64(seed ^ i);
+                AtomicU32::new(match h % 4 {
+                    0 => 0,
+                    1 => (h as u32) | (1 << 31),
+                    _ => (h as u32) >> 8,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiers_agree_on_scan_le_u32_cells() {
+        let cells = random_cells_u32(261, 0xC0FFEE);
+        let reference = |start: usize, end: usize, mask: u64, thr: u64| {
+            (start..end).find(|&i| (cells[i].load(Ordering::Relaxed) as u64) & mask <= thr)
+        };
+        for_each_tier(|t| {
+            for &(start, end) in &[(0usize, 261usize), (3, 250), (100, 104), (7, 7), (1, 9)] {
+                for &thr in &[0u64, 1, 1 << 20, (u32::MAX >> 8) as u64, u32::MAX as u64] {
+                    for &mask in &[u64::MAX, 0xFFFF_0000] {
+                        let expect = reference(start, end, mask, thr);
+                        let (got, lanes) = scan_le(&cells, start, end, mask, thr);
+                        assert_eq!(
+                            got.map(|(i, _)| i),
+                            expect,
+                            "tier {t:?} [{start},{end}) thr {thr:#x} mask {mask:#x}"
+                        );
+                        if let Some((i, v)) = got {
+                            assert_eq!(v, cells[i].load(Ordering::Relaxed) as u64);
+                            assert!(v <= u32::MAX as u64, "hit value must be zero-extended");
+                        }
+                        assert!(lanes <= end - start + 7, "lane count sane");
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn tiers_agree_on_scan_for_key_u32_cells() {
+        let cells = random_cells_u32(197, 0xBEE5);
+        let mut probes: Vec<u64> = (0..8)
+            .map(|i| cells[i * 20].load(Ordering::Relaxed) as u64)
+            .collect();
+        probes.push(0xDEAD_0001);
+        for_each_tier(|t| {
+            for &(start, end) in &[(0usize, 197usize), (5, 188), (60, 65)] {
+                for &probe in &probes {
+                    if probe == 0 {
+                        continue;
+                    }
+                    for &mask in &[u64::MAX, 0xFFFF_0000] {
+                        let expect = (start..end).find(|&i| {
+                            let c = cells[i].load(Ordering::Relaxed) as u64;
+                            c == 0 || c & (mask & u32::MAX as u64) == probe & mask & u32::MAX as u64
+                        });
+                        let (got, _) = scan_for_key(&cells, start, end, 0, mask, probe);
+                        assert_eq!(
+                            got.map(|(i, _)| i),
+                            expect,
+                            "tier {t:?} [{start},{end}) probe {probe:#x} mask {mask:#x}"
+                        );
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn tiers_agree_on_nonempty_mask_and_window_u32_cells() {
+        let cells = random_cells_u32(64, 11);
+        for_each_tier(|t| {
+            for len in [0usize, 1, 3, 4, 5, 8, 9, 31, 63, 64] {
+                let expect: u64 = (0..len)
+                    .filter(|&j| cells[j].load(Ordering::Relaxed) != 0)
+                    .fold(0, |m, j| m | (1 << j));
+                assert_eq!(
+                    scan_nonempty_mask(&cells[..len], 0),
+                    expect,
+                    "tier {t:?} len {len}"
+                );
+            }
+            for start in 0..12 {
+                for end in start..=12 {
+                    let mut buf = [0u64; MAX_WINDOW];
+                    let k = load_window(&cells, start, end, &mut buf);
+                    assert_eq!(k, (end - start).min(MAX_WINDOW), "tier {t:?}");
+                    for (lane, &got) in buf[..k].iter().enumerate() {
+                        assert_eq!(
+                            got,
+                            cells[start + lane].load(Ordering::Relaxed) as u64,
+                            "tier {t:?} start {start} lane {lane}"
+                        );
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn u32_scan_le_unsigned_order_across_sign_bit() {
+        // The 32-bit sign-bias trick: a cell with bit 31 set is greater
+        // than a small threshold under unsigned order.
+        let cells: Vec<AtomicU32> = [1u32 << 31, (1 << 31) | 7, 42]
+            .iter()
+            .map(|&v| AtomicU32::new(v))
+            .collect();
         for_each_tier(|t| {
             let (hit, _) = scan_le(&cells, 0, 3, u64::MAX, 1000);
             assert_eq!(hit, Some((2, 42)), "tier {t:?}");

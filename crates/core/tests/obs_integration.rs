@@ -5,8 +5,8 @@
 #![cfg(feature = "obs")]
 
 use phc_core::phase::{ConcurrentDelete, ConcurrentInsert, ConcurrentRead, PhaseHashTable};
-use phc_core::{DetHashTable, U64Key};
-use phc_obs::{Counter, Histogram, PhaseEvent, Recorder};
+use phc_core::{AutoPhaseGrowTable, DetHashTable, KvPair32, U64Key};
+use phc_obs::{Counter, Gauge, Histogram, PhaseEvent, Recorder};
 
 /// True iff `needle` occurs as an (ordered, not necessarily
 /// contiguous) subsequence of `hay`.
@@ -79,6 +79,51 @@ fn det_workload_emits_counters_histogram_and_timeline_cycle() {
         ),
         "missing a full phase cycle; this thread's timeline: {mine:?}"
     );
+}
+
+/// A grow→delete→shrink cycle on packed 32-bit cells must leave
+/// nonzero traces of every PR 9 instrument: shrink epochs and
+/// migrated-entry counts, a bytes-per-key gauge level, and 32-bit
+/// SIMD lanes scanned (on hosts with at least the SSE2 tier; the
+/// scalar fallback legitimately scans no wide lanes, so that counter
+/// is asserted only when a wide tier is active).
+#[test]
+fn shrink_cycle_emits_shrink_counters_and_memory_gauge() {
+    let rec = Recorder::global();
+    let before = rec.snapshot();
+
+    let t = AutoPhaseGrowTable::<KvPair32>::new_pow2(6);
+    let entries: Vec<KvPair32> = (1..=3000u16)
+        .map(|k| KvPair32::new(k, k.wrapping_mul(31)))
+        .collect();
+    t.par_insert_batched(&entries);
+    let grown = t.capacity();
+    assert!(grown > 64, "3000 keys must outgrow the 2^6 seed");
+    // Delete all but a sliver; the normalizing batch boundary walks
+    // the capacity back down, counting each halving epoch and every
+    // entry it migrates downward.
+    t.par_delete_batched(&entries[8..]);
+    assert!(t.capacity() < grown);
+
+    let delta = rec.snapshot().since(&before);
+    assert!(
+        delta.counter(Counter::ShrinkEpochs) >= 1,
+        "no shrink epochs"
+    );
+    assert!(
+        delta.counter(Counter::ShrinkMigrations) >= 1,
+        "no downward migrations counted"
+    );
+    assert!(
+        rec.snapshot().gauge(Gauge::BytesPerKeyMilli) > 0,
+        "bytes-per-key gauge never set"
+    );
+    if phc_core::simd::tier() != phc_core::simd::SimdTier::Scalar {
+        assert!(
+            delta.counter(Counter::Simd32LanesScanned) >= 1,
+            "no 32-bit lanes counted despite a wide tier"
+        );
+    }
 }
 
 #[test]

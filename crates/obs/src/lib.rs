@@ -149,6 +149,29 @@ define_ids! {
         /// Debug-build confirmations that a speculative wide-scan hint
         /// was re-read through a per-cell atomic before use (fc).
         FcSpecChecks => "fc_spec_checks",
+        /// Halving (shrink) epochs published by the cooperative
+        /// resizer when deletes push the load below the shrink
+        /// threshold.
+        ShrinkEpochs => "shrink_epochs",
+        /// Entries migrated out of frozen epochs during shrink
+        /// (downward) migrations.
+        ShrinkMigrations => "shrink_migrations",
+        /// Cell lanes examined by the 32-bit-cell wide-scan kernels
+        /// (subset of `simd_lanes_scanned`'s role, counted separately
+        /// so the sub-word paths are visible on their own).
+        Simd32LanesScanned => "simd32_lanes_scanned",
+    }
+}
+
+define_ids! {
+    /// Level gauges: last-written values (not monotonic sums). Written
+    /// with [`Recorder::set_gauge`]; a snapshot reports the most recent
+    /// value.
+    pub enum Gauge {
+        /// Live-table memory per stored key, in milli-bytes (×1000, so
+        /// fractional bytes survive integer storage). Set on quiescent
+        /// normalization from `capacity × cell_bytes / items`.
+        BytesPerKeyMilli => "bytes_per_key_milli",
     }
 }
 
@@ -229,6 +252,8 @@ pub struct MetricsSnapshot {
     pub counters: [u64; Counter::COUNT],
     /// Histogram buckets, indexed by `Histogram as usize` then bucket.
     pub histograms: [[u64; hist::BUCKETS]; Histogram::COUNT],
+    /// Gauge levels (last written value), indexed by `Gauge as usize`.
+    pub gauges: [u64; Gauge::COUNT],
     /// Timeline records in emission order.
     pub timeline: Vec<TimelineRecord>,
 }
@@ -238,6 +263,7 @@ impl Default for MetricsSnapshot {
         MetricsSnapshot {
             counters: [0; Counter::COUNT],
             histograms: [[0; hist::BUCKETS]; Histogram::COUNT],
+            gauges: [0; Gauge::COUNT],
             timeline: Vec::new(),
         }
     }
@@ -259,9 +285,15 @@ impl MetricsSnapshot {
         self.buckets(h).iter().sum()
     }
 
-    /// Counter and histogram deltas since `earlier` (timeline is
-    /// returned as-is — records are not subtractive). Counters are
-    /// monotonic, so saturating subtraction only masks misuse.
+    /// Level of one gauge (last written value).
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges[g as usize]
+    }
+
+    /// Counter and histogram deltas since `earlier` (timeline and
+    /// gauges are returned as-is — records are not subtractive and
+    /// gauges are levels, not sums). Counters are monotonic, so
+    /// saturating subtraction only masks misuse.
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         let mut out = self.clone();
         for (o, e) in out.counters.iter_mut().zip(earlier.counters.iter()) {
@@ -302,6 +334,13 @@ impl MetricsSnapshot {
             }
             out.push(']');
         }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", g.name(), self.gauge(*g)));
+        }
         out.push_str("},\n  \"timeline\": [");
         for (i, r) in self.timeline.iter().enumerate() {
             if i > 0 {
@@ -334,6 +373,7 @@ mod enabled {
     pub struct Recorder {
         registry: Registry,
         ring: Ring,
+        gauges: [std::sync::atomic::AtomicU64; Gauge::COUNT],
     }
 
     impl Recorder {
@@ -346,6 +386,7 @@ mod enabled {
             GLOBAL.get_or_init(|| Recorder {
                 registry: Registry::new(),
                 ring: Ring::new(TIMELINE_CAPACITY),
+                gauges: std::array::from_fn(|_| std::sync::atomic::AtomicU64::new(0)),
             })
         }
 
@@ -391,6 +432,12 @@ mod enabled {
             }
         }
 
+        /// Sets a gauge to `v` (last writer wins).
+        #[inline]
+        pub fn set_gauge(&self, g: Gauge, v: u64) {
+            self.gauges[g as usize].store(v, std::sync::atomic::Ordering::Relaxed);
+        }
+
         /// Emits a phase-timeline record stamped with this thread and
         /// the current monotonic time.
         #[inline]
@@ -408,6 +455,9 @@ mod enabled {
             MetricsSnapshot {
                 counters,
                 histograms,
+                gauges: std::array::from_fn(|i| {
+                    self.gauges[i].load(std::sync::atomic::Ordering::Relaxed)
+                }),
                 timeline: self.ring.dump(),
             }
         }
@@ -453,6 +503,10 @@ mod enabled {
 
         /// No-op.
         #[inline(always)]
+        pub fn set_gauge(&self, _g: Gauge, _v: u64) {}
+
+        /// No-op.
+        #[inline(always)]
         pub fn phase(&self, _e: PhaseEvent) {}
 
         /// Returns an all-zero snapshot.
@@ -487,6 +541,9 @@ macro_rules! probe {
     };
     (hist $h:ident, $v:expr, $n:expr) => {
         $crate::Recorder::global().record_many($crate::Histogram::$h, $v as u64, $n as u64)
+    };
+    (gauge $g:ident, $v:expr) => {
+        $crate::Recorder::global().set_gauge($crate::Gauge::$g, $v as u64)
     };
     (phase $e:ident) => {
         $crate::Recorder::global().phase($crate::PhaseEvent::$e)
@@ -536,8 +593,10 @@ mod tests {
             event: PhaseEvent::InsertBegin,
             t_ns: 7,
         });
+        s.gauges[Gauge::BytesPerKeyMilli as usize] = 10667;
         let json = s.to_json();
         assert!(json.contains("\"probe_steps\": 42"), "{json}");
+        assert!(json.contains("\"bytes_per_key_milli\": 10667"), "{json}");
         assert!(json.contains("\"probe_len\": [5, 0, 0, 1]"), "{json}");
         assert!(json.contains("\"event\": \"insert_begin\""), "{json}");
         // Trailing all-zero buckets are trimmed.
@@ -557,6 +616,22 @@ mod tests {
             assert!(snap.samples(Histogram::ProbeLen) >= 1);
         } else {
             assert_eq!(snap, MetricsSnapshot::default());
+        }
+    }
+
+    #[test]
+    fn gauge_is_level_not_sum() {
+        let r = Recorder::global();
+        r.set_gauge(Gauge::BytesPerKeyMilli, 8000);
+        r.set_gauge(Gauge::BytesPerKeyMilli, 4000);
+        let snap = r.snapshot();
+        if Recorder::ENABLED {
+            assert_eq!(snap.gauge(Gauge::BytesPerKeyMilli), 4000);
+            // `since` passes gauges through unchanged: levels, not sums.
+            let d = snap.since(&snap.clone());
+            assert_eq!(d.gauge(Gauge::BytesPerKeyMilli), 4000);
+        } else {
+            assert_eq!(snap.gauge(Gauge::BytesPerKeyMilli), 0);
         }
     }
 }

@@ -23,7 +23,9 @@ pub mod rng;
 pub mod scan;
 
 pub use arena::Arena;
-pub use pack::{pack, pack_index, pack_index_with_mask, pack_with, pack_with_mask};
+pub use pack::{
+    pack, pack_index, pack_index_with_mask, pack_with, pack_with_mask, pack_with_mask_into,
+};
 pub use pool::{run_with_threads, with_pool};
 pub use rng::{hash64, hash64_pair, IndexRng};
 pub use scan::{scan_exclusive, scan_inclusive, scan_inplace_exclusive};

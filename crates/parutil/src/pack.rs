@@ -149,7 +149,24 @@ where
     M: Fn(&[T]) -> u64 + Send + Sync,
     F: Fn(&T) -> U + Send + Sync,
 {
-    pack_with_mask_impl(input, mask_of, |_, x| decode(x))
+    let mut out = Vec::new();
+    pack_with_mask_impl(input, mask_of, |_, x| decode(x), &mut out);
+    out
+}
+
+/// [`pack_with_mask`] into a caller-provided buffer: `out` is cleared
+/// and refilled in place, so a caller that packs repeatedly (the KV
+/// server's per-batch get path, for one) reuses one allocation instead
+/// of paying a fresh `Vec` per call. The contents written are
+/// byte-identical to what [`pack_with_mask`] returns.
+pub fn pack_with_mask_into<T, U, M, F>(input: &[T], mask_of: M, decode: F, out: &mut Vec<U>)
+where
+    T: Sync,
+    U: Send,
+    M: Fn(&[T]) -> u64 + Send + Sync,
+    F: Fn(&T) -> U + Send + Sync,
+{
+    pack_with_mask_impl(input, mask_of, |_, x| decode(x), out);
 }
 
 /// Returns the indices of the set bits of the occupancy masks produced
@@ -160,21 +177,25 @@ where
     T: Sync,
     M: Fn(&[T]) -> u64 + Send + Sync,
 {
-    pack_with_mask_impl(input, mask_of, |i, _| i)
+    let mut out = Vec::new();
+    pack_with_mask_impl(input, mask_of, |i, _| i, &mut out);
+    out
 }
 
 /// Shared engine: packs `decode(index, element)` for each set bit of
-/// the per-window masks, in ascending index order.
-fn pack_with_mask_impl<T, U, M, F>(input: &[T], mask_of: M, decode: F) -> Vec<U>
+/// the per-window masks, in ascending index order, into `out` (cleared
+/// first; existing capacity is reused).
+fn pack_with_mask_impl<T, U, M, F>(input: &[T], mask_of: M, decode: F, out: &mut Vec<U>)
 where
     T: Sync,
     U: Send,
     M: Fn(&[T]) -> u64 + Send + Sync,
     F: Fn(usize, &T) -> U + Send + Sync,
 {
+    out.clear();
     let n = input.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     let block = grain().next_multiple_of(64);
     let blocks: Vec<(usize, Vec<u64>)> = input
@@ -187,7 +208,9 @@ where
         .map(|(_, masks)| masks.iter().map(|m| m.count_ones() as usize).sum())
         .collect();
     let (offsets, total) = scan_exclusive(&counts);
-    let mut out: Vec<U> = Vec::with_capacity(total);
+    out.reserve(total);
+    // SAFETY: every slot in 0..total is written exactly once by the
+    // disjoint per-block ranges below (`out` was cleared above).
     #[allow(clippy::uninit_vec)]
     unsafe {
         out.set_len(total);
@@ -216,7 +239,6 @@ where
                 }
             }
         });
-    out
 }
 
 /// A raw pointer wrapper that asserts cross-thread transferability.
@@ -340,6 +362,21 @@ mod tests {
             let got = pack_with_mask(&input, odd_mask, |&x| x * 3);
             assert_eq!(got, expect, "n = {n}");
         }
+    }
+
+    #[test]
+    fn pack_with_mask_into_reuses_buffer() {
+        let input: Vec<u64> = (0..30_000u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9))
+            .collect();
+        let expect = pack_with_mask(&input, odd_mask, |&x| x * 3);
+        let mut out = vec![u64::MAX; 100]; // stale contents must vanish
+        pack_with_mask_into(&input, odd_mask, |&x| x * 3, &mut out);
+        assert_eq!(out, expect);
+        let cap = out.capacity();
+        pack_with_mask_into(&input, odd_mask, |&x| x * 3, &mut out);
+        assert_eq!(out, expect);
+        assert_eq!(out.capacity(), cap, "second pack must not reallocate");
     }
 
     #[test]

@@ -116,6 +116,12 @@ struct ShardBatch<C: Combine> {
     dels: Vec<KvPair<C>>,
     gets: Vec<KvPair<C>>,
     get_pos: Vec<u32>,
+    /// Get responses for this shard's slice, written in place by
+    /// [`KvServer::apply_shard`]. Part of the reused scratch: the get
+    /// path was the last per-batch transient allocation (one fresh
+    /// `Vec<u64>` per shard per batch), and writing responses into
+    /// scratch kills it the same way the routing vecs were killed.
+    get_resp: Vec<u64>,
 }
 
 impl<C: Combine> ShardBatch<C> {
@@ -125,6 +131,7 @@ impl<C: Combine> ShardBatch<C> {
             dels: Vec::new(),
             gets: Vec::new(),
             get_pos: Vec::new(),
+            get_resp: Vec::new(),
         }
     }
 
@@ -133,6 +140,7 @@ impl<C: Combine> ShardBatch<C> {
         self.dels.clear();
         self.gets.clear();
         self.get_pos.clear();
+        self.get_resp.clear();
     }
 
     fn len(&self) -> usize {
@@ -246,30 +254,30 @@ impl<C: Combine, T: ShardTable<C>> KvServer<C, T> {
         }
         // On a single-worker pool the cross-shard fan-out is pure
         // dispatch overhead; each shard computes the same responses
-        // either way (shards are independent).
-        let get_resps: Vec<Vec<u64>> = if rayon::current_num_threads() <= 1 {
+        // either way (shards are independent). Get responses land in
+        // each shard's `get_resp` scratch, not a per-batch `Vec`.
+        if rayon::current_num_threads() <= 1 {
             self.shards
                 .iter()
-                .zip(batches.iter())
-                .map(|(shard, batch)| Self::apply_shard(shard, batch))
-                .collect()
+                .zip(batches.iter_mut())
+                .for_each(|(shard, batch)| Self::apply_shard(shard, batch));
         } else {
             self.shards
                 .par_iter()
-                .zip(batches.par_iter())
-                .map(|(shard, batch)| Self::apply_shard(shard, batch))
-                .collect()
-        };
-        for (b, rs) in batches.iter().zip(get_resps) {
-            for (&p, r) in b.get_pos.iter().zip(rs) {
+                .zip(batches.par_iter_mut())
+                .for_each(|(shard, batch)| Self::apply_shard(shard, batch));
+        }
+        for b in batches.iter() {
+            for (&p, &r) in b.get_pos.iter().zip(&b.get_resp) {
                 resp[p as usize] = r;
             }
         }
         resp
     }
 
-    /// One shard's sub-phases for one batch, returning one response
-    /// word per get (puts and deletes were acked by the routing pass).
+    /// One shard's sub-phases for one batch, writing one response word
+    /// per get into `batch.get_resp` (puts and deletes were acked by
+    /// the routing pass).
     /// Runs on a pool worker under the outer per-shard parallel loop;
     /// the batched table calls parallelize internally as well (nested
     /// parallelism is cheap in the shim — chunks of both levels share
@@ -282,7 +290,7 @@ impl<C: Combine, T: ShardTable<C>> KvServer<C, T> {
     /// the insert path normalizes capacity before returning, making
     /// the shard's layout a pure function of its key set at every
     /// batch boundary.
-    fn apply_shard(shard: &Shard<C, T>, batch: &ShardBatch<C>) -> Vec<u64> {
+    fn apply_shard(shard: &Shard<C, T>, batch: &mut ShardBatch<C>) {
         if !batch.puts.is_empty() {
             shard.table.par_insert_batched(&batch.puts);
             shard
@@ -298,27 +306,29 @@ impl<C: Combine, T: ShardTable<C>> KvServer<C, T> {
                 .fetch_add(batch.dels.len() as u64, Ordering::Relaxed);
         }
         if batch.gets.is_empty() {
-            return Vec::new();
+            return;
         }
         let mut hits = 0u64;
-        let resp: Vec<u64> = shard
-            .table
-            .par_find_batched(&batch.gets)
-            .into_iter()
-            .map(|f| match f {
-                Some(kv) => {
-                    hits += 1;
-                    resp_hit(kv.value)
-                }
-                None => RESP_MISS,
-            })
-            .collect();
+        batch
+            .get_resp
+            .extend(
+                shard
+                    .table
+                    .par_find_batched(&batch.gets)
+                    .into_iter()
+                    .map(|f| match f {
+                        Some(kv) => {
+                            hits += 1;
+                            resp_hit(kv.value)
+                        }
+                        None => RESP_MISS,
+                    }),
+            );
         shard
             .stats
             .gets
             .fetch_add(batch.gets.len() as u64, Ordering::Relaxed);
         shard.stats.hits.fetch_add(hits, Ordering::Relaxed);
-        resp
     }
 
     /// Applies a whole request log in batches of `batch` ops,
@@ -366,6 +376,18 @@ impl<C: Combine, T: ShardTable<C>> KvServer<C, T> {
     /// the differential tests' witness.
     pub fn quiescent_snapshots(&self) -> Vec<Vec<u64>> {
         self.shards.iter().map(|s| s.table.snapshot()).collect()
+    }
+
+    /// Appends every stored entry (all shards, shard order, each
+    /// shard's deterministic cell order) to `out`. The caller-buffer
+    /// export: a periodic dump loop reuses one buffer's high-water
+    /// capacity across calls instead of allocating per shard per dump
+    /// (the `elements_into` discipline end to end — see
+    /// [`ShardTable::elements_into`]).
+    pub fn elements_into(&self, out: &mut Vec<KvPair<C>>) {
+        for s in &self.shards {
+            s.table.elements_into(out);
+        }
     }
 
     /// Per-shard stored-entry counts.

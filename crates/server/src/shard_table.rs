@@ -49,6 +49,13 @@ pub trait ShardTable<C: Combine>: Send + Sync {
     /// Parallel batched lookup, results in key order.
     fn par_find_batched(&self, keys: &[KvPair<C>]) -> Vec<Option<KvPair<C>>>;
 
+    /// Packs the stored entries into a caller-supplied buffer
+    /// (appends; deterministic cell order). The caller-buffer form of
+    /// `elements()` — a steady-state export loop reuses one buffer's
+    /// high-water capacity instead of allocating a fresh `Vec` per
+    /// shard per call.
+    fn elements_into(&self, out: &mut Vec<KvPair<C>>);
+
     /// Quiescent raw cell snapshot (canonical layout witness).
     fn snapshot(&self) -> Vec<u64>;
 
@@ -92,6 +99,10 @@ impl<C: Combine> ShardTable<C> for AutoPhaseGrowTable<KvPair<C>> {
         AutoPhaseGrowTable::par_find_batched(self, keys)
     }
 
+    fn elements_into(&self, out: &mut Vec<KvPair<C>>) {
+        AutoPhaseGrowTable::elements_into(self, out)
+    }
+
     fn snapshot(&self) -> Vec<u64> {
         AutoPhaseGrowTable::snapshot(self)
     }
@@ -130,6 +141,10 @@ impl<C: Combine> ShardTable<C> for FcAutoGrowTable<KvPair<C>> {
 
     fn par_find_batched(&self, keys: &[KvPair<C>]) -> Vec<Option<KvPair<C>>> {
         FcAutoGrowTable::par_find_batched(self, keys)
+    }
+
+    fn elements_into(&self, out: &mut Vec<KvPair<C>>) {
+        FcAutoGrowTable::elements_into(self, out)
     }
 
     fn snapshot(&self) -> Vec<u64> {
