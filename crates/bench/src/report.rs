@@ -109,13 +109,17 @@ pub struct RunMeta {
     pub rss_bytes: Option<u64>,
 }
 
-/// Current resident set size in bytes, from `/proc/self/statm`
-/// (resident pages × the 4 KiB base page size). Returns `None` off
-/// Linux or if the file is unreadable; cheap enough to sample per rep.
+/// Current resident set size in bytes, from the `VmRSS` line of
+/// `/proc/self/status` (reported in kB, so no page-size assumption —
+/// `/proc/self/statm` counts pages, whose size varies by kernel
+/// config: 4 KiB on x86-64, commonly 16 or 64 KiB on arm64). Returns
+/// `None` off Linux or if the file is unreadable; cheap enough to
+/// sample per rep.
 pub fn resident_bytes() -> Option<u64> {
-    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
-    let pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
-    Some(pages * 4096)
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 impl RunMeta {
@@ -320,7 +324,7 @@ mod tests {
         );
         if cfg!(target_os = "linux") {
             // A running test binary is resident by definition.
-            assert!(meta.rss_bytes.expect("statm readable on Linux") > 0);
+            assert!(meta.rss_bytes.expect("/proc/self/status readable on Linux") > 0);
         }
     }
 

@@ -969,18 +969,20 @@ impl<E: HashEntry> DetHashTable<E> {
     }
 
     /// [`elements`](Self::elements) into a caller-provided buffer:
-    /// `out` is cleared and refilled, reusing its allocation. Repeated
-    /// packers (the KV server's get path) call this once per batch with
-    /// a retained buffer instead of allocating a fresh `Vec` each time.
-    /// The contents are identical to what `elements()` returns.
+    /// **appends** to `out` (prior contents are preserved), reusing its
+    /// allocation. Repeated packers (the KV server's export loop) call
+    /// this once per batch with a retained buffer instead of allocating
+    /// a fresh `Vec` each time. The appended suffix is identical to
+    /// what `elements()` returns.
     pub fn elements_into(&self, out: &mut Vec<E>) {
+        let base = out.len();
         phc_parutil::pack_with_mask_into(
             &self.cells,
             |win| crate::simd::scan_nonempty_mask(win, E::EMPTY),
             |c| E::from_repr(c.load(Ordering::Acquire)),
             out,
         );
-        phc_obs::probe!(hist PackSize, out.len());
+        phc_obs::probe!(hist PackSize, out.len() - base);
     }
 
     /// Applies `f` to every entry stored in the cell range (clamped to

@@ -1343,16 +1343,18 @@ impl<E: HashEntry> FcHashTable<E> {
     }
 
     /// Like [`elements`](Self::elements), packing into a caller-owned
-    /// buffer (cleared first) so steady-state readers reuse one
-    /// allocation across calls. Deterministic at quiescence.
+    /// buffer (appends; prior contents are preserved) so steady-state
+    /// readers reuse one allocation across calls. Deterministic at
+    /// quiescence.
     pub fn elements_into(&self, out: &mut Vec<E>) {
+        let base = out.len();
         phc_parutil::pack_with_mask_into(
             &self.cells,
             |win| crate::simd::scan_nonempty_mask(win, E::EMPTY),
             |c| E::from_repr(c.load(Ordering::Acquire)),
             out,
         );
-        phc_obs::probe!(hist PackSize, out.len());
+        phc_obs::probe!(hist PackSize, out.len() - base);
     }
 
     /// Applies `f` to every entry in the cell range, sequentially in

@@ -680,7 +680,8 @@ impl<E: HashEntry> NdHashTable<E> {
     }
 
     /// [`elements`](Self::elements) into a caller-provided buffer
-    /// (cleared and refilled; the allocation is reused — see
+    /// (appends; prior contents are preserved and the allocation is
+    /// reused — see
     /// [`DetHashTable::elements_into`](crate::DetHashTable::elements_into)).
     pub fn elements_into(&self, out: &mut Vec<E>) {
         phc_parutil::pack_with_mask_into(

@@ -1103,16 +1103,18 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
     }
 
     /// Like [`elements`](Self::elements), packing into a caller-owned
-    /// buffer (cleared first) so steady-state readers reuse one
-    /// allocation across calls. Entries are un-mixed on the way out.
+    /// buffer (appends; prior contents are preserved) so steady-state
+    /// readers reuse one allocation across calls. Entries are un-mixed
+    /// on the way out.
     pub fn elements_into(&self, out: &mut Vec<E>) {
+        let base = out.len();
         phc_parutil::pack_with_mask_into(
             &self.cells,
             |win| crate::simd::scan_nonempty_mask(win, E::EMPTY),
             |c| E::from_repr(self.untransform(c.load(Ordering::Acquire))),
             out,
         );
-        phc_obs::probe!(hist PackSize, out.len());
+        phc_obs::probe!(hist PackSize, out.len() - base);
     }
 
     /// Applies `f` to every entry stored in the cell range (clamped to

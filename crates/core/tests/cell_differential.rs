@@ -315,8 +315,16 @@ fn elements_into_matches_elements() {
     let mut buf: Vec<KvPair32> = Vec::new();
     t.elements_into(&mut buf);
     assert_eq!(buf, t.elements());
-    // Re-packing into the same buffer appends after the caller clears;
-    // the high-water capacity is reused (no shrink of the allocation).
+    // Packing into a non-empty buffer appends: the prior contents
+    // survive and the packed entries land after them (the multi-shard
+    // export contract).
+    let sentinel = KvPair32::new(0xDEAD, 0xBEEF);
+    let mut pre = vec![sentinel; 3];
+    t.elements_into(&mut pre);
+    assert_eq!(pre[..3], [sentinel; 3]);
+    assert_eq!(pre[3..], t.elements()[..]);
+    // Re-packing into the same buffer after the caller clears reuses
+    // the high-water capacity (no shrink of the allocation).
     let cap = buf.capacity();
     buf.clear();
     t.elements_into(&mut buf);

@@ -154,10 +154,12 @@ where
     out
 }
 
-/// [`pack_with_mask`] into a caller-provided buffer: `out` is cleared
-/// and refilled in place, so a caller that packs repeatedly (the KV
-/// server's per-batch get path, for one) reuses one allocation instead
-/// of paying a fresh `Vec` per call. The contents written are
+/// [`pack_with_mask`] into a caller-provided buffer: the packed
+/// entries are **appended** to `out` (existing contents are
+/// preserved), so a caller that packs repeatedly (the KV server's
+/// per-shard export loop, for one) reuses one allocation instead of
+/// paying a fresh `Vec` per call — and a multi-source caller can pack
+/// several inputs into one buffer back to back. The appended suffix is
 /// byte-identical to what [`pack_with_mask`] returns.
 pub fn pack_with_mask_into<T, U, M, F>(input: &[T], mask_of: M, decode: F, out: &mut Vec<U>)
 where
@@ -183,8 +185,8 @@ where
 }
 
 /// Shared engine: packs `decode(index, element)` for each set bit of
-/// the per-window masks, in ascending index order, into `out` (cleared
-/// first; existing capacity is reused).
+/// the per-window masks, in ascending index order, **appended** to
+/// `out` (existing contents and capacity are preserved).
 fn pack_with_mask_impl<T, U, M, F>(input: &[T], mask_of: M, decode: F, out: &mut Vec<U>)
 where
     T: Sync,
@@ -192,7 +194,6 @@ where
     M: Fn(&[T]) -> u64 + Send + Sync,
     F: Fn(usize, &T) -> U + Send + Sync,
 {
-    out.clear();
     let n = input.len();
     if n == 0 {
         return;
@@ -208,14 +209,16 @@ where
         .map(|(_, masks)| masks.iter().map(|m| m.count_ones() as usize).sum())
         .collect();
     let (offsets, total) = scan_exclusive(&counts);
+    let base = out.len();
     out.reserve(total);
-    // SAFETY: every slot in 0..total is written exactly once by the
-    // disjoint per-block ranges below (`out` was cleared above).
+    // SAFETY: every slot in base..base+total is written exactly once by
+    // the disjoint per-block ranges below; the prior contents in
+    // 0..base are untouched.
     #[allow(clippy::uninit_vec)]
     unsafe {
-        out.set_len(total);
+        out.set_len(base + total);
     }
-    let out_ptr = SendPtr(out.as_mut_ptr());
+    let out_ptr = SendPtr(unsafe { out.as_mut_ptr().add(base) });
     blocks
         .par_iter()
         .zip(offsets.par_iter())
@@ -365,18 +368,38 @@ mod tests {
     }
 
     #[test]
+    fn pack_with_mask_into_appends() {
+        let input: Vec<u64> = (0..30_000u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9))
+            .collect();
+        let expect = pack_with_mask(&input, odd_mask, |&x| x * 3);
+        let mut out = vec![u64::MAX; 100]; // prior contents must survive
+        pack_with_mask_into(&input, odd_mask, |&x| x * 3, &mut out);
+        assert_eq!(out[..100], [u64::MAX; 100]);
+        assert_eq!(out[100..], expect[..]);
+    }
+
+    #[test]
     fn pack_with_mask_into_reuses_buffer() {
         let input: Vec<u64> = (0..30_000u64)
             .map(|i| i.wrapping_mul(0x9e37_79b9))
             .collect();
         let expect = pack_with_mask(&input, odd_mask, |&x| x * 3);
-        let mut out = vec![u64::MAX; 100]; // stale contents must vanish
+        let mut out = Vec::new();
         pack_with_mask_into(&input, odd_mask, |&x| x * 3, &mut out);
         assert_eq!(out, expect);
         let cap = out.capacity();
+        out.clear();
         pack_with_mask_into(&input, odd_mask, |&x| x * 3, &mut out);
         assert_eq!(out, expect);
         assert_eq!(out.capacity(), cap, "second pack must not reallocate");
+    }
+
+    #[test]
+    fn pack_with_mask_into_empty_input_preserves_buffer() {
+        let mut out = vec![7u64, 8, 9];
+        pack_with_mask_into(&[], odd_mask, |&x: &u64| x, &mut out);
+        assert_eq!(out, [7, 8, 9]);
     }
 
     #[test]

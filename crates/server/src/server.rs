@@ -467,6 +467,31 @@ mod tests {
     }
 
     #[test]
+    fn elements_into_appends_all_shards() {
+        for shards in [1usize, 2, 8] {
+            let server: KvServer = KvServer::new(shards, 6);
+            let puts: Vec<KvOp> = (1..=100u32)
+                .map(|k| KvOp::Put { key: k, val: k * 3 })
+                .collect();
+            server.apply_batch(&puts);
+            // Pre-populate the buffer: the export appends, so the
+            // sentinel must survive and every shard's entries must
+            // land after it (not just the last shard's).
+            let sentinel = KvPair::new(0xFFFF, 1);
+            let mut out: Vec<KvPair<KeepMin>> = vec![sentinel];
+            server.elements_into(&mut out);
+            assert_eq!(out[0], sentinel, "shards = {shards}: prior contents lost");
+            let mut got: Vec<(u32, u32)> = out[1..].iter().map(|e| (e.key, e.value)).collect();
+            got.sort_unstable();
+            let expect: Vec<(u32, u32)> = (1..=100u32).map(|k| (k, k * 3)).collect();
+            assert_eq!(
+                got, expect,
+                "shards = {shards}: export must cover all shards"
+            );
+        }
+    }
+
+    #[test]
     fn within_batch_gets_see_puts_and_deletes() {
         let server: KvServer = KvServer::new(4, 6);
         let batch = [
