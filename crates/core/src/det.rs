@@ -191,6 +191,7 @@ impl<E: HashEntry> DetHashTable<E> {
     /// table).
     pub(crate) fn try_insert_repr(&self, mut v: u64) -> Result<bool, u64> {
         debug_assert_ne!(v, E::EMPTY);
+        debug_assert_ne!(v, E::FORWARD, "the forwarding sentinel is not insertable");
         if crate::simd::tier() != crate::simd::SimdTier::Scalar {
             if let Some(key_mask) = E::SIMD_KEY_MASK {
                 return self.try_insert_repr_wide(v, key_mask);
@@ -203,6 +204,16 @@ impl<E: HashEntry> DetHashTable<E> {
         let mut swaps = 0usize;
         let result = loop {
             let c = self.cells[i].load(Ordering::Acquire);
+            if c == E::FORWARD {
+                // This cell was claimed by a migration sweep: the epoch
+                // is retiring and the entry (if any) now lives in the
+                // successor. Hand the carried repr back so the caller
+                // re-homes it there. Checked before any key
+                // interpretation — `FORWARD` is not a valid repr and
+                // pointer entries would dereference it.
+                phc_obs::probe!(count ForwardedProbes);
+                break Err(v);
+            }
             if E::same_key(c, v) {
                 // Duplicate key: converge on the combined value.
                 let merged = E::combine(c, v);
@@ -366,6 +377,15 @@ impl<E: HashEntry> DetHashTable<E> {
             // hands back the current value, so the loop never issues a
             // separate re-load either.
             loop {
+                if c == E::FORWARD {
+                    // Claimed by a migration sweep (also reachable via
+                    // the CAS-failure re-read below): divert to the
+                    // successor. Must precede `same_key` — `FORWARD`
+                    // masks to the key mask, so a max-key probe would
+                    // otherwise "match" it.
+                    phc_obs::probe!(count ForwardedProbes);
+                    break 'outer Err(v);
+                }
                 if E::same_key(c, v) {
                     let merged = E::combine(c, v);
                     if merged == c {
@@ -684,6 +704,14 @@ impl<E: HashEntry> DetHashTable<E> {
                 if c == E::EMPTY {
                     break 'scan None;
                 }
+                if c == E::FORWARD {
+                    // Defensive: reads are quiescent (migrations drain
+                    // before a read phase), so a forwarded cell should
+                    // be unreachable here; treat it as absent-in-this-
+                    // epoch rather than interpreting the sentinel.
+                    phc_obs::probe!(count ForwardedProbes);
+                    break 'scan None;
+                }
                 if E::same_key(c, probe) {
                     break 'scan Some(c);
                 }
@@ -779,7 +807,13 @@ impl<E: HashEntry> DetHashTable<E> {
             // equals what a re-load would return.
             Some((j, c)) => {
                 phc_obs::probe!(count FindProbeSteps, self.dist(home, j));
-                if E::same_key(c, probe) {
+                if c == E::FORWARD {
+                    // Defensive (reads are quiescent): the sentinel
+                    // masks to the key mask, so a max-key probe could
+                    // stop on it — never interpret it as an entry.
+                    phc_obs::probe!(count ForwardedProbes);
+                    None
+                } else if E::same_key(c, probe) {
                     Some(c)
                 } else {
                     None
@@ -857,6 +891,13 @@ impl<E: HashEntry> DetHashTable<E> {
         // at or past the last copy of the key.
         loop {
             let c = self.load_at(k);
+            if c == E::FORWARD {
+                // Defensive: the resizer gates migration sweeps on
+                // delete quiescence, so a delete never races a sweep.
+                // Stop the walk rather than interpret the sentinel.
+                phc_obs::probe!(count ForwardedProbes);
+                break;
+            }
             if c == E::EMPTY || E::cmp_priority(probe, c) != CmpOrdering::Less {
                 break;
             }
@@ -875,6 +916,12 @@ impl<E: HashEntry> DetHashTable<E> {
             }
             steps += 1;
             let c = self.load_at(k);
+            if c == E::FORWARD {
+                // Defensive (see the walk-up loop): never a valid key.
+                phc_obs::probe!(count ForwardedProbes);
+                k -= 1;
+                continue;
+            }
             if c == E::EMPTY || !E::same_key(c, v) {
                 k -= 1;
                 continue;
@@ -928,7 +975,10 @@ impl<E: HashEntry> DetHashTable<E> {
             phc_obs::probe!(count SimdLanesScanned, k);
             for (lane, &val) in buf[..k].iter().enumerate() {
                 let jj = next + lane;
-                if val == E::EMPTY || self.lift_hash(val, jj) <= i {
+                // The `FORWARD` exclusion is defensive: the sentinel is
+                // not a hashable entry (`lift_hash` would interpret
+                // garbage), and a sweep never races a delete.
+                if val == E::EMPTY || (val != E::FORWARD && self.lift_hash(val, jj) <= i) {
                     break 'up (jj, val);
                 }
             }
@@ -941,7 +991,7 @@ impl<E: HashEntry> DetHashTable<E> {
         let mut k = j - 1;
         while k > i {
             let vp = self.load_at(k);
-            if vp == E::EMPTY || self.lift_hash(vp, k) <= i {
+            if vp == E::EMPTY || (vp != E::FORWARD && self.lift_hash(vp, k) <= i) {
                 v = vp;
                 j = k;
             }
@@ -1008,6 +1058,31 @@ impl<E: HashEntry> DetHashTable<E> {
                 f(E::from_repr(self.cells[base + j].load(Ordering::Acquire)));
             }
             base += win.len();
+        }
+    }
+
+    /// Claims every cell in `range` (clamped to the capacity) for
+    /// migration: atomically swaps each cell to the [`FORWARD`]
+    /// (HashEntry::FORWARD) sentinel and appends the displaced
+    /// non-empty reprs to `out`, in cell order.
+    ///
+    /// This is the sweep primitive of the freeze-free resizer
+    /// ([`crate::resize::ResizableTable`]). Per-cell atomicity of the
+    /// swap is what makes the sweep safe under concurrent inserts: a
+    /// racing insert CAS either lands *before* the claim (the entry is
+    /// carried out here) or fails against the sentinel, re-reads it,
+    /// and diverts to the successor — no entry is lost or duplicated.
+    /// Empty cells are claimed too, so a late insert can never land
+    /// *behind* the sweep in already-claimed territory.
+    pub fn claim_range_forward(&self, range: std::ops::Range<usize>, out: &mut Vec<u64>) {
+        let end = range.end.min(self.cells.len());
+        let start = range.start.min(end);
+        for cell in &self.cells[start..end] {
+            let prev = cell.swap(E::FORWARD, Ordering::AcqRel);
+            debug_assert_ne!(prev, E::FORWARD, "migration block claimed twice");
+            if prev != E::EMPTY {
+                out.push(prev);
+            }
         }
     }
 

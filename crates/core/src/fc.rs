@@ -282,6 +282,15 @@ impl<E: HashEntry> FcHashTable<E> {
         let mut net = 0i64;
         let result = loop {
             let c = self.cells[i].load(Ordering::Acquire);
+            if c == E::FORWARD {
+                // Defensive: the resizer's writer gate (see
+                // `quiesce_writers`) keeps migration sweeps and active
+                // fc writers disjoint, so a registered insert should
+                // never observe the sentinel; divert rather than
+                // interpret it.
+                phc_obs::probe!(count ForwardedProbes);
+                break Err(v);
+            }
             if E::same_key(c, v) {
                 let merged = E::combine(c, v);
                 if merged == c {
@@ -423,6 +432,12 @@ impl<E: HashEntry> FcHashTable<E> {
             // Per-cell atomic confirm, seeded with the scanned value.
             loop {
                 fc_spec_check!(i, self.mask);
+                if c == E::FORWARD {
+                    // Defensive (see the scalar loop): also covers the
+                    // CAS-failure re-read path below.
+                    phc_obs::probe!(count ForwardedProbes);
+                    break 'outer Err(v);
+                }
                 if E::same_key(c, v) {
                     let merged = E::combine(c, v);
                     if merged == c {
@@ -694,6 +709,13 @@ impl<E: HashEntry> FcHashTable<E> {
                 if c == E::EMPTY {
                     break 'scan None;
                 }
+                if c == E::FORWARD {
+                    // Defensive: a forwarded cell means the table is
+                    // retiring; the entry (if any) lives in the
+                    // successor, so this epoch reports absence.
+                    phc_obs::probe!(count ForwardedProbes);
+                    break 'scan None;
+                }
                 if E::same_key(c, probe) {
                     break 'scan Some(c);
                 }
@@ -772,6 +794,12 @@ impl<E: HashEntry> FcHashTable<E> {
             if let Some((j, _scanned)) = hit {
                 let c = self.cells[j].load(Ordering::Acquire);
                 fc_spec_check!(j, self.mask);
+                if c == E::FORWARD {
+                    // Defensive: the sentinel masks to the key mask, so
+                    // a max-key probe would otherwise "match" it.
+                    phc_obs::probe!(count ForwardedProbes);
+                    return None;
+                }
                 if E::same_key(c, probe) {
                     return Some(c);
                 }
@@ -1376,6 +1404,52 @@ impl<E: HashEntry> FcHashTable<E> {
         }
     }
 
+    /// Claims every cell in `range` (clamped) for migration: swaps
+    /// each cell to the `FORWARD` sentinel and appends the displaced
+    /// non-empty reprs to `out` in cell order (the freeze-free
+    /// resizer's sweep primitive; see `DetHashTable` for the per-cell
+    /// atomicity argument). The resizer calls
+    /// [`quiesce_writers`](Self::quiesce_writers) first, so no fc
+    /// writer protocol (displacement carry, repair scan) is in flight
+    /// over the swept cells.
+    pub fn claim_range_forward(&self, range: std::ops::Range<usize>, out: &mut Vec<u64>) {
+        let end = range.end.min(self.cells.len());
+        let start = range.start.min(end);
+        for cell in &self.cells[start..end] {
+            let prev = cell.swap(E::FORWARD, Ordering::AcqRel);
+            debug_assert_ne!(prev, E::FORWARD, "migration block claimed twice");
+            if prev != E::EMPTY {
+                out.push(prev);
+            }
+        }
+    }
+
+    /// Spins until no insert or delete is registered on this table.
+    ///
+    /// The fully-concurrent protocols are *multi-cell*: a displacement
+    /// carries an evicted entry toward its new cell, and a repair scan
+    /// may pull a placed entry back out and re-insert it. A migration
+    /// sweep racing those mid-protocol could strand the carried entry
+    /// (its CAS diverts, but the repair path has no divert route —
+    /// `validate_placement` panics on a full table). The freeze-free
+    /// resizer therefore waits out registered fc writers before
+    /// claiming blocks; new writers are excluded by the
+    /// open-window/successor-check handshake, not by this wait, so the
+    /// wait is bounded by in-flight operations only.
+    pub fn quiesce_writers(&self) {
+        let mut spins = 0u32;
+        while self.ins_state.load(Ordering::SeqCst) & ACTIVE_MASK != 0
+            || self.del_state.load(Ordering::SeqCst) & ACTIVE_MASK != 0
+        {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
     /// Applies `f` to every stored entry in parallel, unspecified
     /// order.
     pub fn for_each_entry(&self, f: impl Fn(E) + Send + Sync) {
@@ -1585,6 +1659,12 @@ impl<E: HashEntry> crate::resize::FlatTableCore<E> for FcHashTable<E> {
     }
     fn for_each_in_range(&self, range: std::ops::Range<usize>, f: impl FnMut(E)) {
         FcHashTable::for_each_in_range(self, range, f)
+    }
+    fn claim_range_forward(&self, range: std::ops::Range<usize>, out: &mut Vec<u64>) {
+        FcHashTable::claim_range_forward(self, range, out)
+    }
+    fn quiesce_writers(&self) {
+        FcHashTable::quiesce_writers(self)
     }
 }
 

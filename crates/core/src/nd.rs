@@ -10,6 +10,13 @@
 //! duplicate key-value pairs can be merged in place with a
 //! `fetch_add` (the paper's `xadd` optimization for edge contraction);
 //! see [`NdHashTable::insert_add_value`].
+//!
+//! The ND table sits outside the resize layer: it never grows, does
+//! not implement the resizer's `FlatTableCore` claim hooks, and so
+//! never stores the all-ones `FORWARD` sentinel — its probe paths need
+//! (and have) no forwarding guards. Key constructors reject the
+//! sentinel value regardless, so an ND cell can never alias it by
+//! accident.
 
 use std::marker::PhantomData;
 use std::sync::atomic::Ordering;

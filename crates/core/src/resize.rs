@@ -4,28 +4,50 @@
 //! The paper outlines a lock-free scheme in which inserts detect an
 //! overfull table, link a new table of twice the size, and
 //! cooperatively migrate elements. [`ResizableTable`] implements that
-//! scheme: the backing store is a chain of **epochs**, each owning one
-//! fixed-size [`DetHashTable`]. An inserter that observes its epoch's
-//! load at the 3/4 threshold publishes a doubled successor epoch with a
-//! single CAS, which **freezes** the old table; every thread that
-//! subsequently enters `insert` helps migrate by claiming fixed-size
-//! blocks of the frozen cell array from a shared atomic cursor and
-//! re-inserting the block's entries into the successor. Migration cost
-//! is thus spread across all inserting threads — there is no exclusive
-//! lock and no stop-the-world rebuild on the insert hot path (the
-//! previous implementation, preserved as [`StwResizableTable`] for the
-//! `resize` benchmark ablation, held an `RwLock` around the whole
-//! table and rebuilt it under the write lock).
+//! scheme with **freeze-free incremental migration**: the backing
+//! store is a chain of **epochs**, each owning one fixed-size
+//! [`DetHashTable`]. An inserter that observes its epoch's load at the
+//! 3/4 threshold publishes a doubled successor epoch with a single
+//! CAS — and nothing drains into a handshake. Every operation that
+//! subsequently notices the pending migration pays one bounded *block
+//! quota*: it claims up to `HELP_QUOTA_BLOCKS` fixed-size blocks of
+//! the retiring cell array from a shared atomic cursor, swaps each
+//! claimed cell to a per-cell **forwarding marker**
+//! ([`HashEntry::FORWARD`]), re-inserts the claimed entries into the
+//! successor, and then proceeds against the live tail. Migration cost
+//! is spread across all operating threads with a hard per-op bound —
+//! there is no freeze wait, no exclusive lock, and no stop-the-world
+//! rebuild (the original `RwLock` implementation is preserved as
+//! [`StwResizableTable`] for the `resize` benchmark ablation).
 //!
-//! ## Freeze protocol
+//! ## Forwarding invariant
 //!
-//! Writers register in a per-epoch `active` counter before touching the
-//! epoch's table and re-check `next` afterwards; the publisher CASes
-//! `next` and then waits for `active == 0`. Both sides use `SeqCst`, so
-//! in the total order either the writer's re-check sees the successor
-//! (and the writer backs off) or the publisher's wait sees the writer
-//! (and blocks until it retires). After the wait, the old cell array is
-//! immutable and block scans are exact.
+//! A migration claim is an atomic `swap` of the forwarding marker into
+//! every cell of the block, including empty ones; the swapped-out
+//! occupants are re-inserted into the successor in cell order. Every
+//! probe path in every core checks a loaded cell against the marker
+//! *before* any key interpretation: finds treat it as "absent here,
+//! look in the successor", and an insert that meets one hands its repr
+//! back as an `Err` carry, which this wrapper re-routes into the live
+//! tail. Conservation is per-cell: each core mutation is a single-cell
+//! CAS against a concretely observed old value, so for any cell either
+//! the writer's CAS lands before the claim swap (and the claim carries
+//! the new value across) or it lands after, fails against the marker,
+//! and the writer re-routes — each entry reaches the successor exactly
+//! once, with the cores' combine-on-duplicate semantics absorbing the
+//! one benign overlap (a key inserted directly into the tail while its
+//! old copy still awaits migration).
+//!
+//! Two residual waits remain, both off the insert hot path: block
+//! claiming first waits for registered *delete* writers to retire
+//! (deletes move entries between cells, so a concurrent claim could
+//! otherwise see an entry twice or not at all), and then asks the core
+//! to drain multi-cell write protocols
+//! ([`FlatTableCore::quiesce_writers`] — a no-op for the single-CAS
+//! det/Robin Hood cores; the fc core waits out its open displacement
+//! windows). Non-resizing inserts pay no handshake at all: one
+//! `Acquire` epoch load, the probe itself, and a single fill-credit
+//! RMW when a new cell is filled.
 //!
 //! ## Determinism
 //!
@@ -187,6 +209,28 @@ pub trait FlatTableCore<E: HashEntry>: Send + Sync {
     /// Applies `f` to every entry in the (quiescent) cell range, in
     /// cell order — the migration primitive.
     fn for_each_in_range(&self, range: std::ops::Range<usize>, f: impl FnMut(E));
+    /// Atomically claims every cell in the range for migration: swaps
+    /// each cell (occupied *and* empty) to the core's stored form of
+    /// the forwarding marker [`HashEntry::FORWARD`] and appends each
+    /// prior occupant, decoded back to an untransformed repr, to `out`
+    /// in cell order — the freeze-free migration primitive. After the
+    /// claim, any probe landing in the range sees the marker and falls
+    /// through to the successor; any in-flight single-cell CAS either
+    /// landed before the swap (its value is in `out`) or fails against
+    /// the marker (its owner re-routes the carry).
+    fn claim_range_forward(&self, range: std::ops::Range<usize>, out: &mut Vec<u64>);
+    /// Blocks until the core has no in-flight *multi-cell* write
+    /// protocol that a concurrent
+    /// [`claim_range_forward`](Self::claim_range_forward) could tear
+    /// (e.g. the fc core's
+    /// displacement-repair scan, which panics if a cell changes
+    /// beneath it). Cores whose every mutation is a single-cell CAS
+    /// need nothing — the per-cell conservation argument covers them —
+    /// and keep this no-op default. New writers are excluded by the
+    /// publish handshake (writers re-check the epoch's successor
+    /// pointer after opening their window), so the wait is bounded by
+    /// one in-flight window per thread.
+    fn quiesce_writers(&self) {}
 }
 
 impl<E: HashEntry> FlatTableCore<E> for DetHashTable<E> {
@@ -231,6 +275,9 @@ impl<E: HashEntry> FlatTableCore<E> for DetHashTable<E> {
     fn for_each_in_range(&self, range: std::ops::Range<usize>, f: impl FnMut(E)) {
         DetHashTable::for_each_in_range(self, range, f)
     }
+    fn claim_range_forward(&self, range: std::ops::Range<usize>, out: &mut Vec<u64>) {
+        DetHashTable::claim_range_forward(self, range, out)
+    }
 }
 
 /// Grow when `items * DEN >= capacity * NUM` (keeps load < 3/4).
@@ -262,20 +309,41 @@ fn spin_wait(spins: &mut u32) {
 /// negligible for big tables.
 const MIGRATION_BLOCK: usize = 512;
 
+/// Migration blocks one operation claims per help quota — the hard
+/// bound on the stall a single insert can suffer during growth
+/// (`HELP_QUOTA_BLOCKS * MIGRATION_BLOCK` cell swaps plus the
+/// re-inserts for their occupants). Two blocks keep the helper count
+/// comfortably ahead of the drain for any load ≥ the shrink floor
+/// while staying three orders of magnitude below a full 196k-cell
+/// drain.
+const HELP_QUOTA_BLOCKS: usize = 2;
+
+/// Entries per bulk-insert window. Windows bound how long a batched
+/// writer can hold a core's insert window open (the fc core's
+/// `quiesce_writers` waits for open windows, so an unbounded window
+/// would re-create the freeze stall this module exists to kill) and
+/// how stale the in-window threshold estimate can get.
+const WINDOW_CHUNK: usize = 256;
+
 /// One link in the growth chain: a fixed-capacity table plus the
 /// coordination state for freezing and migrating it.
 struct Epoch<E: HashEntry, T: FlatTableCore<E>> {
     table: T,
-    /// Packed coordination word: writer count in the high 32 bits
-    /// (`ACTIVE_ONE` units), empty-cell fill credits in the low 32.
-    /// Packing lets an insert register, credit its fill, and retire
-    /// with two atomic RMWs instead of four — the RMW count per insert
-    /// is the dominant overhead of growability (the credits are exact:
-    /// once the epoch is quiescent the low half equals the number of
-    /// stored entries, see module docs). Capacities are < 2^31 cells,
-    /// so the halves cannot carry into each other.
+    /// Packed coordination word: registered **delete** writers in the
+    /// high 32 bits (`ACTIVE_ONE` units), empty-cell fill credits in
+    /// the low 32. Inserts no longer register at all — the forwarding
+    /// invariant makes their single-cell CASes safe against concurrent
+    /// claims — so the freeze-era two-RMW handshake is gone from the
+    /// insert hot path; a filling insert posts one `AcqRel` credit
+    /// RMW, a duplicate posts none. Deletes still register (they move
+    /// entries between cells, which block claiming must not observe
+    /// mid-flight). The credits are exact: once the epoch is quiescent
+    /// the low half equals the number of stored entries (see module
+    /// docs). Capacities are < 2^31 cells, so the halves cannot carry
+    /// into each other.
     state: AtomicUsize,
-    /// Successor epoch; non-null marks this epoch frozen.
+    /// Successor epoch; non-null marks this epoch as *retiring*: new
+    /// operations divert to the tail after paying a help quota.
     next: AtomicPtr<Epoch<E, T>>,
     /// Next migration block index to claim.
     cursor: AtomicUsize,
@@ -284,7 +352,7 @@ struct Epoch<E: HashEntry, T: FlatTableCore<E>> {
     _entry: PhantomData<E>,
 }
 
-/// One registered writer in `Epoch::state`'s high half.
+/// One registered delete writer in `Epoch::state`'s high half.
 const ACTIVE_ONE: usize = 1 << 32;
 /// Mask of the fill-credit (items) half of `Epoch::state`.
 const ITEMS_MASK: usize = ACTIVE_ONE - 1;
@@ -457,97 +525,119 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
         }
     }
 
-    /// Inserts an entry, helping any in-progress migration first and
-    /// publishing a doubled successor when the load threshold is hit.
-    /// Callable from any number of threads during an insert phase.
+    /// Inserts an entry, publishing a doubled successor when the load
+    /// threshold is hit. Callable from any number of threads during an
+    /// insert phase. When a migration is pending the insert pays one
+    /// bounded block quota and proceeds against the live tail — it
+    /// never waits for other threads' blocks, so the worst-case stall
+    /// is `HELP_QUOTA_BLOCKS` blocks regardless of table size.
     pub fn insert(&self, e: E) {
-        let mut v = e.to_repr();
+        let v = e.to_repr();
+        debug_assert_ne!(v, E::FORWARD, "the forwarding sentinel is not insertable");
         loop {
             let ep = self.current_epoch();
             if !ep.next.load(Ordering::SeqCst).is_null() {
-                // A predecessor is frozen: claim migration blocks
-                // before inserting, so growth cost stays cooperative.
-                self.help_migrate(ep);
-                continue;
+                // Migration pending: help a little, then insert into
+                // the live tail directly — probes there are safe by
+                // the forwarding invariant.
+                self.help_quota(ep);
+                self.insert_batch_into_chain(ep, &[v]);
+                return;
             }
-            // Registration also reads the fill credits for free (the
-            // RMW returns the previous word), so the threshold check
-            // costs no extra atomic op.
-            let prev = ep.state.fetch_add(ACTIVE_ONE, Ordering::SeqCst);
+            let tok = ep.table.open_insert_window();
             if !ep.next.load(Ordering::SeqCst).is_null() {
-                // Froze between the null-check and registration.
-                ep.state.fetch_sub(ACTIVE_ONE, Ordering::SeqCst);
+                // Published between the null-check and the window
+                // open; re-route (the `SeqCst` window/successor pair
+                // is what lets `quiesce_writers` exclude us).
+                ep.table.close_insert_window(tok);
                 continue;
             }
-            if Epoch::<E, T>::items_over_threshold(prev & ITEMS_MASK, ep.table.capacity()) {
-                ep.state.fetch_sub(ACTIVE_ONE, Ordering::SeqCst);
-                self.publish_successor(ep);
-                self.help_migrate(ep);
-                continue;
-            }
-            match ep.table.try_insert_repr(v) {
+            match ep.table.try_insert_repr_in(v, tok) {
                 Ok(filled) => {
-                    // Retire and credit the fill in a single RMW.
-                    ep.state
-                        .fetch_sub(ACTIVE_ONE - (filled as usize), Ordering::SeqCst);
+                    ep.table.close_insert_window(tok);
+                    if filled {
+                        let prev = ep.state.fetch_add(1, Ordering::AcqRel);
+                        let items = (prev & ITEMS_MASK) + 1;
+                        if Epoch::<E, T>::items_over_threshold(items, ep.table.capacity())
+                            && ep.next.load(Ordering::SeqCst).is_null()
+                        {
+                            // Publish only — helping is paid by the
+                            // operations that follow, one quota each.
+                            self.publish_successor(ep);
+                        }
+                    }
                     return;
                 }
                 Err(carried) => {
-                    // The table hard-filled before any thread saw the
-                    // threshold (possible only below the canonical
-                    // capacity, e.g. tiny seed tables under heavy
-                    // concurrency). The carried repr lost its cell to a
-                    // displacement chain; grow and re-home it.
-                    ep.state.fetch_sub(ACTIVE_ONE, Ordering::SeqCst);
-                    self.publish_successor(ep);
-                    self.help_migrate(ep);
-                    v = carried;
+                    // The probe met a forwarding marker (migration
+                    // started under us) or the table hard-filled below
+                    // the canonical capacity (tiny seed tables under
+                    // heavy concurrency). Either way the carry re-homes
+                    // down the chain.
+                    ep.table.close_insert_window(tok);
+                    if ep.next.load(Ordering::SeqCst).is_null() {
+                        self.publish_successor(ep);
+                    }
+                    self.help_quota(ep);
+                    self.insert_batch_into_chain(ep, &[carried]);
+                    return;
                 }
             }
         }
     }
 
-    /// Inserts a batch of entries, amortizing the epoch-registration
-    /// RMWs over runs of consecutive entries. The per-entry `SeqCst`
-    /// register/retire pair is the dominant overhead of growability
-    /// (see [`insert_batch_into_chain`](Self::insert_batch_into_chain),
-    /// which this mirrors); a batch pays it once per registration
-    /// window instead of once per entry. Unlike the migration
-    /// re-insert path, this *does* help migration — it is an entry
-    /// point for inserting threads, so growth cost stays cooperative.
+    /// Inserts a batch of entries through bounded insert windows of
+    /// `WINDOW_CHUNK` entries. A window pays the fill credits with a
+    /// single `AcqRel` RMW (instead of one per entry) and bounds how
+    /// long a core-side insert window stays open, so a migrator's
+    /// `quiesce_writers` never waits on a whole batch. When a
+    /// migration is pending the batch pays one help quota per chunk
+    /// and routes the chunk straight to the live tail.
     ///
-    /// The threshold check inside a window uses the registration read
-    /// plus local fills (exact for this thread, approximate across
+    /// The threshold check inside a window uses an `Acquire` read plus
+    /// local fills (exact for this thread, approximate across
     /// threads), which only shifts *when* growth triggers mid-phase,
     /// never the canonical capacity — callers that rely on snapshot
     /// determinism normalize at phase end exactly as with per-op
     /// [`insert`](Self::insert).
     pub fn insert_batch(&self, entries: &[E]) {
         let mut i = 0;
-        // A repr displaced by a hard-full insert; takes precedence
-        // over `entries[i]` until it lands.
+        // A repr displaced by a hard-full insert or bounced off a
+        // forwarding marker; takes precedence over `entries[i]` until
+        // it lands.
         let mut carry: Option<u64> = None;
+        let mut chunk: Vec<u64> = Vec::new();
         while i < entries.len() || carry.is_some() {
             let ep = self.current_epoch();
             if !ep.next.load(Ordering::SeqCst).is_null() {
-                self.help_migrate(ep);
-                continue;
-            }
-            let prev = ep.state.fetch_add(ACTIVE_ONE, Ordering::SeqCst);
-            if !ep.next.load(Ordering::SeqCst).is_null() {
-                ep.state.fetch_sub(ACTIVE_ONE, Ordering::SeqCst);
+                // Migration pending: help a little, then route a chunk
+                // of the batch directly to the live tail.
+                self.help_quota(ep);
+                chunk.clear();
+                chunk.extend(carry.take());
+                while chunk.len() < WINDOW_CHUNK && i < entries.len() {
+                    chunk.push(entries[i].to_repr());
+                    i += 1;
+                }
+                self.insert_batch_into_chain(ep, &chunk);
                 continue;
             }
             let cap = ep.table.capacity();
+            let start_items = ep.state.load(Ordering::Acquire) & ITEMS_MASK;
             let mut fills = 0usize;
             let mut publish = false;
             let ahead = crate::batch::insert_prefetch_ahead();
             let tok = ep.table.open_insert_window();
+            if !ep.next.load(Ordering::SeqCst).is_null() {
+                ep.table.close_insert_window(tok);
+                continue;
+            }
             for e in entries.iter().skip(i).take(ahead) {
                 ep.table.prefetch_repr(e.to_repr());
             }
-            while i < entries.len() || carry.is_some() {
-                if Epoch::<E, T>::items_over_threshold((prev & ITEMS_MASK) + fills, cap) {
+            let window_end = (i + WINDOW_CHUNK).min(entries.len());
+            while i < window_end || carry.is_some() {
+                if Epoch::<E, T>::items_over_threshold(start_items + fills, cap) {
                     publish = true;
                     break;
                 }
@@ -570,10 +660,11 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
                 }
             }
             ep.table.close_insert_window(tok);
-            ep.state.fetch_sub(ACTIVE_ONE - fills, Ordering::SeqCst);
-            if publish {
+            if fills > 0 {
+                ep.state.fetch_add(fills, Ordering::AcqRel);
+            }
+            if publish && ep.next.load(Ordering::SeqCst).is_null() {
                 self.publish_successor(ep);
-                self.help_migrate(ep);
             }
         }
     }
@@ -593,15 +684,19 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
             .for_each(|chunk| self.insert_batch(chunk));
     }
 
-    /// Registers the caller as an epoch writer for a delete, helping
+    /// Registers the caller as an epoch writer for a delete, draining
     /// any in-progress migration first. Returns the registered epoch;
     /// the caller must retire with `fetch_sub(ACTIVE_ONE + removed)`.
     ///
-    /// Deletes did not originally register (phase discipline meant a
-    /// delete phase could never overlap a growth-triggering insert),
-    /// but the room-free fc wrapper runs deletes concurrently with
-    /// inserts, so an unregistered delete could mutate a table that a
-    /// migration is concurrently freezing and copying out of.
+    /// Deletes are the one writer class that still registers: a
+    /// backward-replacement delete moves entries *between* cells, so a
+    /// concurrent block claim could otherwise capture an entry twice
+    /// (before and after its move) or miss it entirely. Registration
+    /// keeps deletes and block claiming mutually exclusive
+    /// (`gate_writers` waits for the high half of `state` to drain);
+    /// the forwarding-marker guards on the cores' delete paths are
+    /// defensive, not load-bearing. Inserts need none of this — their
+    /// per-cell CASes are conserved by the forwarding invariant.
     fn register_for_delete(&self) -> &Epoch<E, T> {
         loop {
             let ep = self.current_epoch();
@@ -647,24 +742,32 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
     }
 
     /// Deletes a batch of keys, crediting the removals with a single
-    /// RMW per batch instead of one per key.
+    /// RMW per `WINDOW_CHUNK` keys instead of one per key. The
+    /// chunking bounds how long one batch keeps the epoch's delete
+    /// registration held — a registered delete blocks block claiming
+    /// (`gate_writers`), so an unbounded batch would stall every
+    /// migration helper for the whole batch; re-registering per chunk
+    /// also lets the shrink check (and a racing grow publish) land
+    /// between chunks.
     pub fn delete_batch(&self, keys: &[E]) {
         use crate::batch::PREFETCH_AHEAD;
-        let ep = self.register_for_delete();
-        let mut removed = 0usize;
-        let tok = ep.table.open_delete_window();
-        for k in keys.iter().take(PREFETCH_AHEAD) {
-            ep.table.prefetch_repr(k.to_repr());
-        }
-        for (i, &k) in keys.iter().enumerate() {
-            if let Some(next) = keys.get(i + PREFETCH_AHEAD) {
-                ep.table.prefetch_repr(next.to_repr());
+        for chunk in keys.chunks(WINDOW_CHUNK) {
+            let ep = self.register_for_delete();
+            let mut removed = 0usize;
+            let tok = ep.table.open_delete_window();
+            for k in chunk.iter().take(PREFETCH_AHEAD) {
+                ep.table.prefetch_repr(k.to_repr());
             }
-            removed += ep.table.delete_counted_in(k, tok) as usize;
+            for (i, &k) in chunk.iter().enumerate() {
+                if let Some(next) = chunk.get(i + PREFETCH_AHEAD) {
+                    ep.table.prefetch_repr(next.to_repr());
+                }
+                removed += ep.table.delete_counted_in(k, tok) as usize;
+            }
+            ep.table.close_delete_window(tok);
+            let prev = ep.state.fetch_sub(ACTIVE_ONE + removed, Ordering::SeqCst);
+            self.maybe_shrink(ep, (prev & ITEMS_MASK) - removed);
         }
-        ep.table.close_delete_window(tok);
-        let prev = ep.state.fetch_sub(ACTIVE_ONE + removed, Ordering::SeqCst);
-        self.maybe_shrink(ep, (prev & ITEMS_MASK) - removed);
     }
 
     /// Parallel batched delete: chunks by [`phc_parutil::grain`].
@@ -777,86 +880,147 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
         }
     }
 
-    /// Cooperatively migrates the frozen epoch `ep` into its successor:
-    /// waits out in-flight writers, claims blocks from the shared
-    /// cursor, re-inserts each block's entries down the chain, and
-    /// advances `current` once the epoch is fully drained.
-    fn help_migrate(&self, ep: &Epoch<E, T>) {
-        let next = self.next_of(ep).expect("help_migrate on unfrozen epoch");
-        // Freeze: once every registered writer has retired, the old
-        // cell array is immutable and block scans are exact.
-        if ep.state.load(Ordering::SeqCst) >= ACTIVE_ONE {
-            phc_obs::probe!(count FreezeWaits);
-        }
+    /// Waits until `ep` admits block claiming: registered delete
+    /// writers must retire (they move entries between cells) and the
+    /// core must drain any multi-cell write protocol
+    /// ([`FlatTableCore::quiesce_writers`]). Inserts on single-CAS
+    /// cores are *not* waited on — the forwarding invariant covers
+    /// them — so on the det/Robin Hood cores this returns immediately
+    /// whenever no delete is in flight.
+    fn gate_writers(&self, ep: &Epoch<E, T>) {
         let mut spins = 0u32;
         while ep.state.load(Ordering::SeqCst) >= ACTIVE_ONE {
             spin_wait(&mut spins);
         }
+        ep.table.quiesce_writers();
+        // Timeline marker: the migrator passed the writer gate and may
+        // now claim blocks (the freeze-era meaning — "all writers
+        // drained into a handshake" — is retired; see `FreezeWaits`).
         phc_obs::probe!(phase EpochFreeze);
+    }
+
+    /// Claims up to `max_blocks` migration blocks of the retiring
+    /// epoch `ep` and re-inserts their occupants down the chain
+    /// starting at `next`. Each claim swaps the block's cells to the
+    /// forwarding marker (`claim_range_forward`), so the drain is
+    /// exact even though unclaimed regions are still live. Never waits
+    /// for blocks claimed by other threads; the thread that drains the
+    /// last block advances `current`.
+    fn claim_blocks(&self, ep: &Epoch<E, T>, next: &Epoch<E, T>, max_blocks: usize) {
         let nblocks = ep.blocks();
-        loop {
+        let shrinking = next.table.capacity() < ep.table.capacity();
+        let mut batch: Vec<u64> = Vec::with_capacity(MIGRATION_BLOCK);
+        let mut claimed = 0usize;
+        while claimed < max_blocks {
             let b = ep.cursor.fetch_add(1, Ordering::Relaxed);
             if b >= nblocks {
                 break;
             }
+            claimed += 1;
             phc_obs::probe!(count MigrationBlocksClaimed);
-            let mut batch: Vec<u64> = Vec::with_capacity(MIGRATION_BLOCK);
-            ep.table
-                .for_each_in_range(b * MIGRATION_BLOCK..(b + 1) * MIGRATION_BLOCK, |e| {
-                    batch.push(e.to_repr())
-                });
-            if next.table.capacity() < ep.table.capacity() {
+            batch.clear();
+            let lo = b * MIGRATION_BLOCK;
+            let hi = (lo + MIGRATION_BLOCK).min(ep.table.capacity());
+            ep.table.claim_range_forward(lo..hi, &mut batch);
+            if shrinking {
                 phc_obs::probe!(count ShrinkMigrations, batch.len());
             }
             self.insert_batch_into_chain(next, &batch);
-            ep.done.fetch_add(1, Ordering::Release);
+            if ep.done.fetch_add(1, Ordering::Release) + 1 == nblocks {
+                self.advance_current();
+            }
         }
+    }
+
+    /// One operation's bounded contribution to a pending migration:
+    /// pass the writer gate, claim at most `HELP_QUOTA_BLOCKS` blocks,
+    /// and return — **without** waiting for other threads' blocks.
+    /// This is the only migration work an insert ever performs, so the
+    /// worst-case per-op stall during growth is one quota, not a
+    /// table-sized drain.
+    fn help_quota(&self, ep: &Epoch<E, T>) {
+        let Some(next) = self.next_of(ep) else { return };
+        phc_obs::probe!(count MigrationHelps);
+        let t0 = if phc_obs::Recorder::ENABLED {
+            phc_obs::now_ns()
+        } else {
+            0
+        };
+        self.gate_writers(ep);
+        self.claim_blocks(ep, next, HELP_QUOTA_BLOCKS);
+        if phc_obs::Recorder::ENABLED {
+            phc_obs::probe!(hist MigrationStallNanos, (phc_obs::now_ns() - t0) as usize);
+        }
+    }
+
+    /// Fully drains the retiring epoch `ep` into its successor: passes
+    /// the writer gate, claims every remaining block, waits for other
+    /// helpers' in-flight blocks, and advances `current`. Used by the
+    /// quiescence paths (phase boundaries, reads, deletes) — the
+    /// insert hot path only ever pays [`help_quota`](Self::help_quota).
+    fn help_migrate(&self, ep: &Epoch<E, T>) {
+        let next = self.next_of(ep).expect("help_migrate on unfrozen epoch");
+        phc_obs::probe!(count MigrationHelps);
+        let t0 = if phc_obs::Recorder::ENABLED {
+            phc_obs::now_ns()
+        } else {
+            0
+        };
+        self.gate_writers(ep);
+        self.claim_blocks(ep, next, usize::MAX);
         // Other helpers may still be draining their blocks; the epoch
         // may not be retired until every entry has moved.
+        let nblocks = ep.blocks();
         let mut spins = 0u32;
         while ep.done.load(Ordering::Acquire) < nblocks {
             spin_wait(&mut spins);
         }
         self.advance_current();
+        if phc_obs::Recorder::ENABLED {
+            phc_obs::probe!(hist MigrationStallNanos, (phc_obs::now_ns() - t0) as usize);
+        }
     }
 
-    /// Re-inserts a block's worth of reprs into the live tail of the
-    /// chain starting at `start`, publishing successors on
-    /// threshold/full as usual but **without** helping migration —
-    /// migration re-inserts must not recurse into block draining
-    /// (unbounded chains would overflow the stack; the drain is owned
-    /// by `help_migrate` callers). Registration in the tail's `active`
-    /// counter is amortized over the whole batch: migration moves
-    /// hundreds of entries per block, and a `SeqCst` RMW pair per entry
-    /// would dominate the copy cost.
+    /// Re-inserts a slice of reprs into the live tail of the chain
+    /// starting at `start`, publishing successors on threshold/full as
+    /// usual but **without** helping or claiming — migration
+    /// re-inserts must not recurse into block draining (unbounded
+    /// chains would overflow the stack; claims are owned by
+    /// `claim_blocks` callers). Fill credits for a window accumulate
+    /// locally and post with one `AcqRel` RMW per `WINDOW_CHUNK`
+    /// entries: a per-entry credit RMW would dominate the copy cost,
+    /// while an unbounded window would hold the core's insert window
+    /// open (and the threshold estimate stale) for a whole block.
+    ///
+    /// Credits always land in the epoch the entries went into: if that
+    /// epoch is itself retired later, its credits are discarded with
+    /// it and the migration re-credits the entries at their next home,
+    /// so the tail's count stays exact (see module docs).
     fn insert_batch_into_chain(&self, start: &Epoch<E, T>, batch: &[u64]) {
         let mut i = 0;
-        // A repr displaced by a hard-full insert; takes precedence over
-        // `batch[i]` until it lands.
+        // A repr displaced by a hard-full insert or bounced off a
+        // forwarding marker; takes precedence over `batch[i]` until it
+        // lands.
         let mut carry: Option<u64> = None;
         while i < batch.len() || carry.is_some() {
             let mut ep = start;
             while let Some(n) = self.next_of(ep) {
                 ep = n;
             }
-            let prev = ep.state.fetch_add(ACTIVE_ONE, Ordering::SeqCst);
-            if !ep.next.load(Ordering::SeqCst).is_null() {
-                ep.state.fetch_sub(ACTIVE_ONE, Ordering::SeqCst);
-                continue;
-            }
-            // Credits for this registration window accumulate locally
-            // and post with the deregistration RMW: per-entry credit
-            // RMWs would dominate the copy cost. The threshold check
-            // uses the registration read plus local fills — exact for
-            // this thread, approximate across threads, which only
-            // shifts *when* growth triggers, never the final capacity
-            // (normalization re-checks with exact counts).
             let cap = ep.table.capacity();
+            let start_items = ep.state.load(Ordering::Acquire) & ITEMS_MASK;
             let mut fills = 0usize;
             let mut publish = false;
             let tok = ep.table.open_insert_window();
-            while i < batch.len() || carry.is_some() {
-                if Epoch::<E, T>::items_over_threshold((prev & ITEMS_MASK) + fills, cap) {
+            if !ep.next.load(Ordering::SeqCst).is_null() {
+                // Published between the tail walk and the window open;
+                // walk again from the new tail.
+                ep.table.close_insert_window(tok);
+                continue;
+            }
+            let window_end = (i + WINDOW_CHUNK).min(batch.len());
+            while i < window_end || carry.is_some() {
+                if Epoch::<E, T>::items_over_threshold(start_items + fills, cap) {
                     publish = true;
                     break;
                 }
@@ -876,8 +1040,10 @@ impl<E: HashEntry, T: FlatTableCore<E>> ResizableTable<E, T> {
                 }
             }
             ep.table.close_insert_window(tok);
-            ep.state.fetch_sub(ACTIVE_ONE - fills, Ordering::SeqCst);
-            if publish {
+            if fills > 0 {
+                ep.state.fetch_add(fills, Ordering::AcqRel);
+            }
+            if publish && ep.next.load(Ordering::SeqCst).is_null() {
                 self.publish_successor(ep);
             }
         }
@@ -1249,6 +1415,73 @@ mod tests {
         });
         assert_eq!(coop.capacity(), stw.capacity());
         assert_eq!(coop.snapshot(), stw.snapshot());
+    }
+
+    #[test]
+    fn claim_range_forward_drains_every_entry() {
+        fn run<T: FlatTableCore<U64Key>>() {
+            let t = T::new_pow2(6);
+            for k in 1..=40u64 {
+                assert!(t.insert_counted(U64Key::new(k)));
+            }
+            let expect: Vec<u64> = t.elements().iter().map(|e| e.to_repr()).collect();
+            let mut got = Vec::new();
+            let cap = t.capacity();
+            let mut lo = 0;
+            while lo < cap {
+                t.claim_range_forward(lo..lo + 16, &mut got);
+                lo += 16;
+            }
+            // Claims walk in cell order, so the drained reprs must
+            // equal the packed elements exactly — nothing lost,
+            // nothing duplicated, nothing reordered.
+            assert_eq!(got, expect);
+            // A fully forwarded table bounces inserts with a carry and
+            // reports every probe as absent (the chain falls through).
+            let v = U64Key::new(777).to_repr();
+            assert_eq!(t.try_insert_repr(v), Err(v));
+            assert_eq!(t.find(U64Key::new(7)), None);
+        }
+        run::<DetHashTable<U64Key>>();
+        run::<crate::robinhood::RobinHoodHashTable<U64Key>>();
+    }
+
+    #[test]
+    fn insert_during_pending_migration_diverts_without_loss() {
+        let t: ResizableTable<U64Key> = ResizableTable::new_pow2(11); // 4 blocks
+        for k in 1..=100u64 {
+            t.insert(U64Key::new(k));
+        }
+        // Force a pending migration by hand; nobody has helped yet.
+        t.publish_successor(t.current_epoch());
+        // Each of these pays one bounded quota and lands in the tail
+        // while part of the old cell array is still unmigrated.
+        for k in 101..=120u64 {
+            t.insert(U64Key::new(k));
+        }
+        assert_eq!(t.len(), 120);
+        for k in 1..=120u64 {
+            assert_eq!(t.find(U64Key::new(k)), Some(U64Key::new(k)));
+        }
+    }
+
+    #[test]
+    fn delete_after_forced_publish_sees_every_key() {
+        let t: ResizableTable<U64Key> = ResizableTable::new_pow2(11);
+        for k in 1..=100u64 {
+            t.insert(U64Key::new(k));
+        }
+        t.publish_successor(t.current_epoch());
+        // Deletes drain the pending migration before registering, so
+        // they must observe keys still sitting in the unmigrated
+        // region (and the shrink that follows must not lose any).
+        for k in 1..=50u64 {
+            t.delete(U64Key::new(k));
+        }
+        assert_eq!(t.len(), 50);
+        for k in 1..=100u64 {
+            assert_eq!(t.find(U64Key::new(k)).is_some(), k > 50);
+        }
     }
 
     #[test]

@@ -306,6 +306,18 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
         (m.unmix(t >> m.tz) << m.tz) | (t & !self.key_mask)
     }
 
+    /// The *stored-form* forwarding marker: `transform(E::FORWARD)`.
+    /// Cells hold mixed key fields, so the raw all-ones word is not the
+    /// right sentinel here — the mixer could legitimately map some key
+    /// to it. The transform is a bijection on the whole cell word and
+    /// valid entries never have repr `E::FORWARD`, so this is the
+    /// unique stored word no live entry can occupy; it is also nonzero
+    /// (only 0 mixes to 0), so it can never be mistaken for ⊥.
+    #[inline]
+    fn forward_marker(&self) -> u64 {
+        self.transform(E::FORWARD)
+    }
+
     /// Home bucket of a transformed repr: the top `log2(capacity)` bits
     /// of the complement of its masked value, taken within the cell
     /// width (`!t & key_mask` confines the complement to the key field,
@@ -399,6 +411,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
             return self.try_insert_t_wide(v);
         }
         let key_mask = self.key_mask;
+        let fwd = self.forward_marker();
         let mut i = self.slot(v);
         let mut steps = 0usize;
         let mut cas_fails = 0usize;
@@ -406,6 +419,14 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
         let result = loop {
             let thr = v & key_mask;
             let c = self.cells[i].load(Ordering::Acquire);
+            if c == fwd {
+                // Forwarded cell: this region is being migrated. The
+                // marker's mixed bits carry no rank, so neither the
+                // displacement rule nor `combine` may touch it — hand
+                // the carry back for the successor table.
+                phc_obs::probe!(count ForwardedProbes);
+                break Err(v);
+            }
             let cm = c & key_mask;
             if cm == thr {
                 // Same key (`thr != 0` rules out empty): converge on
@@ -524,6 +545,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
         scan: &impl Fn(&[AtomOf<E::Repr>], usize, usize, u64) -> crate::simd::ScanHit,
     ) -> Result<bool, u64> {
         let n = self.cells.len();
+        let fwd = self.forward_marker();
         let mut i = self.slot(v);
         let mut steps = 0usize;
         let mut cas_fails = 0usize;
@@ -565,6 +587,13 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
             }
             i = j;
             loop {
+                // Checked at the loop top so the CAS-failure re-read
+                // path (`c = cur`) is covered too: a forwarded cell
+                // must never be combined with or displaced.
+                if c == fwd {
+                    phc_obs::probe!(count ForwardedProbes);
+                    break 'outer Err(v);
+                }
                 let cm = c & key_mask;
                 if cm == thr {
                     let merged = E::combine(c, v);
@@ -867,6 +896,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
             return self.find_t_wide(t);
         }
         let key_mask = self.key_mask;
+        let fwd = self.forward_marker();
         let thr = t & key_mask;
         let mut i = self.slot(t);
         let mut steps = 0usize;
@@ -874,6 +904,13 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
             // Guard against a (mis-used) full table of richer keys.
             for _ in 0..=self.cells.len() {
                 let c = self.cells[i].load(Ordering::Acquire);
+                if c == fwd {
+                    // Forwarded: the key, if present, lives in the
+                    // successor table. Report absence here and let the
+                    // epoch chain fall through.
+                    phc_obs::probe!(count ForwardedProbes);
+                    break 'scan None;
+                }
                 let cm = c & key_mask;
                 if cm == thr {
                     break 'scan Some(c);
@@ -961,7 +998,11 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
         match hit {
             Some((j, c)) => {
                 phc_obs::probe!(count FindProbeSteps, self.dist(home, j));
-                if c & self.key_mask == thr {
+                if c == self.forward_marker() {
+                    // Forwarded cell: defer to the successor table.
+                    phc_obs::probe!(count ForwardedProbes);
+                    None
+                } else if c & self.key_mask == thr {
                     Some(c)
                 } else {
                     None
@@ -996,6 +1037,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
         debug_assert_ne!(probe & self.key_mask, 0);
         let m = self.cells.len();
         let key_mask = self.key_mask;
+        let fwd = self.forward_marker();
         let thr = probe & key_mask;
         // Virtual indices: base the walk at `m + bucket` so `k` can
         // step below `i` without underflow.
@@ -1005,6 +1047,15 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
         // possible position of the key.
         loop {
             let c = self.load_at(k);
+            if c == fwd {
+                // Forwarded cell: the migration claim has passed this
+                // point, so the key (if it existed here) now lives in
+                // the successor. Stop the walk; deletes never race
+                // migration (the resizer gates them), so this is a
+                // defensive bound, not a hot branch.
+                phc_obs::probe!(count ForwardedProbes);
+                break;
+            }
             if c == E::EMPTY || thr >= c & key_mask {
                 break;
             }
@@ -1020,6 +1071,13 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
             }
             steps += 1;
             let c = self.load_at(k);
+            if c == fwd {
+                // Never combine the forwarding marker's mixed bits
+                // with a key comparison; skip past it.
+                phc_obs::probe!(count ForwardedProbes);
+                k -= 1;
+                continue;
+            }
             if c & key_mask != vm {
                 // Empty or a different key: keep walking down.
                 k -= 1;
@@ -1053,6 +1111,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
     /// home rule.
     fn find_replacement(&self, i: usize) -> (usize, u64) {
         let n = self.cells.len();
+        let fwd = self.forward_marker();
         let mut buf = [0u64; crate::simd::MAX_WINDOW];
         let mut next = i + 1;
         // Scan up past entries that home strictly after `i` (those may
@@ -1068,7 +1127,10 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
             phc_obs::probe!(count SimdLanesScanned, k);
             for (lane, &val) in buf[..k].iter().enumerate() {
                 let jj = next + lane;
-                if val == E::EMPTY || self.lift_home(val, jj) <= i {
+                // `lift_home` on the forwarding marker is garbage; a
+                // forwarded cell may neither fill the hole nor prove
+                // one can't exist, so it is skipped like a stayer.
+                if val == E::EMPTY || (val != fwd && self.lift_home(val, jj) <= i) {
                     break 'up (jj, val);
                 }
             }
@@ -1080,7 +1142,7 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
         let mut k = j - 1;
         while k > i {
             let vp = self.load_at(k);
-            if vp == E::EMPTY || self.lift_home(vp, k) <= i {
+            if vp == E::EMPTY || (vp != fwd && self.lift_home(vp, k) <= i) {
                 v = vp;
                 j = k;
             }
@@ -1136,6 +1198,27 @@ impl<E: HashEntry> RobinHoodHashTable<E> {
                 )));
             }
             base += win.len();
+        }
+    }
+
+    /// Atomically claims every cell in the range for migration: each
+    /// cell is swapped to the stored-form forwarding marker
+    /// ([`forward_marker`](Self::forward_marker)) and its prior
+    /// occupant, *un-mixed* back to an original repr, is appended to
+    /// `out` in cell order. See `DetHashTable::claim_range_forward`
+    /// for the conservation argument; the swap/CAS race is identical
+    /// here because every Robin Hood displacement step is a single-
+    /// cell CAS against a concretely observed old value.
+    pub fn claim_range_forward(&self, range: std::ops::Range<usize>, out: &mut Vec<u64>) {
+        let marker = self.forward_marker();
+        let end = range.end.min(self.cells.len());
+        let start = range.start.min(end);
+        for cell in &self.cells[start..end] {
+            let prev = cell.swap(marker, Ordering::AcqRel);
+            debug_assert_ne!(prev, marker, "migration block claimed twice");
+            if prev != E::EMPTY {
+                out.push(self.untransform(prev));
+            }
         }
     }
 
@@ -1372,6 +1455,9 @@ impl<E: HashEntry> crate::resize::FlatTableCore<E> for RobinHoodHashTable<E> {
     }
     fn for_each_in_range(&self, range: std::ops::Range<usize>, f: impl FnMut(E)) {
         RobinHoodHashTable::for_each_in_range(self, range, f)
+    }
+    fn claim_range_forward(&self, range: std::ops::Range<usize>, out: &mut Vec<u64>) {
+        RobinHoodHashTable::claim_range_forward(self, range, out)
     }
 }
 

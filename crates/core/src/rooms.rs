@@ -235,15 +235,20 @@ impl<E: HashEntry, T: FlatTableCore<E>> AutoPhaseTable<E, T> {
 /// [`AutoPhaseTable`]'s growable sibling: room synchronization over a
 /// [`ResizableTable`].
 ///
-/// Cooperative migration composes with room synchronization because
-/// migration is *insert work*: it only ever runs on threads that are
-/// already executing an insert (or a quiescing accessor), re-inserting
-/// entries into the successor epoch with the same insert primitive. So
-/// inside the insert room migration is just more concurrent inserters
-/// cooperating, and the delete/read rooms always observe a fully
-/// migrated table because every `ResizableTable` accessor drains
-/// pending migrations before touching the contents. No extra "resize
-/// room" is needed.
+/// Freeze-free migration composes with room synchronization even more
+/// directly than the freeze-era scheme did: a room switch needs **no
+/// migration quiescence at all**. Migration work is per-cell claim
+/// swaps plus re-inserts with the ordinary insert primitive, both safe
+/// under the forwarding invariant against anything the insert room
+/// runs, so inside the insert room a pending migration is just more
+/// concurrent insert work, paid in bounded quotas by whichever
+/// operations happen to pass by. The delete and read rooms still
+/// observe fully migrated tables — not because the room grant waits,
+/// but because every `ResizableTable` delete registers behind a full
+/// drain and every read accessor quiesces before touching the
+/// contents. No extra "resize room" is needed, and a room hand-off
+/// never inherits a table-sized stall from a migration that happened
+/// to be in flight.
 pub struct AutoPhaseGrowTable<E: HashEntry, T: FlatTableCore<E> = DetHashTable<E>> {
     table: ResizableTable<E, T>,
     rooms: RoomSync,
@@ -266,8 +271,9 @@ impl<E: HashEntry, T: FlatTableCore<E>> AutoPhaseGrowTable<E, T> {
         self.rooms.with(Room::Read, || self.table.capacity())
     }
 
-    /// Inserts an entry (enters the insert room; may trigger or join a
-    /// cooperative migration).
+    /// Inserts an entry (enters the insert room; may publish a
+    /// successor epoch or pay a bounded migration help quota, never a
+    /// table-sized stall).
     pub fn insert(&self, e: E) {
         self.rooms.with(Room::Insert, || self.table.insert(e));
     }
@@ -338,16 +344,20 @@ impl<E: HashEntry, T: FlatTableCore<E>> AutoPhaseGrowTable<E, T> {
             .with(Room::Read, || self.table.par_find_batched(keys))
     }
 
-    /// Drains pending migration and grows to the canonical capacity
-    /// (enters the insert room — normalization is insert work). Call
+    /// Drains any pending migration to completion and grows to the
+    /// canonical capacity (enters the insert room — normalization
+    /// re-inserts entries, which is insert work). This is the one
+    /// place a full table-sized migration drain is paid on purpose;
+    /// ordinary operations only ever pay bounded help quotas. Call
     /// after a burst of per-op [`insert`](Self::insert)s when you need
     /// the snapshot-determinism guarantee the batched path provides.
     pub fn normalize(&self) {
         self.rooms.with(Room::Insert, || self.table.normalize());
     }
 
-    /// Number of stored entries (enters the read room; exact once the
-    /// room is granted, since granting quiesces migration).
+    /// Number of stored entries (enters the read room; exact because
+    /// the read path itself drains any pending migration before
+    /// counting — the room grant no longer needs to).
     pub fn len(&self) -> usize {
         self.rooms.with(Room::Read, || self.table.len())
     }

@@ -17,9 +17,8 @@
 //! * **Read phases are quiescent.** During `find` / `find_batch` /
 //!   `elements()` no thread writes any cell, so a wide load races with
 //!   nothing and observes exactly the values a sequence of per-cell
-//!   atomic loads would. The same holds for a frozen resize epoch
-//!   (migration scans run after the freeze handshake) and for
-//!   `len()` / stats taken at quiescence.
+//!   atomic loads would. The same holds for `len()` / stats taken at
+//!   quiescence.
 //! * **Insert phases are monotone.** During an insert phase a cell's
 //!   priority only ever increases (a CAS stores a higher-priority key
 //!   over a lower one; `combine` keeps the key) and, in the ND table,
@@ -29,6 +28,20 @@
 //!   observed as a candidate is re-checked with a per-cell **atomic**
 //!   load + CAS before anything is written. A stale candidate is a
 //!   counted misspeculation that simply re-scans.
+//!
+//! ## Forwarded (claimed) lanes
+//!
+//! The freeze-free resizer ([`crate::resize`]) claims cells by
+//! swapping in the all-ones `FORWARD` sentinel. No kernel in this
+//! module needs a dedicated mask for it: under the deterministic
+//! table's inverted priority order all-ones is the *maximum* priority,
+//! so a forwarded lane is outranked and skipped by the ordinary rank
+//! compare, and any lane a wide scan does nominate as a hit or an
+//! insert candidate is re-confirmed through the scalar guards in the
+//! callers (`det`, `fc`, `robinhood`), which reject the marker before
+//! dereferencing or CASing. Monotonicity survives too: empty →
+//! forwarded only raises a cell's priority, so "skip" verdicts stay
+//! valid.
 //!
 //! Two hardware assumptions back the speculative case, both documented
 //! de-facto guarantees of x86-64: naturally aligned 8-byte lanes of a

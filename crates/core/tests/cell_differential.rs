@@ -471,6 +471,198 @@ fn fc_shrink_cycle_identical_across_1_2_8_threads() {
     assert_eq!(rooms, reference, "rooms vs fc shrink cycles diverged");
 }
 
+// --- PR 10: freeze-free migration interleavings ------------------------
+
+/// The fixed-capacity cores' claim hook, abstracted so the forwarding
+/// conservation check runs identically against the deterministic and
+/// Robin Hood layouts.
+mod claim_core {
+    use super::*;
+
+    pub trait ClaimCore<E: HashEntry> {
+        fn new_pow2(log2: u32) -> Self;
+        fn insert(&self, e: E);
+        fn find(&self, key: E) -> Option<E>;
+        fn delete(&self, key: E);
+        fn claim_range_forward(&self, range: std::ops::Range<usize>, out: &mut Vec<u64>);
+    }
+
+    macro_rules! impl_claim_core {
+        ($t:ident) => {
+            impl<E: HashEntry> ClaimCore<E> for $t<E> {
+                fn new_pow2(log2: u32) -> Self {
+                    $t::new_pow2(log2)
+                }
+                fn insert(&self, e: E) {
+                    $t::insert(self, e)
+                }
+                fn find(&self, key: E) -> Option<E> {
+                    $t::find(self, key)
+                }
+                fn delete(&self, key: E) {
+                    $t::delete(self, key)
+                }
+                fn claim_range_forward(&self, range: std::ops::Range<usize>, out: &mut Vec<u64>) {
+                    $t::claim_range_forward(self, range, out)
+                }
+            }
+        };
+    }
+    impl_claim_core!(DetHashTable);
+    impl_claim_core!(RobinHoodHashTable);
+}
+
+/// Builds a core, claims every block (as a migrator would), and checks
+/// the per-cell conservation half of the forwarding invariant: the
+/// drained reprs decode to exactly the inserted multiset, finds on the
+/// fully forwarded window come back empty, and deletes landing in the
+/// window are guarded no-ops rather than panics or corruption.
+fn check_claim<E: HashEntry, T: claim_core::ClaimCore<E>>(
+    label: &str,
+    pairs: &[(u16, u16)],
+    mk: impl Fn(u16, u16) -> E,
+    dec: impl Fn(E) -> (u32, u32) + Copy,
+    tier: SimdTier,
+) {
+    const CLAIM_LOG2: u32 = 11;
+    let cap = 1usize << CLAIM_LOG2;
+    let t = T::new_pow2(CLAIM_LOG2);
+    let entries: Vec<E> = pairs.iter().map(|&(k, v)| mk(k, v)).collect();
+    entries.iter().for_each(|&e| t.insert(e));
+
+    let mut out = Vec::new();
+    for lo in (0..cap).step_by(64) {
+        t.claim_range_forward(lo..lo + 64, &mut out);
+    }
+    let drained = decode(out.iter().map(|&r| E::from_repr(r)).collect(), dec);
+    let mut want: Vec<(u32, u32)> = pairs.iter().map(|&(k, v)| (k as u32, v as u32)).collect();
+    want.sort_unstable();
+    assert_eq!(
+        drained, want,
+        "{label}: claim sweep must drain exactly the content at {tier:?}"
+    );
+
+    for &e in &entries {
+        assert_eq!(
+            t.find(e),
+            None,
+            "{label}: find on a forwarded window must miss at {tier:?}"
+        );
+        // A delete landing in the forwarded window hits the marker
+        // guard and backs off without touching the claimed cells.
+        t.delete(e);
+        assert_eq!(t.find(e), None);
+    }
+}
+
+#[test]
+fn claim_sweep_drains_exact_content_and_deletes_in_window_are_noops() {
+    let _g = lock();
+    let pairs = kv_logical(1024, 0x10F0);
+    for tier in TIERS {
+        with_tier(tier, || {
+            check_claim::<KvPair32, DetHashTable<KvPair32>>(
+                "det32",
+                &pairs,
+                KvPair32::new,
+                kv32,
+                tier,
+            );
+            check_claim::<KvPair, DetHashTable<KvPair>>(
+                "det64",
+                &pairs,
+                |k, v| KvPair::new(k as u32, v as u32),
+                kv64,
+                tier,
+            );
+            check_claim::<KvPair32, RobinHoodHashTable<KvPair32>>(
+                "rh32",
+                &pairs,
+                KvPair32::new,
+                kv32,
+                tier,
+            );
+            check_claim::<KvPair, RobinHoodHashTable<KvPair>>(
+                "rh64",
+                &pairs,
+                |k, v| KvPair::new(k as u32, v as u32),
+                kv64,
+                tier,
+            );
+        });
+    }
+}
+
+/// Per-op insert / delete / re-insert waves on the growable wrapper
+/// with **no normalize between waves** — the interleaving freeze-free
+/// migration has to survive: wave 1's grow publishes race each other,
+/// wave 2's deletes register against (and drain) migrations that are
+/// still pending from wave 1 while their own shrink publishes race the
+/// remaining deletes, and wave 3's grow publishes land on an epoch
+/// chain whose head can still be a part-migrated shrink epoch. Only
+/// the final `normalize()` pays a full drain; the quiescent state
+/// after it must be a pure function of the surviving key set.
+type StormObserved = (usize, usize, Vec<u64>, Vec<(u32, u32)>);
+
+fn storm_observables<E: HashEntry>(
+    pairs: &[(u16, u16)],
+    mk: impl Fn(u16, u16) -> E + Sync,
+    dec: impl Fn(E) -> (u32, u32) + Copy,
+) -> StormObserved {
+    let t = AutoPhaseGrowTable::<E>::new_pow2(4);
+    let entries: Vec<E> = pairs.iter().map(|&(k, v)| mk(k, v)).collect();
+    entries.par_iter().for_each(|&e| t.insert(e));
+    let dels: Vec<E> = entries[64..].to_vec();
+    dels.par_iter().for_each(|&d| t.delete(d));
+    dels.par_iter().for_each(|&e| t.insert(e));
+    t.normalize();
+    (
+        t.capacity(),
+        t.len(),
+        t.snapshot(),
+        decode(t.elements(), dec),
+    )
+}
+
+#[test]
+fn interleaved_grow_shrink_storm_identical_across_threads_tiers_and_widths() {
+    let _g = lock();
+    let pairs = kv_logical(3000, 0x57A3);
+    let mut reference32: Option<StormObserved> = None;
+    for tier in TIERS {
+        with_tier(tier, || {
+            for threads in [1usize, 2, 8] {
+                let got32 = run_with_threads(threads, || {
+                    storm_observables::<KvPair32>(&pairs, KvPair32::new, kv32)
+                });
+                let got64 = run_with_threads(threads, || {
+                    storm_observables::<KvPair>(
+                        &pairs,
+                        |k, v| KvPair::new(k as u32, v as u32),
+                        kv64,
+                    )
+                });
+                // Cell widths agree on the logical outcome...
+                assert_eq!(
+                    got32.3, got64.3,
+                    "storm contents diverged across widths at {tier:?}, T={threads}"
+                );
+                assert_eq!(got32.0, got64.0, "storm capacities diverged across widths");
+                // ...and within a width, every (threads, tier) run
+                // lands on the same canonical capacity and
+                // byte-identical quiescent snapshot.
+                match &reference32 {
+                    None => reference32 = Some(got32),
+                    Some(r) => assert_eq!(
+                        &got32, r,
+                        "storm quiescent state diverged at {tier:?}, T={threads}"
+                    ),
+                }
+            }
+        });
+    }
+}
+
 /// Shrinking composes with the 32-bit cells: the same cycle on packed
 /// entries, capacity and decoded contents deterministic across thread
 /// counts.

@@ -126,6 +126,63 @@ fn shrink_cycle_emits_shrink_counters_and_memory_gauge() {
     }
 }
 
+/// PR 10's freeze-free migration: a forced growth workload must pay
+/// help quotas (nonzero help counter and stall-histogram samples)
+/// without a single freeze-handshake wait — `FreezeWaits` stays
+/// registered for old dashboards but is structurally never
+/// incremented — and probes landing on claimed cells must count as
+/// forwarded.
+#[test]
+fn growth_workload_helps_without_freeze_waits() {
+    let rec = Recorder::global();
+    let before = rec.snapshot();
+
+    let t = phc_core::ResizableTable::<U64Key>::new_pow2(4);
+    for k in 1..=2000u64 {
+        t.insert(U64Key::new(k));
+    }
+    assert_eq!(t.len(), 2000);
+
+    let delta = rec.snapshot().since(&before);
+    assert!(
+        delta.counter(Counter::EpochsPublished) >= 1,
+        "growth never published an epoch"
+    );
+    assert!(
+        delta.counter(Counter::MigrationHelps) >= 1,
+        "no operation paid a help quota"
+    );
+    assert!(
+        delta.samples(Histogram::MigrationStallNanos) >= 1,
+        "no migration stall samples recorded"
+    );
+    // Asserted on the full snapshot, not the delta: zero must hold
+    // across every test in this binary, since no code path increments
+    // the retired counter any more.
+    assert_eq!(
+        rec.snapshot().counter(Counter::FreezeWaits),
+        0,
+        "freeze-era handshake wait observed under the freeze-free resizer"
+    );
+
+    // A probe landing on a claimed (forwarded) cell is counted. The
+    // delete walk observes cells one at a time at every SIMD tier, so
+    // its forwarding guard fires deterministically (wide find kernels
+    // may skip the max-priority marker by rank without observing it).
+    let core: DetHashTable<U64Key> = DetHashTable::new_pow2(4);
+    core.insert(U64Key::new(1));
+    let mut out = Vec::new();
+    core.claim_range_forward(0..16, &mut out);
+    assert_eq!(out.len(), 1);
+    assert_eq!(core.find(U64Key::new(1)), None);
+    core.delete(U64Key::new(1));
+    let delta = rec.snapshot().since(&before);
+    assert!(
+        delta.counter(Counter::ForwardedProbes) >= 1,
+        "probe on a forwarded cell went uncounted"
+    );
+}
+
 #[test]
 fn pack_sizes_recorded_by_elements() {
     let rec = Recorder::global();

@@ -76,9 +76,12 @@ define_ids! {
         FindProbeSteps => "find_probe_steps",
         /// Virtual-index steps walked during deletes.
         DeleteProbeSteps => "delete_probe_steps",
-        /// Migration blocks claimed from a frozen epoch's cursor.
+        /// Migration blocks claimed from a retiring epoch's cursor.
         MigrationBlocksClaimed => "migration_blocks_claimed",
         /// Freeze handshakes that actually had to wait for a writer.
+        /// Retired by the freeze-free resizer (PR 10): kept registered
+        /// for dashboard/JSON stability but never incremented — the
+        /// obs integration suite asserts it stays 0.
         FreezeWaits => "freeze_waits",
         /// Successor epochs published by the cooperative resizer.
         EpochsPublished => "epochs_published",
@@ -160,6 +163,14 @@ define_ids! {
         /// (subset of `simd_lanes_scanned`'s role, counted separately
         /// so the sub-word paths are visible on their own).
         Simd32LanesScanned => "simd32_lanes_scanned",
+        /// Help-along quanta performed by operations that found a
+        /// migration pending: each count is one bounded block quota
+        /// claimed and migrated before the operation proceeded against
+        /// the successor epoch.
+        MigrationHelps => "migration_helps",
+        /// Probes that observed a `FORWARD`-sentinel cell in a
+        /// retiring epoch and diverted to the successor.
+        ForwardedProbes => "forwarded_probes",
     }
 }
 
@@ -199,6 +210,10 @@ define_ids! {
         /// Displacement-chain length per fully-concurrent insert (cells
         /// the carried entry moved before landing).
         FcDisplacementChain => "fc_displacement_chain",
+        /// Nanoseconds an operation spent inside migration work (help
+        /// quanta and full drains): the per-op stall the freeze-free
+        /// resizer bounds. One sample per help/drain episode.
+        MigrationStallNanos => "migration_stall_nanos",
     }
 }
 
@@ -219,7 +234,10 @@ define_ids! {
         ReadEnd => "read_end",
         /// The resizer published a doubled successor epoch.
         EpochPublish => "epoch_publish",
-        /// A helper completed the freeze handshake on a frozen epoch.
+        /// A migrator passed the writer gate on a retiring epoch
+        /// (historically: completed the freeze handshake). The name is
+        /// kept for timeline compatibility; since PR 10 it marks the
+        /// moment a sweep may begin, not a stop-the-world freeze.
         EpochFreeze => "epoch_freeze",
         /// A drained epoch was retired from the chain.
         MigrationFinish => "migration_finish",

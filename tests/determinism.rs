@@ -202,6 +202,39 @@ fn cooperative_resize_identical_across_thread_counts() {
     }
 }
 
+/// Freeze-free migration acceptance: a grow→shrink→regrow cycle driven
+/// entirely through per-op calls — inserts paying bounded help quotas
+/// against live migrations, deletes registering behind pending shrink
+/// publishes, with **no normalization between the waves** — must land,
+/// after one final normalize, on the same canonical capacity and a
+/// byte-identical snapshot whether 1, 2, or 8 threads did the helping.
+/// This is the per-op mirror of the batched shrink cycles in the cell
+/// differential suite: under the freeze-free resizer the per-op path
+/// no longer serializes on a freeze handshake, yet the quiescent state
+/// stays a pure function of the surviving key set.
+#[test]
+fn grow_shrink_regrow_under_load_identical_across_thread_counts() {
+    use phase_concurrent_hashing::tables::AutoPhaseGrowTable;
+    let ks = keys(20_000, 21);
+    let run = |threads: usize| -> (usize, usize, Vec<u64>) {
+        phase_concurrent_hashing::parutil::run_with_threads(threads, || {
+            let t: AutoPhaseGrowTable<U64Key> = AutoPhaseGrowTable::new_pow2(4);
+            ks.par_iter().for_each(|&k| t.insert(U64Key::new(k)));
+            ks[256..].par_iter().for_each(|&k| t.delete(U64Key::new(k)));
+            ks[256..].par_iter().for_each(|&k| t.insert(U64Key::new(k)));
+            t.normalize();
+            (t.capacity(), t.len(), t.snapshot())
+        })
+    };
+    let one = run(1);
+    assert!(one.0 > 16, "table must actually have grown");
+    invariant::check_ordering_invariant::<U64Key>(&one.2).unwrap();
+    invariant::check_no_duplicate_keys::<U64Key>(&one.2).unwrap();
+    for threads in [2, 8] {
+        assert_eq!(one, run(threads), "threads = {threads}");
+    }
+}
+
 /// The Robin Hood table makes the same determinism promise as the det
 /// table — its displacement-ordered clusters are sorted by (home
 /// bucket, mixed key), so the raw snapshot is a pure function of the

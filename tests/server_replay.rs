@@ -121,6 +121,42 @@ fn fc_replays_rmw_log_identically_to_rooms() {
     }
 }
 
+/// Shards growing mid-batch-stream are invisible to clients: replaying
+/// the same log against servers seeded at 2^4 cells per shard — small
+/// enough that the hot shards must grow (and, on delete-heavy
+/// stretches, shrink) repeatedly *inside* the batch stream, exercising
+/// the freeze-free migration path under the router's parallel drive —
+/// produces byte-identical response logs to the comfortably-seeded
+/// reference, across thread AND shard counts, and per-shard quiescent
+/// snapshots that are thread-count independent for a fixed geometry.
+#[test]
+fn growing_shards_mid_stream_replay_identically() {
+    const TINY_LOG2_CELLS: u32 = 4;
+    let log = test_log(20_000);
+    let (reference_bytes, _) = replay(&log, 1, 1);
+    for &shards in &[1usize, 4, 16] {
+        let mut reference_snaps: Option<Vec<Vec<u64>>> = None;
+        for &threads in &[1usize, 2, 8] {
+            let (bytes, snaps) = run_with_threads(threads, || {
+                let server: KvServer = KvServer::new(shards, TINY_LOG2_CELLS);
+                let resps = server.apply_log(&log, BATCH);
+                (response_log_bytes(&resps), server.quiescent_snapshots())
+            });
+            assert_eq!(
+                bytes, reference_bytes,
+                "mid-stream growth changed the response log at T={threads} shards={shards}"
+            );
+            match &reference_snaps {
+                None => reference_snaps = Some(snaps),
+                Some(r) => assert_eq!(
+                    &snaps, r,
+                    "grown-shard snapshots diverged at T={threads} shards={shards}"
+                ),
+            }
+        }
+    }
+}
+
 /// Batch size changes *semantics* boundaries deterministically: for a
 /// log with no same-batch read-after-write hazards the response log is
 /// also batch-size independent. Puts-then-gets has no such hazards.
